@@ -1,0 +1,250 @@
+//! The k-member greedy clustering algorithm (Byun et al., DASFAA 2007).
+//!
+//! The paper's DIVA uses k-member for its `Anonymize` step and as a
+//! comparative baseline. The algorithm builds clusters one at a time:
+//! it seeds each cluster with the record *furthest* from the previous
+//! seed, then greedily grows the cluster to `k` members, at each step
+//! adding the record whose inclusion minimizes the increase in
+//! information loss. Records left over (fewer than `k`) are absorbed
+//! into the clusters whose loss they increase least.
+
+use diva_relation::{Relation, RowId};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use crate::common::{Anonymizer, ClusterState, QiMatrix};
+
+/// k-member configuration.
+///
+/// ```
+/// use diva_anonymize::{Anonymizer, KMember};
+/// use diva_relation::fixtures::paper_table1;
+///
+/// let r = paper_table1();
+/// let out = KMember::exact(1).anonymize(&r, 3);
+/// assert!(diva_relation::is_k_anonymous(&out.relation, 3));
+/// ```
+///
+/// Exact k-member is `O(n²)`; at the paper's largest instance
+/// (|R| = 300k) that is intractable even in native code within a
+/// benchmarking session, so `candidate_cap` bounds the number of
+/// records examined by each furthest-point / best-fit scan. Scans over
+/// at most `candidate_cap` records drawn from a seeded random
+/// permutation preserve the greedy structure (documented substitution,
+/// `DESIGN.md` §2.5); set it to `None` for the exact algorithm.
+#[derive(Debug, Clone)]
+pub struct KMember {
+    /// RNG seed for the initial record choice and candidate sampling.
+    pub seed: u64,
+    /// Upper bound on candidates per greedy scan (`None` = exact).
+    pub candidate_cap: Option<usize>,
+}
+
+impl Default for KMember {
+    fn default() -> Self {
+        Self { seed: 0x5eed, candidate_cap: Some(2048) }
+    }
+}
+
+impl KMember {
+    /// Exact k-member (no candidate sampling).
+    pub fn exact(seed: u64) -> Self {
+        Self { seed, candidate_cap: None }
+    }
+}
+
+/// A pool of not-yet-clustered local indices with O(1) removal.
+struct Pool {
+    items: Vec<usize>,
+    /// Position of each local index inside `items` (usize::MAX = gone).
+    pos: Vec<usize>,
+}
+
+impl Pool {
+    fn new(n: usize, rng: &mut StdRng) -> Self {
+        let mut items: Vec<usize> = (0..n).collect();
+        items.shuffle(rng);
+        let mut pos = vec![usize::MAX; n];
+        for (p, &i) in items.iter().enumerate() {
+            pos[i] = p;
+        }
+        Self { items, pos }
+    }
+
+    fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    fn remove(&mut self, i: usize) {
+        let p = self.pos[i];
+        debug_assert!(p != usize::MAX);
+        let last = *self.items.last().expect("remove from empty pool");
+        self.items.swap_remove(p);
+        if last != i {
+            self.pos[last] = p;
+        }
+        self.pos[i] = usize::MAX;
+    }
+
+    /// The candidate slice for a scan: the whole pool, or its first
+    /// `cap` entries. Items are in shuffled order, and `swap_remove`
+    /// keeps the order unbiased, so a prefix is a uniform sample.
+    fn candidates(&self, cap: Option<usize>) -> &[usize] {
+        match cap {
+            Some(c) if self.items.len() > c => &self.items[..c],
+            _ => &self.items,
+        }
+    }
+}
+
+impl Anonymizer for KMember {
+    fn name(&self) -> &'static str {
+        "k-member"
+    }
+
+    fn cluster(&self, rel: &Relation, rows: &[RowId], k: usize) -> Vec<Vec<RowId>> {
+        assert!(k > 0, "k must be positive");
+        if rows.is_empty() {
+            return Vec::new();
+        }
+        let m = QiMatrix::new(rel, rows);
+        let n = m.len();
+        if n < k {
+            return m.to_relation_clusters(&[(0..n).collect()]);
+        }
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut pool = Pool::new(n, &mut rng);
+        let mut clusters: Vec<ClusterState> = Vec::with_capacity(n / k + 1);
+
+        let mut prev_seed = pool.items[rng.gen_range(0..pool.len())];
+        while pool.len() >= k {
+            // Seed: record furthest from the previous seed.
+            let seed = *pool
+                .candidates(self.candidate_cap)
+                .iter()
+                .max_by_key(|&&i| m.distance(prev_seed, i))
+                .expect("pool is non-empty");
+            prev_seed = seed;
+            pool.remove(seed);
+            let mut c = ClusterState::singleton(&m, seed);
+            while c.len() < k {
+                // Greedy: record with minimal information-loss increase.
+                let best = *pool
+                    .candidates(self.candidate_cap)
+                    .iter()
+                    .min_by_key(|&&i| c.il_increase(&m, i))
+                    .expect("pool has ≥ k - |c| records");
+                pool.remove(best);
+                c.push(&m, best);
+            }
+            clusters.push(c);
+        }
+        // Absorb the leftovers into their cheapest clusters.
+        let leftovers: Vec<usize> = pool.items.clone();
+        for i in leftovers {
+            let best = (0..clusters.len())
+                .min_by_key(|&ci| clusters[ci].il_increase(&m, i))
+                .expect("at least one cluster exists since n ≥ k");
+            clusters[best].push(&m, i);
+        }
+        let local: Vec<Vec<usize>> = clusters.into_iter().map(|c| c.members).collect();
+        m.to_relation_clusters(&local)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::assert_valid_clustering;
+    use diva_relation::fixtures::paper_table1;
+    use diva_relation::{is_k_anonymous, suppress::suppress_clustering};
+
+    #[test]
+    fn clusters_partition_and_respect_k() {
+        let r = paper_table1();
+        let rows: Vec<usize> = (0..r.n_rows()).collect();
+        for k in [2, 3, 5] {
+            let clusters = KMember::exact(1).cluster(&r, &rows, k);
+            assert_valid_clustering(&clusters, &rows, k);
+        }
+    }
+
+    #[test]
+    fn output_is_k_anonymous() {
+        let r = diva_datagen::medical(500, 7);
+        for k in [3, 10] {
+            let s = KMember::default().anonymize(&r, k);
+            assert!(is_k_anonymous(&s.relation, k), "k = {k}");
+            assert_eq!(s.relation.n_rows(), 500);
+        }
+    }
+
+    #[test]
+    fn fewer_rows_than_k_yields_single_cluster() {
+        let r = paper_table1();
+        let clusters = KMember::exact(1).cluster(&r, &[0, 1, 2], 5);
+        assert_eq!(clusters.len(), 1);
+        assert_eq!(clusters[0].len(), 3);
+    }
+
+    #[test]
+    fn empty_rows_yield_empty_clustering() {
+        let r = paper_table1();
+        assert!(KMember::default().cluster(&r, &[], 3).is_empty());
+    }
+
+    #[test]
+    fn subset_clustering_only_uses_given_rows() {
+        let r = paper_table1();
+        let rows = vec![2, 4, 6, 8];
+        let clusters = KMember::exact(3).cluster(&r, &rows, 2);
+        assert_valid_clustering(&clusters, &rows, 2);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let r = diva_datagen::medical(300, 9);
+        let rows: Vec<usize> = (0..r.n_rows()).collect();
+        let a = KMember { seed: 5, candidate_cap: Some(64) }.cluster(&r, &rows, 5);
+        let b = KMember { seed: 5, candidate_cap: Some(64) }.cluster(&r, &rows, 5);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn greedy_beats_random_grouping() {
+        // k-member should suppress fewer cells than an arbitrary
+        // contiguous chunking of the rows.
+        let r = diva_datagen::medical(400, 11);
+        let k = 5;
+        let s = KMember::default().anonymize(&r, k);
+        let chunked: Vec<Vec<usize>> =
+            (0..r.n_rows()).collect::<Vec<_>>().chunks(k).map(<[usize]>::to_vec).collect();
+        let chunk_out = suppress_clustering(&r, &chunked);
+        assert!(
+            s.relation.star_count() < chunk_out.relation.star_count(),
+            "k-member {} ★ vs chunked {} ★",
+            s.relation.star_count(),
+            chunk_out.relation.star_count()
+        );
+    }
+
+    #[test]
+    fn capped_is_close_to_exact_on_small_input() {
+        let r = diva_datagen::medical(200, 13);
+        let exact = KMember::exact(5).anonymize(&r, 4).relation.star_count();
+        let capped = KMember { seed: 5, candidate_cap: Some(50) }
+            .anonymize(&r, 4)
+            .relation
+            .star_count();
+        // The sampled variant may lose some quality but not collapse.
+        assert!((capped as f64) < 1.6 * exact as f64, "exact {exact}, capped {capped}");
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be positive")]
+    fn zero_k_panics() {
+        let r = paper_table1();
+        KMember::default().cluster(&r, &[0, 1], 0);
+    }
+}

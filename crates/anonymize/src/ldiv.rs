@@ -1,0 +1,177 @@
+//! ℓ-diversity: checking and enforcement on top of suppression-based
+//! QI-groups.
+//!
+//! The paper positions k-anonymity as its privacy definition "for its
+//! ease of presentation" and notes that DIVA "is extensible to
+//! re-define the clustering criteria according to these privacy
+//! semantics" (§5). This module provides that extension for
+//! (distinct) ℓ-diversity [Machanavajjhala et al. 2006]: every
+//! QI-group must contain at least `ℓ` *distinct* sensitive values, so
+//! an attacker who locates an individual's group still cannot infer
+//! their sensitive value.
+//!
+//! [`enforce_l_diversity`] post-processes any clustering (DIVA's or a
+//! baseline's) by greedily merging ℓ-deficient clusters into the
+//! neighbour that gains the most distinct sensitive values per star
+//! added. Merging only ever unions clusters, so `k`-anonymity is
+//! preserved.
+
+use std::collections::HashSet;
+
+use diva_relation::{qi_groups, Relation, RowId};
+
+/// Number of distinct sensitive-value combinations among `rows`.
+/// Rows with no sensitive attributes each count as distinct.
+pub fn distinct_sensitive(rel: &Relation, rows: &[RowId]) -> usize {
+    let sens_cols: Vec<usize> = (0..rel.schema().arity())
+        .filter(|&c| rel.schema().attribute(c).role() == diva_relation::AttrRole::Sensitive)
+        .collect();
+    if sens_cols.is_empty() {
+        // Without sensitive attributes ℓ-diversity is vacuous: treat
+        // every row as its own "value".
+        return rows.len();
+    }
+    let mut seen: HashSet<Vec<u32>> = HashSet::with_capacity(rows.len());
+    for &r in rows {
+        seen.insert(sens_cols.iter().map(|&c| rel.code(r, c)).collect());
+    }
+    seen.len()
+}
+
+/// Whether every maximal QI-group of `rel` contains at least `l`
+/// distinct sensitive values (distinct ℓ-diversity). An empty relation
+/// is vacuously ℓ-diverse.
+pub fn is_l_diverse(rel: &Relation, l: usize) -> bool {
+    qi_groups(rel)
+        .groups()
+        .iter()
+        .all(|g| distinct_sensitive(rel, g) >= l)
+}
+
+/// Greedily merges clusters of `clustering` (over `rel`) until every
+/// cluster has at least `l` distinct sensitive values, or returns
+/// `None` when the whole input has fewer than `l` distinct sensitive
+/// values (then no clustering can be ℓ-diverse).
+///
+/// Deficient clusters are processed smallest-deficit-first; each is
+/// merged with the cluster that (a) fixes the deficit if any can, and
+/// (b) costs the fewest additional suppressed attributes, estimated by
+/// QI disagreement between cluster representatives.
+pub fn enforce_l_diversity(
+    rel: &Relation,
+    clustering: &[Vec<RowId>],
+    l: usize,
+) -> Option<Vec<Vec<RowId>>> {
+    let all_rows: Vec<RowId> = clustering.iter().flatten().copied().collect();
+    if distinct_sensitive(rel, &all_rows) < l && !all_rows.is_empty() {
+        return None;
+    }
+    let mut clusters: Vec<Vec<RowId>> = clustering.iter().filter(|c| !c.is_empty()).cloned().collect();
+    loop {
+        let Some(bad) = clusters
+            .iter()
+            .position(|c| distinct_sensitive(rel, c) < l)
+        else {
+            return Some(clusters);
+        };
+        if clusters.len() == 1 {
+            // Single cluster but the global distinct count is ≥ l, so
+            // this cannot happen; defensive.
+            return None;
+        }
+        let victim = clusters.swap_remove(bad);
+        // Pick the merge partner: first preference to partners that
+        // close the deficit, then minimal QI disagreement.
+        let deficit_fixed = |partner: &Vec<RowId>| {
+            let mut merged = partner.clone();
+            merged.extend_from_slice(&victim);
+            distinct_sensitive(rel, &merged) >= l
+        };
+        let qi_cols = rel.schema().qi_cols();
+        let disagreement = |partner: &Vec<RowId>| -> usize {
+            qi_cols
+                .iter()
+                .filter(|&&c| rel.code(partner[0], c) != rel.code(victim[0], c))
+                .count()
+        };
+        let best = (0..clusters.len())
+            .min_by_key(|&i| (!deficit_fixed(&clusters[i]), disagreement(&clusters[i])))
+            .expect("clusters remain");
+        clusters[best].extend_from_slice(&victim);
+        clusters[best].sort_unstable();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Anonymizer, KMember};
+    use diva_relation::fixtures::paper_table1;
+    use diva_relation::suppress::suppress_clustering;
+    use diva_relation::is_k_anonymous;
+
+    #[test]
+    fn table1_group_diversity() {
+        let r = paper_table1();
+        // Each tuple its own group: 1 distinct sensitive value per
+        // group → 1-diverse, not 2-diverse.
+        assert!(is_l_diverse(&r, 1));
+        assert!(!is_l_diverse(&r, 2));
+    }
+
+    #[test]
+    fn suppressed_groups_can_be_diverse() {
+        let r = paper_table1();
+        // {t1,t2}: Hypertension + Tuberculosis → 2 distinct.
+        let s = suppress_clustering(&r, &[vec![0, 1]]);
+        assert!(is_l_diverse(&s.relation, 2));
+        // {t5,t7} (rows 4, 6): Hypertension + Hypertension → only 1.
+        let s = suppress_clustering(&r, &[vec![4, 6]]);
+        assert!(!is_l_diverse(&s.relation, 2));
+    }
+
+    #[test]
+    fn enforce_merges_deficient_clusters() {
+        let r = paper_table1();
+        // {t5,t7} shares Hypertension; {t1,t2} is fine.
+        let clustering = vec![vec![4, 6], vec![0, 1]];
+        let fixed = enforce_l_diversity(&r, &clustering, 2).expect("feasible");
+        let s = suppress_clustering(&r, &fixed);
+        assert!(is_l_diverse(&s.relation, 2));
+        // All four rows still present.
+        let mut rows: Vec<usize> = fixed.iter().flatten().copied().collect();
+        rows.sort_unstable();
+        assert_eq!(rows, vec![0, 1, 4, 6]);
+    }
+
+    #[test]
+    fn enforce_detects_infeasible() {
+        let r = paper_table1();
+        // Only Hypertension rows: 1 distinct value, 2-diversity
+        // impossible.
+        assert!(enforce_l_diversity(&r, &[vec![0, 4], vec![6]], 2).is_none());
+    }
+
+    #[test]
+    fn enforce_on_kmember_output() {
+        let r = diva_datagen::medical(600, 3);
+        let k = 5;
+        let clusters = KMember::default().cluster(&r, &(0..600).collect::<Vec<_>>(), k);
+        let l = 3;
+        let fixed = enforce_l_diversity(&r, &clusters, l).expect("medical has 8 diagnoses");
+        let s = suppress_clustering(&r, &fixed);
+        assert!(is_l_diverse(&s.relation, l));
+        assert!(is_k_anonymous(&s.relation, k), "merging must preserve k-anonymity");
+        assert_eq!(s.relation.n_rows(), 600);
+    }
+
+    #[test]
+    fn empty_and_trivial_cases() {
+        let r = paper_table1();
+        assert_eq!(enforce_l_diversity(&r, &[], 2), Some(vec![]));
+        let one = enforce_l_diversity(&r, &[vec![0, 1]], 1).unwrap();
+        assert_eq!(one, vec![vec![0, 1]]);
+        let empty = diva_relation::Relation::empty(diva_relation::fixtures::medical_schema());
+        assert!(is_l_diverse(&empty, 5));
+    }
+}

@@ -1,0 +1,141 @@
+//! t-closeness checking (Li, Li, Venkatasubramanian, ICDE 2007) —
+//! the second privacy refinement the paper's related-work section
+//! names next to ℓ-diversity (§5).
+//!
+//! A relation is *t-close* when, in every QI-group, the distribution
+//! of the sensitive attribute is within distance `t` of its global
+//! distribution. For categorical sensitive attributes the standard
+//! distance is the **variational (total variation) distance**
+//! `½ Σ |p_i − q_i|`, which we implement here; ordered attributes
+//! would use the Earth Mover's Distance, which coincides with the
+//! variational distance under the unit ground metric.
+
+use std::collections::HashMap;
+
+use diva_relation::{qi_groups, AttrRole, Relation, RowId};
+
+/// Sensitive-value distribution of `rows` as (combination → fraction).
+fn distribution(rel: &Relation, rows: &[RowId], sens_cols: &[usize]) -> HashMap<Vec<u32>, f64> {
+    let mut counts: HashMap<Vec<u32>, usize> = HashMap::new();
+    for &r in rows {
+        let key: Vec<u32> = sens_cols.iter().map(|&c| rel.code(r, c)).collect();
+        *counts.entry(key).or_default() += 1;
+    }
+    let n = rows.len().max(1) as f64;
+    counts.into_iter().map(|(k, c)| (k, c as f64 / n)).collect()
+}
+
+/// Total variation distance between two distributions over the same
+/// (implicit) support.
+fn variational_distance(p: &HashMap<Vec<u32>, f64>, q: &HashMap<Vec<u32>, f64>) -> f64 {
+    let mut keys: Vec<&Vec<u32>> = p.keys().chain(q.keys()).collect();
+    keys.sort();
+    keys.dedup();
+    0.5 * keys
+        .into_iter()
+        .map(|k| (p.get(k).copied().unwrap_or(0.0) - q.get(k).copied().unwrap_or(0.0)).abs())
+        .sum::<f64>()
+}
+
+/// The maximum distance between any QI-group's sensitive distribution
+/// and the global one — the smallest `t` for which the relation is
+/// t-close. Returns 0 for an empty relation or one without sensitive
+/// attributes.
+pub fn closeness(rel: &Relation) -> f64 {
+    let sens_cols: Vec<usize> = (0..rel.schema().arity())
+        .filter(|&c| rel.schema().attribute(c).role() == AttrRole::Sensitive)
+        .collect();
+    if sens_cols.is_empty() || rel.is_empty() {
+        return 0.0;
+    }
+    let all: Vec<RowId> = (0..rel.n_rows()).collect();
+    let global = distribution(rel, &all, &sens_cols);
+    qi_groups(rel)
+        .groups()
+        .iter()
+        .map(|g| variational_distance(&distribution(rel, g, &sens_cols), &global))
+        .fold(0.0, f64::max)
+}
+
+/// Whether every QI-group's sensitive distribution is within `t` of
+/// the global distribution.
+pub fn is_t_close(rel: &Relation, t: f64) -> bool {
+    closeness(rel) <= t + 1e-12
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use diva_relation::fixtures::paper_table1;
+    use diva_relation::suppress::suppress_clustering;
+    use diva_relation::{Attribute, RelationBuilder, Schema};
+    use std::sync::Arc;
+
+    fn two_group_relation(g1: &[&str], g2: &[&str]) -> Relation {
+        let schema = Arc::new(Schema::new(vec![
+            Attribute::quasi("A"),
+            Attribute::sensitive("S"),
+        ]));
+        let mut b = RelationBuilder::new(schema);
+        for s in g1 {
+            b.push_row(&["g1", s]);
+        }
+        for s in g2 {
+            b.push_row(&["g2", s]);
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn identical_distributions_are_zero_close() {
+        let r = two_group_relation(&["flu", "cold"], &["flu", "cold"]);
+        assert!(closeness(&r) < 1e-12);
+        assert!(is_t_close(&r, 0.0));
+    }
+
+    #[test]
+    fn skewed_group_measured() {
+        // Global: flu 3/4, cold 1/4. Group g1 = {flu, flu}: distance
+        // = ½(|1 − ¾| + |0 − ¼|) = ¼. Group g2 = {flu, cold}: ¼.
+        let r = two_group_relation(&["flu", "flu"], &["flu", "cold"]);
+        assert!((closeness(&r) - 0.25).abs() < 1e-12);
+        assert!(is_t_close(&r, 0.25));
+        assert!(!is_t_close(&r, 0.2));
+    }
+
+    #[test]
+    fn single_group_is_perfectly_close() {
+        let r = paper_table1();
+        let n = r.n_rows();
+        let s = suppress_clustering(&r, &[(0..n).collect()]);
+        assert!(closeness(&s.relation) < 1e-12);
+    }
+
+    #[test]
+    fn fine_groups_are_far() {
+        // Each tuple its own group: every group is a point mass.
+        let r = paper_table1();
+        let c = closeness(&r);
+        assert!(c > 0.5, "point masses should be far from the global mix: {c}");
+        assert!(c <= 1.0);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        let schema = Arc::new(Schema::new(vec![Attribute::quasi("A")]));
+        let mut b = RelationBuilder::new(Arc::clone(&schema));
+        b.push_row(&["x"]);
+        let no_sensitive = b.finish();
+        assert_eq!(closeness(&no_sensitive), 0.0);
+        let empty = Relation::empty(schema);
+        assert_eq!(closeness(&empty), 0.0);
+    }
+
+    #[test]
+    fn coarser_grouping_never_increases_closeness_on_example() {
+        let r = paper_table1();
+        let fine = suppress_clustering(&r, &[vec![0, 1], vec![2, 3], vec![4, 5], vec![6, 7], vec![8, 9]]);
+        let coarse = suppress_clustering(&r, &[vec![0, 1, 2, 3, 4], vec![5, 6, 7, 8, 9]]);
+        assert!(closeness(&coarse.relation) <= closeness(&fine.relation) + 1e-12);
+    }
+}

@@ -1,0 +1,92 @@
+//! Property-based tests for the k-anonymization baselines and the
+//! privacy-model extensions.
+
+use std::sync::Arc;
+
+use diva_anonymize::{
+    closeness, enforce_l_diversity, is_l_diverse, Anonymizer, KMember, Mondrian, Oka,
+};
+use diva_relation::suppress::{is_refinement, suppress_clustering};
+use diva_relation::{is_k_anonymous, Attribute, Relation, RelationBuilder, Schema};
+use proptest::prelude::*;
+
+fn arb_relation() -> impl Strategy<Value = Relation> {
+    (2usize..4, 8usize..80).prop_flat_map(|(n_qi, n_rows)| {
+        let row = proptest::collection::vec(0u8..5, n_qi + 1);
+        proptest::collection::vec(row, n_rows).prop_map(move |rows| {
+            let mut attrs: Vec<Attribute> =
+                (0..n_qi).map(|i| Attribute::quasi(format!("Q{i}"))).collect();
+            attrs.push(Attribute::sensitive("S"));
+            let schema = Arc::new(Schema::new(attrs));
+            let mut b = RelationBuilder::new(schema);
+            for r in &rows {
+                let vals: Vec<String> = r.iter().map(|v| format!("v{v}")).collect();
+                b.push_row(&vals);
+            }
+            b.finish()
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Every baseline publishes a k-anonymous refinement covering all
+    /// tuples, whenever |R| ≥ k.
+    #[test]
+    fn baselines_uphold_the_contract(rel in arb_relation(), k in 2usize..6, algo_idx in 0usize..3) {
+        prop_assume!(rel.n_rows() >= 2 * k);
+        let algo: Box<dyn Anonymizer> = match algo_idx {
+            0 => Box::new(KMember { seed: 1, candidate_cap: Some(32) }),
+            1 => Box::new(Oka { seed: 1, candidate_cap: Some(16) }),
+            _ => Box::new(Mondrian),
+        };
+        let out = algo.anonymize(&rel, k);
+        prop_assert!(is_k_anonymous(&out.relation, k), "{}", algo.name());
+        prop_assert!(is_refinement(&rel, &out.relation, &out.source_rows));
+        prop_assert_eq!(out.relation.n_rows(), rel.n_rows());
+    }
+
+    /// ℓ-diversity enforcement: whenever the input has ≥ l distinct
+    /// sensitive values overall, enforcement succeeds and the
+    /// suppressed result is ℓ-diverse and keeps every row.
+    #[test]
+    fn l_diversity_enforcement_succeeds_when_possible(
+        rel in arb_relation(),
+        k in 2usize..5,
+        l in 1usize..4,
+    ) {
+        prop_assume!(rel.n_rows() >= 2 * k);
+        let rows: Vec<usize> = (0..rel.n_rows()).collect();
+        let clusters = Mondrian.cluster(&rel, &rows, k);
+        let distinct_global = {
+            use std::collections::HashSet;
+            let s_col = rel.schema().arity() - 1;
+            rows.iter().map(|&r| rel.code(r, s_col)).collect::<HashSet<_>>().len()
+        };
+        match enforce_l_diversity(&rel, &clusters, l) {
+            Some(fixed) => {
+                let s = suppress_clustering(&rel, &fixed);
+                prop_assert!(is_l_diverse(&s.relation, l));
+                let mut all: Vec<usize> = fixed.iter().flatten().copied().collect();
+                all.sort_unstable();
+                prop_assert_eq!(all, rows);
+            }
+            None => prop_assert!(
+                distinct_global < l,
+                "enforcement failed although {distinct_global} ≥ {l} distinct values exist"
+            ),
+        }
+    }
+
+    /// t-closeness is bounded and anti-monotone under full merging:
+    /// the single-group relation has closeness 0.
+    #[test]
+    fn closeness_bounds(rel in arb_relation()) {
+        let c = closeness(&rel);
+        prop_assert!((0.0..=1.0).contains(&c), "closeness {c}");
+        let n = rel.n_rows();
+        let merged = suppress_clustering(&rel, &[(0..n).collect()]);
+        prop_assert!(closeness(&merged.relation) < 1e-9);
+    }
+}

@@ -1,0 +1,87 @@
+//! Microbenches for the substrate operations that dominate DIVA's
+//! profile: QI-group hashing, suppression recoding, candidate
+//! enumeration, constraint binding, and conflict-rate computation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use diva_constraints::{conflict_rate, Constraint, ConstraintSet};
+use diva_core::CandidateSet;
+use diva_relation::suppress::suppress_clustering;
+use diva_relation::{is_k_anonymous, qi_groups};
+
+const SEED: u64 = 7;
+
+fn bench_relation_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrate_relation");
+    group.sample_size(20);
+    for &n in &[1_000usize, 10_000] {
+        let rel = diva_datagen::census(n, SEED);
+        group.bench_with_input(BenchmarkId::new("qi_groups", n), &rel, |b, rel| {
+            b.iter(|| qi_groups(rel).len());
+        });
+        group.bench_with_input(BenchmarkId::new("is_k_anonymous", n), &rel, |b, rel| {
+            b.iter(|| is_k_anonymous(rel, 10));
+        });
+        group.bench_with_input(BenchmarkId::new("distinct_qi", n), &rel, |b, rel| {
+            b.iter(|| rel.distinct_qi_projections());
+        });
+        let clusters: Vec<Vec<usize>> =
+            (0..n).collect::<Vec<_>>().chunks(10).map(<[usize]>::to_vec).collect();
+        group.bench_with_input(BenchmarkId::new("suppress", n), &rel, |b, rel| {
+            b.iter(|| suppress_clustering(rel, &clusters).relation.star_count());
+        });
+    }
+    group.finish();
+}
+
+fn bench_constraint_ops(c: &mut Criterion) {
+    let rel = diva_datagen::census(10_000, SEED);
+    let sigma = diva_bench::runner::experiment_sigma(&rel, 12, 0.4, 10, SEED);
+    let mut group = c.benchmark_group("substrate_constraints");
+    group.sample_size(20);
+    group.bench_function("bind_12_constraints", |b| {
+        b.iter(|| ConstraintSet::bind(&sigma, &rel).map(|s| s.len()));
+    });
+    let set = ConstraintSet::bind(&sigma, &rel).unwrap();
+    group.bench_function("conflict_rate", |b| {
+        b.iter(|| conflict_rate(&set));
+    });
+    group.bench_function("satisfaction_check", |b| {
+        b.iter(|| set.satisfied_by(&rel));
+    });
+    let big = set
+        .constraints()
+        .iter()
+        .max_by_key(|c| c.target_rows.len())
+        .expect("non-empty Σ");
+    group.bench_function("enumerate_candidates_largest_target", |b| {
+        b.iter(|| CandidateSet::enumerate(&rel, big, 10, 64, None).len());
+    });
+    group.finish();
+}
+
+fn bench_paper_example(c: &mut Criterion) {
+    // The full running example end to end: useful as a regression
+    // canary for the whole pipeline's constant factors.
+    use diva_core::{Diva, DivaConfig, Strategy};
+    let rel = diva_relation::fixtures::paper_table1();
+    let sigma = vec![
+        Constraint::single("ETH", "Asian", 2, 5),
+        Constraint::single("ETH", "African", 1, 3),
+        Constraint::single("CTY", "Vancouver", 2, 4),
+    ];
+    let mut group = c.benchmark_group("paper_example");
+    for strategy in Strategy::all() {
+        group.bench_function(strategy.name(), |b| {
+            b.iter(|| {
+                let config =
+                    DivaConfig { k: 2, strategy, seed: SEED, ..Default::default() };
+                Diva::new(config).run(&rel, &sigma).map(|o| o.relation.star_count())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_relation_ops, bench_constraint_ops, bench_paper_example);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Benchmark harness regenerating every table and figure of the
+//! paper's evaluation (Section 4).
+//!
+//! The harness has two entry points:
+//!
+//! * the `experiments` binary (`cargo run --release -p diva-bench --bin
+//!   experiments -- <table4|table5|fig4a|fig4b|fig4c|fig4d|fig5a|fig5b|
+//!   fig5c|fig5d|all>`), which prints paper-style series to stdout and
+//!   writes CSVs under `results/`;
+//! * the Criterion benches (`cargo bench`), which time the headline
+//!   configurations with statistical rigor.
+//!
+//! By default the |R|-heavy sweeps run at `DIVA_BENCH_SCALE = 0.1` of
+//! the paper's row counts so that the whole suite completes in
+//! minutes; set the environment variable `DIVA_BENCH_SCALE=1.0` to
+//! reproduce the paper's full 60k–300k Census instances. Relative
+//! orderings — who wins, where curves cross — are scale-stable (see
+//! `EXPERIMENTS.md`).
+
+pub mod ablation;
+pub mod fig4;
+pub mod fig5;
+pub mod params;
+pub mod runner;
+pub mod table;
+pub mod tables;
+
+pub use params::Params;
+pub use runner::{run_baseline, run_diva, Measurement};
+pub use table::Table;

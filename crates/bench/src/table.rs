@@ -1,0 +1,188 @@
+//! Plain-text series tables and CSV output for the experiment
+//! harness.
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// A printable table: one row per x-value, one column per series —
+/// the textual equivalent of one paper figure.
+#[derive(Debug, Clone)]
+pub struct Table {
+    /// Title printed above the table (e.g. `Fig 4a — Runtime vs |Σ|`).
+    pub title: String,
+    /// Name of the x column (e.g. `|Σ|`).
+    pub x_name: String,
+    /// Series names in column order.
+    pub series: Vec<String>,
+    /// Rows: x label plus one value per series (`None` = failed run).
+    pub rows: Vec<(String, Vec<Option<f64>>)>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(
+        title: impl Into<String>,
+        x_name: impl Into<String>,
+        series: Vec<String>,
+    ) -> Self {
+        Self { title: title.into(), x_name: x_name.into(), series, rows: Vec::new() }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value count differs from the series count.
+    pub fn push_row(&mut self, x: impl Into<String>, values: Vec<Option<f64>>) {
+        assert_eq!(values.len(), self.series.len(), "row width != series count");
+        self.rows.push((x.into(), values));
+    }
+
+    /// Renders the table as aligned plain text.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} ==", self.title);
+        let widths: Vec<usize> = std::iter::once(self.x_name.len().max(8))
+            .chain(self.series.iter().map(|s| s.len().max(10)))
+            .collect();
+        let _ = write!(out, "{:>w$}", self.x_name, w = widths[0]);
+        for (i, s) in self.series.iter().enumerate() {
+            let _ = write!(out, "  {:>w$}", s, w = widths[i + 1]);
+        }
+        let _ = writeln!(out);
+        for (x, values) in &self.rows {
+            let _ = write!(out, "{:>w$}", x, w = widths[0]);
+            for (i, v) in values.iter().enumerate() {
+                match v {
+                    Some(v) => {
+                        let _ = write!(out, "  {:>w$.4}", v, w = widths[i + 1]);
+                    }
+                    None => {
+                        let _ = write!(out, "  {:>w$}", "-", w = widths[i + 1]);
+                    }
+                }
+            }
+            let _ = writeln!(out);
+        }
+        out
+    }
+
+    /// Renders the table as CSV (header row, then one line per row).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let _ = write!(out, "{}", self.x_name);
+        for s in &self.series {
+            let _ = write!(out, ",{s}");
+        }
+        let _ = writeln!(out);
+        for (x, values) in &self.rows {
+            let _ = write!(out, "{x}");
+            for v in values {
+                match v {
+                    Some(v) => {
+                        let _ = write!(out, ",{v}");
+                    }
+                    None => {
+                        let _ = write!(out, ","); // empty cell
+                    }
+                }
+            }
+            let _ = writeln!(out);
+        }
+        out
+    }
+
+    /// Writes the CSV form to `dir/<slug>.csv`, creating `dir`.
+    pub fn write_csv(&self, dir: &Path, slug: &str) -> std::io::Result<()> {
+        std::fs::create_dir_all(dir)?;
+        std::fs::write(dir.join(format!("{slug}.csv")), self.to_csv())
+    }
+
+    /// A gnuplot script that renders `<slug>.csv` (as written by
+    /// [`Table::write_csv`]) into `<slug>.png`, one line per series —
+    /// handy for eyeballing the figures next to the paper's.
+    pub fn to_gnuplot(&self, slug: &str) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "set datafile separator ','");
+        let _ = writeln!(out, "set terminal pngcairo size 800,500");
+        let _ = writeln!(out, "set output '{slug}.png'");
+        let _ = writeln!(out, "set title {:?}", self.title);
+        let _ = writeln!(out, "set xlabel {:?}", self.x_name);
+        let _ = writeln!(out, "set key outside");
+        let plots: Vec<String> = self
+            .series
+            .iter()
+            .enumerate()
+            .map(|(i, name)| {
+                format!(
+                    "'{slug}.csv' using 1:{} with linespoints title {:?}",
+                    i + 2,
+                    name
+                )
+            })
+            .collect();
+        let _ = writeln!(out, "plot {}", plots.join(", \\\n     "));
+        out
+    }
+
+    /// Writes the gnuplot script next to the CSV.
+    pub fn write_gnuplot(&self, dir: &Path, slug: &str) -> std::io::Result<()> {
+        std::fs::create_dir_all(dir)?;
+        std::fs::write(dir.join(format!("{slug}.gnu")), self.to_gnuplot(slug))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut t = Table::new("Fig X", "|Σ|", vec!["A".into(), "B".into()]);
+        t.push_row("4", vec![Some(1.5), Some(2.0)]);
+        t.push_row("8", vec![Some(3.25), None]);
+        t
+    }
+
+    #[test]
+    fn renders_aligned_text() {
+        let text = sample().render();
+        assert!(text.contains("== Fig X =="));
+        assert!(text.contains("|Σ|"));
+        assert!(text.contains("1.5000"));
+        assert!(text.contains('-'), "failed cell shown as dash");
+    }
+
+    #[test]
+    fn csv_round_trip_shape() {
+        let csv = sample().to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "|Σ|,A,B");
+        assert_eq!(lines[1], "4,1.5,2");
+        assert_eq!(lines[2], "8,3.25,");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_panics() {
+        let mut t = Table::new("t", "x", vec!["A".into()]);
+        t.push_row("1", vec![Some(1.0), Some(2.0)]);
+    }
+
+    #[test]
+    fn gnuplot_script_lists_all_series() {
+        let g = sample().to_gnuplot("fig_x");
+        assert!(g.contains("fig_x.csv"));
+        assert!(g.contains("using 1:2"));
+        assert!(g.contains("using 1:3"));
+        assert!(g.contains("\"A\""));
+        assert!(g.contains("set output 'fig_x.png'"));
+    }
+
+    #[test]
+    fn writes_csv_file() {
+        let dir = std::env::temp_dir().join("diva_table_test");
+        sample().write_csv(&dir, "fig_x").unwrap();
+        let content = std::fs::read_to_string(dir.join("fig_x.csv")).unwrap();
+        assert!(content.starts_with("|Σ|,A,B"));
+    }
+}

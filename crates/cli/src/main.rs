@@ -1,0 +1,310 @@
+//! `diva` — diversity-preserving k-anonymization of CSV files.
+//!
+//! ```text
+//! diva anonymize --input patients.csv --roles qi,qi,qi,qi,qi,sensitive \
+//!      --constraints sigma.txt -k 10 --strategy maxfanout --output out.csv
+//! diva check     --input out.csv --roles ... --constraints sigma.txt -k 10
+//! diva stats     --input out.csv --roles ... -k 10
+//! diva generate  --dataset medical --rows 5000 --seed 7 --output data.csv
+//! ```
+//!
+//! Roles are a comma-separated list matching the CSV columns:
+//! `qi`, `sensitive` (or `s`), `plain` (or `i` / `insensitive`).
+//! Constraint files use the `ATTR[value]: lower..upper` format of
+//! `diva_constraints::spec`.
+
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use diva_anonymize::{Anonymizer, KMember, Mondrian, Oka};
+use diva_constraints::{spec, Constraint, ConstraintSet};
+use diva_core::{Diva, DivaConfig, Strategy};
+use diva_relation::csv::{read_relation_file, write_relation_file};
+use diva_relation::{is_k_anonymous, AttrRole, Relation};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let Some(command) = args.first() else {
+        return Err(usage());
+    };
+    let opts = parse_flags(&args[1..])?;
+    match command.as_str() {
+        "anonymize" => anonymize(&opts),
+        "check" => check(&opts),
+        "stats" => stats(&opts),
+        "generate" => generate(&opts),
+        "sigma-gen" => sigma_gen(&opts),
+        "compare" => compare(&opts),
+        "help" | "--help" | "-h" => {
+            println!("{}", usage());
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}\n{}", usage())),
+    }
+}
+
+fn usage() -> String {
+    "usage: diva <anonymize|check|stats|generate|sigma-gen|compare> [flags]\n\
+     \n\
+     anonymize  --input FILE --roles LIST --constraints FILE -k N \\\n\
+     \u{20}          [--strategy basic|minchoice|maxfanout] [--algo kmember|oka|mondrian]\n\
+     \u{20}          [--l N  distinct l-diversity, default 1 = off]\n\
+     \u{20}          [--seed N] --output FILE\n\
+     check      --input FILE --roles LIST --constraints FILE -k N\n\
+     stats      --input FILE --roles LIST -k N\n\
+     generate   --dataset medical|pantheon|census|credit|popsyn --rows N \\\n\
+     \u{20}          [--dist uniform|zipf|gaussian] [--seed N] --output FILE\n\
+     sigma-gen  --input FILE --roles LIST --class proportional|minfreq|average \\\n\
+     \u{20}          --count N [--slack F] [--min-freq N] --output FILE\n\
+     compare    --input FILE --roles LIST --constraints FILE -k N [--seed N]"
+        .to_string()
+}
+
+fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
+    let mut out = HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        let key = args[i]
+            .strip_prefix("--")
+            .or_else(|| args[i].strip_prefix('-'))
+            .ok_or_else(|| format!("expected a flag, found {:?}", args[i]))?;
+        let value = args
+            .get(i + 1)
+            .ok_or_else(|| format!("flag --{key} needs a value"))?;
+        out.insert(key.to_string(), value.clone());
+        i += 2;
+    }
+    Ok(out)
+}
+
+fn req<'a>(opts: &'a HashMap<String, String>, key: &str) -> Result<&'a str, String> {
+    opts.get(key).map(String::as_str).ok_or_else(|| format!("missing --{key}"))
+}
+
+fn parse_roles(list: &str) -> Result<Vec<AttrRole>, String> {
+    list.split(',')
+        .map(|r| match r.trim().to_ascii_lowercase().as_str() {
+            "qi" | "q" => Ok(AttrRole::Quasi),
+            "sensitive" | "s" => Ok(AttrRole::Sensitive),
+            "plain" | "i" | "insensitive" => Ok(AttrRole::Insensitive),
+            other => Err(format!("unknown role {other:?} (use qi/sensitive/plain)")),
+        })
+        .collect()
+}
+
+fn load_input(opts: &HashMap<String, String>) -> Result<Relation, String> {
+    let input = req(opts, "input")?;
+    let roles = parse_roles(req(opts, "roles")?)?;
+    read_relation_file(Path::new(input), &roles).map_err(|e| format!("{input}: {e}"))
+}
+
+fn load_constraints(opts: &HashMap<String, String>) -> Result<Vec<Constraint>, String> {
+    let path = req(opts, "constraints")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    spec::parse(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn parse_k(opts: &HashMap<String, String>) -> Result<usize, String> {
+    req(opts, "k")?.parse().map_err(|_| "k must be a positive integer".to_string())
+}
+
+fn parse_seed(opts: &HashMap<String, String>) -> u64 {
+    opts.get("seed").and_then(|s| s.parse().ok()).unwrap_or(0xd1fa)
+}
+
+fn anonymize(opts: &HashMap<String, String>) -> Result<(), String> {
+    let rel = load_input(opts)?;
+    let sigma = load_constraints(opts)?;
+    let k = parse_k(opts)?;
+    let output = PathBuf::from(req(opts, "output")?);
+    let strategy = match opts.get("strategy").map(String::as_str) {
+        None | Some("maxfanout") => Strategy::MaxFanOut,
+        Some("minchoice") => Strategy::MinChoice,
+        Some("basic") => Strategy::Basic,
+        Some(other) => return Err(format!("unknown strategy {other:?}")),
+    };
+    let seed = parse_seed(opts);
+    let l_diversity = opts
+        .get("l")
+        .map(|v| v.parse::<usize>().map_err(|_| "l must be a positive integer".to_string()))
+        .transpose()?
+        .unwrap_or(1);
+    let config = DivaConfig { k, strategy, seed, l_diversity, ..DivaConfig::default() };
+    let anonymizer: Box<dyn Anonymizer + Send + Sync> =
+        match opts.get("algo").map(String::as_str) {
+            None | Some("kmember") => Box::new(KMember { seed, ..KMember::default() }),
+            Some("oka") => Box::new(Oka { seed, ..Oka::default() }),
+            Some("mondrian") => Box::new(Mondrian),
+            Some(other) => return Err(format!("unknown algorithm {other:?}")),
+        };
+    let diva = Diva::with_anonymizer(config, anonymizer);
+    let out = diva.run(&rel, &sigma).map_err(|e| e.to_string())?;
+    write_relation_file(&out.relation, &output).map_err(|e| e.to_string())?;
+    println!(
+        "wrote {} ({} rows, {} ★, accuracy {:.3}, {} groups, {:?})",
+        output.display(),
+        out.relation.n_rows(),
+        out.relation.star_count(),
+        diva_metrics::star_accuracy(&out.relation),
+        out.groups.len(),
+        out.stats.t_total,
+    );
+    Ok(())
+}
+
+fn check(opts: &HashMap<String, String>) -> Result<(), String> {
+    let rel = load_input(opts)?;
+    let sigma = load_constraints(opts)?;
+    let k = parse_k(opts)?;
+    let set = ConstraintSet::bind(&sigma, &rel).map_err(|e| e.to_string())?;
+    let anon = is_k_anonymous(&rel, k);
+    println!("k-anonymous (k={k}): {}", if anon { "yes" } else { "NO" });
+    let violations = set.violations(&rel);
+    if violations.is_empty() {
+        println!("diversity constraints: all {} satisfied", set.len());
+    } else {
+        for &i in &violations {
+            let c = &set.constraints()[i];
+            println!(
+                "VIOLATED {} — {} occurrences outside [{}, {}]",
+                c.label(),
+                c.count_in(&rel),
+                c.lower,
+                c.upper
+            );
+        }
+    }
+    if anon && violations.is_empty() {
+        Ok(())
+    } else {
+        Err("input fails the requested guarantees".to_string())
+    }
+}
+
+fn stats(opts: &HashMap<String, String>) -> Result<(), String> {
+    let rel = load_input(opts)?;
+    let k = parse_k(opts)?;
+    let s = diva_metrics::GroupStats::of(&rel);
+    println!("{s}");
+    println!("star accuracy:        {:.4}", diva_metrics::star_accuracy(&rel));
+    println!("discernibility:       {}", diva_metrics::discernibility(&rel, k));
+    println!("disc accuracy (ratio): {:.4}", diva_metrics::disc_accuracy_ratio(&rel, k));
+    println!("distinct QI projections: {}", rel.distinct_qi_projections());
+    Ok(())
+}
+
+/// Runs every algorithm on the input and prints a comparison table:
+/// the two guided DIVA strategies and the three plain baselines.
+fn compare(opts: &HashMap<String, String>) -> Result<(), String> {
+    use diva_core::Strategy;
+    let rel = load_input(opts)?;
+    let sigma = load_constraints(opts)?;
+    let k = parse_k(opts)?;
+    let seed = parse_seed(opts);
+    println!(
+        "{:<16} {:>9} {:>9} {:>8} {:>8} {:>7}",
+        "algorithm", "time(s)", "stars", "acc", "disc", "sigma"
+    );
+    let mut report = |name: &str, t: f64, rel_out: Option<&diva_relation::Relation>| match rel_out {
+        Some(r) => {
+            let sat = ConstraintSet::bind(&sigma, r)
+                .map(|s| s.satisfied_by(r))
+                .unwrap_or(false);
+            println!(
+                "{:<16} {:>9.3} {:>9} {:>8.3} {:>8.3} {:>7}",
+                name,
+                t,
+                r.star_count(),
+                diva_metrics::star_accuracy(r),
+                diva_metrics::disc_accuracy_ratio(r, k),
+                if sat { "yes" } else { "NO" }
+            );
+        }
+        None => println!("{name:<16} {t:>9.3} {:>9} {:>8} {:>8} {:>7}", "-", "-", "-", "-"),
+    };
+    for strategy in [Strategy::MinChoice, Strategy::MaxFanOut] {
+        let config = DivaConfig { k, strategy, seed, ..DivaConfig::default() };
+        let t = std::time::Instant::now();
+        let res = Diva::new(config).run(&rel, &sigma);
+        let secs = t.elapsed().as_secs_f64();
+        report(
+            &format!("DIVA-{}", strategy.name()),
+            secs,
+            res.as_ref().ok().map(|o| &o.relation),
+        );
+    }
+    let baselines: Vec<Box<dyn Anonymizer>> = vec![
+        Box::new(KMember { seed, ..KMember::default() }),
+        Box::new(Oka { seed, ..Oka::default() }),
+        Box::new(Mondrian),
+    ];
+    for algo in baselines {
+        let t = std::time::Instant::now();
+        let out = algo.anonymize(&rel, k);
+        report(algo.name(), t.elapsed().as_secs_f64(), Some(&out.relation));
+    }
+    Ok(())
+}
+
+fn sigma_gen(opts: &HashMap<String, String>) -> Result<(), String> {
+    let rel = load_input(opts)?;
+    let count: usize = req(opts, "count")?
+        .parse()
+        .map_err(|_| "count must be a positive integer".to_string())?;
+    let slack: f64 = opts
+        .get("slack")
+        .map(|v| v.parse::<f64>().map_err(|_| "slack must be a number".to_string()))
+        .transpose()?
+        .unwrap_or(0.5);
+    let min_freq: usize = opts
+        .get("min-freq")
+        .map(|v| v.parse::<usize>().map_err(|_| "min-freq must be an integer".to_string()))
+        .transpose()?
+        .unwrap_or(20);
+    let output = PathBuf::from(req(opts, "output")?);
+    let sigma = match req(opts, "class")? {
+        "proportional" => diva_constraints::generators::proportional(&rel, count, slack, min_freq),
+        "minfreq" => diva_constraints::generators::min_frequency(&rel, count, slack, min_freq),
+        "average" => diva_constraints::generators::average(&rel, count, slack, min_freq),
+        other => return Err(format!("unknown constraint class {other:?}")),
+    };
+    std::fs::write(&output, spec::write(&sigma)).map_err(|e| e.to_string())?;
+    println!("wrote {} ({} constraints)", output.display(), sigma.len());
+    Ok(())
+}
+
+fn generate(opts: &HashMap<String, String>) -> Result<(), String> {
+    let dataset = req(opts, "dataset")?;
+    let rows: usize = req(opts, "rows")?
+        .parse()
+        .map_err(|_| "rows must be a positive integer".to_string())?;
+    let seed = parse_seed(opts);
+    let output = PathBuf::from(req(opts, "output")?);
+    let dist = match opts.get("dist").map(String::as_str) {
+        None => diva_datagen::Dist::zipf_default(),
+        Some(name) => diva_datagen::Dist::parse(name)
+            .ok_or_else(|| format!("unknown distribution {name:?}"))?,
+    };
+    let rel = match dataset {
+        "medical" => diva_datagen::medical(rows, seed),
+        "pantheon" => diva_datagen::pantheon(seed),
+        "census" => diva_datagen::census(rows, seed),
+        "credit" => diva_datagen::credit(seed),
+        "popsyn" => diva_datagen::popsyn(rows, dist, seed),
+        other => return Err(format!("unknown dataset {other:?}")),
+    };
+    write_relation_file(&rel, &output).map_err(|e| e.to_string())?;
+    println!("wrote {} ({} rows × {} attributes)", output.display(), rel.n_rows(), rel.schema().arity());
+    Ok(())
+}

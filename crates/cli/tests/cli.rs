@@ -1,0 +1,245 @@
+//! End-to-end tests of the `diva` command-line tool: generate →
+//! anonymize → check → stats, plus the error paths.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn diva(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_diva"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("diva_cli_tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name)
+}
+
+/// The medical generator's roles: 5 QI + 1 sensitive.
+const MEDICAL_ROLES: &str = "qi,qi,qi,qi,qi,sensitive";
+
+#[test]
+fn generate_anonymize_check_round_trip() {
+    let data = tmp("medical.csv");
+    let out = tmp("medical_anon.csv");
+    let sigma = tmp("sigma.txt");
+
+    let g = diva(&[
+        "generate", "--dataset", "medical", "--rows", "400", "--seed", "7", "--output",
+        data.to_str().unwrap(),
+    ]);
+    assert!(g.status.success(), "{}", String::from_utf8_lossy(&g.stderr));
+
+    // A modest constraint over the generated data (ETH is Zipf-skewed,
+    // Caucasian is the head value).
+    std::fs::write(&sigma, "ETH[Caucasian]: 10..400\n").unwrap();
+
+    let a = diva(&[
+        "anonymize",
+        "--input", data.to_str().unwrap(),
+        "--roles", MEDICAL_ROLES,
+        "--constraints", sigma.to_str().unwrap(),
+        "--k", "5",
+        "--strategy", "maxfanout",
+        "--output", out.to_str().unwrap(),
+    ]);
+    assert!(a.status.success(), "{}", String::from_utf8_lossy(&a.stderr));
+    let stdout = String::from_utf8_lossy(&a.stdout);
+    assert!(stdout.contains("accuracy"), "{stdout}");
+
+    let c = diva(&[
+        "check",
+        "--input", out.to_str().unwrap(),
+        "--roles", MEDICAL_ROLES,
+        "--constraints", sigma.to_str().unwrap(),
+        "--k", "5",
+    ]);
+    assert!(c.status.success(), "{}", String::from_utf8_lossy(&c.stdout));
+    let stdout = String::from_utf8_lossy(&c.stdout);
+    assert!(stdout.contains("k-anonymous (k=5): yes"), "{stdout}");
+    assert!(stdout.contains("all 1 satisfied"), "{stdout}");
+
+    let s = diva(&[
+        "stats",
+        "--input", out.to_str().unwrap(),
+        "--roles", MEDICAL_ROLES,
+        "--k", "5",
+    ]);
+    assert!(s.status.success());
+    let stdout = String::from_utf8_lossy(&s.stdout);
+    assert!(stdout.contains("star accuracy"), "{stdout}");
+}
+
+#[test]
+fn check_rejects_raw_data() {
+    let data = tmp("raw.csv");
+    let sigma = tmp("sigma_raw.txt");
+    let g = diva(&[
+        "generate", "--dataset", "medical", "--rows", "300", "--seed", "9", "--output",
+        data.to_str().unwrap(),
+    ]);
+    assert!(g.status.success());
+    std::fs::write(&sigma, "ETH[Caucasian]: 0..10000\n").unwrap();
+    // Raw generated data is not k-anonymous for k = 5.
+    let c = diva(&[
+        "check",
+        "--input", data.to_str().unwrap(),
+        "--roles", MEDICAL_ROLES,
+        "--constraints", sigma.to_str().unwrap(),
+        "--k", "5",
+    ]);
+    assert!(!c.status.success());
+    assert!(String::from_utf8_lossy(&c.stdout).contains("k-anonymous (k=5): NO"));
+}
+
+#[test]
+fn unsatisfiable_constraints_fail_cleanly() {
+    let data = tmp("unsat.csv");
+    let sigma = tmp("sigma_unsat.txt");
+    diva(&[
+        "generate", "--dataset", "medical", "--rows", "100", "--seed", "3", "--output",
+        data.to_str().unwrap(),
+    ]);
+    std::fs::write(&sigma, "ETH[Caucasian]: 5000..6000\n").unwrap();
+    let a = diva(&[
+        "anonymize",
+        "--input", data.to_str().unwrap(),
+        "--roles", MEDICAL_ROLES,
+        "--constraints", sigma.to_str().unwrap(),
+        "--k", "5",
+        "--output", tmp("never.csv").to_str().unwrap(),
+    ]);
+    assert!(!a.status.success());
+    assert!(String::from_utf8_lossy(&a.stderr).contains("no diverse"));
+}
+
+#[test]
+fn sigma_gen_produces_parseable_spec() {
+    let data = tmp("sg.csv");
+    let spec_path = tmp("sg_sigma.txt");
+    let g = diva(&[
+        "generate", "--dataset", "medical", "--rows", "500", "--seed", "5", "--output",
+        data.to_str().unwrap(),
+    ]);
+    assert!(g.status.success());
+    let o = diva(&[
+        "sigma-gen",
+        "--input", data.to_str().unwrap(),
+        "--roles", MEDICAL_ROLES,
+        "--class", "proportional",
+        "--count", "4",
+        "--slack", "0.6",
+        "--output", spec_path.to_str().unwrap(),
+    ]);
+    assert!(o.status.success(), "{}", String::from_utf8_lossy(&o.stderr));
+    let text = std::fs::read_to_string(&spec_path).unwrap();
+    let parsed = diva_constraints::spec::parse(&text).unwrap();
+    assert_eq!(parsed.len(), 4);
+
+    // The generated spec drives an anonymize run end to end.
+    let out = tmp("sg_anon.csv");
+    let a = diva(&[
+        "anonymize",
+        "--input", data.to_str().unwrap(),
+        "--roles", MEDICAL_ROLES,
+        "--constraints", spec_path.to_str().unwrap(),
+        "--k", "5",
+        "--output", out.to_str().unwrap(),
+    ]);
+    assert!(a.status.success(), "{}", String::from_utf8_lossy(&a.stderr));
+
+    // Unknown class errors.
+    let o = diva(&[
+        "sigma-gen",
+        "--input", data.to_str().unwrap(),
+        "--roles", MEDICAL_ROLES,
+        "--class", "quantum",
+        "--count", "4",
+        "--output", spec_path.to_str().unwrap(),
+    ]);
+    assert!(!o.status.success());
+}
+
+#[test]
+fn anonymize_with_l_diversity_flag() {
+    let data = tmp("ld.csv");
+    let sigma = tmp("ld_sigma.txt");
+    let out = tmp("ld_anon.csv");
+    diva(&[
+        "generate", "--dataset", "medical", "--rows", "400", "--seed", "8", "--output",
+        data.to_str().unwrap(),
+    ]);
+    std::fs::write(&sigma, "ETH[Caucasian]: 10..400\n").unwrap();
+    let a = diva(&[
+        "anonymize",
+        "--input", data.to_str().unwrap(),
+        "--roles", MEDICAL_ROLES,
+        "--constraints", sigma.to_str().unwrap(),
+        "--k", "5",
+        "--l", "2",
+        "--output", out.to_str().unwrap(),
+    ]);
+    assert!(a.status.success(), "{}", String::from_utf8_lossy(&a.stderr));
+}
+
+#[test]
+fn compare_prints_all_algorithms() {
+    let data = tmp("cmp.csv");
+    let sigma = tmp("cmp_sigma.txt");
+    diva(&[
+        "generate", "--dataset", "medical", "--rows", "300", "--seed", "4", "--output",
+        data.to_str().unwrap(),
+    ]);
+    std::fs::write(&sigma, "ETH[Caucasian]: 10..300\n").unwrap();
+    let o = diva(&[
+        "compare",
+        "--input", data.to_str().unwrap(),
+        "--roles", MEDICAL_ROLES,
+        "--constraints", sigma.to_str().unwrap(),
+        "--k", "5",
+    ]);
+    assert!(o.status.success(), "{}", String::from_utf8_lossy(&o.stderr));
+    let out = String::from_utf8_lossy(&o.stdout);
+    for name in ["DIVA-MinChoice", "DIVA-MaxFanOut", "k-member", "OKA", "Mondrian"] {
+        assert!(out.contains(name), "missing {name} in:\n{out}");
+    }
+}
+
+#[test]
+fn bad_flags_are_reported() {
+    let o = diva(&["anonymize", "--input"]);
+    assert!(!o.status.success());
+    assert!(String::from_utf8_lossy(&o.stderr).contains("needs a value"));
+
+    let o = diva(&["frobnicate"]);
+    assert!(!o.status.success());
+    assert!(String::from_utf8_lossy(&o.stderr).contains("unknown command"));
+
+    let o = diva(&[]);
+    assert!(!o.status.success());
+
+    let o = diva(&["help"]);
+    assert!(o.status.success());
+    assert!(String::from_utf8_lossy(&o.stdout).contains("usage"));
+}
+
+#[test]
+fn bad_roles_and_missing_files() {
+    let o = diva(&[
+        "stats", "--input", "/nonexistent.csv", "--roles", "qi", "--k", "3",
+    ]);
+    assert!(!o.status.success());
+
+    let data = tmp("roles.csv");
+    diva(&[
+        "generate", "--dataset", "medical", "--rows", "50", "--seed", "1", "--output",
+        data.to_str().unwrap(),
+    ]);
+    let o = diva(&[
+        "stats", "--input", data.to_str().unwrap(), "--roles", "qi,wizard", "--k", "3",
+    ]);
+    assert!(!o.status.success());
+    assert!(String::from_utf8_lossy(&o.stderr).contains("unknown role"));
+}

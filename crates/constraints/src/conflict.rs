@@ -1,0 +1,139 @@
+//! Conflict rate between diversity constraints.
+//!
+//! The paper measures "the conflict rate between a pair of diversity
+//! constraints as the number of overlapping relevant tuples", extended
+//! to sets, with values in `[0, 1]` where 0 means no overlap (§4,
+//! Metrics and Parameters). The precise normalization lives in the
+//! extended version; we use the Jaccard index of the target-tuple
+//! sets, averaged over constraint pairs — see `DESIGN.md` §2.6.
+
+use crate::constraint::BoundConstraint;
+use crate::set::ConstraintSet;
+
+/// Conflict rate of a constraint pair: the Jaccard index
+/// `|I_σi ∩ I_σj| / |I_σi ∪ I_σj|` of their target-tuple sets.
+/// Pairs whose union is empty have conflict 0.
+pub fn pairwise_conflict(a: &BoundConstraint, b: &BoundConstraint) -> f64 {
+    // Both target_rows vectors are sorted ascending; merge-count.
+    let (mut i, mut j) = (0usize, 0usize);
+    let (ra, rb) = (&a.target_rows, &b.target_rows);
+    let mut inter = 0usize;
+    while i < ra.len() && j < rb.len() {
+        match ra[i].cmp(&rb[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                inter += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    let union = ra.len() + rb.len() - inter;
+    if union == 0 {
+        0.0
+    } else {
+        inter as f64 / union as f64
+    }
+}
+
+/// Conflict rate of a set `Σ`: the mean pairwise conflict over all
+/// unordered constraint pairs. Sets with fewer than two constraints
+/// have conflict 0.
+pub fn conflict_rate(set: &ConstraintSet) -> f64 {
+    let cs = set.constraints();
+    if cs.len() < 2 {
+        return 0.0;
+    }
+    let mut total = 0.0;
+    let mut pairs = 0usize;
+    for i in 0..cs.len() {
+        for j in i + 1..cs.len() {
+            total += pairwise_conflict(&cs[i], &cs[j]);
+            pairs += 1;
+        }
+    }
+    total / pairs as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::constraint::Constraint;
+    use diva_relation::fixtures::paper_table1;
+
+    #[test]
+    fn paper_example_overlaps() {
+        let r = paper_table1();
+        // From Example 3.3: Iσ1 ∩ Iσ3 = {t8, t10}, Iσ2 ∩ Iσ3 = {t6},
+        // Iσ1 ∩ Iσ2 = ∅.
+        let s1 = Constraint::single("ETH", "Asian", 2, 5).bind(&r).unwrap();
+        let s2 = Constraint::single("ETH", "African", 1, 3).bind(&r).unwrap();
+        let s3 = Constraint::single("CTY", "Vancouver", 2, 4).bind(&r).unwrap();
+        // |I1|=3, |I3|=4, intersection {rows 7, 9} → 2/(3+4-2) = 0.4.
+        assert!((pairwise_conflict(&s1, &s3) - 0.4).abs() < 1e-12);
+        // |I2|=2, |I3|=4, intersection {row 5} → 1/5.
+        assert!((pairwise_conflict(&s2, &s3) - 0.2).abs() < 1e-12);
+        assert_eq!(pairwise_conflict(&s1, &s2), 0.0);
+    }
+
+    #[test]
+    fn identical_targets_have_conflict_one() {
+        let r = paper_table1();
+        let a = Constraint::single("ETH", "Asian", 2, 5).bind(&r).unwrap();
+        let b = Constraint::single("ETH", "Asian", 1, 3).bind(&r).unwrap();
+        assert_eq!(pairwise_conflict(&a, &b), 1.0);
+    }
+
+    #[test]
+    fn empty_targets_have_conflict_zero() {
+        let r = paper_table1();
+        let a = Constraint::single("ETH", "Martian", 0, 5).bind(&r).unwrap();
+        let b = Constraint::single("ETH", "Venusian", 0, 5).bind(&r).unwrap();
+        assert_eq!(pairwise_conflict(&a, &b), 0.0);
+    }
+
+    #[test]
+    fn set_conflict_is_mean_over_pairs() {
+        let r = paper_table1();
+        let set = crate::ConstraintSet::bind(
+            &[
+                Constraint::single("ETH", "Asian", 2, 5),
+                Constraint::single("ETH", "African", 1, 3),
+                Constraint::single("CTY", "Vancouver", 2, 4),
+            ],
+            &r,
+        )
+        .unwrap();
+        let expect = (0.0 + 0.4 + 0.2) / 3.0;
+        assert!((conflict_rate(&set) - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn small_sets_have_zero_conflict() {
+        let r = paper_table1();
+        let set =
+            crate::ConstraintSet::bind(&[Constraint::single("ETH", "Asian", 2, 5)], &r).unwrap();
+        assert_eq!(conflict_rate(&set), 0.0);
+        let empty = crate::ConstraintSet::bind(&[], &r).unwrap();
+        assert_eq!(conflict_rate(&empty), 0.0);
+    }
+
+    #[test]
+    fn conflict_is_bounded() {
+        let r = paper_table1();
+        let set = crate::ConstraintSet::bind(
+            &[
+                Constraint::single("ETH", "Asian", 2, 5),
+                Constraint::single("CTY", "Vancouver", 2, 4),
+                Constraint::single("GEN", "Female", 1, 5),
+                Constraint::single("GEN", "Male", 1, 5),
+            ],
+            &r,
+        )
+        .unwrap();
+        let cf = conflict_rate(&set);
+        assert!((0.0..=1.0).contains(&cf), "cf = {cf}");
+        assert!(cf > 0.0);
+    }
+}

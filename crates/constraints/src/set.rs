@@ -1,0 +1,124 @@
+//! Constraint sets `Σ`: validation, binding, and satisfaction.
+
+use diva_relation::Relation;
+
+use crate::constraint::{BoundConstraint, Constraint, ConstraintError};
+
+/// A set of diversity constraints bound against one relation.
+///
+/// Holds each constraint's resolved target-tuple set `I_σ` so the
+/// clustering search and the conflict-rate measure can reuse them
+/// without rescanning the relation.
+#[derive(Debug, Clone)]
+pub struct ConstraintSet {
+    constraints: Vec<BoundConstraint>,
+}
+
+impl ConstraintSet {
+    /// Binds every constraint against `rel`. Fails on the first
+    /// invalid constraint.
+    pub fn bind(constraints: &[Constraint], rel: &Relation) -> Result<Self, ConstraintError> {
+        let bound = constraints
+            .iter()
+            .map(|c| c.bind(rel))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Self { constraints: bound })
+    }
+
+    /// The bound constraints, in input order.
+    pub fn constraints(&self) -> &[BoundConstraint] {
+        &self.constraints
+    }
+
+    /// Number of constraints, `|Σ|`.
+    pub fn len(&self) -> usize {
+        self.constraints.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.constraints.is_empty()
+    }
+
+    /// Whether `rel |= Σ` (Definition 2.3: every constraint holds).
+    pub fn satisfied_by(&self, rel: &Relation) -> bool {
+        self.constraints.iter().all(|c| c.satisfied_by(rel))
+    }
+
+    /// The constraints violated by `rel`, as indices into
+    /// [`ConstraintSet::constraints`].
+    pub fn violations(&self, rel: &Relation) -> Vec<usize> {
+        self.constraints
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| !c.satisfied_by(rel))
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use diva_relation::fixtures::paper_table1;
+    use diva_relation::suppress::suppress_clustering;
+
+    /// Σ from Example 3.1.
+    fn example_sigma() -> Vec<Constraint> {
+        vec![
+            Constraint::single("ETH", "Asian", 2, 5),
+            Constraint::single("ETH", "African", 1, 3),
+            Constraint::single("CTY", "Vancouver", 2, 4),
+        ]
+    }
+
+    #[test]
+    fn table1_satisfies_example_sigma() {
+        let r = paper_table1();
+        let set = ConstraintSet::bind(&example_sigma(), &r).unwrap();
+        assert_eq!(set.len(), 3);
+        assert!(set.satisfied_by(&r));
+        assert!(set.violations(&r).is_empty());
+    }
+
+    #[test]
+    fn paper_table3_satisfies_example_sigma() {
+        // Table 3 = DIVA's k=2 output in the paper; check R' |= Σ.
+        let r = paper_table1();
+        let clusters: Vec<Vec<usize>> =
+            vec![vec![0, 1], vec![2, 3], vec![4, 5], vec![6, 7], vec![8, 9]];
+        let s = suppress_clustering(&r, &clusters);
+        let set = ConstraintSet::bind(&example_sigma(), &s.relation).unwrap();
+        assert!(set.satisfied_by(&s.relation), "Table 3 must satisfy Σ");
+    }
+
+    #[test]
+    fn violations_are_reported_by_index() {
+        let r = paper_table1();
+        let sigma = vec![
+            Constraint::single("ETH", "Asian", 2, 5),
+            Constraint::single("ETH", "Asian", 4, 10), // only 3 Asians
+        ];
+        let set = ConstraintSet::bind(&sigma, &r).unwrap();
+        assert_eq!(set.violations(&r), vec![1]);
+        assert!(!set.satisfied_by(&r));
+    }
+
+    #[test]
+    fn empty_set_is_vacuously_satisfied() {
+        let r = paper_table1();
+        let set = ConstraintSet::bind(&[], &r).unwrap();
+        assert!(set.is_empty());
+        assert!(set.satisfied_by(&r));
+    }
+
+    #[test]
+    fn bind_propagates_errors() {
+        let r = paper_table1();
+        let sigma = vec![
+            Constraint::single("ETH", "Asian", 2, 5),
+            Constraint::single("DIAG", "Seizure", 1, 2),
+        ];
+        assert!(ConstraintSet::bind(&sigma, &r).is_err());
+    }
+}

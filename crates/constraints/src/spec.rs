@@ -1,0 +1,174 @@
+//! A small text format for constraint sets.
+//!
+//! One constraint per line, `#` comments and blank lines ignored:
+//!
+//! ```text
+//! # σ1 from the paper
+//! ETH[Asian]: 2..5
+//! GEN,ETH[Male,African]: 1..3
+//! ```
+//!
+//! The grammar is `attrs "[" values "]" ":" lower ".." upper` where
+//! `attrs` and `values` are comma-separated lists of equal length.
+//! Values may contain any character except `,`, `]`, and newline;
+//! surrounding whitespace is trimmed.
+
+use std::fmt::Write as _;
+
+use crate::constraint::Constraint;
+
+/// A parse error with its 1-based line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpecError {
+    /// 1-based line number of the offending line.
+    pub line: usize,
+    /// Human-readable message.
+    pub message: String,
+}
+
+impl std::fmt::Display for SpecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+fn err(line: usize, message: impl Into<String>) -> SpecError {
+    SpecError { line, message: message.into() }
+}
+
+/// Parses a constraint-set spec; see the module docs for the format.
+pub fn parse(text: &str) -> Result<Vec<Constraint>, SpecError> {
+    let mut out = Vec::new();
+    for (i, raw) in text.lines().enumerate() {
+        let line_no = i + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let open = line.find('[').ok_or_else(|| err(line_no, "missing '['"))?;
+        let close = line.rfind(']').ok_or_else(|| err(line_no, "missing ']'"))?;
+        if close < open {
+            return Err(err(line_no, "']' before '['"));
+        }
+        let attrs: Vec<&str> = line[..open].split(',').map(str::trim).collect();
+        let values: Vec<&str> = line[open + 1..close].split(',').map(str::trim).collect();
+        if attrs.len() != values.len() {
+            return Err(err(
+                line_no,
+                format!("{} attributes but {} values", attrs.len(), values.len()),
+            ));
+        }
+        if attrs.iter().any(|a| a.is_empty()) {
+            return Err(err(line_no, "empty attribute name"));
+        }
+        let rest = line[close + 1..].trim();
+        let rest = rest
+            .strip_prefix(':')
+            .ok_or_else(|| err(line_no, "expected ':' after ']'"))?
+            .trim();
+        let (lo, hi) = rest
+            .split_once("..")
+            .ok_or_else(|| err(line_no, "expected 'lower..upper'"))?;
+        let lower: usize = lo
+            .trim()
+            .parse()
+            .map_err(|_| err(line_no, format!("bad lower bound {lo:?}")))?;
+        let upper: usize = hi
+            .trim()
+            .parse()
+            .map_err(|_| err(line_no, format!("bad upper bound {hi:?}")))?;
+        let c = Constraint::multi(
+            attrs.into_iter().zip(values).collect::<Vec<_>>(),
+            lower,
+            upper,
+        );
+        c.validate()
+            .map_err(|e| err(line_no, e.to_string()))?;
+        out.push(c);
+    }
+    Ok(out)
+}
+
+/// Serializes constraints in the format accepted by [`parse`].
+pub fn write(constraints: &[Constraint]) -> String {
+    let mut out = String::new();
+    for c in constraints {
+        let _ = writeln!(out, "{c}");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_paper_constraints() {
+        let text = "\
+# Example 3.1
+ETH[Asian]: 2..5
+ETH[African]: 1..3
+CTY[Vancouver]: 2..4
+";
+        let cs = parse(text).unwrap();
+        assert_eq!(cs.len(), 3);
+        assert_eq!(cs[0], Constraint::single("ETH", "Asian", 2, 5));
+        assert_eq!(cs[2], Constraint::single("CTY", "Vancouver", 2, 4));
+    }
+
+    #[test]
+    fn parses_multi_attribute() {
+        let cs = parse("GEN,ETH[Male,African]: 1..3").unwrap();
+        assert_eq!(
+            cs[0],
+            Constraint::multi(vec![("GEN", "Male"), ("ETH", "African")], 1, 3)
+        );
+    }
+
+    #[test]
+    fn round_trips() {
+        let cs = vec![
+            Constraint::single("ETH", "Asian", 2, 5),
+            Constraint::multi(vec![("GEN", "Male"), ("ETH", "African")], 1, 3),
+        ];
+        let text = write(&cs);
+        assert_eq!(parse(&text).unwrap(), cs);
+    }
+
+    #[test]
+    fn values_with_spaces_and_dots() {
+        let cs = parse("city[New York]: 1..2").unwrap();
+        assert_eq!(cs[0].targets[0].1, "New York");
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let cs = parse("\n# hi\n\nA[x]: 0..1\n").unwrap();
+        assert_eq!(cs.len(), 1);
+    }
+
+    #[test]
+    fn error_line_numbers() {
+        let e = parse("A[x]: 0..1\nbroken").unwrap_err();
+        assert_eq!(e.line, 2);
+        let e = parse("A[x]: 5..2").unwrap_err();
+        assert_eq!(e.line, 1);
+        assert!(e.message.contains("empty frequency range"));
+    }
+
+    #[test]
+    fn mismatched_counts_error() {
+        let e = parse("A,B[x]: 0..1").unwrap_err();
+        assert!(e.message.contains("2 attributes but 1 values"), "{e}");
+    }
+
+    #[test]
+    fn bad_bounds_error() {
+        assert!(parse("A[x]: a..2").unwrap_err().message.contains("bad lower"));
+        assert!(parse("A[x]: 1..b").unwrap_err().message.contains("bad upper"));
+        assert!(parse("A[x]: 1").unwrap_err().message.contains("lower..upper"));
+        assert!(parse("A[x] 1..2").unwrap_err().message.contains("':'"));
+    }
+}

@@ -1,0 +1,153 @@
+//! Property-based tests for diversity constraints: spec round-trips,
+//! satisfaction semantics, conflict-rate bounds, and generator
+//! invariants.
+
+use diva_constraints::{conflict_rate, pairwise_conflict, spec, Constraint, ConstraintSet};
+use diva_relation::{Attribute, RelationBuilder, Schema};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// Attribute/value-safe identifier strings (no commas, brackets,
+/// newlines — the spec format's reserved characters).
+fn ident() -> impl Strategy<Value = String> {
+    "[A-Za-z][A-Za-z0-9_ .-]{0,10}".prop_map(|s| s.trim().to_string()).prop_filter(
+        "non-empty identifier",
+        |s| !s.is_empty() && s != "★",
+    )
+}
+
+fn arb_constraint() -> impl Strategy<Value = Constraint> {
+    (
+        proptest::collection::vec((ident(), ident()), 1..3),
+        0usize..50,
+        0usize..50,
+    )
+        .prop_filter_map("valid constraint", |(targets, a, b)| {
+            // Distinct attribute names.
+            let mut names: Vec<&String> = targets.iter().map(|(n, _)| n).collect();
+            names.sort();
+            names.dedup();
+            if names.len() != targets.len() {
+                return None;
+            }
+            let (lower, upper) = if a <= b { (a, b) } else { (b, a) };
+            Some(Constraint::multi(targets, lower, upper))
+        })
+}
+
+fn small_relation() -> impl Strategy<Value = diva_relation::Relation> {
+    (2usize..4, 5usize..40).prop_flat_map(|(n_qi, n_rows)| {
+        let row = proptest::collection::vec(0u8..4, n_qi);
+        proptest::collection::vec(row, n_rows).prop_map(move |rows| {
+            let attrs: Vec<Attribute> =
+                (0..n_qi).map(|i| Attribute::quasi(format!("Q{i}"))).collect();
+            let schema = Arc::new(Schema::new(attrs));
+            let mut b = RelationBuilder::new(schema);
+            for r in &rows {
+                let vals: Vec<String> = r.iter().map(|v| format!("v{v}")).collect();
+                b.push_row(&vals);
+            }
+            b.finish()
+        })
+    })
+}
+
+proptest! {
+    /// Spec serialization round-trips every valid constraint.
+    #[test]
+    fn spec_round_trip(constraints in proptest::collection::vec(arb_constraint(), 0..6)) {
+        let text = spec::write(&constraints);
+        let parsed = spec::parse(&text).unwrap();
+        prop_assert_eq!(parsed, constraints);
+    }
+
+    /// Satisfaction matches a naive recount.
+    #[test]
+    fn satisfaction_matches_naive_count(
+        rel in small_relation(),
+        attr_idx in 0usize..4,
+        val in 0u8..4,
+        lower in 0usize..20,
+        width in 0usize..20,
+    ) {
+        let qi = rel.schema().qi_cols();
+        let col = qi[attr_idx % qi.len()];
+        let name = rel.schema().attribute(col).name().to_string();
+        let value = format!("v{val}");
+        let c = Constraint::single(&name, &value, lower, lower + width);
+        let bound = c.bind(&rel).unwrap();
+        let naive = (0..rel.n_rows())
+            .filter(|&r| rel.value(r, col).as_str() == value)
+            .count();
+        prop_assert_eq!(bound.count_in(&rel), naive);
+        prop_assert_eq!(bound.satisfied_by(&rel), lower <= naive && naive <= lower + width);
+        prop_assert_eq!(bound.target_rows.len(), naive);
+    }
+
+    /// Conflict rates are in [0, 1], symmetric, and 1 on identical
+    /// targets.
+    #[test]
+    fn conflict_rate_bounds(rel in small_relation(), vals in proptest::collection::vec(0u8..4, 2..5)) {
+        let qi = rel.schema().qi_cols();
+        let constraints: Vec<Constraint> = vals
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| {
+                let col = qi[i % qi.len()];
+                Constraint::single(
+                    rel.schema().attribute(col).name(),
+                    format!("v{v}"),
+                    0,
+                    rel.n_rows(),
+                )
+            })
+            .collect();
+        let set = ConstraintSet::bind(&constraints, &rel).unwrap();
+        let cf = conflict_rate(&set);
+        prop_assert!((0.0..=1.0).contains(&cf), "cf = {cf}");
+        for a in set.constraints() {
+            for b in set.constraints() {
+                let ab = pairwise_conflict(a, b);
+                let ba = pairwise_conflict(b, a);
+                prop_assert!((ab - ba).abs() < 1e-12, "asymmetric conflict");
+                prop_assert!((0.0..=1.0).contains(&ab));
+            }
+            if !a.target_rows.is_empty() {
+                prop_assert!((pairwise_conflict(a, a) - 1.0).abs() < 1e-12);
+            }
+        }
+    }
+
+    /// Generator outputs always bind and have non-empty ranges.
+    #[test]
+    fn generators_emit_bindable_constraints(rel in small_relation(), count in 1usize..8) {
+        for sigma in [
+            diva_constraints::generators::proportional(&rel, count, 0.5, 1),
+            diva_constraints::generators::min_frequency(&rel, count, 0.5, 1),
+            diva_constraints::generators::average(&rel, count, 0.5, 1),
+        ] {
+            let set = ConstraintSet::bind(&sigma, &rel).unwrap();
+            for c in set.constraints() {
+                prop_assert!(c.lower <= c.upper);
+                prop_assert!(!c.target_rows.is_empty(), "generators pick occurring values");
+            }
+        }
+    }
+
+    /// The conflict knob never produces an invalid set and stays
+    /// within the requested count.
+    #[test]
+    fn conflict_generator_is_well_formed(
+        rel in small_relation(),
+        count in 2usize..8,
+        cf_step in 0usize..5,
+    ) {
+        let cf = cf_step as f64 / 4.0;
+        let sigma = diva_constraints::generators::with_conflict_rate(&rel, count, cf, 2, 7);
+        prop_assert!(sigma.len() <= count);
+        let set = ConstraintSet::bind(&sigma, &rel).unwrap();
+        for c in set.constraints() {
+            prop_assert!(c.lower <= c.upper);
+        }
+    }
+}

@@ -1,0 +1,373 @@
+//! The recursive colouring search (Algorithms 3 and 4 of the paper).
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use crate::candidates::CandidateSet;
+use crate::config::{DivaConfig, Strategy};
+use crate::error::DivaError;
+use crate::graph::ConstraintGraph;
+use crate::state::SearchState;
+
+/// Counters reported by a colouring run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ColoringStats {
+    /// Candidate clusterings whose assignment was attempted.
+    pub assignments_tried: u64,
+    /// Assignments undone while backtracking.
+    pub backtracks: u64,
+    /// Nodes whose candidate lists were exhausted at least once.
+    pub dead_ends: u64,
+}
+
+/// The colouring search: assigns one candidate clustering (a colour)
+/// to every constraint node such that the global consistency
+/// conditions hold.
+pub struct Coloring<'a> {
+    graph: &'a ConstraintGraph,
+    candidates: &'a [CandidateSet],
+    labels: &'a [String],
+    config: &'a DivaConfig,
+    state: SearchState,
+    assignment: Vec<Option<usize>>,
+    rng: StdRng,
+    stats: ColoringStats,
+}
+
+/// The result of a successful colouring.
+#[derive(Debug)]
+pub struct ColoringOutcome {
+    /// The diverse clustering `S_Σ`: the distinct clusters across all
+    /// assigned clusterings (shared clusters appear once).
+    pub clusters: Vec<Vec<diva_relation::RowId>>,
+    /// For each node, the chosen candidate index.
+    pub assignment: Vec<usize>,
+    /// Search counters.
+    pub stats: ColoringStats,
+}
+
+impl<'a> Coloring<'a> {
+    /// Prepares a search over `graph` with per-node `candidates`.
+    /// `uppers` are the constraints' `λr` bounds; `labels` are used in
+    /// error messages.
+    pub fn new(
+        graph: &'a ConstraintGraph,
+        candidates: &'a [CandidateSet],
+        uppers: Vec<usize>,
+        labels: &'a [String],
+        config: &'a DivaConfig,
+    ) -> Self {
+        assert_eq!(graph.n_nodes(), candidates.len());
+        assert_eq!(graph.n_nodes(), labels.len());
+        Self {
+            graph,
+            candidates,
+            labels,
+            config,
+            state: SearchState::new(
+                uppers,
+                (0..graph.n_nodes()).map(|i| graph.target_size(i)).collect(),
+            ),
+            assignment: vec![None; graph.n_nodes()],
+            rng: StdRng::seed_from_u64(config.seed),
+            stats: ColoringStats::default(),
+        }
+    }
+
+    /// Runs the search to completion.
+    pub fn solve(mut self) -> Result<ColoringOutcome, DivaError> {
+        // Fail fast on nodes with no candidates at all: the constraint
+        // is unsatisfiable regardless of interactions.
+        if let Some(i) = (0..self.graph.n_nodes()).find(|&i| self.candidates[i].is_empty()) {
+            return Err(DivaError::NoDiverseClustering { constraint: self.labels[i].clone() });
+        }
+        let colored = self.color_remaining()?;
+        if !colored {
+            let failed = (0..self.graph.n_nodes())
+                .find(|&i| self.assignment[i].is_none())
+                .unwrap_or(0);
+            return Err(DivaError::NoDiverseClustering {
+                constraint: self.labels[failed].clone(),
+            });
+        }
+        let clusters = self.state.live_clusters();
+        Ok(ColoringOutcome {
+            clusters,
+            assignment: self.assignment.iter().map(|a| a.expect("all colored")).collect(),
+            stats: self.stats,
+        })
+    }
+
+    /// Algorithm 4 (`Coloring`): returns `Ok(true)` if the remaining
+    /// nodes can be coloured consistently.
+    fn color_remaining(&mut self) -> Result<bool, DivaError> {
+        let Some(v) = self.next_node() else {
+            return Ok(true); // V contains all nodes of G
+        };
+        let mut order: Vec<usize> = (0..self.candidates[v].len()).collect();
+        if self.config.strategy == Strategy::Basic {
+            order.shuffle(&mut self.rng);
+        }
+        for ci in order {
+            self.stats.assignments_tried += 1;
+            let clustering = &self.candidates[v].candidates[ci];
+            // IsConsistent + commit in one step. If the literal
+            // candidate is blocked (typically because neighbours own
+            // some of its rows), re-materialize it from free target
+            // tuples at the same offset and retry once.
+            let token = match self.state.try_assign(clustering, self.graph) {
+                Some(t) => t,
+                None => {
+                    if !self.config.enable_repair {
+                        continue;
+                    }
+                    let state = &self.state;
+                    let Some(repaired) = self.candidates[v].repair(clustering, self.config.k, |r| {
+                        state.row_is_free(r)
+                    }) else {
+                        continue;
+                    };
+                    self.stats.assignments_tried += 1;
+                    match self.state.try_assign(&repaired, self.graph) {
+                        Some(t) => t,
+                        None => continue,
+                    }
+                }
+            };
+            self.assignment[v] = Some(ci);
+            // Forward check (MinChoice / MaxFanOut only; Basic stays
+            // naive): every uncoloured node must still have enough
+            // *free* target tuples to meet its minimum clustering
+            // size — repair can materialize any window from free
+            // tuples, so too few free tuples means the subtree is
+            // hopeless. This is the "prune unsatisfiable clusterings
+            // early" behaviour §3.3 ascribes to the strategies.
+            let hopeless = self.config.strategy != Strategy::Basic
+                && (0..self.graph.n_nodes()).any(|w| {
+                    self.assignment[w].is_none()
+                        && self.state.free_targets(w) < self.candidates[w].min_total()
+                        // Too few free rows — but a node can still be
+                        // satisfied by *sharing* already-registered
+                        // identical clusters, so confirm with the exact
+                        // per-candidate availability scan before
+                        // declaring the subtree dead.
+                        && !self.candidates[w]
+                            .candidates
+                            .iter()
+                            .any(|cl| self.state.rows_available(cl))
+                });
+            if !hopeless && self.color_remaining()? {
+                return Ok(true);
+            }
+            // Backtrack: remove ⟨v, c⟩ from V and try another colour.
+            self.assignment[v] = None;
+            self.state.unassign(token, self.graph);
+            self.stats.backtracks += 1;
+            if let Some(limit) = self.config.backtrack_limit {
+                if self.stats.backtracks > limit {
+                    return Err(DivaError::SearchBudgetExhausted {
+                        backtracks: self.stats.backtracks,
+                    });
+                }
+            }
+        }
+        self.stats.dead_ends += 1;
+        Ok(false)
+    }
+
+    /// The `NextNode` routine (§3.3): picks the next uncoloured node
+    /// according to the configured strategy, or `None` when all nodes
+    /// are coloured.
+    fn next_node(&mut self) -> Option<usize> {
+        let uncolored: Vec<usize> = (0..self.graph.n_nodes())
+            .filter(|&i| self.assignment[i].is_none())
+            .collect();
+        if uncolored.is_empty() {
+            return None;
+        }
+        Some(match self.config.strategy {
+            Strategy::Basic => uncolored[self.rng.gen_range(0..uncolored.len())],
+            Strategy::MinChoice => {
+                // Most restrictive first: fewest *currently consistent*
+                // candidates (rows still available given coloured
+                // neighbours).
+                *uncolored
+                    .iter()
+                    .min_by_key(|&&i| {
+                        self.candidates[i]
+                            .candidates
+                            .iter()
+                            .filter(|cl| self.state.rows_available(cl))
+                            .count()
+                    })
+                    .expect("uncolored is non-empty")
+            }
+            Strategy::MaxFanOut => {
+                // Most uncoloured neighbours first.
+                *uncolored
+                    .iter()
+                    .max_by_key(|&&i| {
+                        self.graph
+                            .neighbors(i)
+                            .iter()
+                            .filter(|&&j| self.assignment[j].is_none())
+                            .count()
+                    })
+                    .expect("uncolored is non-empty")
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use diva_constraints::{Constraint, ConstraintSet};
+    use diva_relation::fixtures::paper_table1;
+
+    fn solve_with(
+        sigma: &[Constraint],
+        k: usize,
+        strategy: Strategy,
+    ) -> Result<ColoringOutcome, DivaError> {
+        let r = paper_table1();
+        let set = ConstraintSet::bind(sigma, &r).unwrap();
+        let graph = ConstraintGraph::build(&set);
+        let config = DivaConfig { k, strategy, ..DivaConfig::default() };
+        let shuffle = (strategy == Strategy::Basic).then_some(config.seed);
+        let candidates: Vec<CandidateSet> = set
+            .constraints()
+            .iter()
+            .map(|c| CandidateSet::enumerate(&r, c, k, config.max_candidates, shuffle))
+            .collect();
+        let uppers = set.constraints().iter().map(|c| c.upper).collect();
+        let labels: Vec<String> = set.constraints().iter().map(|c| c.label()).collect();
+        Coloring::new(&graph, &candidates, uppers, &labels, &config).solve()
+    }
+
+    fn example_sigma() -> Vec<Constraint> {
+        vec![
+            Constraint::single("ETH", "Asian", 2, 5),
+            Constraint::single("ETH", "African", 1, 3),
+            Constraint::single("CTY", "Vancouver", 2, 4),
+        ]
+    }
+
+    #[test]
+    fn paper_example_is_colorable_under_all_strategies() {
+        for strategy in Strategy::all() {
+            let out = solve_with(&example_sigma(), 2, strategy).unwrap_or_else(|e| {
+                panic!("{strategy} failed: {e}");
+            });
+            assert_eq!(out.assignment.len(), 3);
+            // Every constraint's own retained count must lie in range;
+            // verify by suppressing and checking satisfaction.
+            let r = paper_table1();
+            let s = diva_relation::suppress::suppress_clustering(&r, &out.clusters);
+            let set = ConstraintSet::bind(&example_sigma(), &s.relation).unwrap();
+            assert!(set.satisfied_by(&s.relation), "{strategy}: S_Σ unsatisfying");
+            assert!(diva_relation::is_k_anonymous(&s.relation, 2));
+        }
+    }
+
+    #[test]
+    fn example34_conflict_requires_backtracking_but_succeeds() {
+        // Σ = {σ2, σ3} from Example 3.4's narrative: African and
+        // Vancouver compete for t6.
+        let sigma = vec![
+            Constraint::single("ETH", "African", 2, 3),
+            Constraint::single("CTY", "Vancouver", 2, 4),
+        ];
+        let out = solve_with(&sigma, 2, Strategy::MinChoice).unwrap();
+        // σ2 must take {t5,t6} (the only 2 Africans), so σ3 must avoid
+        // t6 (row 5).
+        let rows: Vec<usize> = out.clusters.iter().flatten().copied().collect();
+        assert!(rows.contains(&4) && rows.contains(&5));
+    }
+
+    #[test]
+    fn upper_bound_interaction_detected() {
+        // From §3.2: σ2 = (ETH[African],1,3) and σ4 = (GEN[Male],1,3).
+        // Choosing {{t5,t6}} for σ2 retains 2 Males; a Male clustering
+        // of 2 more would exceed σ4's upper bound 3. The colouring must
+        // find a consistent combination (e.g. sharing or small totals).
+        let sigma = vec![
+            Constraint::single("ETH", "African", 1, 3),
+            Constraint::single("GEN", "Male", 1, 3),
+        ];
+        let out = solve_with(&sigma, 2, Strategy::MaxFanOut).unwrap();
+        let r = paper_table1();
+        let s = diva_relation::suppress::suppress_clustering(&r, &out.clusters);
+        let set = ConstraintSet::bind(&sigma, &s.relation).unwrap();
+        assert!(set.satisfied_by(&s.relation));
+    }
+
+    #[test]
+    fn unsatisfiable_reports_no_clustering() {
+        // Six Asians demanded, three exist.
+        let sigma = vec![Constraint::single("ETH", "Asian", 6, 10)];
+        let err = solve_with(&sigma, 2, Strategy::MinChoice).unwrap_err();
+        assert!(matches!(err, DivaError::NoDiverseClustering { .. }), "{err}");
+    }
+
+    #[test]
+    fn conflicting_pair_unsatisfiable() {
+        // σa wants ≥3 of the 4 Vancouverites kept with CTY retained;
+        // σb wants ≥2 Africans retained. Africans are t5 (Winnipeg)
+        // and t6 (Vancouver). An African cluster must contain both
+        // t5,t6 (k=2 and only 2 Africans) which makes CTY mixed —
+        // removing t6 from σa's pool leaves 3 Vancouverites, still
+        // enough. Tighten σa to require all 4: now impossible.
+        let sigma = vec![
+            Constraint::single("CTY", "Vancouver", 4, 4),
+            Constraint::single("ETH", "African", 2, 3),
+        ];
+        let err = solve_with(&sigma, 2, Strategy::MaxFanOut).unwrap_err();
+        assert!(matches!(err, DivaError::NoDiverseClustering { .. }));
+    }
+
+    #[test]
+    fn empty_sigma_colours_trivially() {
+        let out = solve_with(&[], 3, Strategy::Basic).unwrap();
+        assert!(out.clusters.is_empty());
+        assert!(out.assignment.is_empty());
+    }
+
+    #[test]
+    fn stats_are_recorded() {
+        let out = solve_with(&example_sigma(), 2, Strategy::Basic).unwrap();
+        assert!(out.stats.assignments_tried >= 3);
+    }
+
+    #[test]
+    fn budget_exhaustion_path() {
+        // A tiny budget plus a conflict-heavy unsatisfiable set walks
+        // into SearchBudgetExhausted (or proves unsat within budget —
+        // accept either, but never success).
+        let r = paper_table1();
+        let sigma = vec![
+            Constraint::single("CTY", "Vancouver", 4, 4),
+            Constraint::single("ETH", "African", 2, 3),
+            Constraint::single("ETH", "Asian", 3, 3),
+            Constraint::single("GEN", "Female", 5, 5),
+        ];
+        let set = ConstraintSet::bind(&sigma, &r).unwrap();
+        let graph = ConstraintGraph::build(&set);
+        let config = DivaConfig {
+            k: 2,
+            strategy: Strategy::Basic,
+            backtrack_limit: Some(1),
+            ..DivaConfig::default()
+        };
+        let candidates: Vec<CandidateSet> = set
+            .constraints()
+            .iter()
+            .map(|c| CandidateSet::enumerate(&r, c, 2, 64, Some(1)))
+            .collect();
+        let uppers = set.constraints().iter().map(|c| c.upper).collect();
+        let labels: Vec<String> = set.constraints().iter().map(|c| c.label()).collect();
+        let res = Coloring::new(&graph, &candidates, uppers, &labels, &config).solve();
+        assert!(res.is_err());
+    }
+}

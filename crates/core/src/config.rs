@@ -1,0 +1,139 @@
+//! DIVA configuration: node-selection strategies and search knobs.
+
+/// The `NextNode` strategy of the colouring search (§3.3, "Selection
+/// Strategies").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Strategy {
+    /// DIVA-Basic: pick a random uncoloured node, and try that node's
+    /// candidate clusterings in random order.
+    Basic,
+    /// MinChoice: pick the most restrictive constraint first — the
+    /// uncoloured node with the minimum number of *currently
+    /// consistent* candidate clusterings (counts are updated as
+    /// neighbours get coloured).
+    MinChoice,
+    /// MaxFanOut: pick the constraint with the maximum number of
+    /// uncoloured neighbours, pruning unsatisfiable clusterings early.
+    MaxFanOut,
+}
+
+impl Strategy {
+    /// Display name matching the paper's figures.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Strategy::Basic => "Basic",
+            Strategy::MinChoice => "MinChoice",
+            Strategy::MaxFanOut => "MaxFanOut",
+        }
+    }
+
+    /// All strategies, in the order the paper's legends list them.
+    pub fn all() -> [Strategy; 3] {
+        [Strategy::MinChoice, Strategy::MaxFanOut, Strategy::Basic]
+    }
+}
+
+impl std::fmt::Display for Strategy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Configuration of a DIVA run.
+#[derive(Debug, Clone)]
+pub struct DivaConfig {
+    /// The privacy parameter `k` of `k`-anonymity.
+    pub k: usize,
+    /// Node/candidate selection strategy.
+    pub strategy: Strategy,
+    /// Maximum number of candidate clusterings generated per
+    /// constraint. The paper bounds the clusterings "considered in
+    /// coloring for each constraint" to a polynomial; this is the
+    /// concrete cap (see `DESIGN.md` §2.2).
+    pub max_candidates: usize,
+    /// Backtracking budget for the colouring search; `None` means
+    /// unbounded (exact, possibly exponential — the paper's Basic
+    /// curve in Fig. 4a).
+    pub backtrack_limit: Option<u64>,
+    /// Seed for all randomized choices (Basic ordering, the
+    /// `Anonymize` step's clustering).
+    pub seed: u64,
+    /// Privacy extension (§5 of the paper): require every QI-group of
+    /// the output to contain at least this many *distinct* sensitive
+    /// values (distinct ℓ-diversity). `1` (the default) disables the
+    /// requirement, i.e. plain k-anonymity.
+    pub l_diversity: usize,
+    /// Whether blocked candidates are re-materialized from free target
+    /// tuples ([`crate::CandidateSet::repair`]). On by default; the
+    /// ablation benches measure its effect on success rate and
+    /// backtracking.
+    pub enable_repair: bool,
+}
+
+impl Default for DivaConfig {
+    fn default() -> Self {
+        Self {
+            k: 10,
+            strategy: Strategy::MaxFanOut,
+            max_candidates: 64,
+            backtrack_limit: Some(100_000),
+            seed: 0xd1fa,
+            l_diversity: 1,
+            enable_repair: true,
+        }
+    }
+}
+
+impl DivaConfig {
+    /// A configuration with the given `k` and defaults elsewhere.
+    pub fn with_k(k: usize) -> Self {
+        Self { k, ..Self::default() }
+    }
+
+    /// Builder-style strategy override.
+    pub fn strategy(mut self, strategy: Strategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Builder-style seed override.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Builder-style ℓ-diversity requirement (1 = off).
+    pub fn l_diversity(mut self, l: usize) -> Self {
+        self.l_diversity = l;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_sane() {
+        let c = DivaConfig::default();
+        assert!(c.k > 0);
+        assert!(c.max_candidates > 0);
+        assert_eq!(c.strategy, Strategy::MaxFanOut);
+    }
+
+    #[test]
+    fn builders_compose() {
+        let c = DivaConfig::with_k(5).strategy(Strategy::Basic).seed(9);
+        assert_eq!(c.k, 5);
+        assert_eq!(c.strategy, Strategy::Basic);
+        assert_eq!(c.seed, 9);
+    }
+
+    #[test]
+    fn strategy_names_match_paper() {
+        assert_eq!(Strategy::Basic.to_string(), "Basic");
+        assert_eq!(Strategy::MinChoice.to_string(), "MinChoice");
+        assert_eq!(Strategy::MaxFanOut.to_string(), "MaxFanOut");
+        assert_eq!(Strategy::all().len(), 3);
+    }
+}

@@ -1,0 +1,116 @@
+//! Errors produced by the DIVA pipeline.
+
+use diva_constraints::ConstraintError;
+
+/// Why DIVA could not produce a diverse anonymized relation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DivaError {
+    /// A constraint failed validation or binding.
+    Constraint(ConstraintError),
+    /// `DiverseClustering` proved that no diverse clustering exists —
+    /// the paper's "relation does not exist" outcome (Algorithm 1,
+    /// line 2).
+    NoDiverseClustering {
+        /// Label of a constraint that could not be colored (the last
+        /// one the search failed on; with backtracking the true
+        /// culprit may be an interaction).
+        constraint: String,
+    },
+    /// The colouring search exhausted its backtracking budget without
+    /// a proof either way. Raising
+    /// [`DivaConfig::backtrack_limit`][crate::DivaConfig] may help.
+    SearchBudgetExhausted {
+        /// Number of backtracking steps performed.
+        backtracks: u64,
+    },
+    /// The residual tuples (fewer than `k` of them remained outside
+    /// the diverse clustering) could not be anonymized without either
+    /// breaking `k`-anonymity or violating `Σ`.
+    ResidualTooSmall {
+        /// How many tuples remained.
+        remaining: usize,
+    },
+    /// Integrate could not repair an upper-bound violation: the
+    /// violating occurrences are pinned inside `R_Σ`.
+    IntegrateFailed {
+        /// Label of the violated constraint.
+        constraint: String,
+        /// Occurrences counted in the integrated relation.
+        count: usize,
+        /// The violated upper bound.
+        upper: usize,
+    },
+    /// `k` was zero.
+    InvalidK,
+    /// The requested privacy extension (ℓ-diversity) cannot be met —
+    /// e.g. the residual tuples carry fewer distinct sensitive values
+    /// than `ℓ`.
+    PrivacyInfeasible {
+        /// Human-readable reason.
+        reason: String,
+    },
+}
+
+impl std::fmt::Display for DivaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DivaError::Constraint(e) => write!(f, "invalid constraint: {e}"),
+            DivaError::NoDiverseClustering { constraint } => {
+                write!(f, "no diverse k-anonymous relation exists (failed on {constraint})")
+            }
+            DivaError::SearchBudgetExhausted { backtracks } => {
+                write!(f, "colouring search exhausted its budget after {backtracks} backtracks")
+            }
+            DivaError::ResidualTooSmall { remaining } => {
+                write!(
+                    f,
+                    "{remaining} residual tuple(s) cannot form a k-anonymous group or \
+                     join one without violating the constraints"
+                )
+            }
+            DivaError::IntegrateFailed { constraint, count, upper } => {
+                write!(
+                    f,
+                    "integration cannot repair {constraint}: {count} occurrences exceed \
+                     the upper bound {upper} and are pinned inside R_Sigma"
+                )
+            }
+            DivaError::InvalidK => write!(f, "k must be positive"),
+            DivaError::PrivacyInfeasible { reason } => {
+                write!(f, "privacy extension infeasible: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DivaError {}
+
+impl From<ConstraintError> for DivaError {
+    fn from(e: ConstraintError) -> Self {
+        DivaError::Constraint(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        let e = DivaError::NoDiverseClustering { constraint: "ETH[Asian]".into() };
+        assert!(e.to_string().contains("ETH[Asian]"));
+        let e = DivaError::SearchBudgetExhausted { backtracks: 42 };
+        assert!(e.to_string().contains("42"));
+        let e = DivaError::IntegrateFailed { constraint: "X".into(), count: 9, upper: 5 };
+        assert!(e.to_string().contains('9'));
+        assert!(DivaError::InvalidK.to_string().contains("positive"));
+        assert!(DivaError::ResidualTooSmall { remaining: 2 }.to_string().contains('2'));
+    }
+
+    #[test]
+    fn from_constraint_error() {
+        let ce = ConstraintError::NoTargets;
+        let e: DivaError = ce.clone().into();
+        assert_eq!(e, DivaError::Constraint(ce));
+    }
+}

@@ -1,0 +1,158 @@
+//! The constraint graph (§3.3): one node per diversity constraint, an
+//! edge where target-tuple sets overlap.
+
+use std::collections::HashSet;
+
+use diva_constraints::ConstraintSet;
+use diva_relation::RowId;
+
+/// The undirected constraint graph `G = (Γ, E)` built by `BuildGraph`.
+///
+/// Node `i` corresponds to constraint `Σ[i]`. An edge `{i, j}` exists
+/// iff `I_σi ∩ I_σj ≠ ∅` — those constraints can compete for tuples
+/// and must be checked against each other during colouring. The graph
+/// also owns a hash-set copy of every target-tuple set for O(1)
+/// membership tests in the consistency checks.
+#[derive(Debug)]
+pub struct ConstraintGraph {
+    adj: Vec<Vec<usize>>,
+    target_sets: Vec<HashSet<RowId>>,
+    /// For each row appearing in some target set, the nodes whose
+    /// targets contain it (ascending). Lets the search maintain
+    /// per-node free-target counts incrementally.
+    nodes_of_row: std::collections::HashMap<RowId, Vec<u32>>,
+}
+
+impl ConstraintGraph {
+    /// Builds the graph for a bound constraint set.
+    pub fn build(set: &ConstraintSet) -> Self {
+        let n = set.len();
+        let target_sets: Vec<HashSet<RowId>> = set
+            .constraints()
+            .iter()
+            .map(|c| c.target_rows.iter().copied().collect())
+            .collect();
+        let mut nodes_of_row: std::collections::HashMap<RowId, Vec<u32>> =
+            std::collections::HashMap::new();
+        for (i, ts) in target_sets.iter().enumerate() {
+            for &r in ts {
+                nodes_of_row.entry(r).or_default().push(i as u32);
+            }
+        }
+        let mut adj = vec![Vec::new(); n];
+        for i in 0..n {
+            for j in i + 1..n {
+                let (small, large) = if target_sets[i].len() <= target_sets[j].len() {
+                    (&target_sets[i], &target_sets[j])
+                } else {
+                    (&target_sets[j], &target_sets[i])
+                };
+                if small.iter().any(|r| large.contains(r)) {
+                    adj[i].push(j);
+                    adj[j].push(i);
+                }
+            }
+        }
+        Self { adj, target_sets, nodes_of_row }
+    }
+
+    /// The nodes whose target sets contain `row`.
+    pub fn nodes_of(&self, row: RowId) -> &[u32] {
+        self.nodes_of_row.get(&row).map_or(&[], Vec::as_slice)
+    }
+
+    /// Target-set size of node `i` (`|I_σi|`).
+    pub fn target_size(&self, i: usize) -> usize {
+        self.target_sets[i].len()
+    }
+
+    /// Number of nodes.
+    pub fn n_nodes(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Neighbours of node `i`.
+    pub fn neighbors(&self, i: usize) -> &[usize] {
+        &self.adj[i]
+    }
+
+    /// Whether `row` is a target tuple of constraint `i`.
+    pub fn is_target(&self, i: usize, row: RowId) -> bool {
+        self.target_sets[i].contains(&row)
+    }
+
+    /// Whether every row of `cluster` is a target tuple of constraint
+    /// `i` — i.e. whether the cluster, once suppressed, retains `i`'s
+    /// target value and contributes `|cluster|` occurrences to it.
+    pub fn cluster_contributes(&self, i: usize, cluster: &[RowId]) -> bool {
+        cluster.iter().all(|r| self.target_sets[i].contains(r))
+    }
+
+    /// Degree of node `i`.
+    pub fn degree(&self, i: usize) -> usize {
+        self.adj[i].len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use diva_constraints::{Constraint, ConstraintSet};
+    use diva_relation::fixtures::paper_table1;
+
+    fn example_graph() -> ConstraintGraph {
+        let r = paper_table1();
+        let set = ConstraintSet::bind(
+            &[
+                Constraint::single("ETH", "Asian", 2, 5),
+                Constraint::single("ETH", "African", 1, 3),
+                Constraint::single("CTY", "Vancouver", 2, 4),
+            ],
+            &r,
+        )
+        .unwrap();
+        ConstraintGraph::build(&set)
+    }
+
+    #[test]
+    fn paper_figure2_edges() {
+        // Figure 2: edges {v1,v3} and {v2,v3}; no edge {v1,v2}.
+        let g = example_graph();
+        assert_eq!(g.n_nodes(), 3);
+        assert_eq!(g.neighbors(0), &[2]);
+        assert_eq!(g.neighbors(1), &[2]);
+        let mut n2 = g.neighbors(2).to_vec();
+        n2.sort_unstable();
+        assert_eq!(n2, vec![0, 1]);
+        assert_eq!(g.degree(2), 2);
+    }
+
+    #[test]
+    fn target_membership() {
+        let g = example_graph();
+        // I_σ1 = {t8,t9,t10} = rows 7,8,9.
+        assert!(g.is_target(0, 7));
+        assert!(!g.is_target(0, 5));
+        // Cluster {t8,t10} (rows 7,9) is inside both σ1 and σ3 targets.
+        assert!(g.cluster_contributes(0, &[7, 9]));
+        assert!(g.cluster_contributes(2, &[7, 9]));
+        // Cluster {t9,t10} (rows 8,9) contributes to σ1 but not σ3
+        // (t9 = row 8 is Winnipeg).
+        assert!(g.cluster_contributes(0, &[8, 9]));
+        assert!(!g.cluster_contributes(2, &[8, 9]));
+    }
+
+    #[test]
+    fn empty_set_graph() {
+        let r = paper_table1();
+        let set = ConstraintSet::bind(&[], &r).unwrap();
+        let g = ConstraintGraph::build(&set);
+        assert_eq!(g.n_nodes(), 0);
+    }
+
+    #[test]
+    fn empty_cluster_contributes_vacuously() {
+        let g = example_graph();
+        assert!(g.cluster_contributes(0, &[]));
+    }
+}

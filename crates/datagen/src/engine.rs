@@ -1,0 +1,307 @@
+//! The generation engine shared by all dataset specs.
+
+use std::collections::HashSet;
+use std::sync::Arc;
+
+use diva_relation::{AttrRole, Attribute, Dict, Relation, Schema};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::dist::Sampler;
+use crate::spec::DatasetSpec;
+
+/// Generates `n_rows` tuples from `spec`, deterministically in `seed`.
+///
+/// The distinct QI-projection count of the result is exactly
+/// `min(n_rows, spec.n_profiles)`: profiles are materialized as
+/// distinct QI value combinations, the first `n_profiles` rows cover
+/// each profile once, the rest draw from `spec.profile_dist`, and the
+/// final row order is shuffled.
+///
+/// # Panics
+///
+/// Panics if the product of QI domain sizes is smaller than
+/// `spec.n_profiles` (not enough distinct combinations exist).
+pub fn generate(spec: &DatasetSpec, n_rows: usize, seed: u64) -> Relation {
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    let schema = Arc::new(Schema::new(
+        spec.columns
+            .iter()
+            .map(|c| Attribute::new(c.name.clone(), c.role))
+            .collect(),
+    ));
+
+    // Dictionaries: intern every domain value up front so that
+    // dictionary code == domain value index, letting us emit codes
+    // directly instead of re-interning strings per row.
+    let dicts: Vec<Arc<Dict>> = spec
+        .columns
+        .iter()
+        .map(|c| {
+            let mut d = Dict::new();
+            for i in 0..c.domain.size() {
+                let code = d.intern(&c.domain.value(i));
+                debug_assert_eq!(code as usize, i);
+            }
+            Arc::new(d)
+        })
+        .collect();
+
+    let qi_cols: Vec<usize> = (0..spec.columns.len())
+        .filter(|&i| spec.columns[i].role == AttrRole::Quasi)
+        .collect();
+
+    // Functional derivations: a derived child column is sampled in
+    // *block* space (domain / parent_domain choices) and materialized
+    // as `block · parent_domain + parent_index`, which makes
+    // `child ≡ parent (mod parent_domain)` — block space and value
+    // space are bijective given the parent, so profile distinctness is
+    // unaffected.
+    // For each QI slot: Some((parent_slot, parent_domain)) if derived.
+    let mut derived: Vec<Option<(usize, usize)>> = vec![None; qi_cols.len()];
+    for d in &spec.derivations {
+        let child_col = schema.col(&d.child).expect("derivation child exists");
+        let parent_col = schema.col(&d.parent).expect("derivation parent exists");
+        let child_slot = qi_cols.iter().position(|&c| c == child_col)
+            .expect("derivation child is a QI attribute");
+        let parent_slot = qi_cols.iter().position(|&c| c == parent_col)
+            .expect("derivation parent is a QI attribute");
+        let nc = spec.columns[child_col].domain.size();
+        let np = spec.columns[parent_col].domain.size();
+        assert!(nc.is_multiple_of(np), "{}: child domain {} not a multiple of parent domain {}", spec.name, nc, np);
+        assert!(derived[parent_slot].is_none(), "derivation chains are not supported");
+        derived[child_slot] = Some((parent_slot, np));
+    }
+
+    let qi_samplers: Vec<Sampler> = qi_cols
+        .iter()
+        .enumerate()
+        .map(|(slot, &i)| {
+            let size = spec.columns[i].domain.size();
+            let size = match derived[slot] {
+                Some((_, np)) => size / np, // block space
+                None => size,
+            };
+            Sampler::new(spec.columns[i].dist, size)
+        })
+        .collect();
+    // The profile space is the product of the *effective* (block-space)
+    // domain sizes.
+    let qi_product: usize = qi_samplers
+        .iter()
+        .map(Sampler::domain)
+        .fold(1usize, |a, b| a.saturating_mul(b));
+    assert!(
+        qi_product >= spec.n_profiles,
+        "{}: cannot materialize {} distinct QI profiles from a profile space of {}",
+        spec.name,
+        spec.n_profiles,
+        qi_product
+    );
+
+    // Materialize distinct QI profiles — only as many as the output
+    // can use. Sampling gives the desired marginals; on collision we
+    // retry, and near saturation we fall back to an odometer scan from
+    // the collided combination, which is guaranteed to find an unused
+    // one because qi_product ≥ n_profiles.
+    let n_needed = spec.n_profiles.min(n_rows);
+    let mut profiles: Vec<Vec<u32>> = Vec::with_capacity(n_needed);
+    let mut seen: HashSet<Vec<u32>> = HashSet::with_capacity(n_needed);
+    while profiles.len() < n_needed {
+        let mut candidate: Vec<u32> = qi_samplers.iter().map(|s| s.sample(&mut rng) as u32).collect();
+        let mut retries = 0;
+        while seen.contains(&candidate) && retries < 200 {
+            candidate = qi_samplers.iter().map(|s| s.sample(&mut rng) as u32).collect();
+            retries += 1;
+        }
+        if seen.contains(&candidate) {
+            odometer_advance(&mut candidate, &qi_samplers, &seen);
+        }
+        seen.insert(candidate.clone());
+        profiles.push(candidate);
+    }
+
+    // Assign rows to profiles: cover every profile once, then sample.
+    let mut profile_ids: Vec<usize> = (0..n_needed).collect();
+    if n_rows > n_needed {
+        let s = Sampler::new(spec.profile_dist, n_needed);
+        profile_ids.extend((0..n_rows - n_needed).map(|_| s.sample(&mut rng)));
+    }
+    profile_ids.shuffle(&mut rng);
+
+    // Emit columns.
+    let mut cols: Vec<Vec<u32>> = spec
+        .columns
+        .iter()
+        .map(|_| Vec::with_capacity(n_rows))
+        .collect();
+    let non_qi: Vec<(usize, Sampler)> = (0..spec.columns.len())
+        .filter(|i| !qi_cols.contains(i))
+        .map(|i| (i, Sampler::new(spec.columns[i].dist, spec.columns[i].domain.size())))
+        .collect();
+    for &pid in &profile_ids {
+        for (slot, &col) in qi_cols.iter().enumerate() {
+            let raw = profiles[pid][slot];
+            let value = match derived[slot] {
+                Some((parent_slot, np)) => raw * np as u32 + profiles[pid][parent_slot],
+                None => raw,
+            };
+            cols[col].push(value);
+        }
+        for (col, sampler) in &non_qi {
+            cols[*col].push(sampler.sample(&mut rng) as u32);
+        }
+    }
+
+    Relation::from_parts(schema, dicts, cols)
+}
+
+/// Advances `candidate` through the (block-space) QI combination space
+/// (odometer order) until it is not in `seen`.
+fn odometer_advance(
+    candidate: &mut Vec<u32>,
+    qi_samplers: &[Sampler],
+    seen: &HashSet<Vec<u32>>,
+) {
+    let sizes: Vec<u32> = qi_samplers.iter().map(|s| s.domain() as u32).collect();
+    loop {
+        // Increment with carry.
+        for (slot, &size) in sizes.iter().enumerate() {
+            candidate[slot] = (candidate[slot] + 1) % size;
+            if candidate[slot] != 0 {
+                break;
+            }
+        }
+        if !seen.contains(candidate) {
+            return;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{self, medical_spec};
+    use crate::Dist;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = generate(&medical_spec(), 500, 11);
+        let b = generate(&medical_spec(), 500, 11);
+        assert_eq!(a.n_rows(), b.n_rows());
+        for row in 0..a.n_rows() {
+            for col in 0..a.schema().arity() {
+                assert_eq!(a.code(row, col), b.code(row, col));
+            }
+        }
+        let c = generate(&medical_spec(), 500, 12);
+        let same = (0..a.n_rows())
+            .all(|r| (0..a.schema().arity()).all(|cidx| a.code(r, cidx) == c.code(r, cidx)));
+        assert!(!same, "different seeds should differ");
+    }
+
+    #[test]
+    fn qi_projection_count_is_exact_when_rows_exceed_profiles() {
+        let spec = medical_spec(); // 600 profiles
+        let r = generate(&spec, 5_000, 7);
+        assert_eq!(r.distinct_qi_projections(), 600);
+    }
+
+    #[test]
+    fn qi_projection_count_equals_rows_when_fewer() {
+        let spec = medical_spec();
+        let r = generate(&spec, 100, 7);
+        assert_eq!(r.distinct_qi_projections(), 100);
+    }
+
+    #[test]
+    fn credit_saturated_domain_fills_every_combo() {
+        // Credit's QI product equals n_profiles (60): the odometer
+        // fallback must fill every combination without looping forever.
+        let r = crate::credit(3);
+        assert_eq!(r.n_rows(), 1_000);
+        assert_eq!(r.distinct_qi_projections(), 60);
+    }
+
+    #[test]
+    fn pantheon_matches_table4() {
+        let r = crate::pantheon(1);
+        assert_eq!(r.n_rows(), 11_341);
+        assert_eq!(r.schema().arity(), 17);
+        assert_eq!(r.distinct_qi_projections(), 5_636);
+    }
+
+    #[test]
+    fn popsyn_matches_table4() {
+        let r = crate::popsyn(100_000, Dist::Uniform, 1);
+        assert_eq!(r.n_rows(), 100_000);
+        assert_eq!(r.schema().arity(), 7);
+        assert_eq!(r.distinct_qi_projections(), 24_630);
+    }
+
+    #[test]
+    fn census_small_slice_has_right_schema() {
+        let r = crate::census(2_000, 1);
+        assert_eq!(r.schema().arity(), 40);
+        assert_eq!(r.n_rows(), 2_000);
+        // With 2k rows < 12,405 profiles every row gets its own profile.
+        assert_eq!(r.distinct_qi_projections(), 2_000);
+    }
+
+    #[test]
+    fn derivations_hold_in_every_row() {
+        // medical: CTY (40 cities) derived from PRV (8 provinces):
+        // city_index ≡ province_index (mod 8). Dict code == domain
+        // index by construction.
+        let r = crate::medical(2_000, 3);
+        let cty = r.schema().col_of("CTY");
+        let prv = r.schema().col_of("PRV");
+        for row in 0..r.n_rows() {
+            assert_eq!(
+                r.code(row, cty) % 8,
+                r.code(row, prv),
+                "row {row}: city not in its province"
+            );
+        }
+        // pantheon: country (150) derived from continent (6).
+        let p = crate::pantheon(1);
+        let country = p.schema().col_of("country");
+        let continent = p.schema().col_of("continent");
+        for row in 0..500 {
+            assert_eq!(p.code(row, country) % 6, p.code(row, continent));
+        }
+    }
+
+    #[test]
+    fn no_cell_is_suppressed_in_generated_data() {
+        let r = generate(&medical_spec(), 300, 5);
+        assert_eq!(r.star_count(), 0);
+    }
+
+    #[test]
+    fn zipf_profile_assignment_is_skewed() {
+        // With a Zipf profile distribution the most common QI profile
+        // should cover far more than its uniform share.
+        let mut spec = spec::popsyn_spec(Dist::zipf_default());
+        spec.profile_dist = Dist::zipf_default();
+        let r = generate(&spec, 50_000, 9);
+        let groups = diva_relation::qi_groups(&r);
+        let max = groups.sizes().max().unwrap();
+        assert!(max > 500, "expected a heavy head, got max group {max}");
+    }
+
+    #[test]
+    fn popsyn_profile_multiplicity_is_flat_for_every_dist() {
+        // popsyn applies the distribution to attribute *values* only;
+        // tuple multiplicity stays uniform (see spec::popsyn_spec).
+        for dist in [Dist::Uniform, Dist::zipf_default()] {
+            let spec = spec::popsyn_spec(dist);
+            let r = generate(&spec, 50_000, 9);
+            let groups = diva_relation::qi_groups(&r);
+            let max = groups.sizes().max().unwrap();
+            assert!(max < 30, "{}: no heavy head expected, got {max}", spec.name);
+        }
+    }
+}

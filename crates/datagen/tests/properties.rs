@@ -1,0 +1,64 @@
+//! Property-based tests for the dataset generators and samplers.
+
+use diva_datagen::{generate, spec, Dist, Sampler};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn arb_dist() -> impl Strategy<Value = Dist> {
+    prop_oneof![
+        Just(Dist::Uniform),
+        (0.1f64..3.0).prop_map(|s| Dist::Zipf { s }),
+        ((0.1f64..0.9), (0.05f64..0.5))
+            .prop_map(|(mean_frac, cv)| Dist::Gaussian { mean_frac, cv }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Samplers always stay inside the domain and are deterministic in
+    /// the RNG seed.
+    #[test]
+    fn sampler_bounds_and_determinism(dist in arb_dist(), domain in 1usize..200, seed: u64) {
+        let s = Sampler::new(dist, domain);
+        let draw = |seed: u64| -> Vec<usize> {
+            let mut rng = StdRng::seed_from_u64(seed);
+            (0..50).map(|_| s.sample(&mut rng)).collect()
+        };
+        let a = draw(seed);
+        prop_assert!(a.iter().all(|&x| x < domain));
+        prop_assert_eq!(&a, &draw(seed));
+    }
+
+    /// The medical generator respects row counts, profile caps, and
+    /// determinism for arbitrary sizes and seeds.
+    #[test]
+    fn medical_generator_invariants(n_rows in 1usize..800, seed: u64) {
+        let sp = spec::medical_spec();
+        let r = generate(&sp, n_rows, seed);
+        prop_assert_eq!(r.n_rows(), n_rows);
+        prop_assert_eq!(r.schema().arity(), 6);
+        prop_assert_eq!(
+            r.distinct_qi_projections(),
+            n_rows.min(sp.n_profiles)
+        );
+        prop_assert_eq!(r.star_count(), 0);
+        // Every cell decodes (no dangling codes).
+        for row in 0..r.n_rows() {
+            for col in 0..r.schema().arity() {
+                prop_assert!(!r.value(row, col).is_star());
+            }
+        }
+    }
+
+    /// Pop-Syn honours the distribution knob without changing shape
+    /// invariants.
+    #[test]
+    fn popsyn_invariants(dist in arb_dist(), n_rows in 100usize..2_000, seed: u64) {
+        let r = diva_datagen::popsyn(n_rows, dist, seed);
+        prop_assert_eq!(r.n_rows(), n_rows);
+        prop_assert_eq!(r.schema().arity(), 7);
+        prop_assert_eq!(r.schema().qi_cols().len(), 5);
+    }
+}

@@ -1,0 +1,155 @@
+//! ε-differentially-private query answering — an exploration of the
+//! paper's future-work direction ("randomization algorithms to satisfy
+//! both diversity constraints and Differential privacy", §6).
+//!
+//! This module does not modify published instances; it implements the
+//! classic **Laplace mechanism** for counting queries so the utility
+//! harness can compare two publication regimes over the same workload:
+//!
+//! * answering from a DIVA-anonymized instance (deterministic,
+//!   suppression error);
+//! * answering via ε-DP noisy counts over the *original* data
+//!   (randomized, calibrated noise, no instance published).
+//!
+//! Counting queries have sensitivity 1, so the mechanism adds
+//! `Laplace(1/ε)` noise per query; a workload of `m` queries answered
+//! from one dataset consumes an `m·ε` budget under sequential
+//! composition (reported in the result).
+
+use diva_relation::Relation;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::utility::{QueryWorkload, UtilityReport};
+
+/// Draws one `Laplace(0, scale)` sample via inverse-CDF.
+fn laplace<R: Rng + ?Sized>(rng: &mut R, scale: f64) -> f64 {
+    // u uniform in (-0.5, 0.5]; inverse CDF of the Laplace
+    // distribution: -scale · sign(u) · ln(1 − 2|u|).
+    let u: f64 = rng.gen::<f64>() - 0.5;
+    let magnitude = (1.0 - 2.0 * u.abs()).max(f64::MIN_POSITIVE);
+    -scale * u.signum() * magnitude.ln()
+}
+
+/// The ε-DP Laplace mechanism for counting queries.
+#[derive(Debug, Clone)]
+pub struct LaplaceMechanism {
+    /// Privacy budget per query.
+    pub epsilon: f64,
+    /// RNG seed (the mechanism is randomized; experiments fix it).
+    pub seed: u64,
+}
+
+impl LaplaceMechanism {
+    /// A mechanism with budget `epsilon` per query.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `epsilon > 0`.
+    pub fn new(epsilon: f64, seed: u64) -> Self {
+        assert!(epsilon > 0.0, "epsilon must be positive");
+        Self { epsilon, seed }
+    }
+
+    /// Answers one counting query with `Laplace(1/ε)` noise, clamped
+    /// at zero (counts are non-negative).
+    pub fn noisy_count<R: Rng + ?Sized>(&self, truth: usize, rng: &mut R) -> f64 {
+        (truth as f64 + laplace(rng, 1.0 / self.epsilon)).max(0.0)
+    }
+
+    /// Answers a whole workload against `rel`, reporting the same
+    /// error aggregates as
+    /// [`evaluate_utility`][crate::utility::evaluate_utility] plus the
+    /// total consumed budget (`m · ε` by sequential composition).
+    pub fn evaluate(&self, rel: &Relation, workload: &QueryWorkload) -> (UtilityReport, f64) {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut errors: Vec<f64> = Vec::with_capacity(workload.queries.len());
+        let mut exact = 0usize;
+        for q in &workload.queries {
+            let truth = q.evaluate(rel);
+            if truth == 0 {
+                continue;
+            }
+            let got = self.noisy_count(truth, &mut rng);
+            let err = (truth as f64 - got).abs() / truth as f64;
+            if err < 1e-12 {
+                exact += 1;
+            }
+            errors.push(err);
+        }
+        errors.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let n = errors.len();
+        let report = UtilityReport {
+            mean_relative_error: if n == 0 { 0.0 } else { errors.iter().sum::<f64>() / n as f64 },
+            median_relative_error: if n == 0 { 0.0 } else { errors[n / 2] },
+            exact_fraction: if n == 0 { 1.0 } else { exact as f64 / n as f64 },
+            n_evaluated: n,
+        };
+        (report, self.epsilon * workload.queries.len() as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use diva_relation::fixtures::paper_table1;
+
+    #[test]
+    fn laplace_is_centered_and_scaled() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let scale = 2.0;
+        let n = 200_000;
+        let samples: Vec<f64> = (0..n).map(|_| laplace(&mut rng, scale)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        // Laplace variance = 2·scale².
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 8.0).abs() < 0.3, "var {var}");
+    }
+
+    #[test]
+    fn noise_shrinks_with_epsilon() {
+        let r = diva_datagen::medical(2_000, 5);
+        let w = QueryWorkload::random(&r, 100, 3);
+        let (loose, _) = LaplaceMechanism::new(0.05, 7).evaluate(&r, &w);
+        let (tight, _) = LaplaceMechanism::new(5.0, 7).evaluate(&r, &w);
+        assert!(
+            tight.mean_relative_error < loose.mean_relative_error,
+            "ε=5 ({}) should beat ε=0.05 ({})",
+            tight.mean_relative_error,
+            loose.mean_relative_error
+        );
+    }
+
+    #[test]
+    fn budget_composes_sequentially() {
+        let r = paper_table1();
+        let w = QueryWorkload::random(&r, 10, 3);
+        let (_, budget) = LaplaceMechanism::new(0.5, 1).evaluate(&r, &w);
+        assert!((budget - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn counts_are_non_negative() {
+        let m = LaplaceMechanism::new(0.01, 13); // huge noise
+        let mut rng = StdRng::seed_from_u64(13);
+        for _ in 0..1_000 {
+            assert!(m.noisy_count(1, &mut rng) >= 0.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "epsilon must be positive")]
+    fn zero_epsilon_rejected() {
+        LaplaceMechanism::new(0.0, 1);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let r = paper_table1();
+        let w = QueryWorkload::random(&r, 20, 9);
+        let a = LaplaceMechanism::new(1.0, 4).evaluate(&r, &w).0;
+        let b = LaplaceMechanism::new(1.0, 4).evaluate(&r, &w).0;
+        assert_eq!(a.mean_relative_error, b.mean_relative_error);
+    }
+}

@@ -1,0 +1,107 @@
+//! Descriptive statistics of an anonymization result.
+
+use diva_relation::{qi_groups, Relation};
+
+/// Summary statistics of a relation's maximal QI-groups and
+/// suppression, convenient for reports and the experiment harness.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GroupStats {
+    /// Number of tuples.
+    pub n_rows: usize,
+    /// Number of maximal QI-groups.
+    pub n_groups: usize,
+    /// Smallest group size (0 for an empty relation).
+    pub min_group: usize,
+    /// Largest group size (0 for an empty relation).
+    pub max_group: usize,
+    /// Mean group size (0 for an empty relation).
+    pub mean_group: f64,
+    /// Total suppressed cells.
+    pub stars: usize,
+    /// Suppressed cells per QI attribute, in `qi_cols` order.
+    pub stars_per_attr: Vec<usize>,
+}
+
+impl GroupStats {
+    /// Computes statistics for `rel`.
+    pub fn of(rel: &Relation) -> Self {
+        let groups = qi_groups(rel);
+        let sizes: Vec<usize> = groups.sizes().collect();
+        let stars_per_attr = rel
+            .schema()
+            .qi_cols()
+            .iter()
+            .map(|&c| {
+                rel.column(c)
+                    .iter()
+                    .filter(|&&code| code == diva_relation::STAR_CODE)
+                    .count()
+            })
+            .collect();
+        GroupStats {
+            n_rows: rel.n_rows(),
+            n_groups: sizes.len(),
+            min_group: sizes.iter().copied().min().unwrap_or(0),
+            max_group: sizes.iter().copied().max().unwrap_or(0),
+            mean_group: if sizes.is_empty() {
+                0.0
+            } else {
+                rel.n_rows() as f64 / sizes.len() as f64
+            },
+            stars: rel.star_count(),
+            stars_per_attr,
+        }
+    }
+}
+
+impl std::fmt::Display for GroupStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} rows, {} groups (min {}, max {}, mean {:.1}), {} ★",
+            self.n_rows, self.n_groups, self.min_group, self.max_group, self.mean_group, self.stars
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use diva_relation::fixtures::paper_table1;
+    use diva_relation::suppress::suppress_clustering;
+
+    #[test]
+    fn stats_on_paper_table3_clustering() {
+        let r = paper_table1();
+        // Table 3's grouping of all ten tuples.
+        let clusters: Vec<Vec<usize>> =
+            vec![vec![0, 1], vec![2, 3], vec![4, 5], vec![6, 7], vec![8, 9]];
+        let s = suppress_clustering(&r, &clusters);
+        let st = GroupStats::of(&s.relation);
+        assert_eq!(st.n_rows, 10);
+        assert_eq!(st.n_groups, 5);
+        assert_eq!(st.min_group, 2);
+        assert_eq!(st.max_group, 2);
+        assert!((st.mean_group - 2.0).abs() < 1e-12);
+        assert_eq!(st.stars, s.relation.star_count());
+        assert_eq!(st.stars_per_attr.iter().sum::<usize>(), st.stars);
+        assert_eq!(st.stars_per_attr.len(), 5);
+    }
+
+    #[test]
+    fn stats_on_empty() {
+        let r = diva_relation::Relation::empty(diva_relation::fixtures::medical_schema());
+        let st = GroupStats::of(&r);
+        assert_eq!(st.n_groups, 0);
+        assert_eq!(st.min_group, 0);
+        assert_eq!(st.mean_group, 0.0);
+    }
+
+    #[test]
+    fn display_is_compact() {
+        let r = paper_table1();
+        let st = GroupStats::of(&r);
+        let s = st.to_string();
+        assert!(s.contains("10 rows"), "{s}");
+    }
+}

@@ -1,0 +1,290 @@
+//! Minimal, dependency-free CSV reading and writing (RFC-4180 style
+//! quoting) for loading datasets and exporting anonymized results.
+
+use std::path::Path;
+use std::sync::Arc;
+
+use crate::builder::RelationBuilder;
+use crate::relation::Relation;
+use crate::schema::{AttrRole, Attribute, Schema};
+
+/// Errors produced by CSV parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CsvError {
+    /// A record has a different field count than the header.
+    RaggedRow { line: usize, expected: usize, found: usize },
+    /// A quoted field was never closed.
+    UnterminatedQuote { line: usize },
+    /// The input had no header row.
+    Empty,
+    /// The role list length does not match the header width.
+    RoleMismatch { header: usize, roles: usize },
+    /// Underlying I/O failure (message only, to keep the error `Eq`).
+    Io(String),
+}
+
+impl std::fmt::Display for CsvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CsvError::RaggedRow { line, expected, found } => {
+                write!(f, "line {line}: expected {expected} fields, found {found}")
+            }
+            CsvError::UnterminatedQuote { line } => {
+                write!(f, "line {line}: unterminated quoted field")
+            }
+            CsvError::Empty => write!(f, "empty CSV input"),
+            CsvError::RoleMismatch { header, roles } => {
+                write!(f, "header has {header} columns but {roles} roles given")
+            }
+            CsvError::Io(msg) => write!(f, "I/O error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CsvError {}
+
+/// Parses CSV text into records. Handles quoted fields, embedded
+/// commas, embedded quotes (`""`), and embedded newlines. Accepts both
+/// `\n` and `\r\n` line endings. A trailing newline does not produce an
+/// empty record.
+pub fn parse_csv(text: &str) -> Result<Vec<Vec<String>>, CsvError> {
+    let mut records = Vec::new();
+    let mut record: Vec<String> = Vec::new();
+    let mut field = String::new();
+    let mut chars = text.chars().peekable();
+    let mut in_quotes = false;
+    let mut line = 1usize;
+    let mut saw_any = false;
+
+    while let Some(c) = chars.next() {
+        saw_any = true;
+        if in_quotes {
+            match c {
+                '"' => {
+                    if chars.peek() == Some(&'"') {
+                        chars.next();
+                        field.push('"');
+                    } else {
+                        in_quotes = false;
+                    }
+                }
+                '\n' => {
+                    line += 1;
+                    field.push(c);
+                }
+                _ => field.push(c),
+            }
+        } else {
+            match c {
+                '"' => in_quotes = true,
+                ',' => {
+                    record.push(std::mem::take(&mut field));
+                }
+                '\r' => {
+                    // Consume \r\n as one newline; lone \r is literal.
+                    if chars.peek() == Some(&'\n') {
+                        chars.next();
+                        line += 1;
+                        record.push(std::mem::take(&mut field));
+                        records.push(std::mem::take(&mut record));
+                    } else {
+                        field.push('\r');
+                    }
+                }
+                '\n' => {
+                    line += 1;
+                    record.push(std::mem::take(&mut field));
+                    records.push(std::mem::take(&mut record));
+                }
+                _ => field.push(c),
+            }
+        }
+    }
+    if in_quotes {
+        return Err(CsvError::UnterminatedQuote { line });
+    }
+    if !field.is_empty() || !record.is_empty() {
+        record.push(field);
+        records.push(record);
+    }
+    if !saw_any {
+        return Err(CsvError::Empty);
+    }
+    Ok(records)
+}
+
+/// Quotes a field if it contains a comma, quote, or newline.
+fn quote_field(s: &str, out: &mut String) {
+    if s.contains(',') || s.contains('"') || s.contains('\n') || s.contains('\r') {
+        out.push('"');
+        for c in s.chars() {
+            if c == '"' {
+                out.push('"');
+            }
+            out.push(c);
+        }
+        out.push('"');
+    } else {
+        out.push_str(s);
+    }
+}
+
+/// Reads a relation from CSV text. The first record is the header
+/// (attribute names); `roles[i]` assigns the privacy role of column
+/// `i`.
+pub fn read_relation(text: &str, roles: &[AttrRole]) -> Result<Relation, CsvError> {
+    let records = parse_csv(text)?;
+    let mut it = records.into_iter();
+    let header = it.next().ok_or(CsvError::Empty)?;
+    if header.len() != roles.len() {
+        return Err(CsvError::RoleMismatch { header: header.len(), roles: roles.len() });
+    }
+    let attrs = header
+        .iter()
+        .zip(roles)
+        .map(|(name, &role)| Attribute::new(name.clone(), role))
+        .collect();
+    let schema = Arc::new(Schema::new(attrs));
+    let mut b = RelationBuilder::new(Arc::clone(&schema));
+    for (i, rec) in it.enumerate() {
+        if rec.len() != schema.arity() {
+            return Err(CsvError::RaggedRow {
+                line: i + 2,
+                expected: schema.arity(),
+                found: rec.len(),
+            });
+        }
+        b.push_row(&rec);
+    }
+    Ok(b.finish())
+}
+
+/// Reads a relation from a CSV file; see [`read_relation`].
+pub fn read_relation_file(path: &Path, roles: &[AttrRole]) -> Result<Relation, CsvError> {
+    let text = std::fs::read_to_string(path).map_err(|e| CsvError::Io(e.to_string()))?;
+    read_relation(&text, roles)
+}
+
+/// Serializes a relation to CSV text with a header row. Suppressed
+/// cells are written as `★`.
+pub fn write_relation(rel: &Relation) -> String {
+    let mut out = String::new();
+    let schema = rel.schema();
+    for (i, a) in schema.attributes().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        quote_field(a.name(), &mut out);
+    }
+    out.push('\n');
+    for row in 0..rel.n_rows() {
+        for col in 0..schema.arity() {
+            if col > 0 {
+                out.push(',');
+            }
+            quote_field(rel.value(row, col).as_str(), &mut out);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Writes a relation to a CSV file; see [`write_relation`].
+pub fn write_relation_file(rel: &Relation, path: &Path) -> Result<(), CsvError> {
+    std::fs::write(path, write_relation(rel)).map_err(|e| CsvError::Io(e.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_simple() {
+        let r = parse_csv("a,b\n1,2\n").unwrap();
+        assert_eq!(r, vec![vec!["a", "b"], vec!["1", "2"]]);
+    }
+
+    #[test]
+    fn parses_quotes_commas_newlines() {
+        let r = parse_csv("a,\"x,y\"\n\"he said \"\"hi\"\"\",\"l1\nl2\"\n").unwrap();
+        assert_eq!(r[0], vec!["a", "x,y"]);
+        assert_eq!(r[1], vec!["he said \"hi\"", "l1\nl2"]);
+    }
+
+    #[test]
+    fn parses_crlf() {
+        let r = parse_csv("a,b\r\n1,2\r\n").unwrap();
+        assert_eq!(r.len(), 2);
+        assert_eq!(r[1], vec!["1", "2"]);
+    }
+
+    #[test]
+    fn no_trailing_newline_ok() {
+        let r = parse_csv("a,b\n1,2").unwrap();
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn empty_input_errors() {
+        assert_eq!(parse_csv(""), Err(CsvError::Empty));
+    }
+
+    #[test]
+    fn unterminated_quote_errors() {
+        assert!(matches!(
+            parse_csv("a,\"oops\n"),
+            Err(CsvError::UnterminatedQuote { .. })
+        ));
+    }
+
+    #[test]
+    fn relation_round_trip() {
+        let text = "GEN,ETH,DIAG\nFemale,Asian,Flu\nMale,★,Cold\n";
+        let roles = [AttrRole::Quasi, AttrRole::Quasi, AttrRole::Sensitive];
+        let rel = read_relation(text, &roles).unwrap();
+        assert_eq!(rel.n_rows(), 2);
+        assert!(rel.is_suppressed(1, 1));
+        let out = write_relation(&rel);
+        let rel2 = read_relation(&out, &roles).unwrap();
+        assert_eq!(rel2.n_rows(), 2);
+        assert_eq!(write_relation(&rel2), out);
+    }
+
+    #[test]
+    fn ragged_row_errors() {
+        let text = "A,B\n1\n";
+        let err = read_relation(text, &[AttrRole::Quasi, AttrRole::Quasi]).unwrap_err();
+        assert_eq!(err, CsvError::RaggedRow { line: 2, expected: 2, found: 1 });
+    }
+
+    #[test]
+    fn role_mismatch_errors() {
+        let text = "A,B\n1,2\n";
+        let err = read_relation(text, &[AttrRole::Quasi]).unwrap_err();
+        assert_eq!(err, CsvError::RoleMismatch { header: 2, roles: 1 });
+    }
+
+    #[test]
+    fn quoting_round_trips_special_chars() {
+        let mut out = String::new();
+        quote_field("plain", &mut out);
+        out.push('|');
+        quote_field("a,b", &mut out);
+        out.push('|');
+        quote_field("q\"q", &mut out);
+        assert_eq!(out, "plain|\"a,b\"|\"q\"\"q\"");
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir().join("diva_csv_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.csv");
+        let roles = [AttrRole::Quasi, AttrRole::Sensitive];
+        let rel = read_relation("A,S\nx,s\ny,t\n", &roles).unwrap();
+        write_relation_file(&rel, &path).unwrap();
+        let back = read_relation_file(&path, &roles).unwrap();
+        assert_eq!(back.n_rows(), 2);
+        assert_eq!(back.value(1, 0).as_str(), "y");
+    }
+}

@@ -1,0 +1,127 @@
+//! Per-column string dictionaries.
+
+use std::collections::HashMap;
+
+use crate::value::STAR_CODE;
+
+/// An append-only string dictionary mapping distinct attribute values to
+/// dense `u32` codes.
+///
+/// One `Dict` exists per column of a [`crate::Relation`]. Codes are
+/// assigned in first-seen order starting from zero; [`STAR_CODE`] is
+/// reserved and never assigned. Derived relations (anonymized copies)
+/// share their parent's dictionaries, so a suppressed copy of a relation
+/// costs one `u32` per cell and no string duplication.
+#[derive(Debug, Clone, Default)]
+pub struct Dict {
+    values: Vec<Box<str>>,
+    index: HashMap<Box<str>, u32>,
+}
+
+impl Dict {
+    /// Creates an empty dictionary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `value`, returning its code. Existing values return their
+    /// original code; new values are appended.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dictionary would exceed `u32::MAX - 1` distinct
+    /// values (the last code is reserved for `★`).
+    pub fn intern(&mut self, value: &str) -> u32 {
+        if let Some(&code) = self.index.get(value) {
+            return code;
+        }
+        let code = u32::try_from(self.values.len()).expect("dictionary overflow");
+        assert!(code != STAR_CODE, "dictionary overflow: code space exhausted");
+        let boxed: Box<str> = value.into();
+        self.values.push(boxed.clone());
+        self.index.insert(boxed, code);
+        code
+    }
+
+    /// Looks up the code for `value` without interning.
+    pub fn code(&self, value: &str) -> Option<u32> {
+        self.index.get(value).copied()
+    }
+
+    /// Decodes `code` back to its string. Returns `None` for
+    /// [`STAR_CODE`] and for out-of-range codes.
+    pub fn decode(&self, code: u32) -> Option<&str> {
+        if code == STAR_CODE {
+            return None;
+        }
+        self.values.get(code as usize).map(AsRef::as_ref)
+    }
+
+    /// Number of distinct interned values.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the dictionary is empty.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Iterates over `(code, value)` pairs in code order.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, &str)> {
+        self.values
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (i as u32, v.as_ref()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut d = Dict::new();
+        let a = d.intern("Asian");
+        let b = d.intern("African");
+        let a2 = d.intern("Asian");
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(d.len(), 2);
+    }
+
+    #[test]
+    fn decode_round_trips() {
+        let mut d = Dict::new();
+        for v in ["x", "y", "z"] {
+            let c = d.intern(v);
+            assert_eq!(d.decode(c), Some(v));
+        }
+    }
+
+    #[test]
+    fn decode_star_is_none() {
+        let d = Dict::new();
+        assert_eq!(d.decode(STAR_CODE), None);
+        assert_eq!(d.decode(7), None);
+    }
+
+    #[test]
+    fn code_does_not_intern() {
+        let mut d = Dict::new();
+        assert_eq!(d.code("missing"), None);
+        d.intern("present");
+        assert_eq!(d.code("present"), Some(0));
+        assert_eq!(d.len(), 1);
+    }
+
+    #[test]
+    fn iter_in_code_order() {
+        let mut d = Dict::new();
+        d.intern("b");
+        d.intern("a");
+        let pairs: Vec<_> = d.iter().collect();
+        assert_eq!(pairs, vec![(0, "b"), (1, "a")]);
+    }
+}

@@ -1,0 +1,176 @@
+//! Human-readable rendering of relations: aligned plain text and
+//! Markdown, used by the CLI, the examples, and debugging sessions.
+
+use crate::relation::Relation;
+
+/// Options for rendering a relation.
+#[derive(Debug, Clone)]
+pub struct RenderOptions {
+    /// Maximum number of rows to print; the remainder is summarized.
+    pub max_rows: usize,
+    /// Emit a GitHub-flavoured Markdown table instead of aligned text.
+    pub markdown: bool,
+    /// Annotate QI / sensitive roles in the header (`GEN*` for QI,
+    /// `DIAG!` for sensitive).
+    pub role_markers: bool,
+}
+
+impl Default for RenderOptions {
+    fn default() -> Self {
+        Self { max_rows: 25, markdown: false, role_markers: false }
+    }
+}
+
+/// Renders `rel` according to `opts`.
+pub fn render(rel: &Relation, opts: &RenderOptions) -> String {
+    let schema = rel.schema();
+    let arity = schema.arity();
+    let header: Vec<String> = schema
+        .attributes()
+        .iter()
+        .map(|a| {
+            if opts.role_markers {
+                match a.role() {
+                    crate::AttrRole::Quasi => format!("{}*", a.name()),
+                    crate::AttrRole::Sensitive => format!("{}!", a.name()),
+                    crate::AttrRole::Insensitive => a.name().to_string(),
+                }
+            } else {
+                a.name().to_string()
+            }
+        })
+        .collect();
+    let shown = rel.n_rows().min(opts.max_rows);
+    let mut cells: Vec<Vec<String>> = Vec::with_capacity(shown);
+    for row in 0..shown {
+        cells.push((0..arity).map(|c| rel.value(row, c).to_string()).collect());
+    }
+
+    let mut out = String::new();
+    if opts.markdown {
+        out.push('|');
+        for h in &header {
+            out.push_str(&format!(" {h} |"));
+        }
+        out.push('\n');
+        out.push('|');
+        for _ in &header {
+            out.push_str(" --- |");
+        }
+        out.push('\n');
+        for row in &cells {
+            out.push('|');
+            for v in row {
+                out.push_str(&format!(" {v} |"));
+            }
+            out.push('\n');
+        }
+    } else {
+        // Column widths over header + shown cells (character counts —
+        // adequate for the ASCII-plus-★ content we render).
+        let widths: Vec<usize> = (0..arity)
+            .map(|c| {
+                cells
+                    .iter()
+                    .map(|r| r[c].chars().count())
+                    .chain(std::iter::once(header[c].chars().count()))
+                    .max()
+                    .unwrap_or(1)
+            })
+            .collect();
+        let fmt_row = |row: &[String], out: &mut String| {
+            for (c, v) in row.iter().enumerate() {
+                if c > 0 {
+                    out.push_str("  ");
+                }
+                out.push_str(v);
+                for _ in v.chars().count()..widths[c] {
+                    out.push(' ');
+                }
+            }
+            while out.ends_with(' ') {
+                out.pop();
+            }
+            out.push('\n');
+        };
+        fmt_row(&header, &mut out);
+        let total: usize = widths.iter().sum::<usize>() + 2 * (arity.saturating_sub(1));
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &cells {
+            fmt_row(row, &mut out);
+        }
+    }
+    if shown < rel.n_rows() {
+        out.push_str(&format!("… {} more rows\n", rel.n_rows() - shown));
+    }
+    out
+}
+
+/// Shorthand: aligned text with defaults.
+pub fn to_text(rel: &Relation) -> String {
+    render(rel, &RenderOptions::default())
+}
+
+/// Shorthand: Markdown with defaults.
+pub fn to_markdown(rel: &Relation) -> String {
+    render(rel, &RenderOptions { markdown: true, ..Default::default() })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures::paper_table1;
+
+    #[test]
+    fn text_rendering_includes_all_values() {
+        let r = paper_table1();
+        let text = to_text(&r);
+        assert!(text.contains("GEN"));
+        assert!(text.contains("Vancouver"));
+        assert!(text.lines().count() >= 12); // header + rule + 10 rows
+        assert!(!text.contains("more rows"));
+    }
+
+    #[test]
+    fn markdown_rendering_is_a_table() {
+        let r = paper_table1();
+        let md = to_markdown(&r);
+        assert!(md.starts_with("| GEN |"));
+        assert!(md.lines().nth(1).unwrap().contains("---"));
+        assert_eq!(md.lines().count(), 12);
+    }
+
+    #[test]
+    fn truncation_is_reported() {
+        let r = paper_table1();
+        let text = render(&r, &RenderOptions { max_rows: 3, ..Default::default() });
+        assert!(text.contains("… 7 more rows"));
+    }
+
+    #[test]
+    fn role_markers() {
+        let r = paper_table1();
+        let text = render(
+            &r,
+            &RenderOptions { role_markers: true, ..Default::default() },
+        );
+        assert!(text.contains("GEN*"));
+        assert!(text.contains("DIAG!"));
+    }
+
+    #[test]
+    fn stars_render() {
+        let mut r = paper_table1();
+        r.suppress_cell(0, 0);
+        assert!(to_text(&r).contains('★'));
+    }
+
+    #[test]
+    fn empty_relation_renders_header_only() {
+        let r = crate::Relation::empty(crate::fixtures::medical_schema());
+        let text = to_text(&r);
+        assert!(text.contains("GEN"));
+        assert_eq!(text.lines().count(), 2);
+    }
+}

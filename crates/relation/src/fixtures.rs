@@ -1,0 +1,75 @@
+//! Shared fixtures: the paper's running example (Table 1).
+//!
+//! The 10-tuple medical relation appears throughout the paper
+//! (Tables 1–3, Examples 1.1, 3.1, 3.3, 3.4). Tests, examples, and
+//! documentation across the workspace reuse it from here.
+
+use std::sync::Arc;
+
+use crate::builder::RelationBuilder;
+use crate::relation::Relation;
+use crate::schema::{Attribute, Schema};
+
+/// The schema of the paper's medical relation: five QI attributes
+/// (GEN, ETH, AGE, PRV, CTY) and one sensitive attribute (DIAG).
+pub fn medical_schema() -> Arc<Schema> {
+    Arc::new(Schema::new(vec![
+        Attribute::quasi("GEN"),
+        Attribute::quasi("ETH"),
+        Attribute::quasi("AGE"),
+        Attribute::quasi("PRV"),
+        Attribute::quasi("CTY"),
+        Attribute::sensitive("DIAG"),
+    ]))
+}
+
+/// Table 1 of the paper: the ten patient tuples t1–t10 (0-indexed as
+/// rows 0–9).
+pub fn paper_table1() -> Relation {
+    let rows = [
+        ["Female", "Caucasian", "80", "AB", "Calgary", "Hypertension"],
+        ["Female", "Caucasian", "32", "AB", "Calgary", "Tuberculosis"],
+        ["Male", "Caucasian", "59", "AB", "Calgary", "Osteoarthritis"],
+        ["Male", "Caucasian", "46", "MB", "Winnipeg", "Migraine"],
+        ["Male", "African", "32", "MB", "Winnipeg", "Hypertension"],
+        ["Male", "African", "43", "BC", "Vancouver", "Seizure"],
+        ["Male", "Caucasian", "35", "BC", "Vancouver", "Hypertension"],
+        ["Female", "Asian", "58", "BC", "Vancouver", "Seizure"],
+        ["Female", "Asian", "63", "MB", "Winnipeg", "Influenza"],
+        ["Female", "Asian", "71", "BC", "Vancouver", "Migraine"],
+    ];
+    let mut b = RelationBuilder::new(medical_schema());
+    for row in &rows {
+        b.push_row(row);
+    }
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_shape() {
+        let r = paper_table1();
+        assert_eq!(r.n_rows(), 10);
+        assert_eq!(r.schema().arity(), 6);
+        assert_eq!(r.schema().qi_cols().len(), 5);
+        // t8 (row 7) is the Female Asian Vancouver Seizure patient.
+        assert_eq!(r.value(7, 1).as_str(), "Asian");
+        assert_eq!(r.value(7, 4).as_str(), "Vancouver");
+    }
+
+    #[test]
+    fn table1_value_frequencies() {
+        let r = paper_table1();
+        let eth = r.schema().col_of("ETH");
+        let asian = r.dict(eth).code("Asian").unwrap();
+        let african = r.dict(eth).code("African").unwrap();
+        assert_eq!(r.count_matching(&[eth], &[asian]), 3);
+        assert_eq!(r.count_matching(&[eth], &[african]), 2);
+        let cty = r.schema().col_of("CTY");
+        let van = r.dict(cty).code("Vancouver").unwrap();
+        assert_eq!(r.count_matching(&[cty], &[van]), 4);
+    }
+}

@@ -1,0 +1,161 @@
+//! QI-groups and `k`-anonymity (Definition 2.1 of the paper).
+
+use std::collections::HashMap;
+
+use crate::relation::Relation;
+use crate::RowId;
+
+/// The maximal QI-groups of a relation: a partition of rows such that
+/// two rows are in the same group iff they agree on every QI attribute.
+#[derive(Debug, Clone)]
+pub struct QiGroups {
+    groups: Vec<Vec<RowId>>,
+}
+
+impl QiGroups {
+    /// The groups, each a list of row ids in ascending order. Group
+    /// order follows first appearance in the relation.
+    pub fn groups(&self) -> &[Vec<RowId>] {
+        &self.groups
+    }
+
+    /// Number of groups.
+    pub fn len(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Whether there are no groups (empty relation).
+    pub fn is_empty(&self) -> bool {
+        self.groups.is_empty()
+    }
+
+    /// Size of the smallest group, or `None` for an empty relation.
+    pub fn min_group_size(&self) -> Option<usize> {
+        self.groups.iter().map(Vec::len).min()
+    }
+
+    /// Iterates over group sizes.
+    pub fn sizes(&self) -> impl Iterator<Item = usize> + '_ {
+        self.groups.iter().map(Vec::len)
+    }
+}
+
+/// Computes the maximal QI-groups of `rel` by hashing QI code vectors.
+pub fn qi_groups(rel: &Relation) -> QiGroups {
+    let qi_cols = rel.schema().qi_cols();
+    let mut index: HashMap<Vec<u32>, usize> = HashMap::new();
+    let mut groups: Vec<Vec<RowId>> = Vec::new();
+    for row in 0..rel.n_rows() {
+        let key: Vec<u32> = qi_cols.iter().map(|&c| rel.column(c)[row]).collect();
+        let gid = *index.entry(key).or_insert_with(|| {
+            groups.push(Vec::new());
+            groups.len() - 1
+        });
+        groups[gid].push(row);
+    }
+    QiGroups { groups }
+}
+
+/// Whether `rel` is `k`-anonymous: every tuple lies in a maximal
+/// QI-group of size ≥ `k` (Definition 2.1). An empty relation is
+/// vacuously `k`-anonymous.
+pub fn is_k_anonymous(rel: &Relation, k: usize) -> bool {
+    qi_groups(rel).min_group_size().is_none_or(|m| m >= k)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::RelationBuilder;
+    use crate::schema::{Attribute, Schema};
+    use std::sync::Arc;
+
+    /// Table 2 of the paper: a 3-anonymous suppression of the medical
+    /// relation.
+    fn table2() -> Relation {
+        let schema = Arc::new(Schema::new(vec![
+            Attribute::quasi("GEN"),
+            Attribute::quasi("ETH"),
+            Attribute::quasi("AGE"),
+            Attribute::quasi("PRV"),
+            Attribute::quasi("CTY"),
+            Attribute::sensitive("DIAG"),
+        ]));
+        let mut b = RelationBuilder::new(schema);
+        b.push_row(&["★", "Caucasian", "★", "AB", "Calgary", "Hypertension"]);
+        b.push_row(&["★", "Caucasian", "★", "AB", "Calgary", "Tuberculosis"]);
+        b.push_row(&["★", "Caucasian", "★", "AB", "Calgary", "Osteoarthritis"]);
+        b.push_row(&["Male", "★", "★", "★", "★", "Migraine"]);
+        b.push_row(&["Male", "★", "★", "★", "★", "Hypertension"]);
+        b.push_row(&["Male", "★", "★", "★", "★", "Seizure"]);
+        b.push_row(&["Male", "★", "★", "★", "★", "Hypertension"]);
+        b.push_row(&["Female", "Asian", "★", "★", "★", "Seizure"]);
+        b.push_row(&["Female", "Asian", "★", "★", "★", "Influenza"]);
+        b.push_row(&["Female", "Asian", "★", "★", "★", "Migraine"]);
+        b.finish()
+    }
+
+    #[test]
+    fn paper_table2_groups() {
+        let r = table2();
+        let g = qi_groups(&r);
+        assert_eq!(g.len(), 3);
+        let mut sizes: Vec<usize> = g.sizes().collect();
+        sizes.sort_unstable();
+        assert_eq!(sizes, vec![3, 3, 4]);
+    }
+
+    #[test]
+    fn paper_table2_is_3_anonymous() {
+        let r = table2();
+        assert!(is_k_anonymous(&r, 3));
+        assert!(is_k_anonymous(&r, 1));
+        assert!(!is_k_anonymous(&r, 4));
+    }
+
+    #[test]
+    fn distinct_rows_are_1_anonymous_only() {
+        let schema = Arc::new(Schema::new(vec![Attribute::quasi("A")]));
+        let mut b = RelationBuilder::new(schema);
+        b.push_row(&["x"]);
+        b.push_row(&["y"]);
+        let r = b.finish();
+        assert!(is_k_anonymous(&r, 1));
+        assert!(!is_k_anonymous(&r, 2));
+    }
+
+    #[test]
+    fn empty_relation_is_vacuously_anonymous() {
+        let schema = Arc::new(Schema::new(vec![Attribute::quasi("A")]));
+        let r = Relation::empty(schema);
+        assert!(is_k_anonymous(&r, 100));
+        assert!(qi_groups(&r).is_empty());
+        assert_eq!(qi_groups(&r).min_group_size(), None);
+    }
+
+    #[test]
+    fn suppressed_cells_group_together() {
+        let schema = Arc::new(Schema::new(vec![Attribute::quasi("A"), Attribute::quasi("B")]));
+        let mut b = RelationBuilder::new(schema);
+        b.push_row(&["x", "★"]);
+        b.push_row(&["x", "★"]);
+        b.push_row(&["x", "y"]);
+        let r = b.finish();
+        let g = qi_groups(&r);
+        assert_eq!(g.len(), 2);
+        assert_eq!(g.groups()[0], vec![0, 1]);
+        assert_eq!(g.groups()[1], vec![2]);
+    }
+
+    #[test]
+    fn groups_without_qi_attrs_form_one_group() {
+        let schema = Arc::new(Schema::new(vec![Attribute::sensitive("S")]));
+        let mut b = RelationBuilder::new(schema);
+        b.push_row(&["a"]);
+        b.push_row(&["b"]);
+        let r = b.finish();
+        let g = qi_groups(&r);
+        assert_eq!(g.len(), 1);
+        assert!(is_k_anonymous(&r, 2));
+    }
+}

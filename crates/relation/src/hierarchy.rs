@@ -1,0 +1,274 @@
+//! Generalization hierarchies — the full-recoding generalization of
+//! which suppression is the maximal special case (§1 of the paper:
+//! suppression "is often considered to be a maximal form of
+//! generalization that obscures a value completely").
+//!
+//! A [`Hierarchy`] is a per-attribute taxonomy: every leaf (domain)
+//! value has a chain of increasingly general labels ending at the root
+//! `★`. Recoding a cluster generalizes each QI attribute to the
+//! *lowest common ancestor* of the cluster's values — which is the
+//! leaf itself when the cluster is uniform (value retained, exactly as
+//! under suppression) and `★` in the worst case. Diversity-constraint
+//! satisfaction is therefore preserved: a target value counts iff it
+//! survives at leaf level, under either recoding.
+//!
+//! Information loss under generalization uses the **normalized
+//! certainty penalty** (NCP): a cell generalized to a node covering
+//! `m` of the attribute's `M` leaves costs `(m − 1)/(M − 1)`
+//! (0 for retained leaves, 1 for `★`).
+
+use std::collections::HashMap;
+
+/// A generalization hierarchy for one attribute.
+///
+/// ```
+/// use diva_relation::Hierarchy;
+///
+/// let geo = Hierarchy::from_chains(&[
+///     vec!["Calgary", "AB", "West"],
+///     vec!["Vancouver", "BC", "West"],
+///     vec!["Toronto", "ON", "East"],
+/// ]);
+/// assert_eq!(geo.lowest_common(&["Calgary", "Vancouver"]), (2, "West".into()));
+/// assert_eq!(geo.lowest_common(&["Calgary", "Toronto"]), (3, "★".into()));
+/// assert!(geo.ncp("AB") < geo.ncp("West"));
+/// ```
+///
+/// Internally: each distinct leaf value maps to its chain of ancestor
+/// labels, `chain[0]` being the leaf itself and the implicit root `★`
+/// above the last entry. All chains are padded to equal height so
+/// levels are comparable across values.
+#[derive(Debug, Clone)]
+pub struct Hierarchy {
+    /// Leaf value → ancestor chain (`chain[0]` = leaf).
+    chains: HashMap<String, Vec<String>>,
+    /// Height including the leaf level but excluding the root.
+    height: usize,
+    /// Number of leaves under each label (for NCP).
+    cover: HashMap<String, usize>,
+    /// Total number of leaves.
+    n_leaves: usize,
+}
+
+impl Hierarchy {
+    /// Builds a hierarchy from explicit chains
+    /// `[leaf, parent, grandparent, …]` (the root `★` is implicit and
+    /// must not be included). Shorter chains are padded by repeating
+    /// their last label.
+    ///
+    /// # Panics
+    ///
+    /// Panics on duplicate leaves or empty input.
+    pub fn from_chains<S: AsRef<str>>(chains: &[Vec<S>]) -> Self {
+        assert!(!chains.is_empty(), "hierarchy needs at least one leaf");
+        let height = chains.iter().map(Vec::len).max().expect("non-empty");
+        let mut map: HashMap<String, Vec<String>> = HashMap::new();
+        for chain in chains {
+            assert!(!chain.is_empty(), "empty chain");
+            let mut padded: Vec<String> =
+                chain.iter().map(|s| s.as_ref().to_string()).collect();
+            while padded.len() < height {
+                padded.push(padded.last().expect("non-empty").clone());
+            }
+            let leaf = padded[0].clone();
+            assert!(
+                map.insert(leaf.clone(), padded).is_none(),
+                "duplicate leaf {leaf:?}"
+            );
+        }
+        let mut cover: HashMap<String, usize> = HashMap::new();
+        for chain in map.values() {
+            // Each leaf contributes once to every distinct ancestor
+            // label on its chain.
+            let mut seen = std::collections::HashSet::new();
+            for label in chain {
+                if seen.insert(label) {
+                    *cover.entry(label.clone()).or_default() += 1;
+                }
+            }
+        }
+        let n_leaves = map.len();
+        Self { chains: map, height, cover, n_leaves }
+    }
+
+    /// A flat hierarchy: every value generalizes directly to `★`.
+    /// Recoding under a flat hierarchy *is* suppression.
+    pub fn flat<S: AsRef<str>>(values: impl IntoIterator<Item = S>) -> Self {
+        let chains: Vec<Vec<String>> = values
+            .into_iter()
+            .map(|v| vec![v.as_ref().to_string()])
+            .collect();
+        Self::from_chains(&chains)
+    }
+
+    /// An interval hierarchy for integer-valued attributes: leaves
+    /// `lo..=hi` (as decimal strings), grouped into ranges of the given
+    /// widths per level (e.g. `widths = [10, 50]` produces
+    /// `34 → "30-39" → "0-49"`).
+    pub fn interval(lo: i64, hi: i64, widths: &[i64]) -> Self {
+        assert!(lo <= hi, "empty interval");
+        assert!(!widths.is_empty(), "need at least one width");
+        let chains: Vec<Vec<String>> = (lo..=hi)
+            .map(|v| {
+                let mut chain = vec![v.to_string()];
+                for &w in widths {
+                    assert!(w > 0, "widths must be positive");
+                    let start = lo + ((v - lo) / w) * w;
+                    let end = (start + w - 1).min(hi);
+                    chain.push(format!("{start}-{end}"));
+                }
+                chain
+            })
+            .collect();
+        Self::from_chains(&chains)
+    }
+
+    /// Height of the hierarchy (levels below the implicit root).
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Number of leaves.
+    pub fn n_leaves(&self) -> usize {
+        self.n_leaves
+    }
+
+    /// The label of `leaf` at `level` (0 = the leaf itself). Returns
+    /// `None` for unknown leaves; levels ≥ height give `★`.
+    pub fn label(&self, leaf: &str, level: usize) -> Option<&str> {
+        let chain = self.chains.get(leaf)?;
+        Some(chain.get(level).map_or("★", String::as_str))
+    }
+
+    /// The lowest common generalization of a set of leaves: the
+    /// smallest level at which all labels agree, and that label.
+    /// Unknown leaves force `★`. An empty input yields `★`.
+    pub fn lowest_common(&self, leaves: &[&str]) -> (usize, String) {
+        let Some((&first, rest)) = leaves.split_first() else {
+            return (self.height, "★".to_string());
+        };
+        if !self.chains.contains_key(first)
+            || rest.iter().any(|l| !self.chains.contains_key(*l))
+        {
+            return (self.height, "★".to_string());
+        }
+        'level: for level in 0..self.height {
+            let label = self.label(first, level).expect("known leaf");
+            for l in rest {
+                if self.label(l, level).expect("known leaf") != label {
+                    continue 'level;
+                }
+            }
+            return (level, label.to_string());
+        }
+        (self.height, "★".to_string())
+    }
+
+    /// Normalized certainty penalty of publishing `label` for this
+    /// attribute: `(cover − 1)/(n_leaves − 1)`, with `★` costing 1 and
+    /// leaves costing 0. Single-leaf attributes cost 0 (nothing can be
+    /// hidden).
+    pub fn ncp(&self, label: &str) -> f64 {
+        if self.n_leaves <= 1 {
+            return 0.0;
+        }
+        if label == "★" {
+            return 1.0;
+        }
+        let m = self.cover.get(label).copied().unwrap_or(self.n_leaves);
+        (m - 1) as f64 / (self.n_leaves - 1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn geo() -> Hierarchy {
+        Hierarchy::from_chains(&[
+            vec!["Calgary", "AB", "West"],
+            vec!["Edmonton", "AB", "West"],
+            vec!["Vancouver", "BC", "West"],
+            vec!["Toronto", "ON", "East"],
+        ])
+    }
+
+    #[test]
+    fn labels_by_level() {
+        let h = geo();
+        assert_eq!(h.height(), 3);
+        assert_eq!(h.label("Calgary", 0), Some("Calgary"));
+        assert_eq!(h.label("Calgary", 1), Some("AB"));
+        assert_eq!(h.label("Calgary", 2), Some("West"));
+        assert_eq!(h.label("Calgary", 9), Some("★"));
+        assert_eq!(h.label("Atlantis", 0), None);
+    }
+
+    #[test]
+    fn lowest_common_generalization() {
+        let h = geo();
+        assert_eq!(h.lowest_common(&["Calgary"]), (0, "Calgary".into()));
+        assert_eq!(h.lowest_common(&["Calgary", "Edmonton"]), (1, "AB".into()));
+        assert_eq!(h.lowest_common(&["Calgary", "Vancouver"]), (2, "West".into()));
+        assert_eq!(h.lowest_common(&["Calgary", "Toronto"]), (3, "★".into()));
+        assert_eq!(h.lowest_common(&[]), (3, "★".into()));
+        assert_eq!(h.lowest_common(&["Calgary", "Atlantis"]), (3, "★".into()));
+    }
+
+    #[test]
+    fn ncp_costs() {
+        let h = geo();
+        assert_eq!(h.ncp("Calgary"), 0.0);
+        // AB covers 2 of 4 leaves → (2-1)/(4-1).
+        assert!((h.ncp("AB") - 1.0 / 3.0).abs() < 1e-12);
+        // West covers 3 of 4.
+        assert!((h.ncp("West") - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(h.ncp("★"), 1.0);
+        assert_eq!(h.ncp("unknown"), 1.0);
+    }
+
+    #[test]
+    fn flat_hierarchy_is_suppression() {
+        let h = Hierarchy::flat(["a", "b", "c"]);
+        assert_eq!(h.height(), 1);
+        assert_eq!(h.lowest_common(&["a", "b"]), (1, "★".into()));
+        assert_eq!(h.lowest_common(&["a", "a"]), (0, "a".into()));
+        assert_eq!(h.ncp("a"), 0.0);
+        assert_eq!(h.ncp("★"), 1.0);
+    }
+
+    #[test]
+    fn interval_hierarchy() {
+        let h = Hierarchy::interval(0, 99, &[10, 50]);
+        assert_eq!(h.n_leaves(), 100);
+        assert_eq!(h.label("34", 1), Some("30-39"));
+        assert_eq!(h.label("34", 2), Some("0-49"));
+        assert_eq!(h.lowest_common(&["34", "37"]), (1, "30-39".into()));
+        assert_eq!(h.lowest_common(&["34", "47"]), (2, "0-49".into()));
+        assert_eq!(h.lowest_common(&["34", "77"]), (3, "★".into()));
+        // NCP of a decade = 9/99.
+        assert!((h.ncp("30-39") - 9.0 / 99.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ragged_chains_are_padded() {
+        let h = Hierarchy::from_chains(&[
+            vec!["x", "g1", "g2"],
+            vec!["y", "g1"], // padded: y → g1 → g1
+        ]);
+        assert_eq!(h.label("y", 2), Some("g1"));
+        assert_eq!(h.lowest_common(&["x", "y"]), (1, "g1".into()));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate leaf")]
+    fn duplicate_leaves_rejected() {
+        Hierarchy::from_chains(&[vec!["a"], vec!["a"]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty interval")]
+    fn bad_interval_rejected() {
+        Hierarchy::interval(5, 4, &[10]);
+    }
+}

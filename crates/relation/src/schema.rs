@@ -1,0 +1,197 @@
+//! Relation schemas: attribute names and privacy roles.
+
+use std::fmt;
+
+/// The privacy role of an attribute, following the classification in
+/// Section 2 of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AttrRole {
+    /// Quasi-identifier: participates in QI-groups and may be
+    /// suppressed (e.g. gender, ethnicity, age).
+    Quasi,
+    /// Sensitive: personal information that is published as-is and
+    /// never suppressed (e.g. diagnosis).
+    Sensitive,
+    /// Neither QI nor sensitive; published as-is.
+    Insensitive,
+}
+
+/// A named, role-tagged attribute.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Attribute {
+    name: String,
+    role: AttrRole,
+}
+
+impl Attribute {
+    /// Creates an attribute.
+    pub fn new(name: impl Into<String>, role: AttrRole) -> Self {
+        Self { name: name.into(), role }
+    }
+
+    /// Shorthand for a quasi-identifier attribute.
+    pub fn quasi(name: impl Into<String>) -> Self {
+        Self::new(name, AttrRole::Quasi)
+    }
+
+    /// Shorthand for a sensitive attribute.
+    pub fn sensitive(name: impl Into<String>) -> Self {
+        Self::new(name, AttrRole::Sensitive)
+    }
+
+    /// Shorthand for an insensitive attribute.
+    pub fn insensitive(name: impl Into<String>) -> Self {
+        Self::new(name, AttrRole::Insensitive)
+    }
+
+    /// The attribute name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The attribute's privacy role.
+    pub fn role(&self) -> AttrRole {
+        self.role
+    }
+}
+
+/// A relation schema: an ordered list of attributes with precomputed
+/// quasi-identifier positions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schema {
+    attrs: Vec<Attribute>,
+    qi_cols: Vec<usize>,
+}
+
+impl Schema {
+    /// Builds a schema from attributes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if two attributes share a name — duplicate names would
+    /// make name-based lookups ambiguous.
+    pub fn new(attrs: Vec<Attribute>) -> Self {
+        for (i, a) in attrs.iter().enumerate() {
+            for b in &attrs[i + 1..] {
+                assert!(a.name != b.name, "duplicate attribute name: {}", a.name);
+            }
+        }
+        let qi_cols = attrs
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| a.role == AttrRole::Quasi)
+            .map(|(i, _)| i)
+            .collect();
+        Self { attrs, qi_cols }
+    }
+
+    /// Number of attributes (the paper's `n`).
+    pub fn arity(&self) -> usize {
+        self.attrs.len()
+    }
+
+    /// The attributes in column order.
+    pub fn attributes(&self) -> &[Attribute] {
+        &self.attrs
+    }
+
+    /// The attribute at column `col`.
+    pub fn attribute(&self, col: usize) -> &Attribute {
+        &self.attrs[col]
+    }
+
+    /// Column indices of the quasi-identifier attributes, in order.
+    pub fn qi_cols(&self) -> &[usize] {
+        &self.qi_cols
+    }
+
+    /// Whether column `col` is a quasi-identifier.
+    pub fn is_qi(&self, col: usize) -> bool {
+        self.attrs[col].role == AttrRole::Quasi
+    }
+
+    /// Finds a column index by attribute name.
+    pub fn col(&self, name: &str) -> Option<usize> {
+        self.attrs.iter().position(|a| a.name == name)
+    }
+
+    /// Finds a column index by name, panicking with a clear message if
+    /// missing. Convenience for tests and examples.
+    pub fn col_of(&self, name: &str) -> usize {
+        self.col(name)
+            .unwrap_or_else(|| panic!("no attribute named {name:?} in schema"))
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, a) in self.attrs.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            let tag = match a.role {
+                AttrRole::Quasi => "QI",
+                AttrRole::Sensitive => "S",
+                AttrRole::Insensitive => "-",
+            };
+            write!(f, "{}[{}]", a.name, tag)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn medical() -> Schema {
+        Schema::new(vec![
+            Attribute::quasi("GEN"),
+            Attribute::quasi("ETH"),
+            Attribute::quasi("AGE"),
+            Attribute::quasi("PRV"),
+            Attribute::quasi("CTY"),
+            Attribute::sensitive("DIAG"),
+        ])
+    }
+
+    #[test]
+    fn qi_cols_are_precomputed() {
+        let s = medical();
+        assert_eq!(s.qi_cols(), &[0, 1, 2, 3, 4]);
+        assert_eq!(s.arity(), 6);
+        assert!(s.is_qi(0));
+        assert!(!s.is_qi(5));
+    }
+
+    #[test]
+    fn col_lookup_by_name() {
+        let s = medical();
+        assert_eq!(s.col("ETH"), Some(1));
+        assert_eq!(s.col("DIAG"), Some(5));
+        assert_eq!(s.col("NOPE"), None);
+        assert_eq!(s.col_of("CTY"), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate attribute name")]
+    fn duplicate_names_rejected() {
+        Schema::new(vec![Attribute::quasi("A"), Attribute::sensitive("A")]);
+    }
+
+    #[test]
+    #[should_panic(expected = "no attribute named")]
+    fn col_of_missing_panics() {
+        medical().col_of("MISSING");
+    }
+
+    #[test]
+    fn display_tags_roles() {
+        let s = Schema::new(vec![
+            Attribute::quasi("A"),
+            Attribute::sensitive("B"),
+            Attribute::insensitive("C"),
+        ]);
+        assert_eq!(s.to_string(), "A[QI], B[S], C[-]");
+    }
+}

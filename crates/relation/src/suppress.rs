@@ -1,0 +1,191 @@
+//! Cluster-driven value suppression (Algorithm 2 of the paper) and the
+//! refinement relation `R ⊑ R′`.
+
+use crate::relation::Relation;
+use crate::value::STAR_CODE;
+use crate::RowId;
+
+/// The result of suppressing a clustering: a relation whose rows are
+/// the clustered tuples with non-uniform QI values replaced by `★`,
+/// plus the bookkeeping needed to trace rows back to the input.
+#[derive(Debug, Clone)]
+pub struct Suppressed {
+    /// The suppressed relation. Row order is clusters flattened in
+    /// order.
+    pub relation: Relation,
+    /// For each input cluster, the output row ids it produced
+    /// (contiguous ranges, same order as the input clustering).
+    pub groups: Vec<Vec<RowId>>,
+    /// Maps each output row to the input row it was derived from.
+    pub source_rows: Vec<RowId>,
+}
+
+/// Algorithm 2 (`Suppress`): for every cluster, copy its tuples and
+/// suppress each QI attribute on which the cluster's tuples disagree.
+/// Every cluster therefore becomes a QI-group in the output (clusters
+/// that happen to agree with other clusters may merge into larger
+/// maximal QI-groups).
+///
+/// # Panics
+///
+/// Panics if a cluster references an out-of-range row. Empty clusters
+/// are skipped.
+pub fn suppress_clustering(rel: &Relation, clusters: &[Vec<RowId>]) -> Suppressed {
+    let n_out: usize = clusters.iter().map(Vec::len).sum();
+    let arity = rel.schema().arity();
+    let mut cols: Vec<Vec<u32>> = (0..arity).map(|_| Vec::with_capacity(n_out)).collect();
+    let mut groups = Vec::with_capacity(clusters.len());
+    let mut source_rows = Vec::with_capacity(n_out);
+
+    for cluster in clusters {
+        if cluster.is_empty() {
+            continue;
+        }
+        let start = source_rows.len();
+        // Decide per QI column whether the cluster is uniform.
+        let mut suppress_col = vec![false; arity];
+        for &c in rel.schema().qi_cols() {
+            let first = rel.code(cluster[0], c);
+            suppress_col[c] = cluster.iter().any(|&r| rel.code(r, c) != first);
+        }
+        for &r in cluster {
+            for c in 0..arity {
+                let code = if suppress_col[c] { STAR_CODE } else { rel.code(r, c) };
+                cols[c].push(code);
+            }
+            source_rows.push(r);
+        }
+        groups.push((start..source_rows.len()).collect());
+    }
+
+    let relation = Relation::from_parts(
+        std::sync::Arc::clone(rel.schema()),
+        rel.dicts().to_vec(),
+        cols,
+    );
+    Suppressed { relation, groups, source_rows }
+}
+
+/// Checks the refinement relation `R ⊑ R′` of Section 2: `anon` row `i`
+/// must equal `orig` row `source_rows[i]` on every attribute except
+/// that QI values may be replaced by `★`. Sensitive and insensitive
+/// attributes must be copied verbatim.
+pub fn is_refinement(orig: &Relation, anon: &Relation, source_rows: &[RowId]) -> bool {
+    if anon.n_rows() != source_rows.len() {
+        return false;
+    }
+    for (out_row, &in_row) in source_rows.iter().enumerate() {
+        for col in 0..orig.schema().arity() {
+            let a = anon.code(out_row, col);
+            let o = orig.code(in_row, col);
+            let ok = if orig.schema().is_qi(col) {
+                a == o || a == STAR_CODE
+            } else {
+                a == o
+            };
+            if !ok {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::RelationBuilder;
+    use crate::groups::{is_k_anonymous, qi_groups};
+    use crate::schema::{Attribute, Schema};
+    use std::sync::Arc;
+
+    use crate::fixtures::paper_table1 as table1;
+
+    #[test]
+    fn paper_example_clusters_become_qi_groups() {
+        // The clustering from Example 3.1: C1={t9,t10}, C2={t5,t6},
+        // C3={t7,t8} (0-based: {8,9}, {4,5}, {6,7}).
+        let r = table1();
+        let clusters = vec![vec![8, 9], vec![4, 5], vec![6, 7]];
+        let s = suppress_clustering(&r, &clusters);
+        assert_eq!(s.relation.n_rows(), 6);
+        assert!(is_k_anonymous(&s.relation, 2));
+        assert!(is_refinement(&r, &s.relation, &s.source_rows));
+        // C1 = {t9, t10}: Female Asian agree; AGE, PRV/CTY differ.
+        assert_eq!(s.relation.value(0, 0).as_str(), "Female");
+        assert_eq!(s.relation.value(0, 1).as_str(), "Asian");
+        assert!(s.relation.is_suppressed(0, 2));
+        // C3 = {t7, t8}: GEN and ETH differ, CTY=Vancouver agrees.
+        assert!(s.relation.is_suppressed(4, 0));
+        assert!(s.relation.is_suppressed(4, 1));
+        assert_eq!(s.relation.value(4, 4).as_str(), "Vancouver");
+    }
+
+    #[test]
+    fn uniform_cluster_suppresses_nothing() {
+        let schema = Arc::new(Schema::new(vec![Attribute::quasi("A"), Attribute::sensitive("S")]));
+        let mut b = RelationBuilder::new(schema);
+        b.push_row(&["x", "s1"]);
+        b.push_row(&["x", "s2"]);
+        let r = b.finish();
+        let s = suppress_clustering(&r, &[vec![0, 1]]);
+        assert_eq!(s.relation.star_count(), 0);
+    }
+
+    #[test]
+    fn sensitive_values_never_suppressed() {
+        let r = table1();
+        let s = suppress_clustering(&r, &[vec![0, 5]]);
+        // Wildly different tuples: all 5 QI attrs suppressed, DIAG kept.
+        assert_eq!(s.relation.star_count(), 10);
+        assert_eq!(s.relation.value(0, 5).as_str(), "Hypertension");
+        assert_eq!(s.relation.value(1, 5).as_str(), "Seizure");
+    }
+
+    #[test]
+    fn empty_clusters_skipped() {
+        let r = table1();
+        let s = suppress_clustering(&r, &[vec![], vec![0, 1]]);
+        assert_eq!(s.groups.len(), 1);
+        assert_eq!(s.relation.n_rows(), 2);
+    }
+
+    #[test]
+    fn groups_are_contiguous_and_traceable() {
+        let r = table1();
+        let s = suppress_clustering(&r, &[vec![3, 4], vec![8, 9]]);
+        assert_eq!(s.groups, vec![vec![0, 1], vec![2, 3]]);
+        assert_eq!(s.source_rows, vec![3, 4, 8, 9]);
+    }
+
+    #[test]
+    fn refinement_rejects_changed_values() {
+        let r = table1();
+        let mut bad = r.select(&[0]);
+        // Pretend row 0 came from row 1: values differ, not a refinement.
+        assert!(!is_refinement(&r, &bad, &[1]));
+        // Correct mapping is a refinement even after suppression.
+        assert!(is_refinement(&r, &bad, &[0]));
+        bad.suppress_cell(0, 0);
+        assert!(is_refinement(&r, &bad, &[0]));
+    }
+
+    #[test]
+    fn refinement_rejects_wrong_length() {
+        let r = table1();
+        let a = r.select(&[0, 1]);
+        assert!(!is_refinement(&r, &a, &[0]));
+    }
+
+    #[test]
+    fn each_cluster_is_a_qi_group_in_output() {
+        let r = table1();
+        let clusters = vec![vec![0, 1, 2], vec![3, 4], vec![5, 6, 7], vec![8, 9]];
+        let s = suppress_clustering(&r, &clusters);
+        let g = qi_groups(&s.relation);
+        // Every output group must be a union of input clusters; here all
+        // clusters produce distinct QI signatures so counts match.
+        assert!(g.len() <= clusters.len());
+        assert!(is_k_anonymous(&s.relation, 2));
+    }
+}

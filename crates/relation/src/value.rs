@@ -1,0 +1,70 @@
+//! Cell values: dictionary codes plus the reserved suppression symbol.
+
+use std::fmt;
+
+/// Reserved dictionary code for the suppression symbol `★`.
+///
+/// Using the maximum `u32` keeps ordinary codes dense from zero, so a
+/// column dictionary can grow to `u32::MAX - 1` distinct values before
+/// overflowing — far beyond any realistic categorical domain.
+pub const STAR_CODE: u32 = u32::MAX;
+
+/// A decoded cell value.
+///
+/// `Value` is the *logical* view of a cell; physically every cell is a
+/// `u32` code (see [`crate::Relation`]). Decoding only happens at API
+/// boundaries (display, CSV export, assertions in tests) so the hot
+/// paths of the anonymization algorithms never touch strings.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Value<'a> {
+    /// An ordinary domain value, borrowed from the column dictionary.
+    Sym(&'a str),
+    /// The suppression symbol `★`.
+    Star,
+}
+
+impl<'a> Value<'a> {
+    /// Returns the string form of the value, with `★` for suppressed
+    /// cells.
+    pub fn as_str(&self) -> &str {
+        match self {
+            Value::Sym(s) => s,
+            Value::Star => "★",
+        }
+    }
+
+    /// Whether this cell is suppressed.
+    pub fn is_star(&self) -> bool {
+        matches!(self, Value::Star)
+    }
+}
+
+impl fmt::Display for Value<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn star_displays_as_star() {
+        assert_eq!(Value::Star.to_string(), "★");
+        assert!(Value::Star.is_star());
+    }
+
+    #[test]
+    fn sym_displays_its_string() {
+        let v = Value::Sym("Asian");
+        assert_eq!(v.to_string(), "Asian");
+        assert!(!v.is_star());
+        assert_eq!(v.as_str(), "Asian");
+    }
+
+    #[test]
+    fn star_code_is_max() {
+        assert_eq!(STAR_CODE, u32::MAX);
+    }
+}

@@ -1,0 +1,111 @@
+//! Generalization-recoded publishing and query utility.
+//!
+//! The paper treats suppression as "a maximal form of generalization"
+//! (§1). This example runs DIVA as usual and then *refines* its output
+//! with per-attribute generalization hierarchies: `★`s that only hid
+//! value spread inside a group become informative labels like
+//! `"40-59"` or `"Prairies"`, while `★`s forced by upper-bound repairs
+//! stay hidden. The diversity constraints remain satisfied (a target
+//! value counts only at leaf level under both recodings), k-anonymity
+//! is untouched, and both information loss (NCP) and the error of a
+//! counting-query workload improve.
+//!
+//! ```text
+//! cargo run --release --example generalization
+//! ```
+
+use std::collections::HashMap;
+
+use diva_constraints::ConstraintSet;
+use diva_core::{Diva, DivaConfig, Strategy};
+use diva_metrics::{evaluate_utility, QueryWorkload};
+use diva_relation::generalize::generalize_output;
+use diva_relation::{is_k_anonymous, Hierarchy};
+
+fn main() {
+    let k = 10;
+    let rel = diva_datagen::medical(4_000, 17);
+    println!("input: {} patient records, k = {k}", rel.n_rows());
+
+    // Hierarchies: ages into 20-year bands then 50-year bands;
+    // provinces into regions; ethnicities into a broad grouping.
+    let mut hierarchies = HashMap::new();
+    hierarchies.insert("AGE".to_string(), Hierarchy::interval(0, 89, &[10, 30]));
+    hierarchies.insert(
+        "PRV".to_string(),
+        Hierarchy::from_chains(&[
+            vec!["BC", "West"],
+            vec!["AB", "West"],
+            vec!["SK", "West"],
+            vec!["MB", "West"],
+            vec!["ON", "Central"],
+            vec!["QC", "Central"],
+            vec!["NS", "Atlantic"],
+            vec!["NB", "Atlantic"],
+        ]),
+    );
+    hierarchies.insert(
+        "GEN".to_string(),
+        Hierarchy::flat(["Female", "Male"]),
+    );
+
+    // Diversity: keep at least half of each of the two largest
+    // ethnicities visible.
+    let sigma = diva_constraints::generators::proportional(&rel, 2, 0.5, 10 * k);
+    println!("\nconstraints:");
+    for c in &sigma {
+        println!("  {c}");
+    }
+
+    let out = Diva::new(DivaConfig::with_k(k).strategy(Strategy::MaxFanOut))
+        .run(&rel, &sigma)
+        .expect("satisfiable");
+    let set = ConstraintSet::bind(&sigma, &out.relation).expect("bind");
+    println!("\nsuppression-recoded output:");
+    println!("  ★s: {}", out.relation.star_count());
+    println!("  star accuracy: {:.4}", diva_metrics::star_accuracy(&out.relation));
+    println!("  Σ satisfied: {}", set.satisfied_by(&out.relation));
+
+    let gen = generalize_output(
+        &rel,
+        &out.relation,
+        &out.groups,
+        &out.source_rows,
+        &hierarchies,
+    );
+    println!("\ngeneralization-recoded output:");
+    println!("  residual ★s: {}", gen.relation.star_count());
+    println!("  mean NCP per QI cell: {:.4} (★-recoding would be {:.4})",
+        gen.ncp_mean,
+        diva_metrics::star_ratio(&out.relation));
+    println!("  2 sample rows: ");
+    for row in 0..2 {
+        let cells: Vec<String> = (0..gen.relation.schema().arity())
+            .map(|c| gen.relation.value(row, c).to_string())
+            .collect();
+        println!("    {}", cells.join(" | "));
+    }
+    let gen_set = ConstraintSet::bind(&sigma, &gen.relation).expect("bind");
+    println!("  k-anonymous: {}", is_k_anonymous(&gen.relation, k));
+    println!("  Σ satisfied: {}", gen_set.satisfied_by(&gen.relation));
+
+    // Query utility: counting queries on demographic values.
+    let workload = QueryWorkload::random(&rel, 200, 7);
+    let u_star = evaluate_utility(&rel, &out.relation, &workload);
+    let u_gen = evaluate_utility(&rel, &gen.relation, &workload);
+    println!("\ncounting-query workload (200 queries):");
+    println!(
+        "  suppression recoding:   mean rel. error {:.3}, exact {:.0}%",
+        u_star.mean_relative_error,
+        u_star.exact_fraction * 100.0
+    );
+    println!(
+        "  generalization recoding: mean rel. error {:.3}, exact {:.0}%",
+        u_gen.mean_relative_error,
+        u_gen.exact_fraction * 100.0
+    );
+    println!(
+        "\n(leaf-level counts are identical under both recodings; the gain\n\
+         appears for analysts who can use the coarser labels directly)"
+    );
+}

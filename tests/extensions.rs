@@ -1,0 +1,133 @@
+//! Integration tests for the extensions: generalization recoding,
+//! ℓ-diversity, query utility, and the parallel portfolio — all on
+//! top of full DIVA runs.
+
+use std::collections::HashMap;
+
+use diva_anonymize::is_l_diverse;
+use diva_constraints::{Constraint, ConstraintSet};
+use diva_core::{run_portfolio, Diva, DivaConfig, Strategy};
+use diva_metrics::{evaluate_utility, QueryWorkload};
+use diva_relation::generalize::generalize_output;
+use diva_relation::{is_k_anonymous, Hierarchy};
+
+fn medical_hierarchies() -> HashMap<String, Hierarchy> {
+    let mut m = HashMap::new();
+    m.insert("AGE".to_string(), Hierarchy::interval(0, 89, &[10, 30]));
+    m.insert(
+        "PRV".to_string(),
+        Hierarchy::from_chains(&[
+            vec!["BC", "West"],
+            vec!["AB", "West"],
+            vec!["SK", "West"],
+            vec!["MB", "West"],
+            vec!["ON", "Central"],
+            vec!["QC", "Central"],
+            vec!["NS", "Atlantic"],
+            vec!["NB", "Atlantic"],
+        ]),
+    );
+    m
+}
+
+#[test]
+fn generalized_diva_output_keeps_all_guarantees() {
+    let rel = diva_datagen::medical(2_000, 51);
+    let k = 8;
+    let sigma = diva_constraints::generators::proportional(&rel, 3, 0.6, 10 * k);
+    let out = Diva::new(DivaConfig::with_k(k)).run(&rel, &sigma).expect("satisfiable");
+    let gen = generalize_output(
+        &rel,
+        &out.relation,
+        &out.groups,
+        &out.source_rows,
+        &medical_hierarchies(),
+    );
+    // Guarantees survive recoding.
+    assert!(is_k_anonymous(&gen.relation, k));
+    let set = ConstraintSet::bind(&sigma, &gen.relation).unwrap();
+    assert!(set.satisfied_by(&gen.relation), "Σ must survive generalization");
+    // Information loss can only improve.
+    assert!(gen.relation.star_count() <= out.relation.star_count());
+    assert!(gen.ncp_mean <= diva_metrics::star_ratio(&out.relation) + 1e-12);
+}
+
+#[test]
+fn l_diversity_with_constraints_end_to_end() {
+    let rel = diva_datagen::medical(1_200, 53);
+    let k = 6;
+    let l = 2;
+    let sigma = diva_constraints::generators::proportional(&rel, 2, 0.7, 10 * k);
+    let out = Diva::new(DivaConfig::with_k(k).l_diversity(l))
+        .run(&rel, &sigma)
+        .expect("8 diagnosis values make 2-diversity easy");
+    assert!(is_k_anonymous(&out.relation, k));
+    assert!(is_l_diverse(&out.relation, l));
+    let set = ConstraintSet::bind(&sigma, &out.relation).unwrap();
+    assert!(set.satisfied_by(&out.relation));
+}
+
+#[test]
+fn utility_ordering_diva_vs_full_suppression() {
+    let rel = diva_datagen::medical(1_500, 57);
+    let k = 10;
+    let out = Diva::new(DivaConfig::with_k(k)).run(&rel, &[]).expect("no constraints");
+    let workload = QueryWorkload::random(&rel, 100, 3);
+    let u_diva = evaluate_utility(&rel, &out.relation, &workload);
+    // Fully suppressed straw man.
+    let all: Vec<usize> = (0..rel.n_rows()).collect();
+    let total = diva_relation::suppress::suppress_clustering(&rel, &[all]);
+    let u_total = evaluate_utility(&rel, &total.relation, &workload);
+    assert!(u_diva.mean_relative_error < u_total.mean_relative_error);
+    assert!(u_total.mean_relative_error > 0.99);
+}
+
+#[test]
+fn portfolio_and_single_run_agree_on_satisfiability() {
+    let rel = diva_datagen::medical(800, 59);
+    let sigma = vec![Constraint::single("ETH", "Caucasian", 20, 800)];
+    let single = Diva::new(DivaConfig::with_k(5).strategy(Strategy::MinChoice))
+        .run(&rel, &sigma)
+        .expect("satisfiable");
+    let port = run_portfolio(&rel, &sigma, &DivaConfig::with_k(5), 1).expect("satisfiable");
+    assert!(is_k_anonymous(&single.relation, 5));
+    assert!(is_k_anonymous(&port.relation, 5));
+}
+
+#[test]
+fn generalization_with_forced_repairs_stays_consistent() {
+    // Force Integrate repairs via a tight upper bound, then verify
+    // generalization does not resurrect the suppressed value.
+    let rel = diva_datagen::medical(1_000, 61);
+    let k = 5;
+    let eth = rel.schema().col_of("ETH");
+    let (code, name) = {
+        let mut best = (0u32, 0usize);
+        for (c, _) in rel.dict(eth).iter() {
+            let f = rel.column(eth).iter().filter(|&&x| x == c).count();
+            if f > best.1 {
+                best = (c, f);
+            }
+        }
+        (best.0, rel.dict(eth).decode(best.0).unwrap().to_string())
+    };
+    let f = rel.column(eth).iter().filter(|&&x| x == code).count();
+    // Cap the head ethnicity at half its frequency: Integrate must
+    // repair whatever k-member retains above the cap.
+    let sigma = vec![Constraint::single("ETH", &name, 0, f / 2)];
+    let out = Diva::new(DivaConfig::with_k(k)).run(&rel, &sigma).expect("upper-bound only");
+    let set = ConstraintSet::bind(&sigma, &out.relation).unwrap();
+    assert!(set.satisfied_by(&out.relation));
+    let gen = generalize_output(
+        &rel,
+        &out.relation,
+        &out.groups,
+        &out.source_rows,
+        &medical_hierarchies(),
+    );
+    let gen_set = ConstraintSet::bind(&sigma, &gen.relation).unwrap();
+    assert!(
+        gen_set.satisfied_by(&gen.relation),
+        "generalization must not resurrect repaired values"
+    );
+}

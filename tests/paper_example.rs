@@ -1,0 +1,142 @@
+//! End-to-end fidelity checks against the paper's running example
+//! (Tables 1–3, Examples 1.1–3.4).
+
+use diva_constraints::{conflict_rate, Constraint, ConstraintSet};
+use diva_core::{Diva, DivaConfig, Strategy};
+use diva_relation::fixtures::{medical_schema, paper_table1};
+use diva_relation::suppress::{is_refinement, suppress_clustering};
+use diva_relation::{is_k_anonymous, qi_groups, RelationBuilder};
+
+fn example_sigma() -> Vec<Constraint> {
+    vec![
+        Constraint::single("ETH", "Asian", 2, 5),
+        Constraint::single("ETH", "African", 1, 3),
+        Constraint::single("CTY", "Vancouver", 2, 4),
+    ]
+}
+
+/// Table 2 of the paper: the plain 3-anonymous suppression.
+fn paper_table2() -> diva_relation::Relation {
+    let mut b = RelationBuilder::new(medical_schema());
+    b.push_row(&["★", "Caucasian", "★", "AB", "Calgary", "Hypertension"]);
+    b.push_row(&["★", "Caucasian", "★", "AB", "Calgary", "Tuberculosis"]);
+    b.push_row(&["★", "Caucasian", "★", "AB", "Calgary", "Osteoarthritis"]);
+    b.push_row(&["Male", "★", "★", "★", "★", "Migraine"]);
+    b.push_row(&["Male", "★", "★", "★", "★", "Hypertension"]);
+    b.push_row(&["Male", "★", "★", "★", "★", "Seizure"]);
+    b.push_row(&["Male", "★", "★", "★", "★", "Hypertension"]);
+    b.push_row(&["Female", "Asian", "★", "★", "★", "Seizure"]);
+    b.push_row(&["Female", "Asian", "★", "★", "★", "Influenza"]);
+    b.push_row(&["Female", "Asian", "★", "★", "★", "Migraine"]);
+    b.finish()
+}
+
+/// Table 3 of the paper: DIVA's k = 2 output.
+fn paper_table3() -> diva_relation::Relation {
+    let mut b = RelationBuilder::new(medical_schema());
+    b.push_row(&["Female", "Caucasian", "★", "AB", "Calgary", "Hypertension"]);
+    b.push_row(&["Female", "Caucasian", "★", "AB", "Calgary", "Tuberculosis"]);
+    b.push_row(&["Male", "Caucasian", "★", "★", "★", "Osteoarthritis"]);
+    b.push_row(&["Male", "Caucasian", "★", "★", "★", "Migraine"]);
+    b.push_row(&["Male", "African", "★", "★", "★", "Hypertension"]);
+    b.push_row(&["Male", "African", "★", "★", "★", "Seizure"]);
+    b.push_row(&["★", "★", "★", "BC", "Vancouver", "Hypertension"]);
+    b.push_row(&["★", "★", "★", "BC", "Vancouver", "Seizure"]);
+    b.push_row(&["Female", "Asian", "★", "★", "★", "Influenza"]);
+    b.push_row(&["Female", "Asian", "★", "★", "★", "Migraine"]);
+    b.finish()
+}
+
+#[test]
+fn table2_is_3_anonymous_but_not_diverse() {
+    let t2 = paper_table2();
+    assert!(is_k_anonymous(&t2, 3));
+    // Example 1.1's complaint: African ethnicity vanished from the Male
+    // group — σ2 = (ETH[African], 1, 3) fails on Table 2.
+    let set = ConstraintSet::bind(&example_sigma(), &t2).unwrap();
+    let violated = set.violations(&t2);
+    assert!(violated.contains(&1), "σ2 should be violated by Table 2");
+    // σ3 (Vancouver) also fails — all city values in groups 2–3 are ★.
+    assert!(violated.contains(&2));
+    // σ1 (Asian) survives: the third group retains Female Asian.
+    assert!(!violated.contains(&0));
+}
+
+#[test]
+fn table3_is_2_anonymous_and_diverse() {
+    let t3 = paper_table3();
+    assert!(is_k_anonymous(&t3, 2));
+    let set = ConstraintSet::bind(&example_sigma(), &t3).unwrap();
+    assert!(set.satisfied_by(&t3));
+    assert_eq!(t3.star_count(), 26);
+    assert_eq!(qi_groups(&t3).len(), 5);
+}
+
+#[test]
+fn example_31_clustering_matches_table3_groups() {
+    // S_Σ = {{t9,t10}, {t5,t6}, {t7,t8}} from Example 3.1 (0-based
+    // rows {8,9}, {4,5}, {6,7}), plus Anonymize's {{t1,t2},{t3,t4}}.
+    let r = paper_table1();
+    let clusters =
+        vec![vec![0, 1], vec![2, 3], vec![4, 5], vec![6, 7], vec![8, 9]];
+    let s = suppress_clustering(&r, &clusters);
+    assert!(is_k_anonymous(&s.relation, 2));
+    let set = ConstraintSet::bind(&example_sigma(), &s.relation).unwrap();
+    assert!(set.satisfied_by(&s.relation));
+    // The manual clustering reproduces Table 3's suppression count.
+    assert_eq!(s.relation.star_count(), paper_table3().star_count());
+}
+
+#[test]
+fn example_33_conflict_rates() {
+    // Figure 2's overlaps via the conflict-rate metric.
+    let r = paper_table1();
+    let set = ConstraintSet::bind(&example_sigma(), &r).unwrap();
+    let cs = set.constraints();
+    assert_eq!(cs[0].target_rows, vec![7, 8, 9]); // I_σ1
+    assert_eq!(cs[1].target_rows, vec![4, 5]); // I_σ2
+    assert_eq!(cs[2].target_rows, vec![5, 6, 7, 9]); // I_σ3
+    assert!(conflict_rate(&set) > 0.0);
+}
+
+#[test]
+fn diva_reproduces_table3_quality_for_every_strategy() {
+    let r = paper_table1();
+    let target_stars = paper_table3().star_count();
+    for strategy in Strategy::all() {
+        let out = Diva::new(DivaConfig::with_k(2).strategy(strategy))
+            .run(&r, &example_sigma())
+            .unwrap_or_else(|e| panic!("{strategy}: {e}"));
+        assert!(is_k_anonymous(&out.relation, 2));
+        let set = ConstraintSet::bind(&example_sigma(), &out.relation).unwrap();
+        assert!(set.satisfied_by(&out.relation), "{strategy}");
+        assert!(is_refinement(&r, &out.relation, &out.source_rows), "{strategy}");
+        // The clustering is not unique; require Table-3-comparable
+        // information loss (within 50%).
+        assert!(
+            out.relation.star_count() as f64 <= target_stars as f64 * 1.5,
+            "{strategy}: {} ★ vs paper's {target_stars}",
+            out.relation.star_count()
+        );
+    }
+}
+
+#[test]
+fn sigma4_upper_bound_interaction_from_section_32() {
+    // §3.2: Σ = {σ2, σ4} with σ4 = (GEN[Male], 1, 3). The African
+    // clustering {{t5,t6}} preserves two Males, so a Male clustering
+    // of two more would falsify σ4's upper bound. DIVA must still find
+    // a solution (e.g. sharing the African cluster for both).
+    let r = paper_table1();
+    let sigma = vec![
+        Constraint::single("ETH", "African", 1, 3),
+        Constraint::single("GEN", "Male", 1, 3),
+    ];
+    for strategy in Strategy::all() {
+        let out = Diva::new(DivaConfig::with_k(2).strategy(strategy))
+            .run(&r, &sigma)
+            .unwrap_or_else(|e| panic!("{strategy}: {e}"));
+        let set = ConstraintSet::bind(&sigma, &out.relation).unwrap();
+        assert!(set.satisfied_by(&out.relation), "{strategy}");
+    }
+}

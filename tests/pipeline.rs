@@ -1,0 +1,183 @@
+//! Cross-crate pipeline tests: every dataset generator × every
+//! strategy × every baseline, validating the (k, Σ)-anonymization
+//! contract end to end.
+
+use diva_anonymize::{Anonymizer, KMember, Mondrian, Oka};
+use diva_constraints::{generators, Constraint, ConstraintSet};
+use diva_core::{Diva, DivaConfig, DivaError, Strategy};
+use diva_datagen::Dist;
+use diva_relation::suppress::is_refinement;
+use diva_relation::{is_k_anonymous, Relation};
+
+fn check_contract(rel: &Relation, sigma: &[Constraint], k: usize, strategy: Strategy) {
+    // Debug-profile searches get a small budget so tests stay fast;
+    // only the naive Basic strategy is allowed to exhaust it (that is
+    // the paper's own finding — Fig. 4a shows Basic exploding).
+    let config = DivaConfig {
+        k,
+        strategy,
+        backtrack_limit: Some(10_000),
+        ..DivaConfig::default()
+    };
+    let out = match Diva::new(config).run(rel, sigma) {
+        Ok(out) => out,
+        Err(DivaError::SearchBudgetExhausted { .. }) if strategy == Strategy::Basic => {
+            return; // acceptable for the naive variant
+        }
+        Err(e) => panic!("{strategy} k={k}: {e}"),
+    };
+    // (1) R ⊑ R′.
+    assert!(
+        is_refinement(rel, &out.relation, &out.source_rows),
+        "{strategy}: not a refinement"
+    );
+    // (2) k-anonymous.
+    assert!(is_k_anonymous(&out.relation, k), "{strategy}: not {k}-anonymous");
+    // (3) R′ |= Σ.
+    let set = ConstraintSet::bind(sigma, &out.relation).expect("bind");
+    assert!(set.satisfied_by(&out.relation), "{strategy}: Σ violated");
+    // All tuples published exactly once.
+    assert_eq!(out.relation.n_rows(), rel.n_rows());
+    let mut src = out.source_rows.clone();
+    src.sort_unstable();
+    src.dedup();
+    assert_eq!(src.len(), rel.n_rows(), "{strategy}: duplicated/missing tuples");
+}
+
+#[test]
+fn medical_all_strategies() {
+    let rel = diva_datagen::medical(1_500, 11);
+    let sigma = generators::with_conflict_rate(&rel, 6, 0.4, 5, 3);
+    for strategy in Strategy::all() {
+        check_contract(&rel, &sigma, 5, strategy);
+    }
+}
+
+#[test]
+fn popsyn_all_distributions() {
+    for dist in [Dist::Uniform, Dist::zipf_default(), Dist::gaussian_default()] {
+        let rel = diva_datagen::popsyn(4_000, dist, 13);
+        let sigma = generators::with_conflict_rate(&rel, 6, 0.3, 10, 5);
+        check_contract(&rel, &sigma, 10, Strategy::MaxFanOut);
+    }
+}
+
+#[test]
+fn census_slice_minchoice() {
+    let rel = diva_datagen::census(5_000, 17);
+    let sigma = generators::with_conflict_rate(&rel, 8, 0.4, 10, 7);
+    check_contract(&rel, &sigma, 10, Strategy::MinChoice);
+}
+
+#[test]
+fn pantheon_slice_basic() {
+    let rel = diva_datagen::pantheon(19).head(4_000);
+    let sigma = generators::with_conflict_rate(&rel, 5, 0.5, 8, 9);
+    check_contract(&rel, &sigma, 8, Strategy::Basic);
+}
+
+#[test]
+fn credit_full_dataset() {
+    let rel = diva_datagen::credit(23);
+    let sigma = generators::with_conflict_rate(&rel, 10, 0.4, 10, 11);
+    for strategy in Strategy::all() {
+        check_contract(&rel, &sigma, 10, strategy);
+    }
+}
+
+#[test]
+fn proportional_constraints_pipeline() {
+    let rel = diva_datagen::medical(2_000, 29);
+    let sigma = generators::proportional(&rel, 5, 0.7, 40);
+    check_contract(&rel, &sigma, 8, Strategy::MaxFanOut);
+}
+
+#[test]
+fn min_frequency_constraints_pipeline() {
+    let rel = diva_datagen::medical(2_000, 31);
+    let sigma = generators::min_frequency(&rel, 6, 0.3, 40);
+    check_contract(&rel, &sigma, 8, Strategy::MinChoice);
+}
+
+#[test]
+fn all_baselines_as_anonymize_backend() {
+    let rel = diva_datagen::medical(1_000, 37);
+    let sigma = generators::with_conflict_rate(&rel, 4, 0.3, 5, 13);
+    let backends: Vec<Box<dyn Anonymizer + Send + Sync>> = vec![
+        Box::new(KMember::default()),
+        Box::new(Oka::default()),
+        Box::new(Mondrian),
+    ];
+    for backend in backends {
+        let out = Diva::with_anonymizer(DivaConfig::with_k(5), backend)
+            .run(&rel, &sigma)
+            .expect("pipeline succeeds");
+        assert!(is_k_anonymous(&out.relation, 5));
+        let set = ConstraintSet::bind(&sigma, &out.relation).unwrap();
+        assert!(set.satisfied_by(&out.relation));
+    }
+}
+
+#[test]
+fn growing_sigma_monotonically_costs_accuracy() {
+    // Fig. 4b's shape on a small instance: more constraints, more
+    // suppression (allowing small non-monotonic wiggle).
+    let rel = diva_datagen::census(4_000, 41);
+    let mut last_acc = f64::INFINITY;
+    let mut worst_jump: f64 = 0.0;
+    for n in [2usize, 6, 10] {
+        let sigma = generators::with_conflict_rate(&rel, n, 0.4, 10, 15);
+        let out = Diva::new(DivaConfig::with_k(10)).run(&rel, &sigma).expect("satisfiable");
+        let acc = diva_metrics::star_accuracy(&out.relation);
+        worst_jump = worst_jump.max(acc - last_acc);
+        last_acc = acc;
+    }
+    assert!(worst_jump < 0.10, "accuracy rose sharply with |Σ| ({worst_jump:.3})");
+}
+
+#[test]
+fn unsatisfiable_and_error_paths() {
+    let rel = diva_datagen::medical(500, 43);
+    // Demand more of a value than exists.
+    let eth = rel.schema().col_of("ETH");
+    let (code, name) = rel.dict(eth).iter().next().map(|(c, n)| (c, n.to_string())).unwrap();
+    let f = rel.column(eth).iter().filter(|&&c| c == code).count();
+    let sigma = vec![Constraint::single("ETH", name, f + 1, f + 100)];
+    let err = Diva::new(DivaConfig::with_k(5)).run(&rel, &sigma).unwrap_err();
+    assert!(matches!(err, DivaError::NoDiverseClustering { .. }), "{err}");
+
+    // k = 0 rejected.
+    assert_eq!(
+        Diva::new(DivaConfig::with_k(0)).run(&rel, &[]).unwrap_err(),
+        DivaError::InvalidK
+    );
+
+    // Unknown attribute rejected.
+    let sigma = vec![Constraint::single("NOT_AN_ATTR", "x", 1, 2)];
+    assert!(matches!(
+        Diva::new(DivaConfig::with_k(5)).run(&rel, &sigma).unwrap_err(),
+        DivaError::Constraint(_)
+    ));
+}
+
+#[test]
+fn empty_relation_with_empty_sigma() {
+    let rel = Relation::empty(diva_relation::fixtures::medical_schema());
+    let out = Diva::new(DivaConfig::with_k(3)).run(&rel, &[]).expect("empty ok");
+    assert_eq!(out.relation.n_rows(), 0);
+}
+
+#[test]
+fn duplicate_constraints_are_shared() {
+    // Identical constraints must not double-consume tuples.
+    let rel = diva_datagen::medical(800, 47);
+    let eth = rel.schema().col_of("ETH");
+    let (_, name) = rel.dict(eth).iter().next().unwrap();
+    let sigma = vec![
+        Constraint::single("ETH", name, 10, 400),
+        Constraint::single("ETH", name, 10, 400),
+    ];
+    let out = Diva::new(DivaConfig::with_k(5)).run(&rel, &sigma).expect("shareable");
+    let set = ConstraintSet::bind(&sigma, &out.relation).unwrap();
+    assert!(set.satisfied_by(&out.relation));
+}

@@ -1,0 +1,145 @@
+//! Property-based tests of the full (k, Σ)-anonymization contract on
+//! randomized small relations and constraint sets.
+
+use std::sync::Arc;
+
+use diva_constraints::{Constraint, ConstraintSet};
+use diva_core::{Diva, DivaConfig, DivaError, Strategy as DivaStrategy};
+use diva_relation::suppress::is_refinement;
+use diva_relation::{is_k_anonymous, Attribute, Relation, RelationBuilder, Schema};
+use proptest::prelude::*;
+
+/// A random relation with 2–3 QI attributes over small domains and
+/// 12–60 rows (collision-heavy so constraints have real targets).
+fn arb_relation() -> impl Strategy<Value = Relation> {
+    (2usize..4, 12usize..60).prop_flat_map(|(n_qi, n_rows)| {
+        let row = proptest::collection::vec(0u8..4, n_qi);
+        proptest::collection::vec(row, n_rows).prop_map(move |rows| {
+            let mut attrs: Vec<Attribute> =
+                (0..n_qi).map(|i| Attribute::quasi(format!("Q{i}"))).collect();
+            attrs.push(Attribute::sensitive("S"));
+            let schema = Arc::new(Schema::new(attrs));
+            let mut b = RelationBuilder::new(schema);
+            for (i, r) in rows.iter().enumerate() {
+                let mut vals: Vec<String> = r.iter().map(|v| format!("v{v}")).collect();
+                vals.push(format!("s{}", i % 5));
+                b.push_row(&vals);
+            }
+            b.finish()
+        })
+    })
+}
+
+/// Random satisfiable-leaning constraints: bounds derived from actual
+/// value frequencies.
+fn arb_sigma(rel: &Relation, picks: &[(usize, usize)], k: usize) -> Vec<Constraint> {
+    let qi = rel.schema().qi_cols();
+    picks
+        .iter()
+        .filter_map(|&(ci, vi)| {
+            let col = qi[ci % qi.len()];
+            let dict = rel.dict(col);
+            if dict.is_empty() {
+                return None;
+            }
+            let code = (vi % dict.len()) as u32;
+            let value = dict.decode(code)?.to_string();
+            let f = rel.column(col).iter().filter(|&&c| c == code).count();
+            if f < k {
+                return None;
+            }
+            Some(Constraint::single(
+                rel.schema().attribute(col).name(),
+                value,
+                k,
+                f,
+            ))
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Whenever DIVA succeeds, its output honours the whole contract:
+    /// refinement, k-anonymity, Σ-satisfaction, tuple preservation.
+    #[test]
+    fn diva_success_implies_full_contract(
+        rel in arb_relation(),
+        picks in proptest::collection::vec((0usize..4, 0usize..4), 1..4),
+        k in 2usize..4,
+        strategy_idx in 0usize..3,
+    ) {
+        let sigma = arb_sigma(&rel, &picks, k);
+        let strategy = DivaStrategy::all()[strategy_idx];
+        let diva = Diva::new(DivaConfig::with_k(k).strategy(strategy));
+        match diva.run(&rel, &sigma) {
+            Ok(out) => {
+                prop_assert!(is_refinement(&rel, &out.relation, &out.source_rows));
+                prop_assert!(is_k_anonymous(&out.relation, k));
+                let set = ConstraintSet::bind(&sigma, &out.relation).unwrap();
+                prop_assert!(set.satisfied_by(&out.relation));
+                prop_assert_eq!(out.relation.n_rows(), rel.n_rows());
+            }
+            Err(DivaError::NoDiverseClustering { .. })
+            | Err(DivaError::ResidualTooSmall { .. })
+            | Err(DivaError::IntegrateFailed { .. })
+            | Err(DivaError::SearchBudgetExhausted { .. }) => {
+                // Failure is allowed — bounded search on random inputs —
+                // but it must never panic or return an invalid relation.
+            }
+            Err(e) => prop_assert!(false, "unexpected error class: {e}"),
+        }
+    }
+
+    /// With no constraints DIVA always succeeds (plain anonymization)
+    /// for k ≤ |R|.
+    #[test]
+    fn empty_sigma_always_succeeds(rel in arb_relation(), k in 1usize..6) {
+        prop_assume!(k <= rel.n_rows());
+        let out = Diva::new(DivaConfig::with_k(k)).run(&rel, &[]).unwrap();
+        prop_assert!(is_k_anonymous(&out.relation, k));
+        prop_assert_eq!(out.relation.n_rows(), rel.n_rows());
+    }
+
+    /// DIVA is deterministic for a fixed config.
+    #[test]
+    fn deterministic_given_config(
+        rel in arb_relation(),
+        picks in proptest::collection::vec((0usize..4, 0usize..4), 1..3),
+    ) {
+        let sigma = arb_sigma(&rel, &picks, 2);
+        let run = || {
+            Diva::new(DivaConfig::with_k(2).seed(99))
+                .run(&rel, &sigma)
+                .map(|o| {
+                    (0..o.relation.n_rows())
+                        .map(|r| {
+                            (0..o.relation.schema().arity())
+                                .map(|c| o.relation.code(r, c))
+                                .collect::<Vec<_>>()
+                        })
+                        .collect::<Vec<_>>()
+                })
+                .map_err(|e| e.to_string())
+        };
+        prop_assert_eq!(run(), run());
+    }
+
+    /// Suppression never *increases* a target count: every constraint
+    /// count in DIVA's output is ≤ its count in the input.
+    #[test]
+    fn counts_never_increase(
+        rel in arb_relation(),
+        picks in proptest::collection::vec((0usize..4, 0usize..4), 1..3),
+    ) {
+        let sigma = arb_sigma(&rel, &picks, 2);
+        if let Ok(out) = Diva::new(DivaConfig::with_k(2)).run(&rel, &sigma) {
+            let in_set = ConstraintSet::bind(&sigma, &rel).unwrap();
+            let out_set = ConstraintSet::bind(&sigma, &out.relation).unwrap();
+            for (ci, co) in in_set.constraints().iter().zip(out_set.constraints()) {
+                prop_assert!(co.count_in(&out.relation) <= ci.count_in(&rel));
+            }
+        }
+    }
+}
