@@ -61,20 +61,13 @@ impl QiMatrix {
     /// attributes on which they differ. This is the suppression-model
     /// information loss a 2-cluster of the rows would incur per tuple.
     pub fn distance(&self, a: usize, b: usize) -> u32 {
-        self.row(a)
-            .iter()
-            .zip(self.row(b))
-            .map(|(x, y)| u32::from(x != y))
-            .sum()
+        self.row(a).iter().zip(self.row(b)).map(|(x, y)| u32::from(x != y)).sum()
     }
 
     /// Translates a clustering over local indices into one over
     /// relation row ids.
     pub fn to_relation_clusters(&self, local: &[Vec<usize>]) -> Vec<Vec<RowId>> {
-        local
-            .iter()
-            .map(|c| c.iter().map(|&i| self.rows[i]).collect())
-            .collect()
+        local.iter().map(|c| c.iter().map(|&i| self.rows[i]).collect()).collect()
     }
 }
 
@@ -92,10 +85,7 @@ pub struct ClusterState {
 impl ClusterState {
     /// A singleton cluster of local row `i`.
     pub fn singleton(m: &QiMatrix, i: usize) -> Self {
-        Self {
-            uniform: m.row(i).iter().map(|&c| Some(c)).collect(),
-            members: vec![i],
-        }
+        Self { uniform: m.row(i).iter().map(|&c| Some(c)).collect(), members: vec![i] }
     }
 
     /// Number of members.
@@ -123,12 +113,8 @@ impl ClusterState {
     /// joined.
     pub fn il_increase(&self, m: &QiMatrix, i: usize) -> usize {
         let row = m.row(i);
-        let newly_lost = self
-            .uniform
-            .iter()
-            .zip(row)
-            .filter(|(u, &c)| matches!(u, Some(x) if *x != c))
-            .count();
+        let newly_lost =
+            self.uniform.iter().zip(row).filter(|(u, &c)| matches!(u, Some(x) if *x != c)).count();
         let lost_after = self.lost_attrs() + newly_lost;
         (self.len() + 1) * lost_after - self.info_loss()
     }
@@ -138,11 +124,7 @@ impl ClusterState {
     /// suppression), mismatching uniform attributes count 1.
     pub fn distance(&self, m: &QiMatrix, i: usize) -> u32 {
         let row = m.row(i);
-        self.uniform
-            .iter()
-            .zip(row)
-            .map(|(u, &c)| u32::from(matches!(u, Some(x) if *x != c)))
-            .sum()
+        self.uniform.iter().zip(row).map(|(u, &c)| u32::from(matches!(u, Some(x) if *x != c))).sum()
     }
 
     /// Adds local row `i`, updating the uniformity mask.

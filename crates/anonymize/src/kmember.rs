@@ -233,10 +233,8 @@ mod tests {
     fn capped_is_close_to_exact_on_small_input() {
         let r = diva_datagen::medical(200, 13);
         let exact = KMember::exact(5).anonymize(&r, 4).relation.star_count();
-        let capped = KMember { seed: 5, candidate_cap: Some(50) }
-            .anonymize(&r, 4)
-            .relation
-            .star_count();
+        let capped =
+            KMember { seed: 5, candidate_cap: Some(50) }.anonymize(&r, 4).relation.star_count();
         // The sampled variant may lose some quality but not collapse.
         assert!((capped as f64) < 1.6 * exact as f64, "exact {exact}, capped {capped}");
     }

@@ -42,10 +42,7 @@ pub fn distinct_sensitive(rel: &Relation, rows: &[RowId]) -> usize {
 /// distinct sensitive values (distinct ℓ-diversity). An empty relation
 /// is vacuously ℓ-diverse.
 pub fn is_l_diverse(rel: &Relation, l: usize) -> bool {
-    qi_groups(rel)
-        .groups()
-        .iter()
-        .all(|g| distinct_sensitive(rel, g) >= l)
+    qi_groups(rel).groups().iter().all(|g| distinct_sensitive(rel, g) >= l)
 }
 
 /// Greedily merges clusters of `clustering` (over `rel`) until every
@@ -66,12 +63,10 @@ pub fn enforce_l_diversity(
     if distinct_sensitive(rel, &all_rows) < l && !all_rows.is_empty() {
         return None;
     }
-    let mut clusters: Vec<Vec<RowId>> = clustering.iter().filter(|c| !c.is_empty()).cloned().collect();
+    let mut clusters: Vec<Vec<RowId>> =
+        clustering.iter().filter(|c| !c.is_empty()).cloned().collect();
     loop {
-        let Some(bad) = clusters
-            .iter()
-            .position(|c| distinct_sensitive(rel, c) < l)
-        else {
+        let Some(bad) = clusters.iter().position(|c| distinct_sensitive(rel, c) < l) else {
             return Some(clusters);
         };
         if clusters.len() == 1 {
@@ -89,10 +84,7 @@ pub fn enforce_l_diversity(
         };
         let qi_cols = rel.schema().qi_cols();
         let disagreement = |partner: &Vec<RowId>| -> usize {
-            qi_cols
-                .iter()
-                .filter(|&&c| rel.code(partner[0], c) != rel.code(victim[0], c))
-                .count()
+            qi_cols.iter().filter(|&&c| rel.code(partner[0], c) != rel.code(victim[0], c)).count()
         };
         let best = (0..clusters.len())
             .min_by_key(|&i| (!deficit_fixed(&clusters[i]), disagreement(&clusters[i])))
@@ -107,8 +99,8 @@ mod tests {
     use super::*;
     use crate::{Anonymizer, KMember};
     use diva_relation::fixtures::paper_table1;
-    use diva_relation::suppress::suppress_clustering;
     use diva_relation::is_k_anonymous;
+    use diva_relation::suppress::suppress_clustering;
 
     #[test]
     fn table1_group_diversity() {

@@ -25,14 +25,14 @@ pub mod common;
 pub mod kmember;
 pub mod ldiv;
 pub mod mondrian;
-pub mod tclose;
 pub mod oka;
 pub mod samarati;
+pub mod tclose;
 
 pub use common::{Anonymizer, QiMatrix};
 pub use kmember::KMember;
 pub use ldiv::{enforce_l_diversity, is_l_diverse};
 pub use mondrian::Mondrian;
-pub use tclose::{closeness, is_t_close};
 pub use oka::Oka;
 pub use samarati::{is_k_anonymous_with_outliers, FullDomainResult, Samarati};
+pub use tclose::{closeness, is_t_close};

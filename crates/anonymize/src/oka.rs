@@ -81,10 +81,8 @@ impl Anonymizer for Oka {
         // --- Stage 1: one-pass k-means. ---
         let mut order: Vec<usize> = (0..n).collect();
         order.shuffle(&mut rng);
-        let mut clusters: Vec<ClusterState> = order[..n_clusters]
-            .iter()
-            .map(|&i| ClusterState::singleton(&m, i))
-            .collect();
+        let mut clusters: Vec<ClusterState> =
+            order[..n_clusters].iter().map(|&i| ClusterState::singleton(&m, i)).collect();
         for (qi, &i) in order[n_clusters..].iter().enumerate() {
             let best = self
                 .scan_range(qi, clusters.len())

@@ -76,8 +76,7 @@ impl Samarati {
             .map(|&c| {
                 let name = rel.schema().attribute(c).name();
                 self.hierarchies.get(name).cloned().unwrap_or_else(|| {
-                    let values: Vec<&str> =
-                        rel.dict(c).iter().map(|(_, v)| v).collect();
+                    let values: Vec<&str> = rel.dict(c).iter().map(|(_, v)| v).collect();
                     if values.is_empty() {
                         Hierarchy::flat(["<empty>"])
                     } else {
@@ -92,26 +91,21 @@ impl Samarati {
         // Binary search the minimal satisfiable height.
         let mut lo = 0usize; // unknown below
         let mut hi = max_height; // known satisfiable at hi? test first
-        let mut best: Option<(Vec<usize>, Vec<RowId>)> = None;
+
         // The top of the lattice is all-★: satisfiable iff n ≥ k or
         // n ≤ max_sup.
-        if let Some(sup) = self.satisfiable_at(rel, &qi_cols, &hierarchies, &heights, max_height, k)
-        {
-            best = Some(sup);
-        } else {
-            return None;
-        }
+        let mut best = self.satisfiable_at(rel, &qi_cols, &hierarchies, &heights, max_height, k)?;
         while lo < hi {
             let mid = lo + (hi - lo) / 2;
             match self.satisfiable_at(rel, &qi_cols, &hierarchies, &heights, mid, k) {
                 Some(sol) => {
-                    best = Some(sol);
+                    best = sol;
                     hi = mid;
                 }
                 None => lo = mid + 1,
             }
         }
-        let (levels, suppressed_rows) = best.expect("top of lattice was satisfiable");
+        let (levels, suppressed_rows) = best;
         let relation = materialize(rel, &qi_cols, &hierarchies, &levels, &suppressed_rows);
         let height = levels.iter().sum();
         Some(FullDomainResult { relation, levels, suppressed_rows, height })
@@ -130,7 +124,17 @@ impl Samarati {
     ) -> Option<(Vec<usize>, Vec<RowId>)> {
         let mut tested = 0usize;
         let mut current = vec![0usize; heights.len()];
-        self.walk_vectors(rel, qi_cols, hierarchies, heights, height, k, 0, &mut current, &mut tested)
+        self.walk_vectors(
+            rel,
+            qi_cols,
+            hierarchies,
+            heights,
+            height,
+            k,
+            0,
+            &mut current,
+            &mut tested,
+        )
     }
 
     /// Depth-first enumeration of level vectors summing to `height`.
@@ -165,7 +169,15 @@ impl Samarati {
         for level in lo..=hi {
             current[attr] = level;
             if let Some(found) = self.walk_vectors(
-                rel, qi_cols, hierarchies, heights, remaining - level, k, attr + 1, current, tested,
+                rel,
+                qi_cols,
+                hierarchies,
+                heights,
+                remaining - level,
+                k,
+                attr + 1,
+                current,
+                tested,
             ) {
                 return Some(found);
             }
@@ -222,8 +234,7 @@ fn materialize(
 ) -> Relation {
     let schema = std::sync::Arc::clone(rel.schema());
     let mut b = RelationBuilder::with_capacity(schema.clone(), rel.n_rows());
-    let is_outlier: std::collections::HashSet<RowId> =
-        suppressed_rows.iter().copied().collect();
+    let is_outlier: std::collections::HashSet<RowId> = suppressed_rows.iter().copied().collect();
     for row in 0..rel.n_rows() {
         let mut cells: Vec<String> = Vec::with_capacity(schema.arity());
         for col in 0..schema.arity() {
@@ -233,10 +244,7 @@ fn materialize(
                     "★".to_string()
                 } else {
                     let slot = qi_cols.iter().position(|&c| c == col).expect("QI col");
-                    hierarchies[slot]
-                        .label(v.as_str(), levels[slot])
-                        .unwrap_or("★")
-                        .to_string()
+                    hierarchies[slot].label(v.as_str(), levels[slot]).unwrap_or("★").to_string()
                 }
             } else {
                 v.as_str().to_string()
@@ -252,10 +260,7 @@ fn materialize(
 /// undersized groups (the published outliers are all-★ and form their
 /// own group, which may be small).
 pub fn is_k_anonymous_with_outliers(rel: &Relation, k: usize, allowance: usize) -> bool {
-    let undersized: usize = qi_groups(rel)
-        .sizes()
-        .filter(|&s| s < k)
-        .sum();
+    let undersized: usize = qi_groups(rel).sizes().filter(|&s| s < k).sum();
     undersized <= allowance
 }
 
@@ -270,11 +275,7 @@ mod tests {
         m.insert("AGE".to_string(), Hierarchy::interval(0, 99, &[20, 50]));
         m.insert(
             "PRV".to_string(),
-            Hierarchy::from_chains(&[
-                vec!["AB", "West"],
-                vec!["BC", "West"],
-                vec!["MB", "Centre"],
-            ]),
+            Hierarchy::from_chains(&[vec!["AB", "West"], vec!["BC", "West"], vec!["MB", "Centre"]]),
         );
         m.insert(
             "CTY".to_string(),
@@ -318,7 +319,8 @@ mod tests {
             .collect();
         let heights: Vec<usize> = hierarchies.iter().map(Hierarchy::height).collect();
         if out.height > 0 {
-            let found = solver.satisfiable_at(&r, &qi_cols, &hierarchies, &heights, out.height - 1, 2);
+            let found =
+                solver.satisfiable_at(&r, &qi_cols, &hierarchies, &heights, out.height - 1, 2);
             assert!(found.is_none(), "height {} should be minimal", out.height);
         }
     }

@@ -72,10 +72,7 @@ mod tests {
     use std::sync::Arc;
 
     fn two_group_relation(g1: &[&str], g2: &[&str]) -> Relation {
-        let schema = Arc::new(Schema::new(vec![
-            Attribute::quasi("A"),
-            Attribute::sensitive("S"),
-        ]));
+        let schema = Arc::new(Schema::new(vec![Attribute::quasi("A"), Attribute::sensitive("S")]));
         let mut b = RelationBuilder::new(schema);
         for s in g1 {
             b.push_row(&["g1", s]);
@@ -134,7 +131,8 @@ mod tests {
     #[test]
     fn coarser_grouping_never_increases_closeness_on_example() {
         let r = paper_table1();
-        let fine = suppress_clustering(&r, &[vec![0, 1], vec![2, 3], vec![4, 5], vec![6, 7], vec![8, 9]]);
+        let fine =
+            suppress_clustering(&r, &[vec![0, 1], vec![2, 3], vec![4, 5], vec![6, 7], vec![8, 9]]);
         let coarse = suppress_clustering(&r, &[vec![0, 1, 2, 3, 4], vec![5, 6, 7, 8, 9]]);
         assert!(closeness(&coarse.relation) <= closeness(&fine.relation) + 1e-12);
     }

@@ -31,7 +31,13 @@ fn bench_fig4a(c: &mut Criterion) {
                 &sigma,
                 |b, sigma| {
                     b.iter(|| {
-                        let config = DivaConfig { k: K, strategy, seed: SEED, backtrack_limit: BT, ..Default::default() };
+                        let config = DivaConfig {
+                            k: K,
+                            strategy,
+                            seed: SEED,
+                            backtrack_limit: BT,
+                            ..Default::default()
+                        };
                         Diva::new(config).run(&rel, sigma).map(|o| o.relation.n_rows())
                     });
                 },

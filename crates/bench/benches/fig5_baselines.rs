@@ -21,8 +21,13 @@ fn bench_fig5b_credit(c: &mut Criterion) {
         let sigma = experiment_sigma(&rel, 18, 0.4, k, SEED);
         group.bench_with_input(BenchmarkId::new("DIVA-MaxFanOut", k), &k, |b, &k| {
             b.iter(|| {
-                let config =
-                    DivaConfig { k, strategy: Strategy::MaxFanOut, seed: SEED, backtrack_limit: BT, ..Default::default() };
+                let config = DivaConfig {
+                    k,
+                    strategy: Strategy::MaxFanOut,
+                    seed: SEED,
+                    backtrack_limit: BT,
+                    ..Default::default()
+                };
                 Diva::new(config).run(&rel, &sigma).map(|o| o.relation.n_rows())
             });
         });
@@ -49,8 +54,13 @@ fn bench_fig5d_census(c: &mut Criterion) {
         let sigma = experiment_sigma(&rel, 12, 0.4, 10, SEED);
         group.bench_with_input(BenchmarkId::new("DIVA-MinChoice", n), &n, |b, _| {
             b.iter(|| {
-                let config =
-                    DivaConfig { k: 10, strategy: Strategy::MinChoice, seed: SEED, backtrack_limit: BT, ..Default::default() };
+                let config = DivaConfig {
+                    k: 10,
+                    strategy: Strategy::MinChoice,
+                    seed: SEED,
+                    backtrack_limit: BT,
+                    ..Default::default()
+                };
                 Diva::new(config).run(&rel, &sigma).map(|o| o.relation.n_rows())
             });
         });
@@ -59,10 +69,7 @@ fn bench_fig5d_census(c: &mut Criterion) {
         });
         group.bench_with_input(BenchmarkId::new("k-member", n), &n, |b, _| {
             b.iter(|| {
-                KMember { seed: SEED, ..KMember::default() }
-                    .anonymize(&rel, 10)
-                    .relation
-                    .n_rows()
+                KMember { seed: SEED, ..KMember::default() }.anonymize(&rel, 10).relation.n_rows()
             });
         });
     }

@@ -49,11 +49,7 @@ fn bench_constraint_ops(c: &mut Criterion) {
     group.bench_function("satisfaction_check", |b| {
         b.iter(|| set.satisfied_by(&rel));
     });
-    let big = set
-        .constraints()
-        .iter()
-        .max_by_key(|c| c.target_rows.len())
-        .expect("non-empty Σ");
+    let big = set.constraints().iter().max_by_key(|c| c.target_rows.len()).expect("non-empty Σ");
     group.bench_function("enumerate_candidates_largest_target", |b| {
         b.iter(|| CandidateSet::enumerate(&rel, big, 10, 64, None).len());
     });
@@ -74,8 +70,7 @@ fn bench_paper_example(c: &mut Criterion) {
     for strategy in Strategy::all() {
         group.bench_function(strategy.name(), |b| {
             b.iter(|| {
-                let config =
-                    DivaConfig { k: 2, strategy, seed: SEED, ..Default::default() };
+                let config = DivaConfig { k: 2, strategy, seed: SEED, ..Default::default() };
                 Diva::new(config).run(&rel, &sigma).map(|o| o.relation.star_count())
             });
         });

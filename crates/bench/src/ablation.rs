@@ -51,7 +51,9 @@ pub fn ablation_candidates(p: &Params) -> Table {
                     Some(out.stats.coloring.backtracks as f64),
                 ],
             ),
-            Err(_) => t.push_row(cap.to_string(), vec![None, Some(clock.elapsed().as_secs_f64()), None]),
+            Err(_) => {
+                t.push_row(cap.to_string(), vec![None, Some(clock.elapsed().as_secs_f64()), None])
+            }
         }
     }
     t
@@ -175,9 +177,7 @@ pub fn ablation_l_diversity(p: &Params) -> Table {
                     Some(clock.elapsed().as_secs_f64()),
                 ],
             ),
-            Err(_) => {
-                t.push_row(l.to_string(), vec![None, Some(clock.elapsed().as_secs_f64())])
-            }
+            Err(_) => t.push_row(l.to_string(), vec![None, Some(clock.elapsed().as_secs_f64())]),
         }
     }
     t

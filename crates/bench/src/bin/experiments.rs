@@ -12,7 +12,7 @@
 
 use std::path::PathBuf;
 
-use diva_bench::{ablation, fig4, fig5, tables, Params, Table};
+use diva_bench::{ablation, fig4, fig5, perf, tables, Params, Table};
 
 fn results_dir() -> PathBuf {
     std::env::var("DIVA_RESULTS_DIR").map_or_else(|_| PathBuf::from("results"), PathBuf::from)
@@ -22,7 +22,9 @@ fn emit(t: &Table, slug: &str) {
     print!("{}", t.render());
     println!();
     match t.write_csv(&results_dir(), slug).and_then(|()| t.write_gnuplot(&results_dir(), slug)) {
-        Ok(()) => println!("[written {0}/{slug}.csv and {0}/{slug}.gnu]\n", results_dir().display()),
+        Ok(()) => {
+            println!("[written {0}/{slug}.csv and {0}/{slug}.gnu]\n", results_dir().display())
+        }
         Err(e) => eprintln!("warning: could not write {slug} outputs: {e}\n"),
     }
 }
@@ -32,7 +34,7 @@ fn main() {
     let p = Params::from_env();
     if args.is_empty() {
         eprintln!(
-            "usage: experiments <all|table4|table5|fig4a|fig4b|fig4c|fig4d|fig5a|fig5b|fig5c|fig5d|ablations>..."
+            "usage: experiments <all|table4|table5|fig4a|fig4b|fig4c|fig4d|fig5a|fig5b|fig5c|fig5d|ablations|perf>..."
         );
         std::process::exit(2);
     }
@@ -88,6 +90,16 @@ fn main() {
         }
         if want("fig5d") {
             emit(&time, "fig5d_runtime_vs_r");
+        }
+    }
+    if want("perf") {
+        let json = perf::bench_json();
+        print!("{json}");
+        let path = std::env::var("DIVA_BENCH_JSON")
+            .map_or_else(|_| PathBuf::from("BENCH_diva.json"), PathBuf::from);
+        match std::fs::write(&path, &json) {
+            Ok(()) => println!("[written {}]\n", path.display()),
+            Err(e) => eprintln!("warning: could not write {}: {e}\n", path.display()),
         }
     }
 }

@@ -12,10 +12,7 @@ fn strategy_series() -> Vec<String> {
 }
 
 fn col(measurements: &[Measurement], f: impl Fn(&Measurement) -> f64) -> Vec<Option<f64>> {
-    measurements
-        .iter()
-        .map(|m| if m.ok { Some(f(m)) } else { None })
-        .collect()
+    measurements.iter().map(|m| if m.ok { Some(f(m)) } else { None }).collect()
 }
 
 /// Runtime column: failed (budget-exhausted) runs still report the
@@ -30,10 +27,8 @@ fn time_col(measurements: &[Measurement]) -> Vec<Option<f64>> {
 /// ways).
 pub fn fig4ab(p: &Params) -> (Table, Table) {
     let rel = diva_datagen::census(p.r_default, p.seed);
-    let mut time =
-        Table::new("Fig 4a — Runtime vs |Σ| (Census)", "|Sigma|", strategy_series());
-    let mut acc =
-        Table::new("Fig 4b — Accuracy vs |Σ| (Census)", "|Sigma|", strategy_series());
+    let mut time = Table::new("Fig 4a — Runtime vs |Σ| (Census)", "|Sigma|", strategy_series());
+    let mut acc = Table::new("Fig 4b — Accuracy vs |Σ| (Census)", "|Sigma|", strategy_series());
     for &n in &p.sigma_sizes {
         let sigma = experiment_sigma(&rel, n, p.cf_default, p.k_default, p.seed);
         let ms: Vec<Measurement> = Strategy::all()
@@ -74,11 +69,8 @@ pub fn fig4c(p: &Params) -> Table {
 /// (`|R|` = 100k scaled, `|Σ|` = 8, as in the paper). Returns the
 /// star-based and discernibility-based accuracy tables.
 pub fn fig4d(p: &Params) -> (Table, Table) {
-    let mut acc = Table::new(
-        "Fig 4d — Accuracy vs distribution (Pop-Syn)",
-        "dist",
-        strategy_series(),
-    );
+    let mut acc =
+        Table::new("Fig 4d — Accuracy vs distribution (Pop-Syn)", "dist", strategy_series());
     let mut disc = Table::new(
         "Fig 4d (disc) — Discernibility accuracy vs distribution (Pop-Syn)",
         "dist",

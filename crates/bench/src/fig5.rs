@@ -11,13 +11,7 @@ use crate::table::Table;
 /// Series order matching the paper's legends: the two DIVA strategies,
 /// then the three baselines.
 fn series() -> Vec<String> {
-    vec![
-        "MinChoice".into(),
-        "MaxFanOut".into(),
-        "k-member".into(),
-        "OKA".into(),
-        "Mondrian".into(),
-    ]
+    vec!["MinChoice".into(), "MaxFanOut".into(), "k-member".into(), "OKA".into(), "Mondrian".into()]
 }
 
 fn baselines(seed: u64) -> Vec<Box<dyn Anonymizer>> {
@@ -80,7 +74,8 @@ pub fn fig5cd(p: &Params) -> (Table, Table) {
     let mut time = Table::new("Fig 5d — Runtime vs |R| (Census)", "|R|", series());
     for &n in &p.r_sizes {
         let rel = full.head(n);
-        let ms = compare(&rel, p.k_default, p.sigma_default, p.cf_default, p.seed, p.backtrack_limit);
+        let ms =
+            compare(&rel, p.k_default, p.sigma_default, p.cf_default, p.seed, p.backtrack_limit);
         acc.push_row(n.to_string(), col(&ms, |m| m.accuracy));
         time.push_row(n.to_string(), time_col(&ms));
     }

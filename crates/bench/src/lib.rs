@@ -21,6 +21,7 @@ pub mod ablation;
 pub mod fig4;
 pub mod fig5;
 pub mod params;
+pub mod perf;
 pub mod runner;
 pub mod table;
 pub mod tables;

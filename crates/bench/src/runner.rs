@@ -119,9 +119,7 @@ pub fn run_baseline(rel: &Relation, k: usize, algo: &dyn Anonymizer) -> Measurem
 }
 
 fn measured_cf(rel: &Relation, sigma: &[Constraint]) -> f64 {
-    ConstraintSet::bind(sigma, rel)
-        .map(|set| conflict_rate(&set))
-        .unwrap_or(0.0)
+    ConstraintSet::bind(sigma, rel).map(|set| conflict_rate(&set)).unwrap_or(0.0)
 }
 
 #[cfg(test)]

@@ -20,11 +20,7 @@ pub struct Table {
 
 impl Table {
     /// Creates an empty table.
-    pub fn new(
-        title: impl Into<String>,
-        x_name: impl Into<String>,
-        series: Vec<String>,
-    ) -> Self {
+    pub fn new(title: impl Into<String>, x_name: impl Into<String>, series: Vec<String>) -> Self {
         Self { title: title.into(), x_name: x_name.into(), series, rows: Vec::new() }
     }
 
@@ -114,11 +110,7 @@ impl Table {
             .iter()
             .enumerate()
             .map(|(i, name)| {
-                format!(
-                    "'{slug}.csv' using 1:{} with linespoints title {:?}",
-                    i + 2,
-                    name
-                )
+                format!("'{slug}.csv' using 1:{} with linespoints title {:?}", i + 2, name)
             })
             .collect();
         let _ = writeln!(out, "plot {}", plots.join(", \\\n     "));

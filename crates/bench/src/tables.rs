@@ -82,10 +82,7 @@ pub fn table5(p: &Params) -> String {
         fmt_list(&c, &format!("{:.1}", p.cf_default))
     ));
     let k: Vec<String> = p.ks.iter().map(ToString::to_string).collect();
-    out.push_str(&format!(
-        "k    min cluster size   {}\n",
-        fmt_list(&k, &p.k_default.to_string())
-    ));
+    out.push_str(&format!("k    min cluster size   {}\n", fmt_list(&k, &p.k_default.to_string())));
     out.push_str(&format!("scale factor applied to |R|: {}\n", p.scale));
     out
 }

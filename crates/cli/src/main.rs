@@ -19,7 +19,7 @@ use std::process::ExitCode;
 
 use diva_anonymize::{Anonymizer, KMember, Mondrian, Oka};
 use diva_constraints::{spec, Constraint, ConstraintSet};
-use diva_core::{Diva, DivaConfig, Strategy};
+use diva_core::{run_portfolio, Diva, DivaConfig, Strategy};
 use diva_relation::csv::{read_relation_file, write_relation_file};
 use diva_relation::{is_k_anonymous, AttrRole, Relation};
 
@@ -60,6 +60,8 @@ fn usage() -> String {
      anonymize  --input FILE --roles LIST --constraints FILE -k N \\\n\
      \u{20}          [--strategy basic|minchoice|maxfanout] [--algo kmember|oka|mondrian]\n\
      \u{20}          [--l N  distinct l-diversity, default 1 = off]\n\
+     \u{20}          [--portfolio N  race all strategies × N seeds, first win returns]\n\
+     \u{20}          [--threads N  worker cap for --portfolio, default all cores]\n\
      \u{20}          [--seed N] --output FILE\n\
      check      --input FILE --roles LIST --constraints FILE -k N\n\
      stats      --input FILE --roles LIST -k N\n\
@@ -79,9 +81,7 @@ fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
             .strip_prefix("--")
             .or_else(|| args[i].strip_prefix('-'))
             .ok_or_else(|| format!("expected a flag, found {:?}", args[i]))?;
-        let value = args
-            .get(i + 1)
-            .ok_or_else(|| format!("flag --{key} needs a value"))?;
+        let value = args.get(i + 1).ok_or_else(|| format!("flag --{key} needs a value"))?;
         out.insert(key.to_string(), value.clone());
         i += 2;
     }
@@ -140,16 +140,30 @@ fn anonymize(opts: &HashMap<String, String>) -> Result<(), String> {
         .map(|v| v.parse::<usize>().map_err(|_| "l must be a positive integer".to_string()))
         .transpose()?
         .unwrap_or(1);
-    let config = DivaConfig { k, strategy, seed, l_diversity, ..DivaConfig::default() };
-    let anonymizer: Box<dyn Anonymizer + Send + Sync> =
-        match opts.get("algo").map(String::as_str) {
-            None | Some("kmember") => Box::new(KMember { seed, ..KMember::default() }),
-            Some("oka") => Box::new(Oka { seed, ..Oka::default() }),
-            Some("mondrian") => Box::new(Mondrian),
-            Some(other) => return Err(format!("unknown algorithm {other:?}")),
-        };
-    let diva = Diva::with_anonymizer(config, anonymizer);
-    let out = diva.run(&rel, &sigma).map_err(|e| e.to_string())?;
+    let threads = opts
+        .get("threads")
+        .map(|v| v.parse::<usize>().map_err(|_| "threads must be a positive integer".to_string()))
+        .transpose()?;
+    let config = DivaConfig { k, strategy, seed, l_diversity, threads, ..DivaConfig::default() };
+    let portfolio = opts
+        .get("portfolio")
+        .map(|v| v.parse::<usize>().map_err(|_| "portfolio must be a positive integer".to_string()))
+        .transpose()?;
+    let out = if let Some(seeds_per_strategy) = portfolio {
+        if opts.contains_key("algo") {
+            return Err("--portfolio races the default anonymizer; drop --algo".to_string());
+        }
+        run_portfolio(&rel, &sigma, &config, seeds_per_strategy).map_err(|e| e.to_string())?
+    } else {
+        let anonymizer: Box<dyn Anonymizer + Send + Sync> =
+            match opts.get("algo").map(String::as_str) {
+                None | Some("kmember") => Box::new(KMember { seed, ..KMember::default() }),
+                Some("oka") => Box::new(Oka { seed, ..Oka::default() }),
+                Some("mondrian") => Box::new(Mondrian),
+                Some(other) => return Err(format!("unknown algorithm {other:?}")),
+            };
+        Diva::with_anonymizer(config, anonymizer).run(&rel, &sigma).map_err(|e| e.to_string())?
+    };
     write_relation_file(&out.relation, &output).map_err(|e| e.to_string())?;
     println!(
         "wrote {} ({} rows, {} ★, accuracy {:.3}, {} groups, {:?})",
@@ -216,11 +230,9 @@ fn compare(opts: &HashMap<String, String>) -> Result<(), String> {
         "{:<16} {:>9} {:>9} {:>8} {:>8} {:>7}",
         "algorithm", "time(s)", "stars", "acc", "disc", "sigma"
     );
-    let mut report = |name: &str, t: f64, rel_out: Option<&diva_relation::Relation>| match rel_out {
+    let report = |name: &str, t: f64, rel_out: Option<&diva_relation::Relation>| match rel_out {
         Some(r) => {
-            let sat = ConstraintSet::bind(&sigma, r)
-                .map(|s| s.satisfied_by(r))
-                .unwrap_or(false);
+            let sat = ConstraintSet::bind(&sigma, r).map(|s| s.satisfied_by(r)).unwrap_or(false);
             println!(
                 "{:<16} {:>9.3} {:>9} {:>8.3} {:>8.3} {:>7}",
                 name,
@@ -238,11 +250,7 @@ fn compare(opts: &HashMap<String, String>) -> Result<(), String> {
         let t = std::time::Instant::now();
         let res = Diva::new(config).run(&rel, &sigma);
         let secs = t.elapsed().as_secs_f64();
-        report(
-            &format!("DIVA-{}", strategy.name()),
-            secs,
-            res.as_ref().ok().map(|o| &o.relation),
-        );
+        report(&format!("DIVA-{}", strategy.name()), secs, res.as_ref().ok().map(|o| &o.relation));
     }
     let baselines: Vec<Box<dyn Anonymizer>> = vec![
         Box::new(KMember { seed, ..KMember::default() }),
@@ -259,9 +267,8 @@ fn compare(opts: &HashMap<String, String>) -> Result<(), String> {
 
 fn sigma_gen(opts: &HashMap<String, String>) -> Result<(), String> {
     let rel = load_input(opts)?;
-    let count: usize = req(opts, "count")?
-        .parse()
-        .map_err(|_| "count must be a positive integer".to_string())?;
+    let count: usize =
+        req(opts, "count")?.parse().map_err(|_| "count must be a positive integer".to_string())?;
     let slack: f64 = opts
         .get("slack")
         .map(|v| v.parse::<f64>().map_err(|_| "slack must be a number".to_string()))
@@ -286,9 +293,8 @@ fn sigma_gen(opts: &HashMap<String, String>) -> Result<(), String> {
 
 fn generate(opts: &HashMap<String, String>) -> Result<(), String> {
     let dataset = req(opts, "dataset")?;
-    let rows: usize = req(opts, "rows")?
-        .parse()
-        .map_err(|_| "rows must be a positive integer".to_string())?;
+    let rows: usize =
+        req(opts, "rows")?.parse().map_err(|_| "rows must be a positive integer".to_string())?;
     let seed = parse_seed(opts);
     let output = PathBuf::from(req(opts, "output")?);
     let dist = match opts.get("dist").map(String::as_str) {
@@ -305,6 +311,11 @@ fn generate(opts: &HashMap<String, String>) -> Result<(), String> {
         other => return Err(format!("unknown dataset {other:?}")),
     };
     write_relation_file(&rel, &output).map_err(|e| e.to_string())?;
-    println!("wrote {} ({} rows × {} attributes)", output.display(), rel.n_rows(), rel.schema().arity());
+    println!(
+        "wrote {} ({} rows × {} attributes)",
+        output.display(),
+        rel.n_rows(),
+        rel.schema().arity()
+    );
     Ok(())
 }

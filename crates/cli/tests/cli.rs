@@ -5,10 +5,7 @@ use std::path::PathBuf;
 use std::process::{Command, Output};
 
 fn diva(args: &[&str]) -> Output {
-    Command::new(env!("CARGO_BIN_EXE_diva"))
-        .args(args)
-        .output()
-        .expect("binary runs")
+    Command::new(env!("CARGO_BIN_EXE_diva")).args(args).output().expect("binary runs")
 }
 
 fn tmp(name: &str) -> PathBuf {
@@ -27,7 +24,14 @@ fn generate_anonymize_check_round_trip() {
     let sigma = tmp("sigma.txt");
 
     let g = diva(&[
-        "generate", "--dataset", "medical", "--rows", "400", "--seed", "7", "--output",
+        "generate",
+        "--dataset",
+        "medical",
+        "--rows",
+        "400",
+        "--seed",
+        "7",
+        "--output",
         data.to_str().unwrap(),
     ]);
     assert!(g.status.success(), "{}", String::from_utf8_lossy(&g.stderr));
@@ -38,12 +42,18 @@ fn generate_anonymize_check_round_trip() {
 
     let a = diva(&[
         "anonymize",
-        "--input", data.to_str().unwrap(),
-        "--roles", MEDICAL_ROLES,
-        "--constraints", sigma.to_str().unwrap(),
-        "--k", "5",
-        "--strategy", "maxfanout",
-        "--output", out.to_str().unwrap(),
+        "--input",
+        data.to_str().unwrap(),
+        "--roles",
+        MEDICAL_ROLES,
+        "--constraints",
+        sigma.to_str().unwrap(),
+        "--k",
+        "5",
+        "--strategy",
+        "maxfanout",
+        "--output",
+        out.to_str().unwrap(),
     ]);
     assert!(a.status.success(), "{}", String::from_utf8_lossy(&a.stderr));
     let stdout = String::from_utf8_lossy(&a.stdout);
@@ -51,22 +61,22 @@ fn generate_anonymize_check_round_trip() {
 
     let c = diva(&[
         "check",
-        "--input", out.to_str().unwrap(),
-        "--roles", MEDICAL_ROLES,
-        "--constraints", sigma.to_str().unwrap(),
-        "--k", "5",
+        "--input",
+        out.to_str().unwrap(),
+        "--roles",
+        MEDICAL_ROLES,
+        "--constraints",
+        sigma.to_str().unwrap(),
+        "--k",
+        "5",
     ]);
     assert!(c.status.success(), "{}", String::from_utf8_lossy(&c.stdout));
     let stdout = String::from_utf8_lossy(&c.stdout);
     assert!(stdout.contains("k-anonymous (k=5): yes"), "{stdout}");
     assert!(stdout.contains("all 1 satisfied"), "{stdout}");
 
-    let s = diva(&[
-        "stats",
-        "--input", out.to_str().unwrap(),
-        "--roles", MEDICAL_ROLES,
-        "--k", "5",
-    ]);
+    let s =
+        diva(&["stats", "--input", out.to_str().unwrap(), "--roles", MEDICAL_ROLES, "--k", "5"]);
     assert!(s.status.success());
     let stdout = String::from_utf8_lossy(&s.stdout);
     assert!(stdout.contains("star accuracy"), "{stdout}");
@@ -77,7 +87,14 @@ fn check_rejects_raw_data() {
     let data = tmp("raw.csv");
     let sigma = tmp("sigma_raw.txt");
     let g = diva(&[
-        "generate", "--dataset", "medical", "--rows", "300", "--seed", "9", "--output",
+        "generate",
+        "--dataset",
+        "medical",
+        "--rows",
+        "300",
+        "--seed",
+        "9",
+        "--output",
         data.to_str().unwrap(),
     ]);
     assert!(g.status.success());
@@ -85,10 +102,14 @@ fn check_rejects_raw_data() {
     // Raw generated data is not k-anonymous for k = 5.
     let c = diva(&[
         "check",
-        "--input", data.to_str().unwrap(),
-        "--roles", MEDICAL_ROLES,
-        "--constraints", sigma.to_str().unwrap(),
-        "--k", "5",
+        "--input",
+        data.to_str().unwrap(),
+        "--roles",
+        MEDICAL_ROLES,
+        "--constraints",
+        sigma.to_str().unwrap(),
+        "--k",
+        "5",
     ]);
     assert!(!c.status.success());
     assert!(String::from_utf8_lossy(&c.stdout).contains("k-anonymous (k=5): NO"));
@@ -99,17 +120,29 @@ fn unsatisfiable_constraints_fail_cleanly() {
     let data = tmp("unsat.csv");
     let sigma = tmp("sigma_unsat.txt");
     diva(&[
-        "generate", "--dataset", "medical", "--rows", "100", "--seed", "3", "--output",
+        "generate",
+        "--dataset",
+        "medical",
+        "--rows",
+        "100",
+        "--seed",
+        "3",
+        "--output",
         data.to_str().unwrap(),
     ]);
     std::fs::write(&sigma, "ETH[Caucasian]: 5000..6000\n").unwrap();
     let a = diva(&[
         "anonymize",
-        "--input", data.to_str().unwrap(),
-        "--roles", MEDICAL_ROLES,
-        "--constraints", sigma.to_str().unwrap(),
-        "--k", "5",
-        "--output", tmp("never.csv").to_str().unwrap(),
+        "--input",
+        data.to_str().unwrap(),
+        "--roles",
+        MEDICAL_ROLES,
+        "--constraints",
+        sigma.to_str().unwrap(),
+        "--k",
+        "5",
+        "--output",
+        tmp("never.csv").to_str().unwrap(),
     ]);
     assert!(!a.status.success());
     assert!(String::from_utf8_lossy(&a.stderr).contains("no diverse"));
@@ -120,18 +153,31 @@ fn sigma_gen_produces_parseable_spec() {
     let data = tmp("sg.csv");
     let spec_path = tmp("sg_sigma.txt");
     let g = diva(&[
-        "generate", "--dataset", "medical", "--rows", "500", "--seed", "5", "--output",
+        "generate",
+        "--dataset",
+        "medical",
+        "--rows",
+        "500",
+        "--seed",
+        "5",
+        "--output",
         data.to_str().unwrap(),
     ]);
     assert!(g.status.success());
     let o = diva(&[
         "sigma-gen",
-        "--input", data.to_str().unwrap(),
-        "--roles", MEDICAL_ROLES,
-        "--class", "proportional",
-        "--count", "4",
-        "--slack", "0.6",
-        "--output", spec_path.to_str().unwrap(),
+        "--input",
+        data.to_str().unwrap(),
+        "--roles",
+        MEDICAL_ROLES,
+        "--class",
+        "proportional",
+        "--count",
+        "4",
+        "--slack",
+        "0.6",
+        "--output",
+        spec_path.to_str().unwrap(),
     ]);
     assert!(o.status.success(), "{}", String::from_utf8_lossy(&o.stderr));
     let text = std::fs::read_to_string(&spec_path).unwrap();
@@ -142,22 +188,32 @@ fn sigma_gen_produces_parseable_spec() {
     let out = tmp("sg_anon.csv");
     let a = diva(&[
         "anonymize",
-        "--input", data.to_str().unwrap(),
-        "--roles", MEDICAL_ROLES,
-        "--constraints", spec_path.to_str().unwrap(),
-        "--k", "5",
-        "--output", out.to_str().unwrap(),
+        "--input",
+        data.to_str().unwrap(),
+        "--roles",
+        MEDICAL_ROLES,
+        "--constraints",
+        spec_path.to_str().unwrap(),
+        "--k",
+        "5",
+        "--output",
+        out.to_str().unwrap(),
     ]);
     assert!(a.status.success(), "{}", String::from_utf8_lossy(&a.stderr));
 
     // Unknown class errors.
     let o = diva(&[
         "sigma-gen",
-        "--input", data.to_str().unwrap(),
-        "--roles", MEDICAL_ROLES,
-        "--class", "quantum",
-        "--count", "4",
-        "--output", spec_path.to_str().unwrap(),
+        "--input",
+        data.to_str().unwrap(),
+        "--roles",
+        MEDICAL_ROLES,
+        "--class",
+        "quantum",
+        "--count",
+        "4",
+        "--output",
+        spec_path.to_str().unwrap(),
     ]);
     assert!(!o.status.success());
 }
@@ -168,18 +224,31 @@ fn anonymize_with_l_diversity_flag() {
     let sigma = tmp("ld_sigma.txt");
     let out = tmp("ld_anon.csv");
     diva(&[
-        "generate", "--dataset", "medical", "--rows", "400", "--seed", "8", "--output",
+        "generate",
+        "--dataset",
+        "medical",
+        "--rows",
+        "400",
+        "--seed",
+        "8",
+        "--output",
         data.to_str().unwrap(),
     ]);
     std::fs::write(&sigma, "ETH[Caucasian]: 10..400\n").unwrap();
     let a = diva(&[
         "anonymize",
-        "--input", data.to_str().unwrap(),
-        "--roles", MEDICAL_ROLES,
-        "--constraints", sigma.to_str().unwrap(),
-        "--k", "5",
-        "--l", "2",
-        "--output", out.to_str().unwrap(),
+        "--input",
+        data.to_str().unwrap(),
+        "--roles",
+        MEDICAL_ROLES,
+        "--constraints",
+        sigma.to_str().unwrap(),
+        "--k",
+        "5",
+        "--l",
+        "2",
+        "--output",
+        out.to_str().unwrap(),
     ]);
     assert!(a.status.success(), "{}", String::from_utf8_lossy(&a.stderr));
 }
@@ -189,16 +258,27 @@ fn compare_prints_all_algorithms() {
     let data = tmp("cmp.csv");
     let sigma = tmp("cmp_sigma.txt");
     diva(&[
-        "generate", "--dataset", "medical", "--rows", "300", "--seed", "4", "--output",
+        "generate",
+        "--dataset",
+        "medical",
+        "--rows",
+        "300",
+        "--seed",
+        "4",
+        "--output",
         data.to_str().unwrap(),
     ]);
     std::fs::write(&sigma, "ETH[Caucasian]: 10..300\n").unwrap();
     let o = diva(&[
         "compare",
-        "--input", data.to_str().unwrap(),
-        "--roles", MEDICAL_ROLES,
-        "--constraints", sigma.to_str().unwrap(),
-        "--k", "5",
+        "--input",
+        data.to_str().unwrap(),
+        "--roles",
+        MEDICAL_ROLES,
+        "--constraints",
+        sigma.to_str().unwrap(),
+        "--k",
+        "5",
     ]);
     assert!(o.status.success(), "{}", String::from_utf8_lossy(&o.stderr));
     let out = String::from_utf8_lossy(&o.stdout);
@@ -227,19 +307,22 @@ fn bad_flags_are_reported() {
 
 #[test]
 fn bad_roles_and_missing_files() {
-    let o = diva(&[
-        "stats", "--input", "/nonexistent.csv", "--roles", "qi", "--k", "3",
-    ]);
+    let o = diva(&["stats", "--input", "/nonexistent.csv", "--roles", "qi", "--k", "3"]);
     assert!(!o.status.success());
 
     let data = tmp("roles.csv");
     diva(&[
-        "generate", "--dataset", "medical", "--rows", "50", "--seed", "1", "--output",
+        "generate",
+        "--dataset",
+        "medical",
+        "--rows",
+        "50",
+        "--seed",
+        "1",
+        "--output",
         data.to_str().unwrap(),
     ]);
-    let o = diva(&[
-        "stats", "--input", data.to_str().unwrap(), "--roles", "qi,wizard", "--k", "3",
-    ]);
+    let o = diva(&["stats", "--input", data.to_str().unwrap(), "--roles", "qi,wizard", "--k", "3"]);
     assert!(!o.status.success());
     assert!(String::from_utf8_lossy(&o.stderr).contains("unknown role"));
 }

@@ -142,9 +142,7 @@ impl Constraint {
         }
         let target_rows: Vec<RowId> = if all_present {
             (0..rel.n_rows())
-                .filter(|&r| {
-                    cols.iter().zip(&codes).all(|(&c, &code)| rel.code(r, c) == code)
-                })
+                .filter(|&r| cols.iter().zip(&codes).all(|(&c, &code)| rel.code(r, c) == code))
                 .collect()
         } else {
             Vec::new()
@@ -164,14 +162,7 @@ impl fmt::Display for Constraint {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let attrs: Vec<&str> = self.targets.iter().map(|(a, _)| a.as_str()).collect();
         let vals: Vec<&str> = self.targets.iter().map(|(_, v)| v.as_str()).collect();
-        write!(
-            f,
-            "{}[{}]: {}..{}",
-            attrs.join(","),
-            vals.join(","),
-            self.lower,
-            self.upper
-        )
+        write!(f, "{}[{}]: {}..{}", attrs.join(","), vals.join(","), self.lower, self.upper)
     }
 }
 
@@ -256,9 +247,8 @@ mod tests {
     #[test]
     fn multi_attribute_constraint() {
         let r = paper_table1();
-        let s = Constraint::multi(vec![("GEN", "Male"), ("ETH", "African")], 1, 3)
-            .bind(&r)
-            .unwrap();
+        let s =
+            Constraint::multi(vec![("GEN", "Male"), ("ETH", "African")], 1, 3).bind(&r).unwrap();
         assert_eq!(s.target_rows, vec![4, 5]);
         assert_eq!(s.count_in(&r), 2);
         assert!(s.satisfied_by(&r));
@@ -311,10 +301,7 @@ mod tests {
     fn display_round_trip_format() {
         let c = Constraint::multi(vec![("GEN", "Male"), ("ETH", "African")], 1, 3);
         assert_eq!(c.to_string(), "GEN,ETH[Male,African]: 1..3");
-        assert_eq!(
-            Constraint::single("ETH", "Asian", 2, 5).to_string(),
-            "ETH[Asian]: 2..5"
-        );
+        assert_eq!(Constraint::single("ETH", "Asian", 2, 5).to_string(), "ETH[Asian]: 2..5");
     }
 
     #[test]

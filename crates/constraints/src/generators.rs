@@ -46,10 +46,7 @@ fn attr_name(rel: &Relation, col: usize) -> String {
 }
 
 fn decode(rel: &Relation, col: usize, code: u32) -> String {
-    rel.dict(col)
-        .decode(code)
-        .expect("frequency table only contains real codes")
-        .to_string()
+    rel.dict(col).decode(code).expect("frequency table only contains real codes").to_string()
 }
 
 /// Candidate `(col, code, freq)` triples: the most frequent values of
@@ -59,12 +56,7 @@ fn frequent_values(rel: &Relation, min_freq: usize) -> Vec<(usize, u32, usize)> 
     let cols = qi_cols(rel);
     let per_col: Vec<Vec<(u32, usize)>> = cols
         .iter()
-        .map(|&c| {
-            value_frequencies(rel, c)
-                .into_iter()
-                .filter(|&(_, f)| f >= min_freq)
-                .collect()
-        })
+        .map(|&c| value_frequencies(rel, c).into_iter().filter(|&(_, f)| f >= min_freq).collect())
         .collect();
     let max_len = per_col.iter().map(Vec::len).max().unwrap_or(0);
     let mut out = Vec::new();
@@ -190,9 +182,8 @@ pub fn with_conflict_rate(
     let &(hub_code, hub_freq) = hub_freqs.first().expect("hub attribute has no values");
     let hub_attr = attr_name(rel, hub_col);
     let hub_val = decode(rel, hub_col, hub_code);
-    let hub_rows: Vec<usize> = (0..rel.n_rows())
-        .filter(|&r| rel.code(r, hub_col) == hub_code)
-        .collect();
+    let hub_rows: Vec<usize> =
+        (0..rel.n_rows()).filter(|&r| rel.code(r, hub_col) == hub_code).collect();
 
     let upper = ((0.9 * hub_freq as f64).ceil() as usize).max(k);
     // Family members carry real retention demands so that conflict has
@@ -211,7 +202,8 @@ pub fn with_conflict_rate(
             let b_col = cols[1 + (refine_rank % (cols.len() - 1))];
             let depth = refine_rank / (cols.len() - 1); // rank of b within the column
             refine_rank += 1;
-            let mut counts: std::collections::HashMap<u32, usize> = std::collections::HashMap::new();
+            let mut counts: std::collections::HashMap<u32, usize> =
+                std::collections::HashMap::new();
             for &r in &hub_rows {
                 *counts.entry(rel.code(r, b_col)).or_default() += 1;
             }
@@ -240,15 +232,9 @@ pub fn with_conflict_rate(
     }
 
     // --- Disjoint remainder: distinct values of one other attribute. ---
-    let dis_col = *cols
-        .iter()
-        .skip(1)
-        .max_by_key(|&&c| rel.dict(c).len())
-        .unwrap_or(&cols[1]);
-    let mut dis_values: Vec<(u32, usize)> = value_frequencies(rel, dis_col)
-        .into_iter()
-        .filter(|&(_, f)| f >= k.max(1))
-        .collect();
+    let dis_col = *cols.iter().skip(1).max_by_key(|&&c| rel.dict(c).len()).unwrap_or(&cols[1]);
+    let mut dis_values: Vec<(u32, usize)> =
+        value_frequencies(rel, dis_col).into_iter().filter(|&(_, f)| f >= k.max(1)).collect();
     dis_values.shuffle(&mut rng);
     for &(code, f) in dis_values.iter().take(count - out.len()) {
         // A real retention demand (25% of the value's frequency) so
@@ -257,7 +243,12 @@ pub fn with_conflict_rate(
         // satisfiable.
         let lower = k.min(f).max(f / 4);
         let upper = ((0.9 * f as f64).ceil() as usize).max(lower);
-        out.push(Constraint::single(attr_name(rel, dis_col), decode(rel, dis_col, code), lower, upper));
+        out.push(Constraint::single(
+            attr_name(rel, dis_col),
+            decode(rel, dis_col, code),
+            lower,
+            upper,
+        ));
     }
 
     // If the disjoint attribute ran out of frequent values, pad with
@@ -339,10 +330,7 @@ mod tests {
     fn generators_are_deterministic() {
         let r = medical(1_000, 4);
         assert_eq!(proportional(&r, 5, 0.2, 5), proportional(&r, 5, 0.2, 5));
-        assert_eq!(
-            with_conflict_rate(&r, 8, 0.5, 5, 9),
-            with_conflict_rate(&r, 8, 0.5, 5, 9)
-        );
+        assert_eq!(with_conflict_rate(&r, 8, 0.5, 5, 9), with_conflict_rate(&r, 8, 0.5, 5, 9));
     }
 
     #[test]
@@ -354,10 +342,7 @@ mod tests {
             assert_eq!(sigma.len(), 10, "cf={cf}");
             let set = ConstraintSet::bind(&sigma, &r).unwrap();
             let measured = conflict_rate(&set);
-            assert!(
-                measured >= last - 1e-9,
-                "measured cf not monotone: {measured} after {last}"
-            );
+            assert!(measured >= last - 1e-9, "measured cf not monotone: {measured} after {last}");
             last = measured;
         }
         assert!(last > 0.3, "cf=1 should be strongly conflicting, got {last}");

@@ -18,10 +18,7 @@ impl ConstraintSet {
     /// Binds every constraint against `rel`. Fails on the first
     /// invalid constraint.
     pub fn bind(constraints: &[Constraint], rel: &Relation) -> Result<Self, ConstraintError> {
-        let bound = constraints
-            .iter()
-            .map(|c| c.bind(rel))
-            .collect::<Result<Vec<_>, _>>()?;
+        let bound = constraints.iter().map(|c| c.bind(rel)).collect::<Result<Vec<_>, _>>()?;
         Ok(Self { constraints: bound })
     }
 

@@ -64,28 +64,16 @@ pub fn parse(text: &str) -> Result<Vec<Constraint>, SpecError> {
             return Err(err(line_no, "empty attribute name"));
         }
         let rest = line[close + 1..].trim();
-        let rest = rest
-            .strip_prefix(':')
-            .ok_or_else(|| err(line_no, "expected ':' after ']'"))?
-            .trim();
-        let (lo, hi) = rest
-            .split_once("..")
-            .ok_or_else(|| err(line_no, "expected 'lower..upper'"))?;
-        let lower: usize = lo
-            .trim()
-            .parse()
-            .map_err(|_| err(line_no, format!("bad lower bound {lo:?}")))?;
-        let upper: usize = hi
-            .trim()
-            .parse()
-            .map_err(|_| err(line_no, format!("bad upper bound {hi:?}")))?;
-        let c = Constraint::multi(
-            attrs.into_iter().zip(values).collect::<Vec<_>>(),
-            lower,
-            upper,
-        );
-        c.validate()
-            .map_err(|e| err(line_no, e.to_string()))?;
+        let rest =
+            rest.strip_prefix(':').ok_or_else(|| err(line_no, "expected ':' after ']'"))?.trim();
+        let (lo, hi) =
+            rest.split_once("..").ok_or_else(|| err(line_no, "expected 'lower..upper'"))?;
+        let lower: usize =
+            lo.trim().parse().map_err(|_| err(line_no, format!("bad lower bound {lo:?}")))?;
+        let upper: usize =
+            hi.trim().parse().map_err(|_| err(line_no, format!("bad upper bound {hi:?}")))?;
+        let c = Constraint::multi(attrs.into_iter().zip(values).collect::<Vec<_>>(), lower, upper);
+        c.validate().map_err(|e| err(line_no, e.to_string()))?;
         out.push(c);
     }
     Ok(out)
@@ -121,10 +109,7 @@ CTY[Vancouver]: 2..4
     #[test]
     fn parses_multi_attribute() {
         let cs = parse("GEN,ETH[Male,African]: 1..3").unwrap();
-        assert_eq!(
-            cs[0],
-            Constraint::multi(vec![("GEN", "Male"), ("ETH", "African")], 1, 3)
-        );
+        assert_eq!(cs[0], Constraint::multi(vec![("GEN", "Male"), ("ETH", "African")], 1, 3));
     }
 
     #[test]

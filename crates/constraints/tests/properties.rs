@@ -10,19 +10,15 @@ use std::sync::Arc;
 /// Attribute/value-safe identifier strings (no commas, brackets,
 /// newlines — the spec format's reserved characters).
 fn ident() -> impl Strategy<Value = String> {
-    "[A-Za-z][A-Za-z0-9_ .-]{0,10}".prop_map(|s| s.trim().to_string()).prop_filter(
-        "non-empty identifier",
-        |s| !s.is_empty() && s != "★",
-    )
+    "[A-Za-z][A-Za-z0-9_ .-]{0,10}"
+        .prop_map(|s| s.trim().to_string())
+        .prop_filter("non-empty identifier", |s| !s.is_empty() && s != "★")
 }
 
 fn arb_constraint() -> impl Strategy<Value = Constraint> {
-    (
-        proptest::collection::vec((ident(), ident()), 1..3),
-        0usize..50,
-        0usize..50,
-    )
-        .prop_filter_map("valid constraint", |(targets, a, b)| {
+    (proptest::collection::vec((ident(), ident()), 1..3), 0usize..50, 0usize..50).prop_filter_map(
+        "valid constraint",
+        |(targets, a, b)| {
             // Distinct attribute names.
             let mut names: Vec<&String> = targets.iter().map(|(n, _)| n).collect();
             names.sort();
@@ -32,7 +28,8 @@ fn arb_constraint() -> impl Strategy<Value = Constraint> {
             }
             let (lower, upper) = if a <= b { (a, b) } else { (b, a) };
             Some(Constraint::multi(targets, lower, upper))
-        })
+        },
+    )
 }
 
 fn small_relation() -> impl Strategy<Value = diva_relation::Relation> {

@@ -23,8 +23,6 @@
 //!   groups of `k` (fine, low-suppression) and, when small, the
 //!   single-cluster variant the paper's figures show.
 
-use std::collections::{HashMap, HashSet};
-
 use diva_constraints::BoundConstraint;
 use diva_relation::{AttrRole, Relation, RowId};
 use rand::rngs::StdRng;
@@ -56,9 +54,10 @@ pub struct CandidateSet {
     /// constraints (see [`CandidateSet::repair`]).
     pub sorted_targets: Vec<RowId>,
     /// ℓ-diversity requirement on clusters (1 = none) and, when
-    /// active, each target row's sensitive-value signature.
+    /// active, each row's sensitive-value signature, indexed densely
+    /// by row id (empty when the filter is off).
     min_sensitive: usize,
-    sens_sig: HashMap<RowId, u64>,
+    sens_sig: Vec<u64>,
 }
 
 impl CandidateSet {
@@ -105,14 +104,10 @@ impl CandidateSet {
                 lower_is_free: true,
                 sorted_targets: sorted,
                 min_sensitive,
-                sens_sig: HashMap::new(),
+                sens_sig: Vec::new(),
             };
         }
-        let sens_sig = if min_sensitive > 1 {
-            sensitive_signatures(rel, &sorted)
-        } else {
-            HashMap::new()
-        };
+        let sens_sig = if min_sensitive > 1 { sensitive_signatures(rel) } else { Vec::new() };
         let m_min = c.lower.max(k);
         let m_max = c.upper.min(sorted.len());
         if m_min > m_max {
@@ -178,16 +173,8 @@ impl CandidateSet {
             return None;
         }
         // Anchor at the original offset of the candidate's first row.
-        let first = candidate
-            .iter()
-            .filter_map(|cl| cl.first())
-            .min()
-            .copied()?;
-        let anchor = self
-            .sorted_targets
-            .iter()
-            .position(|&r| r == first)
-            .unwrap_or(0);
+        let first = candidate.iter().filter_map(|cl| cl.first()).min().copied()?;
+        let anchor = self.sorted_targets.iter().position(|&r| r == first).unwrap_or(0);
         let n = self.sorted_targets.len();
         let mut picked: Vec<RowId> = Vec::with_capacity(m);
         for i in 0..n {
@@ -233,11 +220,7 @@ impl CandidateSet {
         if self.lower_is_free {
             return 0;
         }
-        self.candidates
-            .iter()
-            .map(|cl| cl.iter().map(Vec::len).sum())
-            .min()
-            .unwrap_or(usize::MAX)
+        self.candidates.iter().map(|cl| cl.iter().map(Vec::len).sum()).min().unwrap_or(usize::MAX)
     }
 
     /// Whether there are no candidates (the constraint is
@@ -367,16 +350,16 @@ fn push_variants(subset: &[RowId], k: usize, out: &mut Vec<Clustering>) {
     out.push(chunksed);
 }
 
-/// Sensitive-value signatures of `rows` (FNV-style fold of the
-/// sensitive codes). Signatures are only compared for distinctness; a
-/// hash collision under-counts and can only make the ℓ-diversity
-/// filter *more* conservative.
-fn sensitive_signatures(rel: &Relation, rows: &[RowId]) -> HashMap<RowId, u64> {
+/// Sensitive-value signatures of every row (FNV-style fold of the
+/// sensitive codes), indexed densely by row id. Signatures are only
+/// compared for distinctness; a hash collision under-counts and can
+/// only make the ℓ-diversity filter *more* conservative.
+fn sensitive_signatures(rel: &Relation) -> Vec<u64> {
     let sens_cols: Vec<usize> = (0..rel.schema().arity())
         .filter(|&c| rel.schema().attribute(c).role() == AttrRole::Sensitive)
         .collect();
-    rows.iter()
-        .map(|&r| {
+    (0..rel.n_rows())
+        .map(|r| {
             let mut h: u64 = 0xcbf2_9ce4_8422_2325;
             if sens_cols.is_empty() {
                 h = r as u64; // vacuous ℓ-diversity: every row distinct
@@ -385,17 +368,19 @@ fn sensitive_signatures(rel: &Relation, rows: &[RowId]) -> HashMap<RowId, u64> {
                 h ^= u64::from(rel.code(r, c)).wrapping_add(0x9e37_79b9);
                 h = h.wrapping_mul(0x1000_0000_01b3);
             }
-            (r, h)
+            h
         })
         .collect()
 }
 
-/// Number of distinct signatures among `rows`.
-fn distinct_sigs(sigs: &HashMap<RowId, u64>, rows: &[RowId]) -> usize {
-    rows.iter()
-        .filter_map(|r| sigs.get(r))
-        .collect::<HashSet<_>>()
-        .len()
+/// Number of distinct signatures among `rows`. Clusters are small
+/// (a few multiples of `k`), so sort-and-dedup of a scratch vector
+/// beats building a hash set.
+fn distinct_sigs(sigs: &[u64], rows: &[RowId]) -> usize {
+    let mut seen: Vec<u64> = rows.iter().filter_map(|&r| sigs.get(r).copied()).collect();
+    seen.sort_unstable();
+    seen.dedup();
+    seen.len()
 }
 
 /// Up to `n` evenly-spread values in `[lo, hi]`, always including the
@@ -439,12 +424,8 @@ mod tests {
         let cs = candidates_for("ETH", "Asian", 2, 5, 2);
         let mut got: Vec<Clustering> = cs.candidates.clone();
         got.sort();
-        let mut want: Vec<Clustering> = vec![
-            vec![vec![7, 8]],
-            vec![vec![7, 9]],
-            vec![vec![8, 9]],
-            vec![vec![7, 8, 9]],
-        ];
+        let mut want: Vec<Clustering> =
+            vec![vec![vec![7, 8]], vec![vec![7, 9]], vec![vec![8, 9]], vec![vec![7, 8, 9]]];
         want.sort();
         assert_eq!(got, want);
     }
@@ -559,7 +540,14 @@ mod tests {
     fn spread_endpoints() {
         assert_eq!(spread(0, 10, 3), vec![0, 5, 10]);
         assert_eq!(spread(4, 4, 5), vec![4]);
-        assert_eq!(spread(0, 1, 5), vec![0, 0, 0, 1, 1].into_iter().collect::<std::collections::BTreeSet<_>>().into_iter().collect::<Vec<_>>());
+        assert_eq!(
+            spread(0, 1, 5),
+            vec![0, 0, 0, 1, 1]
+                .into_iter()
+                .collect::<std::collections::BTreeSet<_>>()
+                .into_iter()
+                .collect::<Vec<_>>()
+        );
     }
 
     #[test]

@@ -1,5 +1,8 @@
 //! The recursive colouring search (Algorithms 3 and 4 of the paper).
 
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
@@ -33,7 +36,16 @@ pub struct Coloring<'a> {
     assignment: Vec<Option<usize>>,
     rng: StdRng,
     stats: ColoringStats,
+    /// Portfolio cancellation token: when another member wins, the
+    /// search aborts with [`DivaError::Cancelled`] at the next poll
+    /// (every [`CANCEL_POLL_MASK`] + 1 assignment attempts).
+    cancel: Option<Arc<AtomicBool>>,
 }
+
+/// Cancellation is polled when `assignments_tried & CANCEL_POLL_MASK
+/// == 0` — cheap enough to leave the hot path unaffected, frequent
+/// enough that losing portfolio members exit promptly.
+const CANCEL_POLL_MASK: u64 = 0xFF;
 
 /// The result of a successful colouring.
 #[derive(Debug)]
@@ -68,15 +80,32 @@ impl<'a> Coloring<'a> {
             state: SearchState::new(
                 uppers,
                 (0..graph.n_nodes()).map(|i| graph.target_size(i)).collect(),
+                graph.n_rows(),
             ),
             assignment: vec![None; graph.n_nodes()],
             rng: StdRng::seed_from_u64(config.seed),
             stats: ColoringStats::default(),
+            cancel: None,
         }
+    }
+
+    /// Attaches a cancellation token (used by the parallel portfolio):
+    /// when the token is set, the search returns
+    /// [`DivaError::Cancelled`] instead of continuing.
+    pub fn with_cancel(mut self, token: Arc<AtomicBool>) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+
+    fn is_cancelled(&self) -> bool {
+        self.cancel.as_ref().is_some_and(|t| t.load(Ordering::Relaxed))
     }
 
     /// Runs the search to completion.
     pub fn solve(mut self) -> Result<ColoringOutcome, DivaError> {
+        if self.is_cancelled() {
+            return Err(DivaError::Cancelled);
+        }
         // Fail fast on nodes with no candidates at all: the constraint
         // is unsatisfiable regardless of interactions.
         if let Some(i) = (0..self.graph.n_nodes()).find(|&i| self.candidates[i].is_empty()) {
@@ -84,12 +113,9 @@ impl<'a> Coloring<'a> {
         }
         let colored = self.color_remaining()?;
         if !colored {
-            let failed = (0..self.graph.n_nodes())
-                .find(|&i| self.assignment[i].is_none())
-                .unwrap_or(0);
-            return Err(DivaError::NoDiverseClustering {
-                constraint: self.labels[failed].clone(),
-            });
+            let failed =
+                (0..self.graph.n_nodes()).find(|&i| self.assignment[i].is_none()).unwrap_or(0);
+            return Err(DivaError::NoDiverseClustering { constraint: self.labels[failed].clone() });
         }
         let clusters = self.state.live_clusters();
         Ok(ColoringOutcome {
@@ -111,6 +137,9 @@ impl<'a> Coloring<'a> {
         }
         for ci in order {
             self.stats.assignments_tried += 1;
+            if self.stats.assignments_tried & CANCEL_POLL_MASK == 0 && self.is_cancelled() {
+                return Err(DivaError::Cancelled);
+            }
             let clustering = &self.candidates[v].candidates[ci];
             // IsConsistent + commit in one step. If the literal
             // candidate is blocked (typically because neighbours own
@@ -123,9 +152,10 @@ impl<'a> Coloring<'a> {
                         continue;
                     }
                     let state = &self.state;
-                    let Some(repaired) = self.candidates[v].repair(clustering, self.config.k, |r| {
-                        state.row_is_free(r)
-                    }) else {
+                    let Some(repaired) =
+                        self.candidates[v]
+                            .repair(clustering, self.config.k, |r| state.row_is_free(r))
+                    else {
                         continue;
                     };
                     self.stats.assignments_tried += 1;
@@ -180,9 +210,8 @@ impl<'a> Coloring<'a> {
     /// according to the configured strategy, or `None` when all nodes
     /// are coloured.
     fn next_node(&mut self) -> Option<usize> {
-        let uncolored: Vec<usize> = (0..self.graph.n_nodes())
-            .filter(|&i| self.assignment[i].is_none())
-            .collect();
+        let uncolored: Vec<usize> =
+            (0..self.graph.n_nodes()).filter(|&i| self.assignment[i].is_none()).collect();
         if uncolored.is_empty() {
             return None;
         }

@@ -68,6 +68,10 @@ pub struct DivaConfig {
     /// ablation benches measure its effect on success rate and
     /// backtracking.
     pub enable_repair: bool,
+    /// Worker-thread cap for the parallel portfolio
+    /// ([`crate::run_portfolio`]). `None` (the default) uses
+    /// `std::thread::available_parallelism()`.
+    pub threads: Option<usize>,
 }
 
 impl Default for DivaConfig {
@@ -80,6 +84,7 @@ impl Default for DivaConfig {
             seed: 0xd1fa,
             l_diversity: 1,
             enable_repair: true,
+            threads: None,
         }
     }
 }

@@ -1,6 +1,8 @@
 //! The DIVA pipeline (Algorithm 1): DiverseClustering → Suppress →
 //! Anonymize → Integrate.
 
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use diva_anonymize::{enforce_l_diversity, is_l_diverse, Anonymizer, KMember};
@@ -98,9 +100,35 @@ impl Diva {
 
     /// Solves the (k, Σ)-anonymization problem for `rel`.
     pub fn run(&self, rel: &Relation, sigma: &[Constraint]) -> Result<DivaResult, DivaError> {
+        self.run_inner(rel, sigma, None)
+    }
+
+    /// [`Diva::run`] with a cancellation token: when `cancel` is set
+    /// (by a winning portfolio sibling), the run aborts with
+    /// [`DivaError::Cancelled`] at the next poll point instead of
+    /// finishing its search.
+    pub fn run_cancellable(
+        &self,
+        rel: &Relation,
+        sigma: &[Constraint],
+        cancel: &Arc<AtomicBool>,
+    ) -> Result<DivaResult, DivaError> {
+        self.run_inner(rel, sigma, Some(cancel))
+    }
+
+    fn run_inner(
+        &self,
+        rel: &Relation,
+        sigma: &[Constraint],
+        cancel: Option<&Arc<AtomicBool>>,
+    ) -> Result<DivaResult, DivaError> {
         let t0 = Instant::now();
         if self.config.k == 0 {
             return Err(DivaError::InvalidK);
+        }
+        let cancelled = || cancel.is_some_and(|c| c.load(Ordering::Relaxed));
+        if cancelled() {
+            return Err(DivaError::Cancelled);
         }
         let set = ConstraintSet::bind(sigma, rel)?;
         let mut stats = RunStats { n_constraints: set.len(), ..RunStats::default() };
@@ -124,23 +152,25 @@ impl Diva {
             )
         };
         let candidates: Vec<CandidateSet> = if set.len() > 1 {
-            crossbeam::thread::scope(|scope| {
+            std::thread::scope(|scope| {
                 let handles: Vec<_> = set
                     .constraints()
                     .iter()
-                    .map(|c| scope.spawn(move |_| enumerate_one(c)))
+                    .map(|c| scope.spawn(move || enumerate_one(c)))
                     .collect();
                 handles.into_iter().map(|h| h.join().expect("enumeration does not panic")).collect()
             })
-            .expect("scoped enumeration threads join")
         } else {
             set.constraints().iter().map(enumerate_one).collect()
         };
         stats.candidates_generated = candidates.iter().map(CandidateSet::len).sum();
         let uppers: Vec<usize> = set.constraints().iter().map(|c| c.upper).collect();
         let labels: Vec<String> = set.constraints().iter().map(|c| c.label()).collect();
-        let outcome =
-            Coloring::new(&graph, &candidates, uppers, &labels, &self.config).solve()?;
+        let mut coloring = Coloring::new(&graph, &candidates, uppers, &labels, &self.config);
+        if let Some(token) = cancel {
+            coloring = coloring.with_cancel(Arc::clone(token));
+        }
+        let outcome = coloring.solve()?;
         stats.coloring = outcome.stats.clone();
         let mut s_sigma: Vec<Vec<RowId>> = outcome.clusters;
         stats.sigma_rows = s_sigma.iter().map(Vec::len).sum();
@@ -154,6 +184,9 @@ impl Diva {
             }
         }
         let rest: Vec<RowId> = (0..rel.n_rows()).filter(|&r| !covered[r]).collect();
+        if cancelled() {
+            return Err(DivaError::Cancelled);
+        }
 
         // --- Anonymize + Integrate. ---
         if !rest.is_empty() && rest.len() < self.config.k {
@@ -237,10 +270,7 @@ impl Diva {
             // Lower bounds must survive the fold (the host cluster may
             // stop retaining its target value); upper bounds are
             // checked too since folding can only lower counts.
-            let ok = set
-                .constraints()
-                .iter()
-                .all(|c| c.count_in(&sup.relation) >= c.lower)
+            let ok = set.constraints().iter().all(|c| c.count_in(&sup.relation) >= c.lower)
                 && is_k_anonymous(&sup.relation, self.config.k)
                 && (self.config.l_diversity <= 1
                     || is_l_diverse(&sup.relation, self.config.l_diversity));
@@ -280,10 +310,7 @@ mod tests {
             assert!(is_k_anonymous(&out.relation, 2), "{strategy}: 2-anonymous");
             let set = ConstraintSet::bind(&example_sigma(), &out.relation).unwrap();
             assert!(set.satisfied_by(&out.relation), "{strategy}: R' |= Σ");
-            assert!(
-                is_refinement(&r, &out.relation, &out.source_rows),
-                "{strategy}: R ⊑ R'"
-            );
+            assert!(is_refinement(&r, &out.relation, &out.source_rows), "{strategy}: R ⊑ R'");
             // Shared clusters may serve two constraints at once, so the
             // minimum coverage is 4 rows (σ2 needs 2 Africans, and a
             // shared Asian/Vancouver pair can serve both σ1 and σ3).
@@ -318,9 +345,7 @@ mod tests {
     fn unsatisfiable_sigma_errors() {
         let r = paper_table1();
         let diva = Diva::new(DivaConfig::with_k(2));
-        let err = diva
-            .run(&r, &[Constraint::single("ETH", "Asian", 4, 10)])
-            .unwrap_err();
+        let err = diva.run(&r, &[Constraint::single("ETH", "Asian", 4, 10)]).unwrap_err();
         assert!(matches!(err, DivaError::NoDiverseClustering { .. }), "{err}");
     }
 
@@ -335,9 +360,7 @@ mod tests {
     fn invalid_constraint_errors() {
         let r = paper_table1();
         let diva = Diva::new(DivaConfig::with_k(2));
-        let err = diva
-            .run(&r, &[Constraint::single("DIAG", "Seizure", 1, 2)])
-            .unwrap_err();
+        let err = diva.run(&r, &[Constraint::single("DIAG", "Seizure", 1, 2)]).unwrap_err();
         assert!(matches!(err, DivaError::Constraint(_)));
     }
 
@@ -370,10 +393,7 @@ mod tests {
     #[test]
     fn custom_anonymizer_is_used() {
         let r = diva_datagen::medical(200, 3);
-        let diva = Diva::with_anonymizer(
-            DivaConfig::with_k(4),
-            Box::new(diva_anonymize::Mondrian),
-        );
+        let diva = Diva::with_anonymizer(DivaConfig::with_k(4), Box::new(diva_anonymize::Mondrian));
         let out = diva.run(&r, &[]).unwrap();
         assert!(is_k_anonymous(&out.relation, 4));
     }
@@ -405,9 +425,7 @@ mod tests {
     fn l_diversity_infeasible_errors() {
         // A relation whose sensitive column has a single value can
         // never be 2-diverse.
-        let mut b = diva_relation::RelationBuilder::new(
-            diva_relation::fixtures::medical_schema(),
-        );
+        let mut b = diva_relation::RelationBuilder::new(diva_relation::fixtures::medical_schema());
         for i in 0..20 {
             b.push_row(&[
                 if i % 2 == 0 { "Female" } else { "Male" },

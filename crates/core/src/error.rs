@@ -42,6 +42,12 @@ pub enum DivaError {
     },
     /// `k` was zero.
     InvalidK,
+    /// A portfolio was requested with zero members
+    /// (`seeds_per_strategy == 0`).
+    EmptyPortfolio,
+    /// The run was cancelled by a portfolio token before reaching a
+    /// verdict (another member won the race).
+    Cancelled,
     /// The requested privacy extension (ℓ-diversity) cannot be met —
     /// e.g. the residual tuples carry fewer distinct sensitive values
     /// than `ℓ`.
@@ -76,6 +82,10 @@ impl std::fmt::Display for DivaError {
                 )
             }
             DivaError::InvalidK => write!(f, "k must be positive"),
+            DivaError::EmptyPortfolio => {
+                write!(f, "portfolio needs at least one seed per strategy")
+            }
+            DivaError::Cancelled => write!(f, "search cancelled (another portfolio member won)"),
             DivaError::PrivacyInfeasible { reason } => {
                 write!(f, "privacy extension infeasible: {reason}")
             }
@@ -105,6 +115,8 @@ mod tests {
         assert!(e.to_string().contains('9'));
         assert!(DivaError::InvalidK.to_string().contains("positive"));
         assert!(DivaError::ResidualTooSmall { remaining: 2 }.to_string().contains('2'));
+        assert!(DivaError::EmptyPortfolio.to_string().contains("seed"));
+        assert!(DivaError::Cancelled.to_string().contains("cancelled"));
     }
 
     #[test]

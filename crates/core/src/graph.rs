@@ -1,64 +1,102 @@
 //! The constraint graph (§3.3): one node per diversity constraint, an
 //! edge where target-tuple sets overlap.
 
-use std::collections::HashSet;
-
 use diva_constraints::ConstraintSet;
-use diva_relation::RowId;
+use diva_relation::{RowId, RowSet};
 
 /// The undirected constraint graph `G = (Γ, E)` built by `BuildGraph`.
 ///
 /// Node `i` corresponds to constraint `Σ[i]`. An edge `{i, j}` exists
 /// iff `I_σi ∩ I_σj ≠ ∅` — those constraints can compete for tuples
-/// and must be checked against each other during colouring. The graph
-/// also owns a hash-set copy of every target-tuple set for O(1)
-/// membership tests in the consistency checks.
+/// and must be checked against each other during colouring.
+///
+/// Target sets are stored as [`RowSet`] bitsets (row ids are dense
+/// relation indices), so membership is one shift-and-mask and the
+/// search's cluster-validity probes touch no hash tables. The
+/// row → nodes inverted index is a CSR layout (`row_offsets` +
+/// `row_nodes`), and edges are derived from it: two nodes are adjacent
+/// iff some row lists both, so one pass over the per-row node lists
+/// finds exactly the overlapping pairs instead of testing all
+/// `O(|Σ|²)` pairs of target sets.
 #[derive(Debug)]
 pub struct ConstraintGraph {
     adj: Vec<Vec<usize>>,
-    target_sets: Vec<HashSet<RowId>>,
-    /// For each row appearing in some target set, the nodes whose
-    /// targets contain it (ascending). Lets the search maintain
-    /// per-node free-target counts incrementally.
-    nodes_of_row: std::collections::HashMap<RowId, Vec<u32>>,
+    target_sets: Vec<RowSet>,
+    /// CSR offsets into `row_nodes`: the nodes whose targets contain
+    /// row `r` are `row_nodes[row_offsets[r]..row_offsets[r + 1]]`,
+    /// ascending.
+    row_offsets: Vec<u32>,
+    row_nodes: Vec<u32>,
+    /// One past the largest row id appearing in any target set.
+    n_rows: usize,
 }
 
 impl ConstraintGraph {
     /// Builds the graph for a bound constraint set.
     pub fn build(set: &ConstraintSet) -> Self {
         let n = set.len();
-        let target_sets: Vec<HashSet<RowId>> = set
+        let n_rows =
+            set.constraints().iter().flat_map(|c| c.target_rows.iter()).max().map_or(0, |&m| m + 1);
+        let target_sets: Vec<RowSet> = set
             .constraints()
             .iter()
-            .map(|c| c.target_rows.iter().copied().collect())
+            .map(|c| RowSet::from_rows(n_rows, c.target_rows.iter().copied()))
             .collect();
-        let mut nodes_of_row: std::collections::HashMap<RowId, Vec<u32>> =
-            std::collections::HashMap::new();
-        for (i, ts) in target_sets.iter().enumerate() {
-            for &r in ts {
-                nodes_of_row.entry(r).or_default().push(i as u32);
+
+        // CSR inverted index row → nodes. Constraints are visited in
+        // node order, so each row's node list comes out ascending.
+        let mut row_offsets = vec![0u32; n_rows + 1];
+        for c in set.constraints() {
+            for &r in &c.target_rows {
+                row_offsets[r + 1] += 1;
             }
         }
-        let mut adj = vec![Vec::new(); n];
-        for i in 0..n {
-            for j in i + 1..n {
-                let (small, large) = if target_sets[i].len() <= target_sets[j].len() {
-                    (&target_sets[i], &target_sets[j])
-                } else {
-                    (&target_sets[j], &target_sets[i])
-                };
-                if small.iter().any(|r| large.contains(r)) {
-                    adj[i].push(j);
-                    adj[j].push(i);
+        for i in 1..row_offsets.len() {
+            row_offsets[i] += row_offsets[i - 1];
+        }
+        let mut row_nodes = vec![0u32; *row_offsets.last().unwrap_or(&0) as usize];
+        let mut cursor = row_offsets.clone();
+        for (i, c) in set.constraints().iter().enumerate() {
+            for &r in &c.target_rows {
+                row_nodes[cursor[r] as usize] = i as u32;
+                cursor[r] += 1;
+            }
+        }
+
+        // Edges from the inverted index: every pair of nodes sharing a
+        // row is adjacent. A per-node neighbour bitset dedups pairs
+        // that share many rows.
+        let mut adj_bits: Vec<RowSet> = (0..n).map(|_| RowSet::new(n)).collect();
+        for r in 0..n_rows {
+            let nodes = &row_nodes[row_offsets[r] as usize..row_offsets[r + 1] as usize];
+            for (x, &a) in nodes.iter().enumerate() {
+                for &b in &nodes[x + 1..] {
+                    adj_bits[a as usize].insert(b as usize);
+                    adj_bits[b as usize].insert(a as usize);
                 }
             }
         }
-        Self { adj, target_sets, nodes_of_row }
+        let adj: Vec<Vec<usize>> = adj_bits.iter().map(|b| b.iter().collect()).collect();
+        Self { adj, target_sets, row_offsets, row_nodes, n_rows }
     }
 
     /// The nodes whose target sets contain `row`.
     pub fn nodes_of(&self, row: RowId) -> &[u32] {
-        self.nodes_of_row.get(&row).map_or(&[], Vec::as_slice)
+        if row >= self.n_rows {
+            return &[];
+        }
+        &self.row_nodes[self.row_offsets[row] as usize..self.row_offsets[row + 1] as usize]
+    }
+
+    /// One past the largest row id appearing in any target set — the
+    /// capacity dense row-indexed state must allocate.
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// The target-tuple bitset of node `i` (`I_σi`).
+    pub fn target_set(&self, i: usize) -> &RowSet {
+        &self.target_sets[i]
     }
 
     /// Target-set size of node `i` (`|I_σi|`).
@@ -78,14 +116,14 @@ impl ConstraintGraph {
 
     /// Whether `row` is a target tuple of constraint `i`.
     pub fn is_target(&self, i: usize, row: RowId) -> bool {
-        self.target_sets[i].contains(&row)
+        self.target_sets[i].contains(row)
     }
 
     /// Whether every row of `cluster` is a target tuple of constraint
     /// `i` — i.e. whether the cluster, once suppressed, retains `i`'s
     /// target value and contributes `|cluster|` occurrences to it.
     pub fn cluster_contributes(&self, i: usize, cluster: &[RowId]) -> bool {
-        cluster.iter().all(|r| self.target_sets[i].contains(r))
+        self.target_sets[i].contains_all(cluster)
     }
 
     /// Degree of node `i`.
@@ -143,11 +181,24 @@ mod tests {
     }
 
     #[test]
+    fn inverted_index_matches_target_sets() {
+        let g = example_graph();
+        for row in 0..g.n_rows() {
+            let via_index: Vec<usize> = g.nodes_of(row).iter().map(|&n| n as usize).collect();
+            let via_sets: Vec<usize> = (0..g.n_nodes()).filter(|&i| g.is_target(i, row)).collect();
+            assert_eq!(via_index, via_sets, "row {row}");
+        }
+        // Rows beyond every target set have no nodes.
+        assert!(g.nodes_of(g.n_rows() + 5).is_empty());
+    }
+
+    #[test]
     fn empty_set_graph() {
         let r = paper_table1();
         let set = ConstraintSet::bind(&[], &r).unwrap();
         let g = ConstraintGraph::build(&set);
         assert_eq!(g.n_nodes(), 0);
+        assert_eq!(g.n_rows(), 0);
     }
 
     #[test]

@@ -116,8 +116,8 @@ mod tests {
     use super::*;
     use diva_constraints::{Constraint, ConstraintSet};
     use diva_relation::fixtures::paper_table1;
-    use diva_relation::suppress::suppress_clustering;
     use diva_relation::is_k_anonymous;
+    use diva_relation::suppress::suppress_clustering;
 
     #[test]
     fn paper_example_integration_needs_no_repair() {
@@ -199,7 +199,7 @@ mod tests {
         let sigma = vec![Constraint::single("GEN", "Male", 0, 3)];
         let set = ConstraintSet::bind(&sigma, &r).unwrap();
         let r_sigma = suppress_clustering(&r, &[vec![7, 8]]); // Females
-        // Males: rows 2,3,4,5,6. Groups {2,3} and {4,5,6}.
+                                                              // Males: rows 2,3,4,5,6. Groups {2,3} and {4,5,6}.
         let r_k = suppress_clustering(&r, &[vec![2, 3], vec![4, 5, 6]]);
         let out = integrate(&r_sigma, Some(&r_k), &set).unwrap();
         assert_eq!(out.repairs, 1);

@@ -52,4 +52,4 @@ pub use config::{DivaConfig, Strategy};
 pub use diva::{Diva, DivaResult, RunStats};
 pub use error::DivaError;
 pub use graph::ConstraintGraph;
-pub use parallel::run_portfolio;
+pub use parallel::{run_portfolio, run_portfolio_with};

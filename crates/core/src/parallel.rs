@@ -2,7 +2,7 @@
 //! distributed version of the coloring algorithm to improve
 //! scalability by satisfying constraints in parallel", realized as a
 //! portfolio: several complete DIVA searches with different strategies
-//! and seeds race on separate threads, and the first success wins.
+//! and seeds race, and the first success wins.
 //!
 //! A portfolio parallelizes the *search* (the exponential component)
 //! rather than a single run's bookkeeping, which is the standard way
@@ -10,9 +10,19 @@
 //! (a member only reports failure on a complete proof) and gives
 //! speedups whenever strategies disagree about which instance is easy
 //! — which Fig. 4a shows they strongly do.
+//!
+//! Execution model: a fixed pool of detached worker threads (capped at
+//! [`std::thread::available_parallelism`], overridable via
+//! [`DivaConfig::threads`]) pulls members off a shared work queue, so
+//! a large portfolio never oversubscribes the machine. The first
+//! success sets a shared [`AtomicBool`] cancellation token — which the
+//! colouring search polls — and `run_portfolio` returns immediately
+//! with the winner's wall-clock; losing members observe the token and
+//! abandon their searches in the background instead of running to
+//! completion.
 
-use crossbeam::channel;
-use crossbeam::thread;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc};
 
 use diva_constraints::Constraint;
 use diva_relation::Relation;
@@ -26,16 +36,40 @@ use crate::error::DivaError;
 ///
 /// The portfolio contains one member per strategy (MinChoice,
 /// MaxFanOut, Basic) times `seeds_per_strategy` seeds derived from
-/// `config.seed`. If every member fails, the error of the member with
-/// the strongest verdict is returned (a `NoDiverseClustering` proof
-/// beats a budget exhaustion).
+/// `config.seed`. Returns [`DivaError::EmptyPortfolio`] when
+/// `seeds_per_strategy` is zero. If every member fails, the error of
+/// the member with the strongest verdict is returned (a
+/// `NoDiverseClustering` proof beats a budget exhaustion).
 pub fn run_portfolio(
     rel: &Relation,
     sigma: &[Constraint],
     config: &DivaConfig,
     seeds_per_strategy: usize,
 ) -> Result<DivaResult, DivaError> {
-    assert!(seeds_per_strategy > 0, "portfolio needs at least one seed");
+    run_portfolio_with(rel, sigma, config, seeds_per_strategy, |member, rel, sigma, cancel| {
+        Diva::new(member.clone()).run_cancellable(rel, sigma, cancel)
+    })
+}
+
+/// [`run_portfolio`] with an injectable member runner — the test seam
+/// that lets the early-return behaviour be exercised with synthetic
+/// fast/slow members. Production code uses [`run_portfolio`].
+pub fn run_portfolio_with<F>(
+    rel: &Relation,
+    sigma: &[Constraint],
+    config: &DivaConfig,
+    seeds_per_strategy: usize,
+    member_runner: F,
+) -> Result<DivaResult, DivaError>
+where
+    F: Fn(&DivaConfig, &Relation, &[Constraint], &Arc<AtomicBool>) -> Result<DivaResult, DivaError>
+        + Send
+        + Sync
+        + 'static,
+{
+    if seeds_per_strategy == 0 {
+        return Err(DivaError::EmptyPortfolio);
+    }
     let mut members = Vec::new();
     for strategy in Strategy::all() {
         for s in 0..seeds_per_strategy as u64 {
@@ -46,43 +80,74 @@ pub fn run_portfolio(
         }
     }
 
-    let (tx, rx) = channel::bounded::<Result<DivaResult, DivaError>>(members.len());
-    let result = thread::scope(|scope| {
-        for member in &members {
-            let tx = tx.clone();
-            scope.spawn(move |_| {
-                let out = Diva::new(member.clone()).run(rel, sigma);
-                // A full channel or dropped receiver just means someone
-                // else already won.
-                let _ = tx.send(out);
-            });
-        }
-        drop(tx);
-        let mut best_err: Option<DivaError> = None;
-        for outcome in rx.iter() {
-            match outcome {
-                Ok(res) => return Ok(res),
-                Err(e) => {
-                    let stronger = matches!(e, DivaError::NoDiverseClustering { .. })
-                        || best_err.is_none();
-                    if stronger {
-                        best_err = Some(e);
-                    }
+    // Workers are detached: they borrow nothing from this stack frame,
+    // so the function can return the moment a winner reports, while
+    // losers notice the cancellation token and wind down on their own.
+    let members = Arc::new(members);
+    let rel = Arc::new(rel.clone());
+    let sigma = Arc::new(sigma.to_vec());
+    let runner = Arc::new(member_runner);
+    let cancel = Arc::new(AtomicBool::new(false));
+    let next = Arc::new(AtomicUsize::new(0));
+    let (tx, rx) = mpsc::channel::<Result<DivaResult, DivaError>>();
+
+    let hw = std::thread::available_parallelism().map(usize::from).unwrap_or(1);
+    let n_workers = members.len().min(config.threads.unwrap_or(hw).max(1));
+    for _ in 0..n_workers {
+        let members = Arc::clone(&members);
+        let rel = Arc::clone(&rel);
+        let sigma = Arc::clone(&sigma);
+        let runner = Arc::clone(&runner);
+        let cancel = Arc::clone(&cancel);
+        let next = Arc::clone(&next);
+        let tx = tx.clone();
+        std::thread::spawn(move || loop {
+            let i = next.fetch_add(1, Ordering::Relaxed);
+            if i >= members.len() || cancel.load(Ordering::Relaxed) {
+                break;
+            }
+            let out = runner(&members[i], &rel, &sigma, &cancel);
+            // A dropped receiver just means someone else already won.
+            if tx.send(out).is_err() {
+                break;
+            }
+        });
+    }
+    drop(tx);
+
+    let mut best_err: Option<DivaError> = None;
+    while let Ok(outcome) = rx.recv() {
+        match outcome {
+            Ok(res) => {
+                cancel.store(true, Ordering::Relaxed);
+                return Ok(res);
+            }
+            // A member that observed the token mid-run carries no
+            // verdict; it never reaches this loop before a win anyway.
+            Err(DivaError::Cancelled) => {}
+            Err(e) => {
+                let stronger =
+                    matches!(e, DivaError::NoDiverseClustering { .. }) || best_err.is_none();
+                if stronger {
+                    best_err = Some(e);
                 }
             }
         }
-        Err(best_err.expect("portfolio has at least one member"))
-    })
-    .expect("portfolio threads do not panic");
-    result
+    }
+    // Every sender is dropped only after all members completed.
+    Err(best_err.expect("portfolio has at least one member"))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::time::{Duration, Instant};
+
     use diva_constraints::ConstraintSet;
     use diva_relation::fixtures::paper_table1;
     use diva_relation::is_k_anonymous;
+
+    use crate::diva::RunStats;
 
     fn example_sigma() -> Vec<Constraint> {
         vec![
@@ -125,9 +190,76 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "at least one seed")]
-    fn zero_seeds_panics() {
+    fn zero_seeds_is_an_error() {
         let r = paper_table1();
-        let _ = run_portfolio(&r, &[], &DivaConfig::with_k(2), 0);
+        let err = run_portfolio(&r, &[], &DivaConfig::with_k(2), 0).unwrap_err();
+        assert_eq!(err, DivaError::EmptyPortfolio);
+    }
+
+    #[test]
+    fn thread_cap_of_one_still_completes() {
+        let r = paper_table1();
+        let mut config = DivaConfig::with_k(2);
+        config.threads = Some(1);
+        let out = run_portfolio(&r, &example_sigma(), &config, 2).unwrap();
+        assert!(is_k_anonymous(&out.relation, 2));
+    }
+
+    fn dummy_result() -> DivaResult {
+        DivaResult {
+            relation: paper_table1(),
+            groups: Vec::new(),
+            source_rows: Vec::new(),
+            stats: RunStats::default(),
+        }
+    }
+
+    #[test]
+    fn winner_returns_without_waiting_for_slow_losers() {
+        // One fast winner (the first member: MinChoice at the base
+        // seed), every other member "searches" until cancelled (capped
+        // at 10 s so a regression fails rather than hangs). The
+        // portfolio must return in roughly the winner's wall-clock.
+        let r = paper_table1();
+        let config = DivaConfig::with_k(2);
+        let base_seed = config.seed;
+        let t0 = Instant::now();
+        let out = run_portfolio_with(&r, &[], &config, 2, move |member, _rel, _sigma, cancel| {
+            if member.strategy == Strategy::MinChoice && member.seed == base_seed {
+                std::thread::sleep(Duration::from_millis(20));
+                return Ok(dummy_result());
+            }
+            let start = Instant::now();
+            while start.elapsed() < Duration::from_secs(10) {
+                if cancel.load(Ordering::Relaxed) {
+                    return Err(DivaError::Cancelled);
+                }
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(DivaError::SearchBudgetExhausted { backtracks: 0 })
+        })
+        .unwrap();
+        let elapsed = t0.elapsed();
+        assert!(out.groups.is_empty(), "got the synthetic winner");
+        assert!(elapsed < Duration::from_secs(5), "portfolio waited for losers: {elapsed:?}");
+    }
+
+    #[test]
+    fn all_failures_return_strongest_verdict() {
+        let r = paper_table1();
+        let out = run_portfolio_with(
+            &r,
+            &[],
+            &DivaConfig::with_k(2),
+            1,
+            |member, _rel, _sigma, _cancel| {
+                if member.strategy == Strategy::Basic {
+                    Err(DivaError::NoDiverseClustering { constraint: "X[x]".into() })
+                } else {
+                    Err(DivaError::SearchBudgetExhausted { backtracks: 1 })
+                }
+            },
+        );
+        assert!(matches!(out.unwrap_err(), DivaError::NoDiverseClustering { .. }));
     }
 }

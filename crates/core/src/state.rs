@@ -9,6 +9,18 @@
 //!    any constraint: a cluster `C ⊆ I_σj` retains σj's target value
 //!    and contributes `|C|` occurrences to it, so the running retained
 //!    total per constraint must stay ≤ `λr`.
+//!
+//! This is the innermost layer of the search and is engineered for the
+//! hot path: row ownership is a dense `Vec<u32>` indexed by row id
+//! (not a `HashMap`), the cluster registry is keyed by a precomputed
+//! 64-bit cluster hash (collisions resolved by row comparison), and
+//! the per-call scratch (pending-row marks, per-constraint
+//! contribution counters) lives in epoch-stamped arrays reused across
+//! calls, so `try_assign`/`unassign` allocate only when registering a
+//! genuinely new cluster. The upper-bound delta is computed through
+//! the graph's row → nodes inverted index — a cluster contributes to
+//! constraint `j` iff `j` is listed by every row, detected by counting
+//! — instead of probing every constraint's target set.
 
 use std::collections::HashMap;
 
@@ -17,11 +29,15 @@ use diva_relation::RowId;
 use crate::candidates::Clustering;
 use crate::graph::ConstraintGraph;
 
-/// A registered cluster: its canonical (sorted) rows and how many
-/// assigned clusterings currently include it.
+/// Sentinel in the dense owner map: the row is free.
+const NO_OWNER: u32 = u32::MAX;
+
+/// A registered cluster: its canonical (sorted) rows, its precomputed
+/// hash, and how many assigned clusterings currently include it.
 #[derive(Debug, Clone)]
 struct Entry {
     rows: Vec<RowId>,
+    hash: u64,
     refcount: usize,
 }
 
@@ -36,13 +52,28 @@ pub struct Token {
     created: Vec<usize>,
 }
 
+/// FNV-1a over the (sorted) rows of a cluster. Collisions are
+/// resolved by comparing rows, so the hash only needs to spread.
+fn cluster_hash(rows: &[RowId]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &r in rows {
+        h ^= r as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
 /// The search state.
 #[derive(Debug)]
 pub struct SearchState {
     clusters: Vec<Option<Entry>>,
     free_ids: Vec<usize>,
-    by_key: HashMap<Vec<RowId>, usize>,
-    row_owner: HashMap<RowId, usize>,
+    /// Cluster hash → live cluster ids with that hash (almost always
+    /// one; hash collisions append).
+    by_key: HashMap<u64, Vec<usize>>,
+    /// Dense owner map: `row_owner[r]` is the owning cluster id or
+    /// [`NO_OWNER`].
+    row_owner: Vec<u32>,
     /// Per-constraint retained occurrence totals.
     retained: Vec<usize>,
     /// Per-constraint upper bounds (`λr`).
@@ -50,21 +81,41 @@ pub struct SearchState {
     /// Per-constraint count of target rows not owned by any cluster,
     /// maintained incrementally for the search's forward check.
     free_targets: Vec<usize>,
+    /// Epoch-stamped scratch marking rows claimed by earlier clusters
+    /// of the clustering currently being validated.
+    pending_mark: Vec<u32>,
+    epoch: u32,
+    /// Scratch: per-constraint row counts for one cluster (zeroed via
+    /// `touched` after each use).
+    node_cnt: Vec<u32>,
+    /// Scratch: per-constraint retained-count deltas for one
+    /// clustering (zeroed via `delta_touched` after each use).
+    delta: Vec<usize>,
+    touched: Vec<u32>,
+    delta_touched: Vec<u32>,
 }
 
 impl SearchState {
-    /// Creates an empty state for `uppers.len()` constraints.
-    /// `target_sizes[i]` is `|I_σi|`.
-    pub fn new(uppers: Vec<usize>, target_sizes: Vec<usize>) -> Self {
+    /// Creates an empty state for `uppers.len()` constraints over rows
+    /// `0..n_rows`. `target_sizes[i]` is `|I_σi|`; `n_rows` is the
+    /// graph's row capacity ([`ConstraintGraph::n_rows`]).
+    pub fn new(uppers: Vec<usize>, target_sizes: Vec<usize>, n_rows: usize) -> Self {
         assert_eq!(uppers.len(), target_sizes.len());
+        let n = uppers.len();
         Self {
             clusters: Vec::new(),
             free_ids: Vec::new(),
             by_key: HashMap::new(),
-            row_owner: HashMap::new(),
-            retained: vec![0; uppers.len()],
+            row_owner: vec![NO_OWNER; n_rows],
+            retained: vec![0; n],
             uppers,
             free_targets: target_sizes,
+            pending_mark: vec![0; n_rows],
+            epoch: 0,
+            node_cnt: vec![0; n],
+            delta: vec![0; n],
+            touched: Vec::new(),
+            delta_touched: Vec::new(),
         }
     }
 
@@ -81,7 +132,16 @@ impl SearchState {
 
     /// Whether `row` is not owned by any live cluster.
     pub fn row_is_free(&self, row: RowId) -> bool {
-        !self.row_owner.contains_key(&row)
+        self.row_owner.get(row).is_none_or(|&o| o == NO_OWNER)
+    }
+
+    /// Looks up a registered cluster by content.
+    fn find_cluster(&self, rows: &[RowId], hash: u64) -> Option<usize> {
+        self.by_key
+            .get(&hash)?
+            .iter()
+            .copied()
+            .find(|&id| self.clusters[id].as_ref().is_some_and(|e| e.rows == rows))
     }
 
     /// Quick pre-check (no mutation): would `clustering` pass the
@@ -89,23 +149,73 @@ impl SearchState {
     /// currently consistent candidates of uncoloured nodes.
     pub fn rows_available(&self, clustering: &Clustering) -> bool {
         clustering.iter().all(|cluster| {
-            if self.by_key.contains_key(cluster) {
+            if self.find_cluster(cluster, cluster_hash(cluster)).is_some() {
                 return true; // shared cluster
             }
-            cluster.iter().all(|r| !self.row_owner.contains_key(r))
+            cluster.iter().all(|&r| self.row_is_free(r))
         })
+    }
+
+    /// Adds `cluster`'s retained-count contributions into the `delta`
+    /// scratch using the inverted index: constraint `j` gains
+    /// `|cluster|` occurrences iff every row of the cluster lists `j`
+    /// (detected by counting row → node incidences).
+    fn accumulate_delta(&mut self, cluster: &[RowId], graph: &ConstraintGraph) {
+        self.touched.clear();
+        for &r in cluster {
+            for &node in graph.nodes_of(r) {
+                if self.node_cnt[node as usize] == 0 {
+                    self.touched.push(node);
+                }
+                self.node_cnt[node as usize] += 1;
+            }
+        }
+        for i in 0..self.touched.len() {
+            let node = self.touched[i] as usize;
+            if self.node_cnt[node] as usize == cluster.len() {
+                if self.delta[node] == 0 {
+                    self.delta_touched.push(node as u32);
+                }
+                // A node may already be in delta_touched with delta 0
+                // from a previous cluster of this clustering; pushing
+                // it twice is harmless (reset is idempotent) but only
+                // happens on the 0 → nonzero transition above.
+                self.delta[node] += cluster.len();
+            }
+            self.node_cnt[node] = 0;
+        }
+    }
+
+    /// Clears the `delta` scratch.
+    fn reset_delta(&mut self) {
+        for &node in &self.delta_touched {
+            self.delta[node as usize] = 0;
+        }
+        self.delta_touched.clear();
     }
 
     /// Attempts to assign `clustering` (for any node): checks both
     /// consistency conditions and, on success, commits and returns an
     /// undo token. Returns `None` (state untouched) on inconsistency.
-    pub fn try_assign(&mut self, clustering: &Clustering, graph: &ConstraintGraph) -> Option<Token> {
-        // --- Validation phase (no mutation). ---
-        let mut new_clusters: Vec<&Vec<RowId>> = Vec::new();
+    pub fn try_assign(
+        &mut self,
+        clustering: &Clustering,
+        graph: &ConstraintGraph,
+    ) -> Option<Token> {
+        // --- Validation phase (no mutation beyond scratch). ---
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            // Wrapped: clear stale marks so they can't alias the new
+            // epoch, then restart from 1.
+            self.pending_mark.fill(0);
+            self.epoch = 1;
+        }
+        let epoch = self.epoch;
+        let mut new_clusters: Vec<(&Vec<RowId>, u64)> = Vec::new();
         let mut shared: Vec<usize> = Vec::new();
-        let mut pending: std::collections::HashSet<RowId> = std::collections::HashSet::new();
         for cluster in clustering {
-            if let Some(&id) = self.by_key.get(cluster) {
+            let hash = cluster_hash(cluster);
+            if let Some(id) = self.find_cluster(cluster, hash) {
                 shared.push(id);
                 continue;
             }
@@ -113,29 +223,30 @@ impl SearchState {
             // *different* cluster, nor a row of another new cluster in
             // this same clustering (candidates are disjoint by
             // construction; this guards against malformed input).
-            if cluster
-                .iter()
-                .any(|r| self.row_owner.contains_key(r) || !pending.insert(*r))
-            {
-                return None;
-            }
-            new_clusters.push(cluster);
-        }
-        // Upper-bound simulation over every constraint the new
-        // clusters contribute to.
-        let n_constraints = self.retained.len();
-        let mut delta = vec![0usize; n_constraints];
-        for cluster in &new_clusters {
-            for (j, d) in delta.iter_mut().enumerate() {
-                if graph.cluster_contributes(j, cluster) {
-                    *d += cluster.len();
+            for &r in cluster {
+                let owned = !self.row_is_free(r);
+                let pending = self.pending_mark.get(r).is_some_and(|&m| m == epoch);
+                if owned || pending {
+                    return None;
+                }
+                if let Some(m) = self.pending_mark.get_mut(r) {
+                    *m = epoch;
                 }
             }
+            new_clusters.push((cluster, hash));
         }
-        for ((&d, &retained), &upper) in delta.iter().zip(&self.retained).zip(&self.uppers) {
-            if retained + d > upper {
-                return None;
-            }
+        // Upper-bound simulation over the constraints the new clusters
+        // contribute to (only those — the inverted index names them).
+        for (cluster, _) in &new_clusters {
+            self.accumulate_delta(cluster, graph);
+        }
+        let violates = self
+            .delta_touched
+            .iter()
+            .any(|&n| self.retained[n as usize] + self.delta[n as usize] > self.uppers[n as usize]);
+        if violates {
+            self.reset_delta();
+            return None;
         }
 
         // --- Commit phase. ---
@@ -144,24 +255,25 @@ impl SearchState {
             self.clusters[id].as_mut().expect("shared id is live").refcount += 1;
             token.incref.push(id);
         }
-        for cluster in new_clusters {
+        for (cluster, hash) in new_clusters {
             let id = self.free_ids.pop().unwrap_or_else(|| {
                 self.clusters.push(None);
                 self.clusters.len() - 1
             });
-            self.clusters[id] = Some(Entry { rows: cluster.clone(), refcount: 1 });
-            self.by_key.insert(cluster.clone(), id);
+            self.clusters[id] = Some(Entry { rows: cluster.clone(), hash, refcount: 1 });
+            self.by_key.entry(hash).or_default().push(id);
             for &r in cluster {
-                self.row_owner.insert(r, id);
+                self.row_owner[r] = id as u32;
                 for &node in graph.nodes_of(r) {
                     self.free_targets[node as usize] -= 1;
                 }
             }
             token.created.push(id);
         }
-        for (r, d) in self.retained.iter_mut().zip(&delta) {
-            *r += d;
+        for &node in &self.delta_touched {
+            self.retained[node as usize] += self.delta[node as usize];
         }
+        self.reset_delta();
         Some(token)
     }
 
@@ -173,18 +285,22 @@ impl SearchState {
         for id in token.created {
             let entry = self.clusters[id].take().expect("created id is live");
             debug_assert_eq!(entry.refcount, 1);
-            self.by_key.remove(&entry.rows);
+            let bucket = self.by_key.get_mut(&entry.hash).expect("hash is registered");
+            bucket.retain(|&b| b != id);
+            if bucket.is_empty() {
+                self.by_key.remove(&entry.hash);
+            }
             for &r in &entry.rows {
-                self.row_owner.remove(&r);
+                self.row_owner[r] = NO_OWNER;
                 for &node in graph.nodes_of(r) {
                     self.free_targets[node as usize] += 1;
                 }
             }
-            for j in 0..self.retained.len() {
-                if graph.cluster_contributes(j, &entry.rows) {
-                    self.retained[j] -= entry.rows.len();
-                }
+            self.accumulate_delta(&entry.rows, graph);
+            for &node in &self.delta_touched {
+                self.retained[node as usize] -= self.delta[node as usize];
             }
+            self.reset_delta();
             self.free_ids.push(id);
         }
     }
@@ -192,19 +308,12 @@ impl SearchState {
     /// The distinct live clusters — the diverse clustering `S_Σ`
     /// (shared clusters appear once).
     pub fn live_clusters(&self) -> Vec<Vec<RowId>> {
-        self.clusters
-            .iter()
-            .flatten()
-            .filter(|e| e.refcount > 0)
-            .map(|e| e.rows.clone())
-            .collect()
+        self.clusters.iter().flatten().filter(|e| e.refcount > 0).map(|e| e.rows.clone()).collect()
     }
 
-    /// Rows covered by the live clusters.
+    /// Rows covered by the live clusters, ascending.
     pub fn covered_rows(&self) -> Vec<RowId> {
-        let mut rows: Vec<RowId> = self.row_owner.keys().copied().collect();
-        rows.sort_unstable();
-        rows
+        self.row_owner.iter().enumerate().filter(|(_, &o)| o != NO_OWNER).map(|(r, _)| r).collect()
     }
 }
 
@@ -228,7 +337,8 @@ mod tests {
         let graph = ConstraintGraph::build(&set);
         let uppers = set.constraints().iter().map(|c| c.upper).collect();
         let sizes = set.constraints().iter().map(|c| c.target_rows.len()).collect();
-        (graph, SearchState::new(uppers, sizes))
+        let n_rows = graph.n_rows();
+        (graph, SearchState::new(uppers, sizes, n_rows))
     }
 
     #[test]
@@ -290,7 +400,7 @@ mod tests {
         let r = paper_table1();
         let set = ConstraintSet::bind(&[Constraint::single("GEN", "Female", 1, 3)], &r).unwrap();
         let g2 = ConstraintGraph::build(&set);
-        let mut st2 = SearchState::new(vec![3], vec![5]);
+        let mut st2 = SearchState::new(vec![3], vec![5], g2.n_rows());
         // Four Female rows 0,1,7,8 in one clustering → 4 > 3 rejected.
         assert!(st2.try_assign(&vec![vec![0, 1], vec![7, 8]], &g2).is_none());
         // Two is fine.
@@ -315,5 +425,15 @@ mod tests {
         assert_eq!(st.retained(0), 2);
         assert_eq!(st.retained(2), 2);
         assert_eq!(st.retained(1), 0);
+    }
+
+    #[test]
+    fn duplicate_rows_within_clustering_rejected() {
+        let (g, mut st) = setup();
+        // Two new clusters of one clustering claiming the same row must
+        // be caught by the epoch-stamped pending marks.
+        assert!(st.try_assign(&vec![vec![7, 8], vec![8, 9]], &g).is_none());
+        assert_eq!(st.retained(0), 0);
+        assert!(st.covered_rows().is_empty());
     }
 }

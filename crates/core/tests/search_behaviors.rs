@@ -41,18 +41,11 @@ fn repair_routes_around_monopolized_rows() {
     // σ2 needs 30 B=b0 rows — the literal low-offset windows of its
     // similarity order overlap σ1's rows heavily, so without repair
     // the capped candidate list can dead-end.
-    let sigma = vec![
-        Constraint::single("A", "a", 20, 20),
-        Constraint::single("B", "b0", 30, 40),
-    ];
+    let sigma = vec![Constraint::single("A", "a", 20, 20), Constraint::single("B", "b0", 30, 40)];
     let k = 5;
     for enable_repair in [true, false] {
-        let config = DivaConfig {
-            k,
-            strategy: Strategy::MinChoice,
-            enable_repair,
-            ..DivaConfig::default()
-        };
+        let config =
+            DivaConfig { k, strategy: Strategy::MinChoice, enable_repair, ..DivaConfig::default() };
         match Diva::new(config).run(&rel, &sigma) {
             Ok(out) => {
                 // Any successful run must hand back a valid relation.
@@ -78,17 +71,11 @@ fn forward_checking_strategies_prove_unsat_quickly() {
     // still forbids reuse at the required total: 20 shared + 30 free
     // = 50 ≥ 45, so sharing could work... tighten to 51 to be truly
     // impossible).
-    let sigma = vec![
-        Constraint::single("A", "a", 20, 20),
-        Constraint::single("B", "b0", 51, 60),
-    ];
+    let sigma = vec![Constraint::single("A", "a", 20, 20), Constraint::single("B", "b0", 51, 60)];
     for strategy in [Strategy::MinChoice, Strategy::MaxFanOut] {
         let config = DivaConfig { k: 5, strategy, ..DivaConfig::default() };
         let err = Diva::new(config).run(&rel, &sigma).unwrap_err();
-        assert!(
-            matches!(err, DivaError::NoDiverseClustering { .. }),
-            "{strategy}: {err}"
-        );
+        assert!(matches!(err, DivaError::NoDiverseClustering { .. }), "{strategy}: {err}");
     }
 }
 
@@ -98,10 +85,7 @@ fn shared_cluster_solutions_survive_forward_checking() {
     // rows: both must share one cluster; naive free-row forward checks
     // would prune this.
     let rel = contended_relation();
-    let sigma = vec![
-        Constraint::single("A", "a", 20, 20),
-        Constraint::single("A", "a", 10, 20),
-    ];
+    let sigma = vec![Constraint::single("A", "a", 20, 20), Constraint::single("A", "a", 10, 20)];
     let config = DivaConfig { k: 5, strategy: Strategy::MaxFanOut, ..DivaConfig::default() };
     let out = Diva::new(config).run(&rel, &sigma).expect("sharing works");
     let set = ConstraintSet::bind(&sigma, &out.relation).unwrap();
@@ -168,10 +152,7 @@ fn candidate_sets_expose_min_total() {
 fn l_diversity_filters_candidates() {
     // Build a relation where one value's rows share a single sensitive
     // value: with l=2 that constraint has no candidates at all.
-    let schema = Arc::new(Schema::new(vec![
-        Attribute::quasi("A"),
-        Attribute::sensitive("S"),
-    ]));
+    let schema = Arc::new(Schema::new(vec![Attribute::quasi("A"), Attribute::sensitive("S")]));
     let mut b = RelationBuilder::new(schema);
     for _ in 0..10 {
         b.push_row(&["mono", "same"]);

@@ -69,8 +69,13 @@ pub struct Sampler {
 enum SamplerKind {
     Uniform,
     /// Cumulative distribution table; `cdf[i]` = P(index ≤ i).
-    Table { cdf: Vec<f64> },
-    Gaussian { mean: f64, sd: f64 },
+    Table {
+        cdf: Vec<f64>,
+    },
+    Gaussian {
+        mean: f64,
+        sd: f64,
+    },
 }
 
 impl Sampler {

@@ -27,10 +27,7 @@ pub fn generate(spec: &DatasetSpec, n_rows: usize, seed: u64) -> Relation {
     let mut rng = StdRng::seed_from_u64(seed);
 
     let schema = Arc::new(Schema::new(
-        spec.columns
-            .iter()
-            .map(|c| Attribute::new(c.name.clone(), c.role))
-            .collect(),
+        spec.columns.iter().map(|c| Attribute::new(c.name.clone(), c.role)).collect(),
     ));
 
     // Dictionaries: intern every domain value up front so that
@@ -49,9 +46,8 @@ pub fn generate(spec: &DatasetSpec, n_rows: usize, seed: u64) -> Relation {
         })
         .collect();
 
-    let qi_cols: Vec<usize> = (0..spec.columns.len())
-        .filter(|&i| spec.columns[i].role == AttrRole::Quasi)
-        .collect();
+    let qi_cols: Vec<usize> =
+        (0..spec.columns.len()).filter(|&i| spec.columns[i].role == AttrRole::Quasi).collect();
 
     // Functional derivations: a derived child column is sampled in
     // *block* space (domain / parent_domain choices) and materialized
@@ -64,13 +60,23 @@ pub fn generate(spec: &DatasetSpec, n_rows: usize, seed: u64) -> Relation {
     for d in &spec.derivations {
         let child_col = schema.col(&d.child).expect("derivation child exists");
         let parent_col = schema.col(&d.parent).expect("derivation parent exists");
-        let child_slot = qi_cols.iter().position(|&c| c == child_col)
+        let child_slot = qi_cols
+            .iter()
+            .position(|&c| c == child_col)
             .expect("derivation child is a QI attribute");
-        let parent_slot = qi_cols.iter().position(|&c| c == parent_col)
+        let parent_slot = qi_cols
+            .iter()
+            .position(|&c| c == parent_col)
             .expect("derivation parent is a QI attribute");
         let nc = spec.columns[child_col].domain.size();
         let np = spec.columns[parent_col].domain.size();
-        assert!(nc.is_multiple_of(np), "{}: child domain {} not a multiple of parent domain {}", spec.name, nc, np);
+        assert!(
+            nc.is_multiple_of(np),
+            "{}: child domain {} not a multiple of parent domain {}",
+            spec.name,
+            nc,
+            np
+        );
         assert!(derived[parent_slot].is_none(), "derivation chains are not supported");
         derived[child_slot] = Some((parent_slot, np));
     }
@@ -89,10 +95,8 @@ pub fn generate(spec: &DatasetSpec, n_rows: usize, seed: u64) -> Relation {
         .collect();
     // The profile space is the product of the *effective* (block-space)
     // domain sizes.
-    let qi_product: usize = qi_samplers
-        .iter()
-        .map(Sampler::domain)
-        .fold(1usize, |a, b| a.saturating_mul(b));
+    let qi_product: usize =
+        qi_samplers.iter().map(Sampler::domain).fold(1usize, |a, b| a.saturating_mul(b));
     assert!(
         qi_product >= spec.n_profiles,
         "{}: cannot materialize {} distinct QI profiles from a profile space of {}",
@@ -110,7 +114,8 @@ pub fn generate(spec: &DatasetSpec, n_rows: usize, seed: u64) -> Relation {
     let mut profiles: Vec<Vec<u32>> = Vec::with_capacity(n_needed);
     let mut seen: HashSet<Vec<u32>> = HashSet::with_capacity(n_needed);
     while profiles.len() < n_needed {
-        let mut candidate: Vec<u32> = qi_samplers.iter().map(|s| s.sample(&mut rng) as u32).collect();
+        let mut candidate: Vec<u32> =
+            qi_samplers.iter().map(|s| s.sample(&mut rng) as u32).collect();
         let mut retries = 0;
         while seen.contains(&candidate) && retries < 200 {
             candidate = qi_samplers.iter().map(|s| s.sample(&mut rng) as u32).collect();
@@ -132,11 +137,7 @@ pub fn generate(spec: &DatasetSpec, n_rows: usize, seed: u64) -> Relation {
     profile_ids.shuffle(&mut rng);
 
     // Emit columns.
-    let mut cols: Vec<Vec<u32>> = spec
-        .columns
-        .iter()
-        .map(|_| Vec::with_capacity(n_rows))
-        .collect();
+    let mut cols: Vec<Vec<u32>> = spec.columns.iter().map(|_| Vec::with_capacity(n_rows)).collect();
     let non_qi: Vec<(usize, Sampler)> = (0..spec.columns.len())
         .filter(|i| !qi_cols.contains(i))
         .map(|i| (i, Sampler::new(spec.columns[i].dist, spec.columns[i].domain.size())))
@@ -160,11 +161,7 @@ pub fn generate(spec: &DatasetSpec, n_rows: usize, seed: u64) -> Relation {
 
 /// Advances `candidate` through the (block-space) QI combination space
 /// (odometer order) until it is not in `seen`.
-fn odometer_advance(
-    candidate: &mut Vec<u32>,
-    qi_samplers: &[Sampler],
-    seen: &HashSet<Vec<u32>>,
-) {
+fn odometer_advance(candidate: &mut Vec<u32>, qi_samplers: &[Sampler], seen: &HashSet<Vec<u32>>) {
     let sizes: Vec<u32> = qi_samplers.iter().map(|s| s.domain() as u32).collect();
     loop {
         // Increment with carry.

@@ -142,7 +142,12 @@ pub fn pantheon_spec() -> DatasetSpec {
         ("slug_len_band", 12),
         ("name_len_band", 12),
     ] {
-        columns.push(ColumnSpec::new(name, AttrRole::Insensitive, Domain::indexed(format!("{name}_"), size), zipf));
+        columns.push(ColumnSpec::new(
+            name,
+            AttrRole::Insensitive,
+            Domain::indexed(format!("{name}_"), size),
+            zipf,
+        ));
     }
     DatasetSpec {
         name: "Pantheon".into(),
@@ -217,7 +222,12 @@ pub fn census_spec() -> DatasetSpec {
         ("vet_admin", 3),
         ("weeks_worked_band", 10),
     ] {
-        columns.push(ColumnSpec::new(name, AttrRole::Insensitive, Domain::indexed(format!("{name}_"), size), zipf));
+        columns.push(ColumnSpec::new(
+            name,
+            AttrRole::Insensitive,
+            Domain::indexed(format!("{name}_"), size),
+            zipf,
+        ));
     }
     DatasetSpec {
         name: "Census".into(),
@@ -246,18 +256,8 @@ pub fn credit_spec() -> DatasetSpec {
             Domain::named(["18-25", "26-35", "36-45", "46-60", "60+"]),
             gauss,
         ),
-        ColumnSpec::new(
-            "housing",
-            AttrRole::Quasi,
-            Domain::named(["own", "rent", "free"]),
-            zipf,
-        ),
-        ColumnSpec::new(
-            "credit_risk",
-            AttrRole::Sensitive,
-            Domain::named(["good", "bad"]),
-            zipf,
-        ),
+        ColumnSpec::new("housing", AttrRole::Quasi, Domain::named(["own", "rent", "free"]), zipf),
+        ColumnSpec::new("credit_risk", AttrRole::Sensitive, Domain::named(["good", "bad"]), zipf),
     ];
     for (name, size) in [
         ("status_checking", 4),
@@ -277,7 +277,12 @@ pub fn credit_spec() -> DatasetSpec {
         ("dependents", 2),
         ("telephone", 2),
     ] {
-        columns.push(ColumnSpec::new(name, AttrRole::Insensitive, Domain::indexed(format!("{name}_"), size), zipf));
+        columns.push(ColumnSpec::new(
+            name,
+            AttrRole::Insensitive,
+            Domain::indexed(format!("{name}_"), size),
+            zipf,
+        ));
     }
     DatasetSpec {
         name: "Credit".into(),

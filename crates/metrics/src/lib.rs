@@ -176,7 +176,7 @@ mod tests {
     #[test]
     fn discernibility_penalizes_undersize_groups() {
         let r = uniform_groups(&[2, 8]); // n = 10
-        // Group of 2 < k=3: charged 10·2; group of 8: 64.
+                                         // Group of 2 < k=3: charged 10·2; group of 8: 64.
         assert_eq!(discernibility(&r, 3), 20 + 64);
     }
 

@@ -32,10 +32,7 @@ impl GroupStats {
             .qi_cols()
             .iter()
             .map(|&c| {
-                rel.column(c)
-                    .iter()
-                    .filter(|&&code| code == diva_relation::STAR_CODE)
-                    .count()
+                rel.column(c).iter().filter(|&&code| code == diva_relation::STAR_CODE).count()
             })
             .collect();
         GroupStats {

@@ -55,11 +55,7 @@ impl RelationBuilder {
         );
         for (col, v) in values.iter().enumerate() {
             let s = v.as_ref();
-            let code = if s == "★" {
-                STAR_CODE
-            } else {
-                self.dicts[col].intern(s)
-            };
+            let code = if s == "★" { STAR_CODE } else { self.dicts[col].intern(s) };
             self.cols[col].push(code);
         }
     }
@@ -83,10 +79,7 @@ mod tests {
 
     #[test]
     fn builds_relation() {
-        let schema = Arc::new(Schema::new(vec![
-            Attribute::quasi("A"),
-            Attribute::sensitive("S"),
-        ]));
+        let schema = Arc::new(Schema::new(vec![Attribute::quasi("A"), Attribute::sensitive("S")]));
         let mut b = RelationBuilder::with_capacity(schema, 2);
         assert_eq!(b.n_rows(), 0);
         b.push_row(&["a1", "s1"]);

@@ -139,11 +139,8 @@ pub fn read_relation(text: &str, roles: &[AttrRole]) -> Result<Relation, CsvErro
     if header.len() != roles.len() {
         return Err(CsvError::RoleMismatch { header: header.len(), roles: roles.len() });
     }
-    let attrs = header
-        .iter()
-        .zip(roles)
-        .map(|(name, &role)| Attribute::new(name.clone(), role))
-        .collect();
+    let attrs =
+        header.iter().zip(roles).map(|(name, &role)| Attribute::new(name.clone(), role)).collect();
     let schema = Arc::new(Schema::new(attrs));
     let mut b = RelationBuilder::new(Arc::clone(&schema));
     for (i, rec) in it.enumerate() {
@@ -231,10 +228,7 @@ mod tests {
 
     #[test]
     fn unterminated_quote_errors() {
-        assert!(matches!(
-            parse_csv("a,\"oops\n"),
-            Err(CsvError::UnterminatedQuote { .. })
-        ));
+        assert!(matches!(parse_csv("a,\"oops\n"), Err(CsvError::UnterminatedQuote { .. })));
     }
 
     #[test]

@@ -69,10 +69,7 @@ impl Dict {
 
     /// Iterates over `(code, value)` pairs in code order.
     pub fn iter(&self) -> impl Iterator<Item = (u32, &str)> {
-        self.values
-            .iter()
-            .enumerate()
-            .map(|(i, v)| (i as u32, v.as_ref()))
+        self.values.iter().enumerate().map(|(i, v)| (i as u32, v.as_ref()))
     }
 }
 

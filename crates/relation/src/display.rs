@@ -151,10 +151,7 @@ mod tests {
     #[test]
     fn role_markers() {
         let r = paper_table1();
-        let text = render(
-            &r,
-            &RenderOptions { role_markers: true, ..Default::default() },
-        );
+        let text = render(&r, &RenderOptions { role_markers: true, ..Default::default() });
         assert!(text.contains("GEN*"));
         assert!(text.contains("DIAG!"));
     }

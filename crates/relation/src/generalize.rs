@@ -59,8 +59,7 @@ pub fn generalize_output(
     let n_qi_cells = anonymized.n_rows() * qi_cols.len();
 
     // Per output row and column, the string to publish.
-    let mut cells: Vec<Vec<String>> =
-        vec![Vec::with_capacity(arity); anonymized.n_rows()];
+    let mut cells: Vec<Vec<String>> = vec![Vec::with_capacity(arity); anonymized.n_rows()];
     let mut ncp_total = 0.0f64;
 
     // Non-grouped fallback: rows not covered by any group keep their
@@ -130,9 +129,7 @@ pub fn generalize_output(
             ncp_total += if v.is_star() {
                 1.0
             } else if anonymized.is_suppressed(row, col) {
-                hierarchies
-                    .get(attr)
-                    .map_or(1.0, |h| h.ncp(v.as_str()))
+                hierarchies.get(attr).map_or(1.0, |h| h.ncp(v.as_str()))
             } else {
                 0.0
             };
@@ -250,9 +247,6 @@ mod tests {
         let s = suppress_clustering(&r, &[vec![0, 5]]);
         let g = generalize_output(&r, &s.relation, &s.groups, &s.source_rows, &HashMap::new());
         assert_eq!(g.relation.star_count(), s.relation.star_count());
-        assert!((g.ncp_mean - 1.0 * s.relation.star_count() as f64
-            / (2.0 * 5.0))
-            .abs()
-            < 1e-12);
+        assert!((g.ncp_mean - 1.0 * s.relation.star_count() as f64 / (2.0 * 5.0)).abs() < 1e-12);
     }
 }

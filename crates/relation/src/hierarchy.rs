@@ -65,16 +65,12 @@ impl Hierarchy {
         let mut map: HashMap<String, Vec<String>> = HashMap::new();
         for chain in chains {
             assert!(!chain.is_empty(), "empty chain");
-            let mut padded: Vec<String> =
-                chain.iter().map(|s| s.as_ref().to_string()).collect();
+            let mut padded: Vec<String> = chain.iter().map(|s| s.as_ref().to_string()).collect();
             while padded.len() < height {
                 padded.push(padded.last().expect("non-empty").clone());
             }
             let leaf = padded[0].clone();
-            assert!(
-                map.insert(leaf.clone(), padded).is_none(),
-                "duplicate leaf {leaf:?}"
-            );
+            assert!(map.insert(leaf.clone(), padded).is_none(), "duplicate leaf {leaf:?}");
         }
         let mut cover: HashMap<String, usize> = HashMap::new();
         for chain in map.values() {
@@ -94,10 +90,8 @@ impl Hierarchy {
     /// A flat hierarchy: every value generalizes directly to `★`.
     /// Recoding under a flat hierarchy *is* suppression.
     pub fn flat<S: AsRef<str>>(values: impl IntoIterator<Item = S>) -> Self {
-        let chains: Vec<Vec<String>> = values
-            .into_iter()
-            .map(|v| vec![v.as_ref().to_string()])
-            .collect();
+        let chains: Vec<Vec<String>> =
+            values.into_iter().map(|v| vec![v.as_ref().to_string()]).collect();
         Self::from_chains(&chains)
     }
 
@@ -147,9 +141,7 @@ impl Hierarchy {
         let Some((&first, rest)) = leaves.split_first() else {
             return (self.height, "★".to_string());
         };
-        if !self.chains.contains_key(first)
-            || rest.iter().any(|l| !self.chains.contains_key(*l))
-        {
+        if !self.chains.contains_key(first) || rest.iter().any(|l| !self.chains.contains_key(*l)) {
             return (self.height, "★".to_string());
         }
         'level: for level in 0..self.height {

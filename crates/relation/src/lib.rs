@@ -24,9 +24,10 @@ pub mod dict;
 pub mod display;
 pub mod fixtures;
 pub mod generalize;
-pub mod hierarchy;
 pub mod groups;
+pub mod hierarchy;
 pub mod relation;
+pub mod rowset;
 pub mod schema;
 pub mod suppress;
 pub mod value;
@@ -37,6 +38,7 @@ pub use generalize::{generalize_output, Generalized};
 pub use groups::{is_k_anonymous, qi_groups, QiGroups};
 pub use hierarchy::Hierarchy;
 pub use relation::Relation;
+pub use rowset::RowSet;
 pub use schema::{AttrRole, Attribute, Schema};
 pub use value::{Value, STAR_CODE};
 

@@ -113,10 +113,7 @@ impl Relation {
     /// suppression model only obscures QI values (sensitive values are
     /// published as-is).
     pub fn suppress_cell(&mut self, row: RowId, col: ColId) {
-        assert!(
-            self.schema.is_qi(col),
-            "suppression is only defined on QI attributes (col {col})"
-        );
+        assert!(self.schema.is_qi(col), "suppression is only defined on QI attributes (col {col})");
         self.cols[col][row] = STAR_CODE;
     }
 
@@ -145,11 +142,7 @@ impl Relation {
     /// A new relation containing `rows` of `self` (in the given order),
     /// sharing dictionaries.
     pub fn select(&self, rows: &[RowId]) -> Relation {
-        let cols = self
-            .cols
-            .iter()
-            .map(|col| rows.iter().map(|&r| col[r]).collect())
-            .collect();
+        let cols = self.cols.iter().map(|col| rows.iter().map(|&r| col[r]).collect()).collect();
         Relation {
             schema: Arc::clone(&self.schema),
             dicts: self.dicts.clone(),
@@ -188,10 +181,7 @@ impl Relation {
     /// Total number of suppressed (★) cells — the paper's information
     /// loss count.
     pub fn star_count(&self) -> usize {
-        self.cols
-            .iter()
-            .map(|c| c.iter().filter(|&&x| x == STAR_CODE).count())
-            .sum()
+        self.cols.iter().map(|c| c.iter().filter(|&&x| x == STAR_CODE).count()).sum()
     }
 
     /// Counts tuples whose values in columns `cols` equal `codes`
@@ -200,11 +190,7 @@ impl Relation {
     pub fn count_matching(&self, cols: &[ColId], codes: &[u32]) -> usize {
         assert_eq!(cols.len(), codes.len());
         (0..self.n_rows)
-            .filter(|&r| {
-                cols.iter()
-                    .zip(codes)
-                    .all(|(&c, &code)| self.cols[c][r] == code)
-            })
+            .filter(|&r| cols.iter().zip(codes).all(|(&c, &code)| self.cols[c][r] == code))
             .count()
     }
 }

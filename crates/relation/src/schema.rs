@@ -118,8 +118,7 @@ impl Schema {
     /// Finds a column index by name, panicking with a clear message if
     /// missing. Convenience for tests and examples.
     pub fn col_of(&self, name: &str) -> usize {
-        self.col(name)
-            .unwrap_or_else(|| panic!("no attribute named {name:?} in schema"))
+        self.col(name).unwrap_or_else(|| panic!("no attribute named {name:?} in schema"))
     }
 }
 

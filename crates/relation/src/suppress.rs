@@ -58,11 +58,8 @@ pub fn suppress_clustering(rel: &Relation, clusters: &[Vec<RowId>]) -> Suppresse
         groups.push((start..source_rows.len()).collect());
     }
 
-    let relation = Relation::from_parts(
-        std::sync::Arc::clone(rel.schema()),
-        rel.dicts().to_vec(),
-        cols,
-    );
+    let relation =
+        Relation::from_parts(std::sync::Arc::clone(rel.schema()), rel.dicts().to_vec(), cols);
     Suppressed { relation, groups, source_rows }
 }
 
@@ -78,11 +75,7 @@ pub fn is_refinement(orig: &Relation, anon: &Relation, source_rows: &[RowId]) ->
         for col in 0..orig.schema().arity() {
             let a = anon.code(out_row, col);
             let o = orig.code(in_row, col);
-            let ok = if orig.schema().is_qi(col) {
-                a == o || a == STAR_CODE
-            } else {
-                a == o
-            };
+            let ok = if orig.schema().is_qi(col) { a == o || a == STAR_CODE } else { a == o };
             if !ok {
                 return false;
             }

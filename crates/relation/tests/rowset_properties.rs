@@ -1,0 +1,89 @@
+//! Property-based tests pinning [`RowSet`] to the `HashSet<RowId>`
+//! semantics it replaced in the search hot path.
+
+use std::collections::HashSet;
+
+use diva_relation::{RowId, RowSet};
+use proptest::prelude::*;
+
+const CAP: usize = 96;
+
+/// Strategy: a row list within capacity (duplicates allowed — inserts
+/// must be idempotent) plus its model set.
+fn rows() -> impl Strategy<Value = Vec<RowId>> {
+    proptest::collection::vec(0usize..CAP, 0..40)
+}
+
+fn model(rows: &[RowId]) -> HashSet<RowId> {
+    rows.iter().copied().collect()
+}
+
+proptest! {
+    /// Membership and cardinality agree with the hash-set model.
+    #[test]
+    fn membership_matches_hashset(rows in rows()) {
+        let set = RowSet::from_rows(CAP, rows.iter().copied());
+        let model = model(&rows);
+        prop_assert_eq!(set.len(), model.len());
+        for r in 0..CAP {
+            prop_assert_eq!(set.contains(r), model.contains(&r), "row {}", r);
+        }
+        // Out-of-capacity probes are misses, never panics.
+        prop_assert!(!set.contains(CAP + 7));
+    }
+
+    /// Iteration yields exactly the model's elements, ascending.
+    #[test]
+    fn iteration_matches_hashset(rows in rows()) {
+        let set = RowSet::from_rows(CAP, rows.iter().copied());
+        let got: Vec<RowId> = set.iter().collect();
+        let mut want: Vec<RowId> = model(&rows).into_iter().collect();
+        want.sort_unstable();
+        prop_assert_eq!(got, want);
+    }
+
+    /// Intersection emptiness and size agree with the model.
+    #[test]
+    fn intersection_matches_hashset(a in rows(), b in rows()) {
+        let (sa, sb) = (
+            RowSet::from_rows(CAP, a.iter().copied()),
+            RowSet::from_rows(CAP, b.iter().copied()),
+        );
+        let (ma, mb) = (model(&a), model(&b));
+        let common: HashSet<RowId> = ma.intersection(&mb).copied().collect();
+        prop_assert_eq!(sa.intersects(&sb), !common.is_empty());
+        prop_assert_eq!(sa.intersection_len(&sb), common.len());
+    }
+
+    /// Subset tests agree with the model, including across differing
+    /// capacities (extra zero words must not change the answer).
+    #[test]
+    fn subset_matches_hashset(a in rows(), b in rows()) {
+        let sa = RowSet::from_rows(CAP, a.iter().copied());
+        let sb = RowSet::from_rows(CAP, b.iter().copied());
+        let sb_wide = RowSet::from_rows(CAP * 3, b.iter().copied());
+        let (ma, mb) = (model(&a), model(&b));
+        prop_assert_eq!(sa.is_subset_of(&sb), ma.is_subset(&mb));
+        prop_assert_eq!(sa.is_subset_of(&sb_wide), ma.is_subset(&mb));
+        prop_assert_eq!(sb.contains_all(&a), ma.is_subset(&mb));
+    }
+
+    /// Insert/remove sequences track the model exactly.
+    #[test]
+    fn insert_remove_matches_hashset(ops in proptest::collection::vec((0usize..CAP, any::<bool>()), 0..60)) {
+        let mut set = RowSet::new(CAP);
+        let mut model: HashSet<RowId> = HashSet::new();
+        for (r, add) in ops {
+            if add {
+                prop_assert_eq!(set.insert(r), model.insert(r));
+            } else {
+                set.remove(r);
+                model.remove(&r);
+            }
+            prop_assert_eq!(set.len(), model.len());
+        }
+        for r in 0..CAP {
+            prop_assert_eq!(set.contains(r), model.contains(&r));
+        }
+    }
+}

@@ -20,7 +20,11 @@ use diva_relation::Relation;
 
 fn evaluate(rel: &Relation, name: &str, sigma: &[Constraint], k: usize) {
     let set = ConstraintSet::bind(sigma, rel).expect("constraints bind");
-    println!("\n== {name} ({} constraints, conflict rate {:.3}) ==", sigma.len(), conflict_rate(&set));
+    println!(
+        "\n== {name} ({} constraints, conflict rate {:.3}) ==",
+        sigma.len(),
+        conflict_rate(&set)
+    );
     for strategy in Strategy::all() {
         let diva = Diva::new(DivaConfig::with_k(k).strategy(strategy));
         let t = std::time::Instant::now();

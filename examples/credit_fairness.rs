@@ -33,10 +33,8 @@ fn main() {
     let status_col = rel.schema().col_of("personal_status_sex");
     let housing_col = rel.schema().col_of("housing");
     let mut sigma: Vec<Constraint> = Vec::new();
-    let statuses: Vec<String> =
-        rel.dict(status_col).iter().map(|(_, v)| v.to_string()).collect();
-    let housings: Vec<String> =
-        rel.dict(housing_col).iter().map(|(_, v)| v.to_string()).collect();
+    let statuses: Vec<String> = rel.dict(status_col).iter().map(|(_, v)| v.to_string()).collect();
+    let housings: Vec<String> = rel.dict(housing_col).iter().map(|(_, v)| v.to_string()).collect();
     for status in &statuses {
         let f = rel.count_matching(
             &[status_col],

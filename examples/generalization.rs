@@ -44,10 +44,7 @@ fn main() {
             vec!["NB", "Atlantic"],
         ]),
     );
-    hierarchies.insert(
-        "GEN".to_string(),
-        Hierarchy::flat(["Female", "Male"]),
-    );
+    hierarchies.insert("GEN".to_string(), Hierarchy::flat(["Female", "Male"]));
 
     // Diversity: keep at least half of each of the two largest
     // ethnicities visible.
@@ -66,18 +63,14 @@ fn main() {
     println!("  star accuracy: {:.4}", diva_metrics::star_accuracy(&out.relation));
     println!("  Σ satisfied: {}", set.satisfied_by(&out.relation));
 
-    let gen = generalize_output(
-        &rel,
-        &out.relation,
-        &out.groups,
-        &out.source_rows,
-        &hierarchies,
-    );
+    let gen = generalize_output(&rel, &out.relation, &out.groups, &out.source_rows, &hierarchies);
     println!("\ngeneralization-recoded output:");
     println!("  residual ★s: {}", gen.relation.star_count());
-    println!("  mean NCP per QI cell: {:.4} (★-recoding would be {:.4})",
+    println!(
+        "  mean NCP per QI cell: {:.4} (★-recoding would be {:.4})",
         gen.ncp_mean,
-        diva_metrics::star_ratio(&out.relation));
+        diva_metrics::star_ratio(&out.relation)
+    );
     println!("  2 sample rows: ");
     for row in 0..2 {
         let cells: Vec<String> = (0..gen.relation.schema().arity())

@@ -33,15 +33,18 @@ fn main() {
     );
 
     // --- Regime 1: DIVA (diversity-preserving suppression). ---
-    let out = Diva::new(DivaConfig::with_k(k))
-        .run(&rel, &sigma)
-        .expect("satisfiable");
+    let out = Diva::new(DivaConfig::with_k(k)).run(&rel, &sigma).expect("satisfiable");
     let u = evaluate_utility(&rel, &out.relation, &workload);
     let sat = ConstraintSet::bind(&sigma, &out.relation)
         .map(|s| s.satisfied_by(&out.relation))
         .unwrap_or(false);
     println!("DIVA (suppression):");
-    println!("  mean rel. error {:.3}   median {:.3}   exact {:.0}%", u.mean_relative_error, u.median_relative_error, u.exact_fraction * 100.0);
+    println!(
+        "  mean rel. error {:.3}   median {:.3}   exact {:.0}%",
+        u.mean_relative_error,
+        u.median_relative_error,
+        u.exact_fraction * 100.0
+    );
     println!("  diversity constraints satisfied: {sat}");
 
     // --- Regime 2: Samarati full-domain generalization. ---
@@ -60,20 +63,35 @@ fn main() {
             vec!["NB", "East"],
         ]),
     );
-    let fd = Samarati::new(h).max_sup(rel.n_rows() / 100).anonymize(&rel, k).expect("lattice top works");
+    let fd =
+        Samarati::new(h).max_sup(rel.n_rows() / 100).anonymize(&rel, k).expect("lattice top works");
     let u = evaluate_utility(&rel, &fd.relation, &workload);
     let sat = ConstraintSet::bind(&sigma, &fd.relation)
         .map(|s| s.satisfied_by(&fd.relation))
         .unwrap_or(false);
-    println!("\nSamarati full-domain generalization (levels {:?}, {} outliers):", fd.levels, fd.suppressed_rows.len());
-    println!("  mean rel. error {:.3}   median {:.3}   exact {:.0}%", u.mean_relative_error, u.median_relative_error, u.exact_fraction * 100.0);
+    println!(
+        "\nSamarati full-domain generalization (levels {:?}, {} outliers):",
+        fd.levels,
+        fd.suppressed_rows.len()
+    );
+    println!(
+        "  mean rel. error {:.3}   median {:.3}   exact {:.0}%",
+        u.mean_relative_error,
+        u.median_relative_error,
+        u.exact_fraction * 100.0
+    );
     println!("  diversity constraints satisfied: {sat}  (full-domain recoding ignores Σ)");
 
     // --- Regime 3: ε-DP noisy counts (no instance published). ---
     for epsilon in [0.1, 1.0] {
         let (u, budget) = LaplaceMechanism::new(epsilon, 31).evaluate(&rel, &workload);
         println!("\nLaplace mechanism (ε = {epsilon} per query, total budget {budget:.0}):");
-        println!("  mean rel. error {:.3}   median {:.3}   exact {:.0}%", u.mean_relative_error, u.median_relative_error, u.exact_fraction * 100.0);
+        println!(
+            "  mean rel. error {:.3}   median {:.3}   exact {:.0}%",
+            u.mean_relative_error,
+            u.median_relative_error,
+            u.exact_fraction * 100.0
+        );
         println!("  diversity constraints: not applicable (no instance is published)");
     }
 

@@ -1,0 +1,22 @@
+#!/usr/bin/env sh
+# Repo gate: formatting, lints, tests, and a bench smoke run.
+# Usage: scripts/check.sh  (from the repo root; pass --offline through
+# CARGO_FLAGS if the environment has no registry access).
+set -eu
+
+cd "$(dirname "$0")/.."
+FLAGS="${CARGO_FLAGS:---offline}"
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy --workspace --all-targets -D warnings"
+cargo clippy $FLAGS --workspace --all-targets -- -D warnings
+
+echo "==> cargo test -q"
+cargo test $FLAGS -q --workspace
+
+echo "==> bench smoke (perf emitter -> BENCH_diva.json)"
+cargo run $FLAGS --release -p diva-bench --bin experiments -- perf >/dev/null
+
+echo "==> all checks passed"

@@ -1,0 +1,200 @@
+//! Miniature regex sampler for string-literal strategies.
+//!
+//! Supports the subset used as proptest string strategies: literal
+//! characters, escaped characters, character classes (`[a-z0-9_ .-]`,
+//! leading `^` negation over printable ASCII), and the quantifiers
+//! `*` (0..=8), `+` (1..=8), `?`, `{m}`, and `{m,n}`. Unsupported
+//! syntax (alternation, groups, anchors) panics so a silently-wrong
+//! generator never masquerades as the real thing.
+
+use rand::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Atom {
+    /// A set of candidate characters, one chosen uniformly.
+    Class(Vec<char>),
+}
+
+#[derive(Debug, Clone)]
+struct Piece {
+    atom: Atom,
+    min: usize,
+    max: usize,
+}
+
+/// The repetition range unbounded quantifiers expand to.
+const UNBOUNDED_MAX: usize = 8;
+
+fn printable_ascii() -> Vec<char> {
+    (0x20u8..0x7f).map(char::from).collect()
+}
+
+fn parse(pattern: &str) -> Vec<Piece> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut i = 0;
+    let mut pieces = Vec::new();
+    while i < chars.len() {
+        let atom = match chars[i] {
+            '[' => {
+                let (class, next) = parse_class(&chars, i + 1);
+                i = next;
+                Atom::Class(class)
+            }
+            '\\' => {
+                let c = *chars
+                    .get(i + 1)
+                    .unwrap_or_else(|| panic!("pattern {pattern:?}: trailing backslash"));
+                i += 2;
+                Atom::Class(vec![unescape(c)])
+            }
+            '(' | ')' | '|' | '^' | '$' => {
+                panic!("pattern {pattern:?}: unsupported regex syntax {:?}", chars[i])
+            }
+            '.' => {
+                i += 1;
+                Atom::Class(printable_ascii())
+            }
+            c => {
+                i += 1;
+                Atom::Class(vec![c])
+            }
+        };
+        let (min, max) = match chars.get(i) {
+            Some('*') => {
+                i += 1;
+                (0, UNBOUNDED_MAX)
+            }
+            Some('+') => {
+                i += 1;
+                (1, UNBOUNDED_MAX)
+            }
+            Some('?') => {
+                i += 1;
+                (0, 1)
+            }
+            Some('{') => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == '}')
+                    .unwrap_or_else(|| panic!("pattern {pattern:?}: unclosed {{"))
+                    + i;
+                let body: String = chars[i + 1..close].iter().collect();
+                i = close + 1;
+                match body.split_once(',') {
+                    None => {
+                        let n = body.trim().parse().expect("numeric {n} quantifier");
+                        (n, n)
+                    }
+                    Some((lo, hi)) => {
+                        let lo = lo.trim().parse().expect("numeric {m,n} quantifier");
+                        let hi = if hi.trim().is_empty() {
+                            lo + UNBOUNDED_MAX
+                        } else {
+                            hi.trim().parse().expect("numeric {m,n} quantifier")
+                        };
+                        (lo, hi)
+                    }
+                }
+            }
+            _ => (1, 1),
+        };
+        pieces.push(Piece { atom, min, max });
+    }
+    pieces
+}
+
+fn unescape(c: char) -> char {
+    match c {
+        'n' => '\n',
+        't' => '\t',
+        'r' => '\r',
+        other => other,
+    }
+}
+
+/// Parses a character class starting *after* the `[`; returns the
+/// candidate set and the index one past the closing `]`.
+fn parse_class(chars: &[char], mut i: usize) -> (Vec<char>, usize) {
+    let mut negated = false;
+    if chars.get(i) == Some(&'^') {
+        negated = true;
+        i += 1;
+    }
+    let mut set = Vec::new();
+    let mut first = true;
+    while i < chars.len() && (chars[i] != ']' || first) {
+        first = false;
+        if chars[i] == '\\' {
+            set.push(unescape(chars[i + 1]));
+            i += 2;
+            continue;
+        }
+        // A range `a-z` (the `-` must not be the last char before `]`).
+        if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+            let (lo, hi) = (chars[i] as u32, chars[i + 2] as u32);
+            assert!(lo <= hi, "inverted class range");
+            for c in lo..=hi {
+                set.push(char::from_u32(c).expect("class range stays in char"));
+            }
+            i += 3;
+        } else {
+            set.push(chars[i]);
+            i += 1;
+        }
+    }
+    assert!(chars.get(i) == Some(&']'), "unclosed character class");
+    if negated {
+        let set: Vec<char> = printable_ascii().into_iter().filter(|c| !set.contains(c)).collect();
+        assert!(!set.is_empty(), "negated class excludes everything");
+        return (set, i + 1);
+    }
+    assert!(!set.is_empty(), "empty character class");
+    (set, i + 1)
+}
+
+/// Samples one string matching `pattern`.
+pub fn sample(pattern: &str, rng: &mut StdRng) -> String {
+    let pieces = parse(pattern);
+    let mut out = String::new();
+    for piece in &pieces {
+        let n = rng.gen_range(piece.min..=piece.max);
+        let Atom::Class(ref set) = piece.atom;
+        for _ in 0..n {
+            out.push(set[rng.gen_range(0..set.len())]);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn literal_and_class() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            let s = sample("[A-Za-z][A-Za-z0-9_ .-]{0,10}", &mut rng);
+            assert!(!s.is_empty() && s.len() <= 11, "{s:?}");
+            assert!(s.chars().next().unwrap().is_ascii_alphabetic());
+        }
+    }
+
+    #[test]
+    fn star_quantifier_covers_empty() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut saw_empty = false;
+        for _ in 0..200 {
+            let s = sample("[ -~]*", &mut rng);
+            assert!(s.chars().all(|c| (' '..='~').contains(&c)));
+            saw_empty |= s.is_empty();
+        }
+        assert!(saw_empty, "0-repetition never sampled");
+    }
+
+    #[test]
+    fn fixed_literal() {
+        let mut rng = StdRng::seed_from_u64(3);
+        assert_eq!(sample("abc", &mut rng), "abc");
+    }
+}

@@ -1,0 +1,111 @@
+//! Case-running machinery behind the `proptest!` macro.
+
+use rand::prelude::*;
+
+/// Why a generated case was abandoned (filter exhaustion or
+/// `prop_assume!`); the runner regenerates instead of failing.
+#[derive(Debug, Clone)]
+pub struct Rejection {
+    reason: String,
+}
+
+impl Rejection {
+    pub fn new(reason: &str) -> Self {
+        Self { reason: reason.to_string() }
+    }
+}
+
+/// Outcome of one test-case execution.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// Regenerate inputs and try again (does not count as a run case).
+    Reject(String),
+    /// The property failed; the runner panics with this message.
+    Fail(String),
+}
+
+impl TestCaseError {
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+impl From<Rejection> for TestCaseError {
+    fn from(r: Rejection) -> Self {
+        TestCaseError::Reject(r.reason)
+    }
+}
+
+/// Runner configuration (`proptest::test_runner::ProptestConfig`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful cases required for the test to pass.
+    pub cases: u32,
+    /// Upper bound on rejected cases before the runner gives up.
+    pub max_global_rejects: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        let cases = std::env::var("PROPTEST_CASES").ok().and_then(|v| v.parse().ok()).unwrap_or(64);
+        Self { cases, max_global_rejects: cases.saturating_mul(64).max(1024) }
+    }
+}
+
+impl ProptestConfig {
+    /// A configuration running exactly `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases, ..Self::default() }
+    }
+}
+
+/// FNV-1a, used to derive a per-test base seed from the test's path so
+/// runs are deterministic and independent of execution order.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// Runs `case` until `config.cases` cases pass, rejection budget is
+/// exhausted, or a case fails (panic).
+pub fn run_cases(
+    test_name: &str,
+    config: &ProptestConfig,
+    mut case: impl FnMut(&mut StdRng) -> Result<(), TestCaseError>,
+) {
+    let base_seed = fnv1a(test_name.as_bytes());
+    let mut passed: u32 = 0;
+    let mut rejected: u32 = 0;
+    let mut attempt: u64 = 0;
+    while passed < config.cases {
+        let seed = base_seed.wrapping_add(attempt.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        attempt += 1;
+        let mut rng = StdRng::seed_from_u64(seed);
+        match case(&mut rng) {
+            Ok(()) => passed += 1,
+            Err(TestCaseError::Reject(_)) => {
+                rejected += 1;
+                if rejected > config.max_global_rejects {
+                    panic!(
+                        "{test_name}: too many rejected cases ({rejected}) — \
+                         loosen the filters or assumptions"
+                    );
+                }
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!(
+                    "{test_name}: property failed after {passed} passing case(s) \
+                     [case seed {seed:#x}]: {msg}"
+                );
+            }
+        }
+    }
+}

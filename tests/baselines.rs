@@ -8,11 +8,7 @@ use diva_relation::suppress::is_refinement;
 use diva_relation::{is_k_anonymous, qi_groups, Relation};
 
 fn all_baselines() -> Vec<Box<dyn Anonymizer>> {
-    vec![
-        Box::new(KMember::default()),
-        Box::new(Oka::default()),
-        Box::new(Mondrian),
-    ]
+    vec![Box::new(KMember::default()), Box::new(Oka::default()), Box::new(Mondrian)]
 }
 
 fn check_baseline(rel: &Relation, k: usize, algo: &dyn Anonymizer) {
@@ -52,11 +48,7 @@ fn group_sizes_respect_k_exactly() {
         for k in [5, 25] {
             let out = algo.anonymize(&rel, k);
             let g = qi_groups(&out.relation);
-            assert!(
-                g.min_group_size().unwrap() >= k,
-                "{} min group < {k}",
-                algo.name()
-            );
+            assert!(g.min_group_size().unwrap() >= k, "{} min group < {k}", algo.name());
         }
     }
 }

@@ -77,8 +77,7 @@ fn example_31_clustering_matches_table3_groups() {
     // S_Σ = {{t9,t10}, {t5,t6}, {t7,t8}} from Example 3.1 (0-based
     // rows {8,9}, {4,5}, {6,7}), plus Anonymize's {{t1,t2},{t3,t4}}.
     let r = paper_table1();
-    let clusters =
-        vec![vec![0, 1], vec![2, 3], vec![4, 5], vec![6, 7], vec![8, 9]];
+    let clusters = vec![vec![0, 1], vec![2, 3], vec![4, 5], vec![6, 7], vec![8, 9]];
     let s = suppress_clustering(&r, &clusters);
     assert!(is_k_anonymous(&s.relation, 2));
     let set = ConstraintSet::bind(&example_sigma(), &s.relation).unwrap();
@@ -128,10 +127,8 @@ fn sigma4_upper_bound_interaction_from_section_32() {
     // of two more would falsify σ4's upper bound. DIVA must still find
     // a solution (e.g. sharing the African cluster for both).
     let r = paper_table1();
-    let sigma = vec![
-        Constraint::single("ETH", "African", 1, 3),
-        Constraint::single("GEN", "Male", 1, 3),
-    ];
+    let sigma =
+        vec![Constraint::single("ETH", "African", 1, 3), Constraint::single("GEN", "Male", 1, 3)];
     for strategy in Strategy::all() {
         let out = Diva::new(DivaConfig::with_k(2).strategy(strategy))
             .run(&r, &sigma)

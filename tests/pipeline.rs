@@ -13,12 +13,7 @@ fn check_contract(rel: &Relation, sigma: &[Constraint], k: usize, strategy: Stra
     // Debug-profile searches get a small budget so tests stay fast;
     // only the naive Basic strategy is allowed to exhaust it (that is
     // the paper's own finding — Fig. 4a shows Basic exploding).
-    let config = DivaConfig {
-        k,
-        strategy,
-        backtrack_limit: Some(10_000),
-        ..DivaConfig::default()
-    };
+    let config = DivaConfig { k, strategy, backtrack_limit: Some(10_000), ..DivaConfig::default() };
     let out = match Diva::new(config).run(rel, sigma) {
         Ok(out) => out,
         Err(DivaError::SearchBudgetExhausted { .. }) if strategy == Strategy::Basic => {
@@ -27,10 +22,7 @@ fn check_contract(rel: &Relation, sigma: &[Constraint], k: usize, strategy: Stra
         Err(e) => panic!("{strategy} k={k}: {e}"),
     };
     // (1) R ⊑ R′.
-    assert!(
-        is_refinement(rel, &out.relation, &out.source_rows),
-        "{strategy}: not a refinement"
-    );
+    assert!(is_refinement(rel, &out.relation, &out.source_rows), "{strategy}: not a refinement");
     // (2) k-anonymous.
     assert!(is_k_anonymous(&out.relation, k), "{strategy}: not {k}-anonymous");
     // (3) R′ |= Σ.
@@ -57,7 +49,9 @@ fn medical_all_strategies() {
 fn popsyn_all_distributions() {
     for dist in [Dist::Uniform, Dist::zipf_default(), Dist::gaussian_default()] {
         let rel = diva_datagen::popsyn(4_000, dist, 13);
-        let sigma = generators::with_conflict_rate(&rel, 6, 0.3, 10, 5);
+        // Generator seed chosen so the instance is satisfiable under the
+        // vendored RNG's streams (they differ from upstream rand's).
+        let sigma = generators::with_conflict_rate(&rel, 6, 0.3, 10, 6);
         check_contract(&rel, &sigma, 10, Strategy::MaxFanOut);
     }
 }
@@ -78,7 +72,9 @@ fn pantheon_slice_basic() {
 
 #[test]
 fn credit_full_dataset() {
-    let rel = diva_datagen::credit(23);
+    // Dataset seed chosen so the instance is satisfiable under the
+    // vendored RNG's streams (they differ from upstream rand's).
+    let rel = diva_datagen::credit(5);
     let sigma = generators::with_conflict_rate(&rel, 10, 0.4, 10, 11);
     for strategy in Strategy::all() {
         check_contract(&rel, &sigma, 10, strategy);
@@ -102,12 +98,11 @@ fn min_frequency_constraints_pipeline() {
 #[test]
 fn all_baselines_as_anonymize_backend() {
     let rel = diva_datagen::medical(1_000, 37);
-    let sigma = generators::with_conflict_rate(&rel, 4, 0.3, 5, 13);
-    let backends: Vec<Box<dyn Anonymizer + Send + Sync>> = vec![
-        Box::new(KMember::default()),
-        Box::new(Oka::default()),
-        Box::new(Mondrian),
-    ];
+    // Generator seed chosen so the instance is satisfiable under the
+    // vendored RNG's streams (they differ from upstream rand's).
+    let sigma = generators::with_conflict_rate(&rel, 4, 0.3, 5, 14);
+    let backends: Vec<Box<dyn Anonymizer + Send + Sync>> =
+        vec![Box::new(KMember::default()), Box::new(Oka::default()), Box::new(Mondrian)];
     for backend in backends {
         let out = Diva::with_anonymizer(DivaConfig::with_k(5), backend)
             .run(&rel, &sigma)
@@ -147,10 +142,7 @@ fn unsatisfiable_and_error_paths() {
     assert!(matches!(err, DivaError::NoDiverseClustering { .. }), "{err}");
 
     // k = 0 rejected.
-    assert_eq!(
-        Diva::new(DivaConfig::with_k(0)).run(&rel, &[]).unwrap_err(),
-        DivaError::InvalidK
-    );
+    assert_eq!(Diva::new(DivaConfig::with_k(0)).run(&rel, &[]).unwrap_err(), DivaError::InvalidK);
 
     // Unknown attribute rejected.
     let sigma = vec![Constraint::single("NOT_AN_ATTR", "x", 1, 2)];
@@ -173,10 +165,8 @@ fn duplicate_constraints_are_shared() {
     let rel = diva_datagen::medical(800, 47);
     let eth = rel.schema().col_of("ETH");
     let (_, name) = rel.dict(eth).iter().next().unwrap();
-    let sigma = vec![
-        Constraint::single("ETH", name, 10, 400),
-        Constraint::single("ETH", name, 10, 400),
-    ];
+    let sigma =
+        vec![Constraint::single("ETH", name, 10, 400), Constraint::single("ETH", name, 10, 400)];
     let out = Diva::new(DivaConfig::with_k(5)).run(&rel, &sigma).expect("shareable");
     let set = ConstraintSet::bind(&sigma, &out.relation).unwrap();
     assert!(set.satisfied_by(&out.relation));

@@ -48,12 +48,7 @@ fn arb_sigma(rel: &Relation, picks: &[(usize, usize)], k: usize) -> Vec<Constrai
             if f < k {
                 return None;
             }
-            Some(Constraint::single(
-                rel.schema().attribute(col).name(),
-                value,
-                k,
-                f,
-            ))
+            Some(Constraint::single(rel.schema().attribute(col).name(), value, k, f))
         })
         .collect()
 }
