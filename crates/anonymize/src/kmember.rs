@@ -79,10 +79,9 @@ impl Pool {
     fn remove(&mut self, i: usize) {
         let p = self.pos[i];
         debug_assert!(p != usize::MAX);
-        let last = *self.items.last().expect("remove from empty pool");
         self.items.swap_remove(p);
-        if last != i {
-            self.pos[last] = p;
+        if let Some(&moved) = self.items.get(p) {
+            self.pos[moved] = p;
         }
         self.pos[i] = usize::MAX;
     }
@@ -120,21 +119,25 @@ impl Anonymizer for KMember {
         let mut prev_seed = pool.items[rng.gen_range(0..pool.len())];
         while pool.len() >= k {
             // Seed: record furthest from the previous seed.
-            let seed = *pool
+            let Some(&seed) = pool
                 .candidates(self.candidate_cap)
                 .iter()
                 .max_by_key(|&&i| m.distance(prev_seed, i))
-                .expect("pool is non-empty");
+            else {
+                break;
+            };
             prev_seed = seed;
             pool.remove(seed);
             let mut c = ClusterState::singleton(&m, seed);
             while c.len() < k {
                 // Greedy: record with minimal information-loss increase.
-                let best = *pool
+                let Some(&best) = pool
                     .candidates(self.candidate_cap)
                     .iter()
                     .min_by_key(|&&i| c.il_increase(&m, i))
-                    .expect("pool has ≥ k - |c| records");
+                else {
+                    break;
+                };
                 pool.remove(best);
                 c.push(&m, best);
             }
@@ -143,9 +146,10 @@ impl Anonymizer for KMember {
         // Absorb the leftovers into their cheapest clusters.
         let leftovers: Vec<usize> = pool.items.clone();
         for i in leftovers {
-            let best = (0..clusters.len())
-                .min_by_key(|&ci| clusters[ci].il_increase(&m, i))
-                .expect("at least one cluster exists since n ≥ k");
+            let Some(best) = (0..clusters.len()).min_by_key(|&ci| clusters[ci].il_increase(&m, i))
+            else {
+                continue;
+            };
             clusters[best].push(&m, i);
         }
         let local: Vec<Vec<usize>> = clusters.into_iter().map(|c| c.members).collect();

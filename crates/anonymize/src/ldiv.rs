@@ -86,9 +86,11 @@ pub fn enforce_l_diversity(
         let disagreement = |partner: &Vec<RowId>| -> usize {
             qi_cols.iter().filter(|&&c| rel.code(partner[0], c) != rel.code(victim[0], c)).count()
         };
-        let best = (0..clusters.len())
+        let Some(best) = (0..clusters.len())
             .min_by_key(|&i| (!deficit_fixed(&clusters[i]), disagreement(&clusters[i])))
-            .expect("clusters remain");
+        else {
+            return None; // defensive: at least one partner remains
+        };
         clusters[best].extend_from_slice(&victim);
         clusters[best].sort_unstable();
     }

@@ -84,7 +84,9 @@ fn split(m: &QiMatrix, part: &[usize], k: usize) -> Option<(Vec<usize>, Vec<usiz
             if left_n == codes.len() {
                 // Everything ≤ cut: move the cut below the smallest code
                 // of the right-most run.
-                let max = *codes.last().expect("partition is non-empty");
+                let Some(&max) = codes.last() else {
+                    break; // defensive: partitions are never empty
+                };
                 if cut == max {
                     // Find the largest code strictly below max.
                     match codes.iter().rev().find(|&&c| c < max) {

@@ -84,11 +84,13 @@ impl Anonymizer for Oka {
         let mut clusters: Vec<ClusterState> =
             order[..n_clusters].iter().map(|&i| ClusterState::singleton(&m, i)).collect();
         for (qi, &i) in order[n_clusters..].iter().enumerate() {
-            let best = self
+            let Some(best) = self
                 .scan_range(qi, clusters.len())
                 .into_iter()
                 .min_by_key(|&ci| clusters[ci].distance(&m, i))
-                .expect("n_clusters ≥ 1");
+            else {
+                continue; // defensive: n_clusters ≥ 1
+            };
             clusters[best].push(&m, i);
         }
 
@@ -99,12 +101,11 @@ impl Anonymizer for Oka {
             while c.len() > k {
                 // Recompute the furthest member against the current
                 // representative and remove it.
-                let (pos, _) = c
-                    .members
-                    .iter()
-                    .enumerate()
-                    .max_by_key(|&(_, &i)| c.distance(&m, i))
-                    .expect("cluster has > k ≥ 1 members");
+                let Some((pos, _)) =
+                    c.members.iter().enumerate().max_by_key(|&(_, &i)| c.distance(&m, i))
+                else {
+                    break; // defensive: the cluster has > k ≥ 1 members
+                };
                 freed.push(c.members.swap_remove(pos));
                 // Removing a member can restore uniformity; rebuild the
                 // mask (cheap: |c| ≤ original size).
@@ -116,13 +117,15 @@ impl Anonymizer for Oka {
         // falling back to the nearest cluster overall.
         for (qi, i) in freed.into_iter().enumerate() {
             let scan = self.scan_range(qi, clusters.len());
-            let target = scan
+            let Some(target) = scan
                 .iter()
                 .copied()
                 .filter(|&ci| clusters[ci].len() < k)
                 .min_by_key(|&ci| clusters[ci].distance(&m, i))
                 .or_else(|| scan.into_iter().min_by_key(|&ci| clusters[ci].distance(&m, i)))
-                .expect("at least one cluster");
+            else {
+                continue; // defensive: at least one cluster exists
+            };
             clusters[target].push(&m, i);
         }
         // Under-full clusters can only remain if freeing produced too
@@ -133,9 +136,11 @@ impl Anonymizer for Oka {
             }
             let victim = clusters.swap_remove(small);
             for &i in &victim.members {
-                let target = (0..clusters.len())
-                    .min_by_key(|&ci| clusters[ci].distance(&m, i))
-                    .expect("clusters remain");
+                let Some(target) =
+                    (0..clusters.len()).min_by_key(|&ci| clusters[ci].distance(&m, i))
+                else {
+                    continue; // defensive: clusters remain after swap_remove
+                };
                 clusters[target].push(&m, i);
             }
         }

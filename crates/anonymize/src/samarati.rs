@@ -243,8 +243,13 @@ fn materialize(
                 if is_outlier.contains(&row) {
                     "★".to_string()
                 } else {
-                    let slot = qi_cols.iter().position(|&c| c == col).expect("QI col");
-                    hierarchies[slot].label(v.as_str(), levels[slot]).unwrap_or("★").to_string()
+                    match qi_cols.iter().position(|&c| c == col) {
+                        Some(slot) => hierarchies[slot]
+                            .label(v.as_str(), levels[slot])
+                            .unwrap_or("★")
+                            .to_string(),
+                        None => "★".to_string(), // defensive: col is a QI
+                    }
                 }
             } else {
                 v.as_str().to_string()

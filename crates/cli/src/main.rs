@@ -142,7 +142,10 @@ fn anonymize(opts: &HashMap<String, String>) -> Result<(), String> {
         .unwrap_or(1);
     let threads = opts
         .get("threads")
-        .map(|v| v.parse::<usize>().map_err(|_| "threads must be a positive integer".to_string()))
+        .map(|v| match v.parse::<usize>() {
+            Ok(0) | Err(_) => Err("threads must be a positive integer".to_string()),
+            Ok(n) => Ok(n),
+        })
         .transpose()?;
     let config = DivaConfig { k, strategy, seed, l_diversity, threads, ..DivaConfig::default() };
     let portfolio = opts

@@ -46,7 +46,8 @@ fn attr_name(rel: &Relation, col: usize) -> String {
 }
 
 fn decode(rel: &Relation, col: usize, code: u32) -> String {
-    rel.dict(col).decode(code).expect("frequency table only contains real codes").to_string()
+    // Frequency tables only contain real codes; fall back defensively.
+    rel.dict(col).decode(code).unwrap_or("<unknown>").to_string()
 }
 
 /// Candidate `(col, code, freq)` triples: the most frequent values of
@@ -179,7 +180,9 @@ pub fn with_conflict_rate(
     // --- Conflicting family around the hub value. ---
     let hub_col = cols[0];
     let hub_freqs = value_frequencies(rel, hub_col);
-    let &(hub_code, hub_freq) = hub_freqs.first().expect("hub attribute has no values");
+    let Some(&(hub_code, hub_freq)) = hub_freqs.first() else {
+        return out; // empty relation: no values to build a family around
+    };
     let hub_attr = attr_name(rel, hub_col);
     let hub_val = decode(rel, hub_col, hub_code);
     let hub_rows: Vec<usize> =

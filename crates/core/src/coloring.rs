@@ -117,10 +117,15 @@ impl<'a> Coloring<'a> {
                 (0..self.graph.n_nodes()).find(|&i| self.assignment[i].is_none()).unwrap_or(0);
             return Err(DivaError::NoDiverseClustering { constraint: self.labels[failed].clone() });
         }
+        #[cfg(feature = "strict-invariants")]
+        self.state.validate(self.graph).map_err(|detail| DivaError::InvariantViolated {
+            phase: "DiverseClustering".into(),
+            detail,
+        })?;
         let clusters = self.state.live_clusters();
         Ok(ColoringOutcome {
             clusters,
-            assignment: self.assignment.iter().map(|a| a.expect("all colored")).collect(),
+            assignment: self.assignment.iter().filter_map(|a| *a).collect(),
             stats: self.stats,
         })
     }
@@ -221,7 +226,7 @@ impl<'a> Coloring<'a> {
                 // Most restrictive first: fewest *currently consistent*
                 // candidates (rows still available given coloured
                 // neighbours).
-                *uncolored
+                uncolored
                     .iter()
                     .min_by_key(|&&i| {
                         self.candidates[i]
@@ -230,11 +235,12 @@ impl<'a> Coloring<'a> {
                             .filter(|cl| self.state.rows_available(cl))
                             .count()
                     })
-                    .expect("uncolored is non-empty")
+                    .copied()
+                    .unwrap_or(uncolored[0])
             }
             Strategy::MaxFanOut => {
                 // Most uncoloured neighbours first.
-                *uncolored
+                uncolored
                     .iter()
                     .max_by_key(|&&i| {
                         self.graph
@@ -243,7 +249,8 @@ impl<'a> Coloring<'a> {
                             .filter(|&&j| self.assignment[j].is_none())
                             .count()
                     })
-                    .expect("uncolored is non-empty")
+                    .copied()
+                    .unwrap_or(uncolored[0])
             }
         })
     }

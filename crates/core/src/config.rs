@@ -112,6 +112,27 @@ impl DivaConfig {
         self.l_diversity = l;
         self
     }
+
+    /// Builder-style worker-thread cap; use at construction so an
+    /// out-of-range value is rejected up front.
+    pub fn threads(mut self, threads: Option<usize>) -> Result<Self, crate::DivaError> {
+        self.threads = threads;
+        self.validate()?;
+        Ok(self)
+    }
+
+    /// Checks range constraints that the field types can't express.
+    /// Called by [`crate::run_portfolio`] and [`crate::Diva::run`];
+    /// `threads == Some(0)` is rejected rather than silently promoted
+    /// to one worker.
+    pub fn validate(&self) -> Result<(), crate::DivaError> {
+        if self.threads == Some(0) {
+            return Err(crate::DivaError::InvalidConfig {
+                reason: "threads must be a positive worker count (or None for all cores)".into(),
+            });
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -132,6 +153,16 @@ mod tests {
         assert_eq!(c.k, 5);
         assert_eq!(c.strategy, Strategy::Basic);
         assert_eq!(c.seed, 9);
+    }
+
+    #[test]
+    fn zero_threads_is_rejected() {
+        assert!(DivaConfig::default().threads(Some(0)).is_err());
+        assert!(DivaConfig::default().threads(Some(2)).is_ok());
+        assert!(DivaConfig::default().threads(None).is_ok());
+        let c = DivaConfig { threads: Some(0), ..DivaConfig::default() };
+        let err = c.validate().unwrap_err();
+        assert!(err.to_string().contains("threads"));
     }
 
     #[test]

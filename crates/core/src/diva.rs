@@ -126,6 +126,7 @@ impl Diva {
         if self.config.k == 0 {
             return Err(DivaError::InvalidK);
         }
+        self.config.validate()?;
         let cancelled = || cancel.is_some_and(|c| c.load(Ordering::Relaxed));
         if cancelled() {
             return Err(DivaError::Cancelled);
@@ -136,6 +137,8 @@ impl Diva {
         // --- DiverseClustering (Algorithm 3). ---
         let tc = Instant::now();
         let graph = ConstraintGraph::build(&set);
+        #[cfg(feature = "strict-invariants")]
+        graph.validate().map_err(|detail| inv("BuildGraph", detail))?;
         let shuffle = (self.config.strategy == Strategy::Basic).then_some(self.config.seed);
         // Candidate enumeration is independent per constraint — the
         // natural "satisfy constraints in parallel" decomposition the
@@ -158,8 +161,16 @@ impl Diva {
                     .iter()
                     .map(|c| scope.spawn(move || enumerate_one(c)))
                     .collect();
-                handles.into_iter().map(|h| h.join().expect("enumeration does not panic")).collect()
-            })
+                handles
+                    .into_iter()
+                    .map(|h| {
+                        h.join().map_err(|_| DivaError::InvariantViolated {
+                            phase: "CandidateEnumeration".into(),
+                            detail: "enumeration worker panicked".into(),
+                        })
+                    })
+                    .collect::<Result<_, _>>()
+            })?
         } else {
             set.constraints().iter().map(enumerate_one).collect()
         };
@@ -173,6 +184,8 @@ impl Diva {
         let outcome = coloring.solve()?;
         stats.coloring = outcome.stats.clone();
         let mut s_sigma: Vec<Vec<RowId>> = outcome.clusters;
+        #[cfg(feature = "strict-invariants")]
+        check_partition("DiverseClustering", &s_sigma, rel.n_rows(), false)?;
         stats.sigma_rows = s_sigma.iter().map(Vec::len).sum();
         stats.t_clustering = tc.elapsed();
 
@@ -195,10 +208,14 @@ impl Diva {
             // keeps Σ satisfied (checked exhaustively), else fail.
             let ta = Instant::now();
             let folded = self.fold_residual(rel, &set, &mut s_sigma, &rest)?;
+            #[cfg(feature = "strict-invariants")]
+            check_partition("Suppress", &folded.groups, folded.relation.n_rows(), true)?;
             stats.t_anonymize = ta.elapsed();
             stats.sigma_rows = s_sigma.iter().map(Vec::len).sum();
             let ti = Instant::now();
             let out = integrate(&folded, None, &set)?;
+            #[cfg(feature = "strict-invariants")]
+            check_partition("Integrate", &out.groups, out.relation.n_rows(), true)?;
             stats.integrate_repairs = out.repairs;
             stats.t_integrate = ti.elapsed();
             stats.t_total = t0.elapsed();
@@ -211,6 +228,8 @@ impl Diva {
         }
 
         let r_sigma = suppress_clustering(rel, &s_sigma);
+        #[cfg(feature = "strict-invariants")]
+        check_partition("Suppress", &r_sigma.groups, r_sigma.relation.n_rows(), true)?;
         let r_k: Option<Suppressed> = if rest.is_empty() {
             None
         } else {
@@ -225,6 +244,17 @@ impl Diva {
                         ),
                     })?;
             }
+            #[cfg(feature = "strict-invariants")]
+            {
+                check_partition("Anonymize", &clusters, rel.n_rows(), false)?;
+                let total: usize = clusters.iter().map(Vec::len).sum();
+                if total != rest.len() {
+                    return Err(inv(
+                        "Anonymize",
+                        format!("clusters cover {total} rows, residual has {}", rest.len()),
+                    ));
+                }
+            }
             let rk = suppress_clustering(rel, &clusters);
             stats.t_anonymize = ta.elapsed();
             Some(rk)
@@ -232,6 +262,8 @@ impl Diva {
 
         let ti = Instant::now();
         let out = integrate(&r_sigma, r_k.as_ref(), &set)?;
+        #[cfg(feature = "strict-invariants")]
+        check_partition("Integrate", &out.groups, out.relation.n_rows(), true)?;
         stats.integrate_repairs = out.repairs;
         stats.t_integrate = ti.elapsed();
 
@@ -281,6 +313,41 @@ impl Diva {
         }
         Err(DivaError::ResidualTooSmall { remaining: rest.len() })
     }
+}
+
+/// Shorthand for [`DivaError::InvariantViolated`] at a pipeline phase.
+#[cfg(feature = "strict-invariants")]
+fn inv(phase: &str, detail: String) -> DivaError {
+    DivaError::InvariantViolated { phase: phase.into(), detail }
+}
+
+/// Phase-boundary invariant: `groups` reference rows `< n_rows` and
+/// are pairwise disjoint; with `exhaustive` they also cover every row.
+#[cfg(feature = "strict-invariants")]
+fn check_partition(
+    phase: &str,
+    groups: &[Vec<RowId>],
+    n_rows: usize,
+    exhaustive: bool,
+) -> Result<(), DivaError> {
+    let mut seen = vec![false; n_rows];
+    for (gi, group) in groups.iter().enumerate() {
+        for &r in group {
+            if r >= n_rows {
+                return Err(inv(phase, format!("group {gi} references row {r} >= {n_rows}")));
+            }
+            if seen[r] {
+                return Err(inv(phase, format!("row {r} appears in two groups")));
+            }
+            seen[r] = true;
+        }
+    }
+    if exhaustive {
+        if let Some(r) = seen.iter().position(|&s| !s) {
+            return Err(inv(phase, format!("row {r} is not covered by any group")));
+        }
+    }
+    Ok(())
 }
 
 #[cfg(test)]

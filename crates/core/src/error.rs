@@ -55,6 +55,20 @@ pub enum DivaError {
         /// Human-readable reason.
         reason: String,
     },
+    /// A [`DivaConfig`][crate::DivaConfig] field is out of range —
+    /// e.g. `threads == Some(0)`.
+    InvalidConfig {
+        /// Which field, and why it was rejected.
+        reason: String,
+    },
+    /// A `strict-invariants` validator found a kernel structure in an
+    /// inconsistent state, or an internal worker failed.
+    InvariantViolated {
+        /// Pipeline phase (or structure) the check ran at.
+        phase: String,
+        /// The violated invariant, named precisely.
+        detail: String,
+    },
 }
 
 impl std::fmt::Display for DivaError {
@@ -89,6 +103,12 @@ impl std::fmt::Display for DivaError {
             DivaError::PrivacyInfeasible { reason } => {
                 write!(f, "privacy extension infeasible: {reason}")
             }
+            DivaError::InvalidConfig { reason } => {
+                write!(f, "invalid configuration: {reason}")
+            }
+            DivaError::InvariantViolated { phase, detail } => {
+                write!(f, "invariant violated at {phase}: {detail}")
+            }
         }
     }
 }
@@ -117,6 +137,14 @@ mod tests {
         assert!(DivaError::ResidualTooSmall { remaining: 2 }.to_string().contains('2'));
         assert!(DivaError::EmptyPortfolio.to_string().contains("seed"));
         assert!(DivaError::Cancelled.to_string().contains("cancelled"));
+        let e = DivaError::InvalidConfig { reason: "threads must be positive".into() };
+        assert!(e.to_string().contains("threads"));
+        let e = DivaError::InvariantViolated {
+            phase: "DiverseClustering".into(),
+            detail: "row 3 owned by dead cluster".into(),
+        };
+        assert!(e.to_string().contains("DiverseClustering"));
+        assert!(e.to_string().contains("dead cluster"));
     }
 
     #[test]

@@ -130,6 +130,90 @@ impl ConstraintGraph {
     pub fn degree(&self, i: usize) -> usize {
         self.adj[i].len()
     }
+
+    /// Checks the cross-structure invariants of the CSR layout, the
+    /// target bitsets, and the adjacency lists. O(|CSR| + |E| + n·|R|);
+    /// called by the `strict-invariants` pipeline gate after
+    /// `BuildGraph` and by the property suites.
+    pub fn validate(&self) -> Result<(), String> {
+        // CSR offsets: right length, monotone, in bounds.
+        if self.row_offsets.len() != self.n_rows + 1 {
+            return Err(format!(
+                "ConstraintGraph: {} CSR offsets for {} rows (expected {})",
+                self.row_offsets.len(),
+                self.n_rows,
+                self.n_rows + 1
+            ));
+        }
+        if let Some(w) = self.row_offsets.windows(2).position(|w| w[0] > w[1]) {
+            return Err(format!("ConstraintGraph: CSR offsets not monotone at row {w}"));
+        }
+        if self.row_offsets.last().copied().unwrap_or(0) as usize != self.row_nodes.len() {
+            return Err(format!(
+                "ConstraintGraph: final CSR offset {} != row_nodes length {}",
+                self.row_offsets.last().copied().unwrap_or(0),
+                self.row_nodes.len()
+            ));
+        }
+        let n = self.n_nodes();
+        for r in 0..self.n_rows {
+            let nodes = self.nodes_of(r);
+            if let Some(&bad) = nodes.iter().find(|&&v| v as usize >= n) {
+                return Err(format!("ConstraintGraph: row {r} lists node {bad} >= n_nodes {n}"));
+            }
+            if nodes.windows(2).any(|w| w[0] >= w[1]) {
+                return Err(format!("ConstraintGraph: row {r}'s node list is not ascending"));
+            }
+        }
+        // Target bitsets: well formed, within the row capacity, and
+        // consistent with the inverted index.
+        if self.target_sets.len() != n {
+            return Err(format!(
+                "ConstraintGraph: {} target sets for {} nodes",
+                self.target_sets.len(),
+                n
+            ));
+        }
+        for (i, set) in self.target_sets.iter().enumerate() {
+            set.validate().map_err(|e| format!("ConstraintGraph: node {i} target set: {e}"))?;
+            if set.capacity() != self.n_rows {
+                return Err(format!(
+                    "ConstraintGraph: node {i} target capacity {} != n_rows {}",
+                    set.capacity(),
+                    self.n_rows
+                ));
+            }
+            for r in set.iter() {
+                if !self.nodes_of(r).contains(&(i as u32)) {
+                    return Err(format!(
+                        "ConstraintGraph: node {i} targets row {r} but the CSR index omits it"
+                    ));
+                }
+            }
+        }
+        // Adjacency: symmetric, and an edge iff the targets intersect.
+        for i in 0..n {
+            for &j in &self.adj[i] {
+                if j >= n {
+                    return Err(format!("ConstraintGraph: node {i} adjacent to {j} >= {n}"));
+                }
+                if !self.adj[j].contains(&i) {
+                    return Err(format!("ConstraintGraph: edge {{{i},{j}}} is not symmetric"));
+                }
+            }
+            for j in (i + 1)..n {
+                let edge = self.adj[i].contains(&j);
+                let overlap = self.target_sets[i].intersects(&self.target_sets[j]);
+                if edge != overlap {
+                    return Err(format!(
+                        "ConstraintGraph: edge {{{i},{j}}} is {edge} but target overlap is \
+                         {overlap}"
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -205,5 +289,53 @@ mod tests {
     fn empty_cluster_contributes_vacuously() {
         let g = example_graph();
         assert!(g.cluster_contributes(0, &[]));
+    }
+
+    #[test]
+    fn validate_accepts_built_graphs() {
+        example_graph().validate().unwrap();
+        let r = paper_table1();
+        let set = ConstraintSet::bind(&[], &r).unwrap();
+        ConstraintGraph::build(&set).validate().unwrap();
+    }
+
+    #[test]
+    fn validate_reports_broken_csr_monotonicity() {
+        // Corruption injection: make an offset pair decrease.
+        let mut g = example_graph();
+        let mid = g.row_offsets.len() / 2;
+        g.row_offsets[mid] = g.row_offsets[mid - 1].wrapping_add(1000);
+        let err = g.validate().unwrap_err();
+        assert!(err.contains("monotone") || err.contains("final CSR offset"), "{err}");
+    }
+
+    #[test]
+    fn validate_reports_asymmetric_edge() {
+        // Corruption injection: drop one direction of an edge.
+        let mut g = example_graph();
+        g.adj[2].retain(|&j| j != 0); // keep 0 → 2 but not 2 → 0
+        let err = g.validate().unwrap_err();
+        assert!(err.contains("symmetric"), "{err}");
+    }
+
+    #[test]
+    fn validate_reports_phantom_edge() {
+        // Corruption injection: an edge with no target overlap.
+        let mut g = example_graph();
+        g.adj[0].push(1);
+        g.adj[1].push(0);
+        let err = g.validate().unwrap_err();
+        assert!(err.contains("target overlap"), "{err}");
+    }
+
+    #[test]
+    fn validate_reports_target_past_capacity() {
+        // Corruption injection: shrink the declared row span so an
+        // existing target set exceeds it.
+        let mut g = example_graph();
+        g.n_rows -= 1;
+        g.row_offsets.pop();
+        let err = g.validate().unwrap_err();
+        assert!(err.contains("capacity") || err.contains("CSR"), "{err}");
     }
 }

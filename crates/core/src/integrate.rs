@@ -97,9 +97,8 @@ pub fn integrate(
             .iter()
             .rev()
             .find(|&&gi| k_groups[gi].len() <= overshoot)
-            .or_else(|| matching.first())
             .copied()
-            .expect("matching is non-empty");
+            .unwrap_or(matching[0]);
         for &row in &k_groups[pick] {
             for &col in &c.cols {
                 relation.suppress_cell(row, col);

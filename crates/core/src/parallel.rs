@@ -67,6 +67,7 @@ where
         + Sync
         + 'static,
 {
+    config.validate()?;
     if seeds_per_strategy == 0 {
         return Err(DivaError::EmptyPortfolio);
     }
@@ -91,8 +92,10 @@ where
     let next = Arc::new(AtomicUsize::new(0));
     let (tx, rx) = mpsc::channel::<Result<DivaResult, DivaError>>();
 
+    // `validate()` above rejected `Some(0)`, and `available_parallelism`
+    // is at least 1, so the cap is always positive.
     let hw = std::thread::available_parallelism().map(usize::from).unwrap_or(1);
-    let n_workers = members.len().min(config.threads.unwrap_or(hw).max(1));
+    let n_workers = members.len().min(config.threads.unwrap_or(hw));
     for _ in 0..n_workers {
         let members = Arc::clone(&members);
         let rel = Arc::clone(&rel);
@@ -134,8 +137,9 @@ where
             }
         }
     }
-    // Every sender is dropped only after all members completed.
-    Err(best_err.expect("portfolio has at least one member"))
+    // Every sender is dropped only after all members completed; a
+    // missing verdict can only mean the portfolio was empty.
+    Err(best_err.unwrap_or(DivaError::EmptyPortfolio))
 }
 
 #[cfg(test)]

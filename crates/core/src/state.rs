@@ -252,8 +252,10 @@ impl SearchState {
         // --- Commit phase. ---
         let mut token = Token { incref: Vec::new(), created: Vec::new() };
         for id in shared {
-            self.clusters[id].as_mut().expect("shared id is live").refcount += 1;
-            token.incref.push(id);
+            if let Some(entry) = self.clusters[id].as_mut() {
+                entry.refcount += 1;
+                token.incref.push(id);
+            }
         }
         for (cluster, hash) in new_clusters {
             let id = self.free_ids.pop().unwrap_or_else(|| {
@@ -280,15 +282,20 @@ impl SearchState {
     /// Reverts a successful [`SearchState::try_assign`].
     pub fn unassign(&mut self, token: Token, graph: &ConstraintGraph) {
         for id in token.incref {
-            self.clusters[id].as_mut().expect("incref id is live").refcount -= 1;
+            if let Some(entry) = self.clusters[id].as_mut() {
+                entry.refcount -= 1;
+            }
         }
         for id in token.created {
-            let entry = self.clusters[id].take().expect("created id is live");
+            let Some(entry) = self.clusters[id].take() else {
+                continue;
+            };
             debug_assert_eq!(entry.refcount, 1);
-            let bucket = self.by_key.get_mut(&entry.hash).expect("hash is registered");
-            bucket.retain(|&b| b != id);
-            if bucket.is_empty() {
-                self.by_key.remove(&entry.hash);
+            if let Some(bucket) = self.by_key.get_mut(&entry.hash) {
+                bucket.retain(|&b| b != id);
+                if bucket.is_empty() {
+                    self.by_key.remove(&entry.hash);
+                }
             }
             for &r in &entry.rows {
                 self.row_owner[r] = NO_OWNER;
@@ -314,6 +321,130 @@ impl SearchState {
     /// Rows covered by the live clusters, ascending.
     pub fn covered_rows(&self) -> Vec<RowId> {
         self.row_owner.iter().enumerate().filter(|(_, &o)| o != NO_OWNER).map(|(r, _)| r).collect()
+    }
+
+    /// Checks the cross-structure invariants between the dense owner
+    /// map, the cluster registry, the FNV key index, the retained /
+    /// free-target counters, and the epoch scratch. Intended for quiet
+    /// points (between `try_assign`/`unassign` calls); called by the
+    /// `strict-invariants` pipeline gate on a successful colouring and
+    /// by the property suites.
+    pub fn validate(&self, graph: &ConstraintGraph) -> Result<(), String> {
+        let n = self.uppers.len();
+        if n != graph.n_nodes() {
+            return Err(format!(
+                "SearchState: {n} constraints but the graph has {} nodes",
+                graph.n_nodes()
+            ));
+        }
+        if self.row_owner.len() != graph.n_rows() || self.pending_mark.len() != graph.n_rows() {
+            return Err(format!(
+                "SearchState: owner map spans {} rows, scratch {}, graph {}",
+                self.row_owner.len(),
+                self.pending_mark.len(),
+                graph.n_rows()
+            ));
+        }
+        // Owner map → registry: every owned row points at a live
+        // cluster that lists it.
+        for (r, &o) in self.row_owner.iter().enumerate() {
+            if o == NO_OWNER {
+                continue;
+            }
+            match self.clusters.get(o as usize) {
+                Some(Some(e)) => {
+                    if !e.rows.contains(&r) {
+                        return Err(format!(
+                            "SearchState: row {r} owned by cluster {o} which does not list it"
+                        ));
+                    }
+                }
+                _ => {
+                    return Err(format!("SearchState: row {r} owned by dead cluster {o}"));
+                }
+            }
+        }
+        // Registry → owner map and key index.
+        for (id, entry) in self.clusters.iter().enumerate() {
+            let Some(e) = entry else {
+                if !self.free_ids.contains(&id) {
+                    return Err(format!("SearchState: dead cluster {id} missing from free_ids"));
+                }
+                continue;
+            };
+            if e.refcount == 0 {
+                return Err(format!("SearchState: live cluster {id} has refcount 0"));
+            }
+            if e.hash != cluster_hash(&e.rows) {
+                return Err(format!("SearchState: cluster {id}'s cached hash is stale"));
+            }
+            if !self.by_key.get(&e.hash).is_some_and(|b| b.contains(&id)) {
+                return Err(format!("SearchState: cluster {id} missing from the FNV key index"));
+            }
+            for &r in &e.rows {
+                if self.row_owner.get(r) != Some(&(id as u32)) {
+                    return Err(format!(
+                        "SearchState: cluster {id} lists row {r} but the owner map disagrees"
+                    ));
+                }
+            }
+        }
+        for (&hash, bucket) in &self.by_key {
+            for &id in bucket {
+                let live = self.clusters.get(id).and_then(Option::as_ref);
+                if live.is_none_or(|e| e.hash != hash) {
+                    return Err(format!(
+                        "SearchState: FNV key index maps {hash:#x} to dead or re-keyed \
+                         cluster {id}"
+                    ));
+                }
+            }
+        }
+        // Counter recomputation: retained and free-target totals must
+        // equal what the live clusters imply.
+        for i in 0..n {
+            let retained: usize = self
+                .clusters
+                .iter()
+                .flatten()
+                .filter(|e| graph.cluster_contributes(i, &e.rows))
+                .map(|e| e.rows.len())
+                .sum();
+            if retained != self.retained[i] {
+                return Err(format!(
+                    "SearchState: constraint {i} retained counter {} != recomputed {retained}",
+                    self.retained[i]
+                ));
+            }
+            if self.retained[i] > self.uppers[i] {
+                return Err(format!(
+                    "SearchState: constraint {i} retained {} exceeds upper bound {}",
+                    self.retained[i], self.uppers[i]
+                ));
+            }
+            let owned =
+                graph.target_set(i).iter().filter(|&r| self.row_owner[r] != NO_OWNER).count();
+            let free = graph.target_size(i) - owned;
+            if free != self.free_targets[i] {
+                return Err(format!(
+                    "SearchState: constraint {i} free-target counter {} != recomputed {free}",
+                    self.free_targets[i]
+                ));
+            }
+        }
+        // Epoch scratch must be quiescent between calls.
+        if self.touched.iter().any(|&t| self.node_cnt[t as usize] != 0)
+            || self.node_cnt.iter().any(|&c| c != 0)
+        {
+            return Err("SearchState: node_cnt scratch not zeroed after last call".into());
+        }
+        if !self.delta_touched.is_empty() || self.delta.iter().any(|&d| d != 0) {
+            return Err("SearchState: delta scratch not reset after last call".into());
+        }
+        if self.pending_mark.iter().any(|&m| m > self.epoch) {
+            return Err("SearchState: pending mark stamped past the current epoch".into());
+        }
+        Ok(())
     }
 }
 
@@ -425,6 +556,61 @@ mod tests {
         assert_eq!(st.retained(0), 2);
         assert_eq!(st.retained(2), 2);
         assert_eq!(st.retained(1), 0);
+    }
+
+    #[test]
+    fn validate_accepts_consistent_states() {
+        let (g, mut st) = setup();
+        st.validate(&g).unwrap();
+        let t1 = st.try_assign(&vec![vec![7, 9]], &g).unwrap();
+        st.validate(&g).unwrap();
+        let t2 = st.try_assign(&vec![vec![5, 6]], &g).unwrap();
+        st.validate(&g).unwrap();
+        st.unassign(t2, &g);
+        st.validate(&g).unwrap();
+        st.unassign(t1, &g);
+        st.validate(&g).unwrap();
+    }
+
+    #[test]
+    fn validate_reports_stale_row_owner() {
+        // Corruption injection: point a free row at a dead cluster id.
+        let (g, mut st) = setup();
+        let _t = st.try_assign(&vec![vec![7, 9]], &g).unwrap();
+        st.row_owner[3] = 999;
+        let err = st.validate(&g).unwrap_err();
+        assert!(err.contains("dead cluster"), "{err}");
+    }
+
+    #[test]
+    fn validate_reports_owner_registry_mismatch() {
+        // Corruption injection: re-point an owned row at the wrong
+        // (live) cluster.
+        let (g, mut st) = setup();
+        let _t1 = st.try_assign(&vec![vec![7, 9]], &g).unwrap();
+        let _t2 = st.try_assign(&vec![vec![5, 6]], &g).unwrap();
+        let owner_of_5 = st.row_owner[5];
+        st.row_owner[7] = owner_of_5; // cluster {5,6} does not list 7
+        let err = st.validate(&g).unwrap_err();
+        assert!(err.contains("does not list it") || err.contains("owner map disagrees"), "{err}");
+    }
+
+    #[test]
+    fn validate_reports_desynced_retained_counter() {
+        let (g, mut st) = setup();
+        let _t = st.try_assign(&vec![vec![7, 9]], &g).unwrap();
+        st.retained[0] += 1;
+        let err = st.validate(&g).unwrap_err();
+        assert!(err.contains("retained counter"), "{err}");
+    }
+
+    #[test]
+    fn validate_reports_dirty_epoch_scratch() {
+        let (g, mut st) = setup();
+        st.delta[1] = 7;
+        st.delta_touched.push(1);
+        let err = st.validate(&g).unwrap_err();
+        assert!(err.contains("delta scratch"), "{err}");
     }
 
     #[test]

@@ -58,16 +58,18 @@ pub fn generate(spec: &DatasetSpec, n_rows: usize, seed: u64) -> Relation {
     // For each QI slot: Some((parent_slot, parent_domain)) if derived.
     let mut derived: Vec<Option<(usize, usize)>> = vec![None; qi_cols.len()];
     for d in &spec.derivations {
-        let child_col = schema.col(&d.child).expect("derivation child exists");
-        let parent_col = schema.col(&d.parent).expect("derivation parent exists");
-        let child_slot = qi_cols
-            .iter()
-            .position(|&c| c == child_col)
-            .expect("derivation child is a QI attribute");
-        let parent_slot = qi_cols
-            .iter()
-            .position(|&c| c == parent_col)
-            .expect("derivation parent is a QI attribute");
+        // A derivation naming an unknown or non-QI attribute is a spec
+        // bug; skip it deterministically rather than aborting the run.
+        let (Some(child_col), Some(parent_col)) = (schema.col(&d.child), schema.col(&d.parent))
+        else {
+            continue;
+        };
+        let (Some(child_slot), Some(parent_slot)) = (
+            qi_cols.iter().position(|&c| c == child_col),
+            qi_cols.iter().position(|&c| c == parent_col),
+        ) else {
+            continue;
+        };
         let nc = spec.columns[child_col].domain.size();
         let np = spec.columns[parent_col].domain.size();
         assert!(

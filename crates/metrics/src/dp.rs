@@ -77,7 +77,7 @@ impl LaplaceMechanism {
             }
             errors.push(err);
         }
-        errors.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        errors.sort_by(|a, b| a.total_cmp(b));
         let n = errors.len();
         let report = UtilityReport {
             mean_relative_error: if n == 0 { 0.0 } else { errors.iter().sum::<f64>() / n as f64 },

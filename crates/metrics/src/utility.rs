@@ -116,7 +116,7 @@ pub fn evaluate_utility(
         }
         errors.push(err);
     }
-    errors.sort_by(|a, b| a.partial_cmp(b).expect("errors are finite"));
+    errors.sort_by(|a, b| a.total_cmp(b));
     let n = errors.len();
     UtilityReport {
         mean_relative_error: if n == 0 { 0.0 } else { errors.iter().sum::<f64>() / n as f64 },

@@ -35,8 +35,11 @@ impl Dict {
         if let Some(&code) = self.index.get(value) {
             return code;
         }
-        let code = u32::try_from(self.values.len()).expect("dictionary overflow");
-        assert!(code != STAR_CODE, "dictionary overflow: code space exhausted");
+        assert!(
+            u32::try_from(self.values.len()).is_ok_and(|c| c != STAR_CODE),
+            "dictionary overflow: code space exhausted"
+        );
+        let code = self.values.len() as u32;
         let boxed: Box<str> = value.into();
         self.values.push(boxed.clone());
         self.index.insert(boxed, code);

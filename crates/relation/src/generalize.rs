@@ -72,7 +72,9 @@ pub fn generalize_output(
         let mut labels: HashMap<usize, String> = HashMap::new();
         for &col in &qi_cols {
             let attr = schema.attribute(col).name();
-            let first = group.first().copied().expect("groups are non-empty");
+            let Some(first) = group.first().copied() else {
+                continue; // defensive: groups are non-empty
+            };
             let suppressed = anonymized.is_suppressed(first, col);
             if !suppressed {
                 continue; // value retained; publish as-is (NCP 0)

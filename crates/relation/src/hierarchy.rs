@@ -61,13 +61,14 @@ impl Hierarchy {
     /// Panics on duplicate leaves or empty input.
     pub fn from_chains<S: AsRef<str>>(chains: &[Vec<S>]) -> Self {
         assert!(!chains.is_empty(), "hierarchy needs at least one leaf");
-        let height = chains.iter().map(Vec::len).max().expect("non-empty");
+        let height = chains.iter().map(Vec::len).max().unwrap_or(0);
         let mut map: HashMap<String, Vec<String>> = HashMap::new();
         for chain in chains {
             assert!(!chain.is_empty(), "empty chain");
             let mut padded: Vec<String> = chain.iter().map(|s| s.as_ref().to_string()).collect();
             while padded.len() < height {
-                padded.push(padded.last().expect("non-empty").clone());
+                let last = padded.last().cloned().unwrap_or_default();
+                padded.push(last);
             }
             let leaf = padded[0].clone();
             assert!(map.insert(leaf.clone(), padded).is_none(), "duplicate leaf {leaf:?}");
@@ -145,9 +146,10 @@ impl Hierarchy {
             return (self.height, "★".to_string());
         }
         'level: for level in 0..self.height {
-            let label = self.label(first, level).expect("known leaf");
+            // Membership was checked above; ★ is a safe fallback.
+            let label = self.label(first, level).unwrap_or("★");
             for l in rest {
-                if self.label(l, level).expect("known leaf") != label {
+                if self.label(l, level).unwrap_or("★") != label {
                     continue 'level;
                 }
             }

@@ -113,6 +113,36 @@ impl RowSet {
         rows.iter().all(|&r| self.contains(r))
     }
 
+    /// Checks the structure's internal invariants: the word vector
+    /// covers exactly the capacity, no bit is set past the capacity,
+    /// and the cached `len` matches the popcount. Cheap (O(words));
+    /// the `strict-invariants` pipeline gates and the property suites
+    /// call it after mutation sequences.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.words.len() != self.capacity.div_ceil(64) {
+            return Err(format!(
+                "RowSet: {} words cannot back capacity {} (expected {})",
+                self.words.len(),
+                self.capacity,
+                self.capacity.div_ceil(64)
+            ));
+        }
+        if let Some(&tail) = self.words.last() {
+            let used = self.capacity - (self.words.len() - 1) * 64;
+            if used < 64 && tail >> used != 0 {
+                return Err(format!(
+                    "RowSet: bit set past capacity {} (tail word {tail:#x}, {used} valid bits)",
+                    self.capacity
+                ));
+            }
+        }
+        let pop: usize = self.words.iter().map(|w| w.count_ones() as usize).sum();
+        if pop != self.len {
+            return Err(format!("RowSet: cached len {} != popcount {pop}", self.len));
+        }
+        Ok(())
+    }
+
     /// Iterates the members in ascending order.
     pub fn iter(&self) -> impl Iterator<Item = RowId> + '_ {
         self.words.iter().enumerate().flat_map(|(wi, &w)| {
@@ -205,5 +235,31 @@ mod tests {
         assert!(s.is_empty());
         assert!(!s.contains(0));
         assert_eq!(s.iter().count(), 0);
+        s.validate().unwrap();
+    }
+
+    #[test]
+    fn validate_accepts_well_formed_sets() {
+        for cap in [0usize, 1, 63, 64, 65, 200] {
+            let s = RowSet::from_rows(cap, (0..cap).step_by(3));
+            s.validate().unwrap_or_else(|e| panic!("cap {cap}: {e}"));
+        }
+    }
+
+    #[test]
+    fn validate_reports_bit_past_capacity() {
+        // Corruption injection: set a bit the API could never set.
+        let mut s = RowSet::from_rows(70, [0, 69]);
+        s.words[1] |= 1 << 30; // row 94 ≥ capacity 70
+        let err = s.validate().unwrap_err();
+        assert!(err.contains("past capacity"), "{err}");
+    }
+
+    #[test]
+    fn validate_reports_stale_cached_len() {
+        let mut s = RowSet::from_rows(100, [5, 50, 99]);
+        s.len = 2; // desync the cache
+        let err = s.validate().unwrap_err();
+        assert!(err.contains("popcount"), "{err}");
     }
 }

@@ -117,8 +117,15 @@ impl Schema {
 
     /// Finds a column index by name, panicking with a clear message if
     /// missing. Convenience for tests and examples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no attribute has this name; use [`Schema::col`] for a
+    /// fallible lookup.
     pub fn col_of(&self, name: &str) -> usize {
-        self.col(name).unwrap_or_else(|| panic!("no attribute named {name:?} in schema"))
+        let col = self.col(name);
+        assert!(col.is_some(), "no attribute named {name:?} in schema");
+        col.unwrap_or_default()
     }
 }
 

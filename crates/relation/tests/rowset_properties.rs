@@ -23,6 +23,7 @@ proptest! {
     #[test]
     fn membership_matches_hashset(rows in rows()) {
         let set = RowSet::from_rows(CAP, rows.iter().copied());
+        set.validate().map_err(TestCaseError::fail)?;
         let model = model(&rows);
         prop_assert_eq!(set.len(), model.len());
         for r in 0..CAP {
@@ -82,6 +83,8 @@ proptest! {
             }
             prop_assert_eq!(set.len(), model.len());
         }
+        // The structural invariants must hold after any op sequence.
+        set.validate().map_err(TestCaseError::fail)?;
         for r in 0..CAP {
             prop_assert_eq!(set.contains(r), model.contains(&r));
         }

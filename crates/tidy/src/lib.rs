@@ -1,0 +1,602 @@
+//! `diva-tidy` — the repository's own static-analysis gate.
+//!
+//! A dependency-free, tidy-style line/token scanner (in the spirit of
+//! rustc's `tidy`, not a full parser) that mechanically enforces the
+//! repo-specific disciplines the hot-path refactors rely on:
+//!
+//! * **`no-panic`** — library code must route failures through typed
+//!   errors (`DivaError` and friends); `unwrap()`/`expect()`/`panic!`
+//!   are reserved for tests, benches, and binaries. `assert!` /
+//!   `debug_assert!` remain sanctioned for stating invariants.
+//! * **`hot-path-hash`** — the dense search kernels
+//!   (`core::{state, graph, coloring, candidates}`,
+//!   `relation::rowset`) must not regress to `HashMap`/`HashSet`/
+//!   `BTreeMap`; the one sanctioned use (the FNV-keyed cluster
+//!   registry in `state.rs`) is on the built-in allowlist.
+//! * **`thread-spawn`** — detached `std::thread::spawn` only in
+//!   `core::parallel`, where the portfolio's cancellation token
+//!   governs worker lifetimes (scoped `thread::scope` joins are fine
+//!   anywhere).
+//! * **`wall-clock`** — no `Instant::now`/`SystemTime::now`/ambient
+//!   RNG inside the deterministic search modules; all randomness flows
+//!   from the seeded config.
+//! * **`missing-docs`** — `pub fn` / `pub struct` in `core` and
+//!   `constraints` carry doc comments.
+//!
+//! Escape hatch: a `diva-tidy: allow(<rule>)` comment on the offending
+//! line or the line directly above suppresses that rule there. The
+//! policy for allows lives in `CONTRIBUTING.md`.
+
+use std::path::{Path, PathBuf};
+
+/// One diagnostic produced by the scanner.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Workspace-relative path of the offending file.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Rule identifier (`no-panic`, `hot-path-hash`, …).
+    pub rule: &'static str,
+    /// Human-readable description with remediation guidance.
+    pub msg: String,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}: [{}] {}", self.file, self.line, self.rule, self.msg)
+    }
+}
+
+/// Every rule the scanner knows, in reporting order.
+pub const RULES: [&str; 5] =
+    ["no-panic", "hot-path-hash", "thread-spawn", "wall-clock", "missing-docs"];
+
+/// Sanctioned exceptions baked into the tool (file, rule). Inline
+/// `diva-tidy: allow(...)` comments cover one line; this list covers
+/// whole files whose exception is a standing design decision.
+///
+/// * `state.rs` / `hot-path-hash`: the cluster registry is keyed by a
+///   precomputed FNV hash with collisions resolved by row comparison —
+///   the sanctioned `HashMap` use codified in PR 1 (see `DESIGN.md`).
+const ALLOWLIST: &[(&str, &str)] = &[("crates/core/src/state.rs", "hot-path-hash")];
+
+/// Library crates whose `src/` falls under the `no-panic` rule.
+/// Binaries and harnesses (`cli`, `bench`, `tidy`) may unwrap: their
+/// failures surface to a terminal, not to a caller.
+const LIB_CRATES: [&str; 6] =
+    ["relation", "constraints", "metrics", "anonymize", "datagen", "core"];
+
+/// The dense search kernels covered by `hot-path-hash` and
+/// `wall-clock`.
+const HOT_PATH_FILES: [&str; 5] = [
+    "crates/core/src/state.rs",
+    "crates/core/src/graph.rs",
+    "crates/core/src/coloring.rs",
+    "crates/core/src/candidates.rs",
+    "crates/relation/src/rowset.rs",
+];
+
+/// A preprocessed source line.
+#[derive(Debug)]
+struct Line {
+    /// Original text (used for allow-comment detection and doc checks).
+    raw: String,
+    /// Text with comments and string/char literal contents blanked to
+    /// spaces, so token matching never fires inside prose or literals.
+    code: String,
+    /// Whether the line sits inside a `#[cfg(test)]` item.
+    in_test: bool,
+}
+
+/// Strips comments and string/char literals, blanking them to spaces
+/// (so columns and braces outside literals are preserved).
+fn strip_comments_and_strings(source: &str) -> Vec<String> {
+    #[derive(PartialEq)]
+    enum St {
+        Normal,
+        LineComment,
+        BlockComment(usize),
+        Str,
+        RawStr(usize),
+    }
+    let mut st = St::Normal;
+    let mut out = Vec::new();
+    let mut cur = String::new();
+    let chars: Vec<char> = source.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '\n' {
+            if st == St::LineComment {
+                st = St::Normal;
+            }
+            out.push(std::mem::take(&mut cur));
+            i += 1;
+            continue;
+        }
+        match st {
+            St::Normal => {
+                if c == '/' && chars.get(i + 1) == Some(&'/') {
+                    st = St::LineComment;
+                    cur.push(' ');
+                    i += 1;
+                    cur.push(' ');
+                } else if c == '/' && chars.get(i + 1) == Some(&'*') {
+                    st = St::BlockComment(1);
+                    cur.push_str("  ");
+                    i += 1;
+                } else if c == '"' {
+                    st = St::Str;
+                    cur.push(' ');
+                } else if let Some((skip, hashes)) = ((c == 'r' || c == 'b')
+                    && !prev_is_ident(&cur))
+                .then(|| raw_str_hashes(&chars[i..]))
+                .flatten()
+                {
+                    for _ in 0..=skip {
+                        cur.push(' ');
+                    }
+                    i += skip;
+                    st = St::RawStr(hashes);
+                } else if c == '\'' {
+                    // Char literal vs lifetime: 'x' or '\x…' is a
+                    // literal; anything else is a lifetime tick.
+                    if chars.get(i + 1) == Some(&'\\') {
+                        cur.push(' ');
+                        i += 1;
+                        while i < chars.len() && chars[i] != '\'' {
+                            if chars[i] == '\\' {
+                                i += 1;
+                                cur.push(' ');
+                            }
+                            cur.push(' ');
+                            i += 1;
+                        }
+                        cur.push(' ');
+                    } else if chars.get(i + 2) == Some(&'\'') {
+                        cur.push_str("   ");
+                        i += 2;
+                    } else {
+                        cur.push('\'');
+                    }
+                } else {
+                    cur.push(c);
+                }
+            }
+            St::LineComment => cur.push(' '),
+            St::BlockComment(depth) => {
+                if c == '*' && chars.get(i + 1) == Some(&'/') {
+                    st = if depth == 1 { St::Normal } else { St::BlockComment(depth - 1) };
+                    cur.push_str("  ");
+                    i += 1;
+                } else if c == '/' && chars.get(i + 1) == Some(&'*') {
+                    st = St::BlockComment(depth + 1);
+                    cur.push_str("  ");
+                    i += 1;
+                } else {
+                    cur.push(' ');
+                }
+            }
+            St::Str => {
+                if c == '\\' {
+                    cur.push_str("  ");
+                    i += 1;
+                } else if c == '"' {
+                    st = St::Normal;
+                    cur.push(' ');
+                } else {
+                    cur.push(' ');
+                }
+            }
+            St::RawStr(hashes) => {
+                if c == '"' && closes_raw(&chars[i..], hashes) {
+                    for _ in 0..=hashes {
+                        cur.push(' ');
+                    }
+                    i += hashes;
+                    st = St::Normal;
+                } else {
+                    cur.push(' ');
+                }
+            }
+        }
+        i += 1;
+    }
+    if !cur.is_empty() || source.ends_with('\n') {
+        out.push(cur);
+    }
+    out
+}
+
+/// Whether the blanked text so far ends in an identifier character (so
+/// `r` in `for` is not mistaken for a raw-string sigil).
+fn prev_is_ident(cur: &str) -> bool {
+    cur.chars().next_back().is_some_and(|c| c.is_alphanumeric() || c == '_')
+}
+
+/// If `chars` starts a raw string (`r"`, `r#"`, `br##"`, …), returns
+/// `(offset_of_opening_quote, n_hashes)`.
+fn raw_str_hashes(chars: &[char]) -> Option<(usize, usize)> {
+    let mut j = 1;
+    if chars.first() == Some(&'b') {
+        if chars.get(1) != Some(&'r') {
+            return None;
+        }
+        j = 2;
+    }
+    let start = j;
+    while chars.get(j) == Some(&'#') {
+        j += 1;
+    }
+    (chars.get(j) == Some(&'"')).then_some((j, j - start))
+}
+
+/// Whether a `"` at the head of `chars` is followed by enough `#`s to
+/// close a raw string opened with `hashes` hashes.
+fn closes_raw(chars: &[char], hashes: usize) -> bool {
+    (1..=hashes).all(|k| chars.get(k) == Some(&'#'))
+}
+
+/// Preprocesses a file: strips literals, then marks `#[cfg(test)]`
+/// regions by brace tracking (attribute → next block or `;`).
+fn preprocess(source: &str) -> Vec<Line> {
+    let stripped = strip_comments_and_strings(source);
+    let raws: Vec<&str> = source.lines().collect();
+
+    #[derive(Clone, Copy, PartialEq)]
+    enum Region {
+        None,
+        /// Attribute seen; waiting for the item's `{` (or a `;`).
+        Pending {
+            attr_depth: usize,
+        },
+        Active {
+            end_depth: usize,
+        },
+    }
+    let mut region = Region::None;
+    let mut depth = 0usize;
+    let mut lines = Vec::with_capacity(stripped.len());
+    for (idx, code) in stripped.iter().enumerate() {
+        if region == Region::None
+            && (code.contains("#[cfg(test)]")
+                || code.contains("#[cfg(any(test")
+                || code.contains("#[cfg(all(test"))
+        {
+            region = Region::Pending { attr_depth: depth };
+        }
+        let mut in_test = region != Region::None;
+        for ch in code.chars() {
+            match ch {
+                '{' => {
+                    if let Region::Pending { .. } = region {
+                        region = Region::Active { end_depth: depth };
+                        in_test = true;
+                    }
+                    depth += 1;
+                }
+                '}' => {
+                    depth = depth.saturating_sub(1);
+                    if let Region::Active { end_depth } = region {
+                        if depth == end_depth {
+                            region = Region::None;
+                        }
+                    }
+                }
+                ';' => {
+                    if let Region::Pending { attr_depth } = region {
+                        if depth == attr_depth {
+                            // `#[cfg(test)] use …;` — single item.
+                            region = Region::None;
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+        lines.push(Line {
+            raw: raws.get(idx).unwrap_or(&"").to_string(),
+            code: code.clone(),
+            in_test,
+        });
+    }
+    lines
+}
+
+/// Rules suppressed on `line` (0-based) by an inline
+/// `diva-tidy: allow(rule)` comment on the same or the previous line.
+fn allowed_rules(lines: &[Line], line: usize) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut scan = |raw: &str| {
+        let mut rest = raw;
+        while let Some(pos) = rest.find("diva-tidy: allow(") {
+            let after = &rest[pos + "diva-tidy: allow(".len()..];
+            if let Some(end) = after.find(')') {
+                out.push(after[..end].trim().to_string());
+            }
+            rest = after;
+        }
+    };
+    if line > 0 {
+        scan(&lines[line - 1].raw);
+    }
+    scan(&lines[line].raw);
+    out
+}
+
+fn is_library_src(path: &str) -> bool {
+    path.starts_with("src/")
+        || LIB_CRATES.iter().any(|c| {
+            path.strip_prefix("crates/")
+                .and_then(|p| p.strip_prefix(c))
+                .is_some_and(|p| p.starts_with("/src/"))
+        })
+}
+
+fn is_hot_path(path: &str) -> bool {
+    HOT_PATH_FILES.contains(&path)
+}
+
+fn is_doc_scope(path: &str) -> bool {
+    path.starts_with("crates/core/src/") || path.starts_with("crates/constraints/src/")
+}
+
+/// Token patterns for one rule: `(needle, what)` pairs.
+type Tokens = &'static [(&'static str, &'static str)];
+
+const PANIC_TOKENS: Tokens = &[
+    (".unwrap()", "`unwrap()`"),
+    (".expect(", "`expect()`"),
+    ("panic!", "`panic!`"),
+    ("unreachable!", "`unreachable!`"),
+    ("todo!", "`todo!`"),
+    ("unimplemented!", "`unimplemented!`"),
+];
+
+const HASH_TOKENS: Tokens =
+    &[("HashMap", "`HashMap`"), ("HashSet", "`HashSet`"), ("BTreeMap", "`BTreeMap`")];
+
+const SPAWN_TOKENS: Tokens = &[("thread::spawn", "`std::thread::spawn`")];
+
+const CLOCK_TOKENS: Tokens = &[
+    ("Instant::now", "`Instant::now`"),
+    ("SystemTime::now", "`SystemTime::now`"),
+    ("thread_rng", "ambient `thread_rng`"),
+    ("from_entropy", "entropy-seeded RNG"),
+    ("rand::random", "ambient `rand::random`"),
+];
+
+/// Scans one file. `path` is the workspace-relative path (with `/`
+/// separators) that rule scoping is decided on.
+pub fn scan_file(path: &str, source: &str) -> Vec<Violation> {
+    let lines = preprocess(source);
+    let mut out = Vec::new();
+    let allowlisted = |rule: &str| ALLOWLIST.contains(&(path, rule));
+
+    let mut token_rule = |rule: &'static str, in_scope: bool, tokens: Tokens, why: &str| {
+        if !in_scope || allowlisted(rule) {
+            return;
+        }
+        for (i, line) in lines.iter().enumerate() {
+            if line.in_test {
+                continue;
+            }
+            for &(needle, what) in tokens {
+                if line.code.contains(needle) && !allowed_rules(&lines, i).iter().any(|r| r == rule)
+                {
+                    out.push(Violation {
+                        file: path.to_string(),
+                        line: i + 1,
+                        rule,
+                        msg: format!("{what} {why}"),
+                    });
+                }
+            }
+        }
+    };
+
+    token_rule(
+        "no-panic",
+        is_library_src(path),
+        PANIC_TOKENS,
+        "in library code — route the failure through a typed error (`DivaError`, \
+         `ConstraintError`, …) or restructure with `let-else`; `assert!` may state invariants",
+    );
+    token_rule(
+        "hot-path-hash",
+        is_hot_path(path),
+        HASH_TOKENS,
+        "in a dense search kernel — PR 1 de-hashed these modules (bitsets, CSR, dense vecs); \
+         use the dense structures or get the use sanctioned on the tidy allowlist",
+    );
+    token_rule(
+        "thread-spawn",
+        path != "crates/core/src/parallel.rs",
+        SPAWN_TOKENS,
+        "outside `core::parallel` — detached workers must poll the portfolio cancellation \
+         token; use `std::thread::scope` or route the work through `run_portfolio`",
+    );
+    token_rule(
+        "wall-clock",
+        is_hot_path(path),
+        CLOCK_TOKENS,
+        "in a deterministic search module — searches must replay exactly from \
+         `DivaConfig::seed`; take timings in `diva.rs`/`bench` and randomness from the \
+         seeded config",
+    );
+
+    if is_doc_scope(path) && !allowlisted("missing-docs") {
+        check_docs(path, &lines, &mut out);
+    }
+    out.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
+    out
+}
+
+/// The `missing-docs` rule: every non-test `pub fn` / `pub struct`
+/// must be preceded by a doc comment (attribute lines in between are
+/// skipped).
+fn check_docs(path: &str, lines: &[Line], out: &mut Vec<Violation>) {
+    for (i, line) in lines.iter().enumerate() {
+        if line.in_test {
+            continue;
+        }
+        let trimmed = line.code.trim_start();
+        let Some(mut rest) = trimmed.strip_prefix("pub ") else {
+            continue;
+        };
+        loop {
+            let before = rest;
+            for q in ["const ", "async ", "unsafe "] {
+                if let Some(r) = rest.strip_prefix(q) {
+                    rest = r;
+                }
+            }
+            if rest == before {
+                break;
+            }
+        }
+        let item = if rest.starts_with("fn ") {
+            "pub fn"
+        } else if rest.starts_with("struct ") {
+            "pub struct"
+        } else {
+            continue;
+        };
+        let mut j = i;
+        let mut documented = false;
+        while j > 0 {
+            j -= 1;
+            let above = lines[j].raw.trim_start();
+            if above.starts_with("#[") || above.starts_with("#![") {
+                continue; // attribute between docs and item
+            }
+            documented =
+                above.starts_with("///") || above.starts_with("#[doc") || above.starts_with("/**");
+            break;
+        }
+        if !documented && !allowed_rules(lines, i).iter().any(|r| r == "missing-docs") {
+            out.push(Violation {
+                file: path.to_string(),
+                line: i + 1,
+                rule: "missing-docs",
+                msg: format!(
+                    "{item} without a doc comment — `core` and `constraints` document their \
+                     public surface"
+                ),
+            });
+        }
+    }
+}
+
+/// Recursively collects `.rs` files under `dir` into `out`.
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.is_dir() {
+            collect_rs(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Scans the workspace rooted at `root`: the root `src/` plus every
+/// `crates/*/src/` tree. Tests, benches, examples, and the vendored
+/// `shims/` are out of scope — the rules govern library and binary
+/// sources.
+pub fn scan_workspace(root: &Path) -> std::io::Result<Vec<Violation>> {
+    let mut files: Vec<PathBuf> = Vec::new();
+    let root_src = root.join("src");
+    if root_src.is_dir() {
+        collect_rs(&root_src, &mut files)?;
+    }
+    let crates = root.join("crates");
+    if crates.is_dir() {
+        for entry in std::fs::read_dir(&crates)? {
+            let src = entry?.path().join("src");
+            if src.is_dir() {
+                collect_rs(&src, &mut files)?;
+            }
+        }
+    }
+    files.sort();
+    let mut out = Vec::new();
+    for file in files {
+        let rel = file
+            .strip_prefix(root)
+            .unwrap_or(&file)
+            .components()
+            .map(|c| c.as_os_str().to_string_lossy())
+            .collect::<Vec<_>>()
+            .join("/");
+        let source = std::fs::read_to_string(&file)?;
+        out.extend(scan_file(&rel, &source));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strips_line_and_block_comments() {
+        let s = strip_comments_and_strings("a // unwrap()\nb /* panic! */ c\n");
+        assert!(!s[0].contains("unwrap"));
+        assert!(!s[1].contains("panic"));
+        assert!(s[1].contains('c'));
+    }
+
+    #[test]
+    fn strips_strings_and_chars_keeps_lifetimes() {
+        let s = strip_comments_and_strings("let x = \".unwrap()\"; let c = '{'; &'a str\n");
+        assert!(!s[0].contains("unwrap"));
+        assert!(!s[0].contains('{'), "char literal brace blanked");
+        assert!(s[0].contains("&'a str"), "lifetime survives: {}", s[0]);
+    }
+
+    #[test]
+    fn raw_strings_are_blanked() {
+        let s = strip_comments_and_strings("let x = r#\"panic!\"#; y\n");
+        assert!(!s[0].contains("panic"));
+        assert!(s[0].contains('y'));
+    }
+
+    #[test]
+    fn cfg_test_region_is_marked() {
+        let src = "fn a() {}\n#[cfg(test)]\nmod tests {\n    fn b() { x.unwrap() }\n}\nfn c() {}\n";
+        let lines = preprocess(src);
+        assert!(!lines[0].in_test);
+        assert!(lines[1].in_test && lines[2].in_test && lines[3].in_test && lines[4].in_test);
+        assert!(!lines[5].in_test);
+    }
+
+    #[test]
+    fn cfg_test_single_item_ends_at_semicolon() {
+        let src = "#[cfg(test)]\nuse foo::bar;\nfn c() { x.unwrap() }\n";
+        let lines = preprocess(src);
+        assert!(lines[1].in_test);
+        assert!(!lines[2].in_test);
+        let v = scan_file("crates/core/src/x.rs", src);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].line, 3);
+    }
+
+    #[test]
+    fn allow_comment_suppresses_same_and_next_line() {
+        let src =
+            "fn f() {\n    // diva-tidy: allow(no-panic)\n    x.unwrap();\n    y.unwrap();\n}\n";
+        let v = scan_file("crates/core/src/x.rs", src);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].line, 4);
+    }
+
+    #[test]
+    fn allowlist_covers_state_hash() {
+        let src = "use std::collections::HashMap;\n";
+        assert!(scan_file("crates/core/src/state.rs", src).is_empty());
+        assert_eq!(scan_file("crates/core/src/graph.rs", src).len(), 1);
+    }
+}

@@ -1,0 +1,52 @@
+//! CLI entry point for `diva-tidy`: scans the workspace, prints
+//! `path:line: [rule] message` diagnostics plus a rule-by-rule count
+//! summary, and exits non-zero if anything fired.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+/// Walks upward from the current directory to the workspace root (the
+/// first `Cargo.toml` containing a `[workspace]` table).
+fn find_workspace_root() -> Option<PathBuf> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(dir);
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let Some(root) = find_workspace_root() else {
+        eprintln!("diva-tidy: no workspace root (Cargo.toml with [workspace]) above cwd");
+        return ExitCode::FAILURE;
+    };
+    let violations = match diva_tidy::scan_workspace(&root) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("diva-tidy: scan failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if violations.is_empty() {
+        println!("diva-tidy: workspace clean ({} rules)", diva_tidy::RULES.len());
+        return ExitCode::SUCCESS;
+    }
+    for v in &violations {
+        println!("{v}");
+    }
+    println!("\ndiva-tidy: {} violation(s)", violations.len());
+    for rule in diva_tidy::RULES {
+        let n = violations.iter().filter(|v| v.rule == rule).count();
+        if n > 0 {
+            println!("  {rule:<14} {n}");
+        }
+    }
+    ExitCode::FAILURE
+}

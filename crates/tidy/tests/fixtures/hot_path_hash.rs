@@ -1,0 +1,18 @@
+// Fixture: rule (b) `hot-path-hash`. Scanned as a hot-path module path.
+
+use std::collections::HashMap;
+use std::collections::HashSet;
+
+pub fn bad_btree() {
+    let _m: std::collections::BTreeMap<u32, u32> = std::collections::BTreeMap::new();
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+
+    #[test]
+    fn hash_is_fine_in_tests() {
+        let _m: HashMap<u32, u32> = HashMap::new();
+    }
+}

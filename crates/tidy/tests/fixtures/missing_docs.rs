@@ -1,0 +1,21 @@
+// Fixture: rule (e) `missing-docs`. Scanned as a `core` path.
+
+pub fn bad_undocumented() {}
+
+pub struct BadUndocumented;
+
+/// Documented — fine.
+pub fn good_documented() {}
+
+/// Documented with an attribute in between — fine.
+#[derive(Debug)]
+pub struct GoodDerived;
+
+pub(crate) fn crate_visible_is_exempt() {}
+
+fn private_is_exempt() {}
+
+#[cfg(test)]
+mod tests {
+    pub fn test_items_are_exempt() {}
+}

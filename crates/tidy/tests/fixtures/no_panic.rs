@@ -1,0 +1,38 @@
+// Fixture: rule (a) `no-panic`. Scanned as a library-crate path.
+
+pub fn bad_unwrap(x: Option<u32>) -> u32 {
+    x.unwrap()
+}
+
+pub fn bad_expect(x: Option<u32>) -> u32 {
+    x.expect("present")
+}
+
+pub fn bad_panic() {
+    panic!("boom");
+}
+
+pub fn sanctioned_assert(x: usize) {
+    assert!(x > 0, "asserts are allowed");
+}
+
+pub fn allowed_hatch(x: Option<u32>) -> u32 {
+    // diva-tidy: allow(no-panic)
+    x.unwrap()
+}
+
+pub fn commented_and_quoted() -> &'static str {
+    // a comment saying .unwrap() does not count
+    ".unwrap() in a string does not count"
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_may_unwrap() {
+        let v: Option<u32> = Some(1);
+        v.unwrap();
+        v.expect("fine in tests");
+        panic!("fine in tests");
+    }
+}

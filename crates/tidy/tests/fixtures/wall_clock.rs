@@ -1,0 +1,14 @@
+// Fixture: rule (d) `wall-clock`. Scanned as a deterministic-module path.
+
+pub fn bad_timer() -> std::time::Instant {
+    std::time::Instant::now()
+}
+
+pub fn bad_epoch() -> std::time::SystemTime {
+    std::time::SystemTime::now()
+}
+
+pub fn bad_ambient_rng() {
+    // (tokens only; the vendored shim exposes seeded StdRng instead)
+    let _r = rand::thread_rng();
+}

@@ -1,0 +1,97 @@
+//! Self-test for `diva-tidy`: every rule must demonstrably fire on a
+//! seeded-violation fixture, and the real workspace must scan clean.
+
+use std::path::Path;
+
+fn fixture(name: &str) -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures").join(name);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read fixture {name}: {e}"))
+}
+
+fn lines_for(violations: &[diva_tidy::Violation], rule: &str) -> Vec<usize> {
+    violations.iter().filter(|v| v.rule == rule).map(|v| v.line).collect()
+}
+
+#[test]
+fn rule_a_no_panic_fires_on_fixture() {
+    // Library-crate path, outside the doc/hot-path scopes.
+    let v = diva_tidy::scan_file("crates/relation/src/fixture.rs", &fixture("no_panic.rs"));
+    assert_eq!(lines_for(&v, "no-panic"), vec![4, 8, 12], "{v:#?}");
+    assert_eq!(v.len(), 3, "only no-panic fires: {v:#?}");
+}
+
+#[test]
+fn rule_a_is_scoped_to_library_crates() {
+    // cli / bench / tidy binaries may unwrap.
+    let v = diva_tidy::scan_file("crates/cli/src/main.rs", &fixture("no_panic.rs"));
+    assert!(v.is_empty(), "{v:#?}");
+}
+
+#[test]
+fn rule_b_hot_path_hash_fires_on_fixture() {
+    // rowset.rs: hot path, not in the doc scope.
+    let v = diva_tidy::scan_file("crates/relation/src/rowset.rs", &fixture("hot_path_hash.rs"));
+    assert_eq!(lines_for(&v, "hot-path-hash"), vec![3, 4, 7], "{v:#?}");
+}
+
+#[test]
+fn rule_b_allowlist_sanctions_state_registry() {
+    let v = diva_tidy::scan_file("crates/core/src/state.rs", &fixture("hot_path_hash.rs"));
+    assert!(lines_for(&v, "hot-path-hash").is_empty(), "{v:#?}");
+}
+
+#[test]
+fn rule_b_is_scoped_to_hot_path_modules() {
+    let v = diva_tidy::scan_file("crates/core/src/diva.rs", &fixture("hot_path_hash.rs"));
+    assert!(lines_for(&v, "hot-path-hash").is_empty(), "{v:#?}");
+}
+
+#[test]
+fn rule_c_thread_spawn_fires_on_fixture() {
+    let v = diva_tidy::scan_file("crates/metrics/src/fixture.rs", &fixture("thread_spawn.rs"));
+    assert_eq!(lines_for(&v, "thread-spawn"), vec![4], "scoped spawns are fine: {v:#?}");
+}
+
+#[test]
+fn rule_c_exempts_core_parallel() {
+    let v = diva_tidy::scan_file("crates/core/src/parallel.rs", &fixture("thread_spawn.rs"));
+    assert!(lines_for(&v, "thread-spawn").is_empty(), "{v:#?}");
+}
+
+#[test]
+fn rule_d_wall_clock_fires_on_fixture() {
+    // rowset.rs: deterministic hot path, not in the doc scope.
+    let v = diva_tidy::scan_file("crates/relation/src/rowset.rs", &fixture("wall_clock.rs"));
+    assert_eq!(lines_for(&v, "wall-clock"), vec![4, 8, 13], "{v:#?}");
+}
+
+#[test]
+fn rule_d_is_scoped_to_deterministic_modules() {
+    // diva.rs takes phase timings; Instant is fine there.
+    let v = diva_tidy::scan_file("crates/core/src/diva.rs", &fixture("wall_clock.rs"));
+    assert!(lines_for(&v, "wall-clock").is_empty(), "{v:#?}");
+}
+
+#[test]
+fn rule_e_missing_docs_fires_on_fixture() {
+    let v = diva_tidy::scan_file("crates/core/src/fixture.rs", &fixture("missing_docs.rs"));
+    assert_eq!(lines_for(&v, "missing-docs"), vec![3, 5], "{v:#?}");
+}
+
+#[test]
+fn rule_e_is_scoped_to_core_and_constraints() {
+    let v = diva_tidy::scan_file("crates/anonymize/src/fixture.rs", &fixture("missing_docs.rs"));
+    assert!(lines_for(&v, "missing-docs").is_empty(), "{v:#?}");
+}
+
+#[test]
+fn real_workspace_is_clean() {
+    // crates/tidy/ -> workspace root.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let violations = diva_tidy::scan_workspace(&root).expect("workspace scan");
+    assert!(
+        violations.is_empty(),
+        "workspace has tidy violations:\n{}",
+        violations.iter().map(|v| format!("  {v}\n")).collect::<String>()
+    );
+}

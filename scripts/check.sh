@@ -1,7 +1,9 @@
 #!/usr/bin/env sh
-# Repo gate: formatting, lints, tests, and a bench smoke run.
+# Repo gate: formatting, lints, the diva-tidy static-analysis pass,
+# tests (default + strict-invariants), and a bench smoke run.
 # Usage: scripts/check.sh  (from the repo root; pass --offline through
-# CARGO_FLAGS if the environment has no registry access).
+# CARGO_FLAGS if the environment has no registry access; set
+# SKIP_BENCH=1 to skip the bench smoke during quick iterations).
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -13,10 +15,21 @@ cargo fmt --check
 echo "==> cargo clippy --workspace --all-targets -D warnings"
 cargo clippy $FLAGS --workspace --all-targets -- -D warnings
 
+echo "==> diva-tidy (repo lint rules)"
+cargo run $FLAGS -q -p diva-tidy
+
 echo "==> cargo test -q"
 cargo test $FLAGS -q --workspace
 
-echo "==> bench smoke (perf emitter -> BENCH_diva.json)"
-cargo run $FLAGS --release -p diva-bench --bin experiments -- perf >/dev/null
+echo "==> cargo test -q --features strict-invariants (runtime validators)"
+cargo test $FLAGS -q --features strict-invariants -p diva-core
+cargo test $FLAGS -q --features strict-invariants --test pipeline
+
+if [ "${SKIP_BENCH:-0}" = "1" ]; then
+    echo "==> bench smoke skipped (SKIP_BENCH=1)"
+else
+    echo "==> bench smoke (perf emitter -> BENCH_diva.json)"
+    cargo run $FLAGS --release -p diva-bench --bin experiments -- perf >/dev/null
+fi
 
 echo "==> all checks passed"
