@@ -161,6 +161,33 @@ pub trait Anonymizer {
     }
 }
 
+/// Runs [`Anonymizer::cluster`] under an `anonymize.cluster` obs span
+/// and records the resulting group sizes in the
+/// `anonymize.group_size` histogram — the one instrumentation point
+/// shared by all baselines (the span's `algorithm` attribute tells
+/// them apart). Behaviour is identical to calling `cluster` directly.
+pub fn cluster_observed(
+    algo: &dyn Anonymizer,
+    rel: &Relation,
+    rows: &[RowId],
+    k: usize,
+    obs: &diva_obs::Obs,
+) -> Vec<Vec<RowId>> {
+    let mut span = obs
+        .span("anonymize.cluster")
+        .attr("algorithm", algo.name())
+        .attr("rows", rows.len())
+        .attr("k", k);
+    let clusters = algo.cluster(rel, rows, k);
+    span.set_attr("groups", clusters.len());
+    span.end();
+    let sizes = obs.histogram("anonymize.group_size");
+    for c in &clusters {
+        sizes.record_len(c.len());
+    }
+    clusters
+}
+
 /// Validates a clustering: covers every requested row exactly once and
 /// (unless the input was smaller than `k`) every cluster has ≥ `k`
 /// members. Shared by the baselines' tests and DIVA's integration

@@ -7,9 +7,8 @@
 //! concrete cap and the repair mechanism are our choices, so we
 //! measure their effect here.
 
-use std::time::Instant;
-
 use diva_core::{run_portfolio, Diva, DivaConfig, Strategy};
+use diva_obs::Stopwatch;
 use diva_relation::Relation;
 
 use crate::params::Params;
@@ -41,7 +40,7 @@ pub fn ablation_candidates(p: &Params) -> Table {
             backtrack_limit: p.backtrack_limit,
             ..Default::default()
         };
-        let clock = Instant::now();
+        let clock = Stopwatch::start();
         match Diva::new(config).run(&rel, &sigma) {
             Ok(out) => t.push_row(
                 cap.to_string(),
@@ -121,7 +120,7 @@ pub fn ablation_portfolio(p: &Params) -> Table {
             backtrack_limit: p.backtrack_limit,
             ..Default::default()
         };
-        let clock = Instant::now();
+        let clock = Stopwatch::start();
         let row = match Diva::new(config).run(&rel, &sigma) {
             Ok(out) => vec![
                 Some(clock.elapsed().as_secs_f64()),
@@ -137,7 +136,7 @@ pub fn ablation_portfolio(p: &Params) -> Table {
         backtrack_limit: p.backtrack_limit,
         ..Default::default()
     };
-    let clock = Instant::now();
+    let clock = Stopwatch::start();
     let row = match run_portfolio(&rel, &sigma, &config, 2) {
         Ok(out) => vec![
             Some(clock.elapsed().as_secs_f64()),
@@ -168,7 +167,7 @@ pub fn ablation_l_diversity(p: &Params) -> Table {
             backtrack_limit: p.backtrack_limit,
             ..Default::default()
         };
-        let clock = Instant::now();
+        let clock = Stopwatch::start();
         match Diva::new(config).run(&rel, &sigma) {
             Ok(out) => t.push_row(
                 l.to_string(),

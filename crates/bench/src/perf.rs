@@ -14,10 +14,10 @@
 
 use std::collections::{HashMap, HashSet};
 use std::hint::black_box;
-use std::time::Instant;
 
 use diva_constraints::ConstraintSet;
 use diva_core::{run_portfolio, ConstraintGraph, Diva, DivaConfig, DivaError, Strategy};
+use diva_obs::{Obs, Stopwatch};
 use diva_relation::{Relation, RowSet};
 
 /// Instance sizes of the Fig. 4a-style trajectory sweep.
@@ -33,7 +33,7 @@ fn time_best_ms<F: FnMut()>(reps: usize, mut f: F) -> f64 {
     f(); // warm-up
     let mut best = f64::INFINITY;
     for _ in 0..reps {
-        let t = Instant::now();
+        let t = Stopwatch::start();
         f();
         best = best.min(t.elapsed().as_secs_f64() * 1e3);
     }
@@ -220,8 +220,16 @@ struct TrajectoryPoint {
     rows: usize,
     strategy: &'static str,
     seconds: f64,
+    /// Per-phase wall-clock, seconds (from [`diva_core::RunStats`],
+    /// which is itself a view over the obs phase spans).
+    t_clustering_s: f64,
+    t_suppress_s: f64,
+    t_anonymize_s: f64,
+    t_integrate_s: f64,
     assignments_tried: u64,
     backtracks: u64,
+    node_selections: u64,
+    forward_check_prunes: u64,
     ok: bool,
 }
 
@@ -233,22 +241,39 @@ fn trajectory_point(rel: &Relation, k: usize, strategy: Strategy) -> TrajectoryP
         backtrack_limit: Some(TRAJECTORY_BACKTRACK_LIMIT),
         ..DivaConfig::default()
     };
-    let t = Instant::now();
+    let t = Stopwatch::start();
     let outcome = Diva::new(config).run(rel, &sigma);
     let seconds = t.elapsed().as_secs_f64();
-    let (assignments_tried, backtracks, ok) = match &outcome {
-        Ok(out) => (out.stats.coloring.assignments_tried, out.stats.coloring.backtracks, true),
-        Err(DivaError::SearchBudgetExhausted { backtracks }) => (0, *backtracks, false),
-        Err(_) => (0, 0, false),
-    };
-    TrajectoryPoint {
+    let mut point = TrajectoryPoint {
         rows: rel.n_rows(),
         strategy: strategy.name(),
         seconds,
-        assignments_tried,
-        backtracks,
-        ok,
+        t_clustering_s: 0.0,
+        t_suppress_s: 0.0,
+        t_anonymize_s: 0.0,
+        t_integrate_s: 0.0,
+        assignments_tried: 0,
+        backtracks: 0,
+        node_selections: 0,
+        forward_check_prunes: 0,
+        ok: false,
+    };
+    match &outcome {
+        Ok(out) => {
+            point.t_clustering_s = out.stats.t_clustering.as_secs_f64();
+            point.t_suppress_s = out.stats.t_suppress.as_secs_f64();
+            point.t_anonymize_s = out.stats.t_anonymize.as_secs_f64();
+            point.t_integrate_s = out.stats.t_integrate.as_secs_f64();
+            point.assignments_tried = out.stats.coloring.assignments_tried;
+            point.backtracks = out.stats.coloring.backtracks;
+            point.node_selections = out.stats.coloring.node_selections;
+            point.forward_check_prunes = out.stats.coloring.forward_check_prunes;
+            point.ok = true;
+        }
+        Err(DivaError::SearchBudgetExhausted { backtracks }) => point.backtracks = *backtracks,
+        Err(_) => {}
     }
+    point
 }
 
 struct PortfolioBench {
@@ -260,7 +285,7 @@ struct PortfolioBench {
 
 fn bench_portfolio(rel: &Relation, k: usize) -> PortfolioBench {
     let sigma = diva_constraints::generators::proportional(rel, 5, 0.7, 20);
-    let t = Instant::now();
+    let t = Stopwatch::start();
     let outcome = run_portfolio(rel, &sigma, &DivaConfig::with_k(k), 1);
     let seconds = t.elapsed().as_secs_f64();
     let (winner_assignments, ok) = match &outcome {
@@ -268,6 +293,50 @@ fn bench_portfolio(rel: &Relation, k: usize) -> PortfolioBench {
         Err(_) => (0, false),
     };
     PortfolioBench { rows: rel.n_rows(), seconds, winner_assignments, ok }
+}
+
+// ---------------------------------------------------------------------
+// Observability overhead: disabled obs must cost (almost) nothing.
+// ---------------------------------------------------------------------
+
+/// Repetitions for the overhead comparison (full pipeline runs, so
+/// fewer than the kernel microbenches).
+const OVERHEAD_REPS: usize = 5;
+
+struct ObsOverhead {
+    rows: usize,
+    disabled_ms: f64,
+    enabled_ms: f64,
+    /// `(enabled - disabled) / disabled`, percent. Negative values
+    /// mean the difference drowned in run-to-run noise.
+    overhead_pct: f64,
+}
+
+/// Times the same DIVA run with the obs handle disabled vs enabled.
+/// The acceptance budget for the disabled mode is < 2% overhead; the
+/// disabled handle is the workspace default, so this measures what
+/// every non-traced caller pays for the instrumentation points.
+fn bench_obs_overhead(rel: &Relation, k: usize) -> ObsOverhead {
+    let sigma = diva_constraints::generators::proportional(rel, 5, 0.7, 20);
+    let timed = |obs: Obs| {
+        let config = DivaConfig { k, obs, ..DivaConfig::default() };
+        time_best_ms(OVERHEAD_REPS, || {
+            let out = Diva::new(config.clone()).run(black_box(rel), black_box(&sigma));
+            black_box(out.map(|o| o.relation.star_count()).unwrap_or(0));
+        })
+    };
+    let disabled_ms = timed(Obs::disabled());
+    let enabled_ms = timed(Obs::enabled());
+    ObsOverhead {
+        rows: rel.n_rows(),
+        disabled_ms,
+        enabled_ms,
+        overhead_pct: if disabled_ms > 0.0 {
+            (enabled_ms - disabled_ms) / disabled_ms * 100.0
+        } else {
+            0.0
+        },
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -303,6 +372,7 @@ pub fn bench_json() -> String {
         }
     }
     let portfolio = bench_portfolio(&diva_datagen::medical(1_000, 5), 5);
+    let overhead = bench_obs_overhead(&diva_datagen::medical(1_000, 5), 5);
 
     let mut out = String::new();
     out.push_str("{\n");
@@ -334,12 +404,21 @@ pub fn bench_json() -> String {
     for (i, p) in points.iter().enumerate() {
         out.push_str(&format!(
             "    {{\"rows\": {}, \"strategy\": \"{}\", \"seconds\": {:.4}, \
-             \"assignments_tried\": {}, \"backtracks\": {}, \"ok\": {}}}{}\n",
+             \"t_clustering_s\": {:.4}, \"t_suppress_s\": {:.4}, \
+             \"t_anonymize_s\": {:.4}, \"t_integrate_s\": {:.4}, \
+             \"assignments_tried\": {}, \"backtracks\": {}, \
+             \"node_selections\": {}, \"forward_check_prunes\": {}, \"ok\": {}}}{}\n",
             p.rows,
             p.strategy,
             p.seconds,
+            p.t_clustering_s,
+            p.t_suppress_s,
+            p.t_anonymize_s,
+            p.t_integrate_s,
             p.assignments_tried,
             p.backtracks,
+            p.node_selections,
+            p.forward_check_prunes,
             p.ok,
             if i + 1 < points.len() { "," } else { "" }
         ));
@@ -350,6 +429,14 @@ pub fn bench_json() -> String {
     out.push_str(&format!("    \"seconds\": {:.4},\n", portfolio.seconds));
     out.push_str(&format!("    \"winner_assignments_tried\": {},\n", portfolio.winner_assignments));
     out.push_str(&format!("    \"ok\": {}\n", portfolio.ok));
+    out.push_str("  },\n");
+    out.push_str("  \"obs_overhead\": {\n");
+    out.push_str("    \"instance\": \"medical-1k, proportional Sigma, full pipeline\",\n");
+    out.push_str(&format!("    \"rows\": {},\n", overhead.rows));
+    out.push_str(&format!("    \"obs_disabled_ms\": {:.4},\n", overhead.disabled_ms));
+    out.push_str(&format!("    \"obs_enabled_ms\": {:.4},\n", overhead.enabled_ms));
+    out.push_str(&format!("    \"enabled_overhead_pct\": {:.2},\n", overhead.overhead_pct));
+    out.push_str("    \"disabled_budget_pct\": 2.0\n");
     out.push_str("  }\n");
     out.push_str("}\n");
     out
@@ -390,5 +477,20 @@ mod tests {
         let p = trajectory_point(&rel, 5, Strategy::MinChoice);
         assert!(p.ok, "tiny instance should solve");
         assert!(p.assignments_tried > 0);
+        assert!(p.node_selections > 0, "search counters missing");
+        // Phase timings are a partition of the run: each is bounded by
+        // the end-to-end wall-clock and clustering did real work.
+        assert!(p.t_clustering_s > 0.0);
+        let phases = p.t_clustering_s + p.t_suppress_s + p.t_anonymize_s + p.t_integrate_s;
+        assert!(phases <= p.seconds, "phase timings exceed total");
+    }
+
+    #[test]
+    fn obs_overhead_measures_both_modes() {
+        let rel = diva_datagen::medical(300, 5);
+        let o = bench_obs_overhead(&rel, 5);
+        assert_eq!(o.rows, 300);
+        assert!(o.disabled_ms > 0.0 && o.enabled_ms > 0.0);
+        assert!(o.overhead_pct.is_finite());
     }
 }

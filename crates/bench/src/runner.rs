@@ -1,11 +1,10 @@
 //! Single-configuration runners shared by the experiment binary and
 //! the Criterion benches.
 
-use std::time::Instant;
-
 use diva_anonymize::Anonymizer;
 use diva_constraints::{conflict_rate, Constraint, ConstraintSet};
 use diva_core::{Diva, DivaConfig, Strategy};
+use diva_obs::Stopwatch;
 use diva_relation::{is_k_anonymous, Relation};
 
 /// One measured run.
@@ -82,7 +81,7 @@ pub fn run_diva_limited(
 ) -> Measurement {
     let config = DivaConfig { k, strategy, seed, backtrack_limit, ..DivaConfig::default() };
     let diva = Diva::new(config);
-    let t = Instant::now();
+    let t = Stopwatch::start();
     match diva.run(rel, sigma) {
         Ok(out) => {
             let seconds = t.elapsed().as_secs_f64();
@@ -104,7 +103,7 @@ pub fn run_diva_limited(
 
 /// Runs a plain `k`-anonymization baseline and measures it.
 pub fn run_baseline(rel: &Relation, k: usize, algo: &dyn Anonymizer) -> Measurement {
-    let t = Instant::now();
+    let t = Stopwatch::start();
     let out = algo.anonymize(rel, k);
     let seconds = t.elapsed().as_secs_f64();
     Measurement {

@@ -20,8 +20,38 @@ use std::process::ExitCode;
 use diva_anonymize::{Anonymizer, KMember, Mondrian, Oka};
 use diva_constraints::{spec, Constraint, ConstraintSet};
 use diva_core::{run_portfolio, Diva, DivaConfig, Strategy};
+use diva_obs::{Obs, Stopwatch};
 use diva_relation::csv::{read_relation_file, write_relation_file};
 use diva_relation::{is_k_anonymous, AttrRole, Relation};
+
+/// Flags that take no value.
+const BOOLEAN_FLAGS: [&str; 1] = ["quiet"];
+
+/// Routes the human-readable report lines. `--quiet` drops them so
+/// the process's observable outputs are exactly its files (output CSV,
+/// `--trace`, `--metrics`) and its exit code — trace capture composes
+/// with scripting without stdout noise.
+struct Reporter {
+    quiet: bool,
+}
+
+impl Reporter {
+    fn new(opts: &HashMap<String, String>) -> Self {
+        Self { quiet: opts.contains_key("quiet") }
+    }
+
+    /// Prints one report line unless `--quiet` was given.
+    fn line(&self, msg: std::fmt::Arguments<'_>) {
+        if !self.quiet {
+            println!("{msg}");
+        }
+    }
+}
+
+/// `reporter.line(format_args!(...))` with `println!` ergonomics.
+macro_rules! report {
+    ($r:expr, $($arg:tt)*) => { $r.line(format_args!($($arg)*)) };
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -62,6 +92,8 @@ fn usage() -> String {
      \u{20}          [--l N  distinct l-diversity, default 1 = off]\n\
      \u{20}          [--portfolio N  race all strategies × N seeds, first win returns]\n\
      \u{20}          [--threads N  worker cap for --portfolio, default all cores]\n\
+     \u{20}          [--trace FILE  write a JSON-lines span trace of the run]\n\
+     \u{20}          [--metrics FILE  write the aggregated metrics summary JSON]\n\
      \u{20}          [--seed N] --output FILE\n\
      check      --input FILE --roles LIST --constraints FILE -k N\n\
      stats      --input FILE --roles LIST -k N\n\
@@ -69,7 +101,9 @@ fn usage() -> String {
      \u{20}          [--dist uniform|zipf|gaussian] [--seed N] --output FILE\n\
      sigma-gen  --input FILE --roles LIST --class proportional|minfreq|average \\\n\
      \u{20}          --count N [--slack F] [--min-freq N] --output FILE\n\
-     compare    --input FILE --roles LIST --constraints FILE -k N [--seed N]"
+     compare    --input FILE --roles LIST --constraints FILE -k N [--seed N]\n\
+     \n\
+     global:    --quiet  suppress the human-readable report lines"
         .to_string()
 }
 
@@ -81,11 +115,43 @@ fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
             .strip_prefix("--")
             .or_else(|| args[i].strip_prefix('-'))
             .ok_or_else(|| format!("expected a flag, found {:?}", args[i]))?;
+        if BOOLEAN_FLAGS.contains(&key) {
+            out.insert(key.to_string(), "true".to_string());
+            i += 1;
+            continue;
+        }
         let value = args.get(i + 1).ok_or_else(|| format!("flag --{key} needs a value"))?;
         out.insert(key.to_string(), value.clone());
         i += 2;
     }
     Ok(out)
+}
+
+/// Builds the obs handle for a command: enabled iff `--trace` or
+/// `--metrics` asks for an export (a disabled handle records nothing
+/// and keeps output byte-identical).
+fn obs_for(opts: &HashMap<String, String>) -> Obs {
+    if opts.contains_key("trace") || opts.contains_key("metrics") {
+        Obs::enabled()
+    } else {
+        Obs::disabled()
+    }
+}
+
+/// Writes the requested `--trace` (JSON-lines spans) and `--metrics`
+/// (aggregated summary) exports from `obs`.
+fn write_exports(opts: &HashMap<String, String>, obs: &Obs) -> Result<(), String> {
+    if !obs.is_enabled() {
+        return Ok(());
+    }
+    let snap = obs.snapshot();
+    if let Some(path) = opts.get("trace") {
+        std::fs::write(path, snap.trace_jsonl()).map_err(|e| format!("{path}: {e}"))?;
+    }
+    if let Some(path) = opts.get("metrics") {
+        std::fs::write(path, snap.summary_json()).map_err(|e| format!("{path}: {e}"))?;
+    }
+    Ok(())
 }
 
 fn req<'a>(opts: &'a HashMap<String, String>, key: &str) -> Result<&'a str, String> {
@@ -124,6 +190,7 @@ fn parse_seed(opts: &HashMap<String, String>) -> u64 {
 }
 
 fn anonymize(opts: &HashMap<String, String>) -> Result<(), String> {
+    let reporter = Reporter::new(opts);
     let rel = load_input(opts)?;
     let sigma = load_constraints(opts)?;
     let k = parse_k(opts)?;
@@ -147,16 +214,25 @@ fn anonymize(opts: &HashMap<String, String>) -> Result<(), String> {
             Ok(n) => Ok(n),
         })
         .transpose()?;
-    let config = DivaConfig { k, strategy, seed, l_diversity, threads, ..DivaConfig::default() };
+    let obs = obs_for(opts);
+    let config = DivaConfig {
+        k,
+        strategy,
+        seed,
+        l_diversity,
+        threads,
+        obs: obs.clone(),
+        ..DivaConfig::default()
+    };
     let portfolio = opts
         .get("portfolio")
         .map(|v| v.parse::<usize>().map_err(|_| "portfolio must be a positive integer".to_string()))
         .transpose()?;
-    let out = if let Some(seeds_per_strategy) = portfolio {
+    let result = if let Some(seeds_per_strategy) = portfolio {
         if opts.contains_key("algo") {
             return Err("--portfolio races the default anonymizer; drop --algo".to_string());
         }
-        run_portfolio(&rel, &sigma, &config, seeds_per_strategy).map_err(|e| e.to_string())?
+        run_portfolio(&rel, &sigma, &config, seeds_per_strategy)
     } else {
         let anonymizer: Box<dyn Anonymizer + Send + Sync> =
             match opts.get("algo").map(String::as_str) {
@@ -165,10 +241,15 @@ fn anonymize(opts: &HashMap<String, String>) -> Result<(), String> {
                 Some("mondrian") => Box::new(Mondrian),
                 Some(other) => return Err(format!("unknown algorithm {other:?}")),
             };
-        Diva::with_anonymizer(config, anonymizer).run(&rel, &sigma).map_err(|e| e.to_string())?
+        Diva::with_anonymizer(config, anonymizer).run(&rel, &sigma)
     };
+    // Exports are written even on failure: the partial trace is
+    // exactly what explains an aborted or infeasible search.
+    write_exports(opts, &obs)?;
+    let out = result.map_err(|e| e.to_string())?;
     write_relation_file(&out.relation, &output).map_err(|e| e.to_string())?;
-    println!(
+    report!(
+        reporter,
         "wrote {} ({} rows, {} ★, accuracy {:.3}, {} groups, {:?})",
         output.display(),
         out.relation.n_rows(),
@@ -177,23 +258,32 @@ fn anonymize(opts: &HashMap<String, String>) -> Result<(), String> {
         out.groups.len(),
         out.stats.t_total,
     );
+    for (path, what) in
+        [("trace", "span trace (json-lines)"), ("metrics", "metrics summary (json)")]
+    {
+        if let Some(p) = opts.get(path) {
+            report!(reporter, "wrote {p} ({what})");
+        }
+    }
     Ok(())
 }
 
 fn check(opts: &HashMap<String, String>) -> Result<(), String> {
+    let reporter = Reporter::new(opts);
     let rel = load_input(opts)?;
     let sigma = load_constraints(opts)?;
     let k = parse_k(opts)?;
     let set = ConstraintSet::bind(&sigma, &rel).map_err(|e| e.to_string())?;
     let anon = is_k_anonymous(&rel, k);
-    println!("k-anonymous (k={k}): {}", if anon { "yes" } else { "NO" });
+    report!(reporter, "k-anonymous (k={k}): {}", if anon { "yes" } else { "NO" });
     let violations = set.violations(&rel);
     if violations.is_empty() {
-        println!("diversity constraints: all {} satisfied", set.len());
+        report!(reporter, "diversity constraints: all {} satisfied", set.len());
     } else {
         for &i in &violations {
             let c = &set.constraints()[i];
-            println!(
+            report!(
+                reporter,
                 "VIOLATED {} — {} occurrences outside [{}, {}]",
                 c.label(),
                 c.count_in(&rel),
@@ -210,14 +300,15 @@ fn check(opts: &HashMap<String, String>) -> Result<(), String> {
 }
 
 fn stats(opts: &HashMap<String, String>) -> Result<(), String> {
+    let reporter = Reporter::new(opts);
     let rel = load_input(opts)?;
     let k = parse_k(opts)?;
     let s = diva_metrics::GroupStats::of(&rel);
-    println!("{s}");
-    println!("star accuracy:        {:.4}", diva_metrics::star_accuracy(&rel));
-    println!("discernibility:       {}", diva_metrics::discernibility(&rel, k));
-    println!("disc accuracy (ratio): {:.4}", diva_metrics::disc_accuracy_ratio(&rel, k));
-    println!("distinct QI projections: {}", rel.distinct_qi_projections());
+    report!(reporter, "{s}");
+    report!(reporter, "star accuracy:        {:.4}", diva_metrics::star_accuracy(&rel));
+    report!(reporter, "discernibility:       {}", diva_metrics::discernibility(&rel, k));
+    report!(reporter, "disc accuracy (ratio): {:.4}", diva_metrics::disc_accuracy_ratio(&rel, k));
+    report!(reporter, "distinct QI projections: {}", rel.distinct_qi_projections());
     Ok(())
 }
 
@@ -225,18 +316,26 @@ fn stats(opts: &HashMap<String, String>) -> Result<(), String> {
 /// the two guided DIVA strategies and the three plain baselines.
 fn compare(opts: &HashMap<String, String>) -> Result<(), String> {
     use diva_core::Strategy;
+    let reporter = Reporter::new(opts);
     let rel = load_input(opts)?;
     let sigma = load_constraints(opts)?;
     let k = parse_k(opts)?;
     let seed = parse_seed(opts);
-    println!(
+    report!(
+        reporter,
         "{:<16} {:>9} {:>9} {:>8} {:>8} {:>7}",
-        "algorithm", "time(s)", "stars", "acc", "disc", "sigma"
+        "algorithm",
+        "time(s)",
+        "stars",
+        "acc",
+        "disc",
+        "sigma"
     );
-    let report = |name: &str, t: f64, rel_out: Option<&diva_relation::Relation>| match rel_out {
+    let row = |name: &str, t: f64, rel_out: Option<&diva_relation::Relation>| match rel_out {
         Some(r) => {
             let sat = ConstraintSet::bind(&sigma, r).map(|s| s.satisfied_by(r)).unwrap_or(false);
-            println!(
+            report!(
+                reporter,
                 "{:<16} {:>9.3} {:>9} {:>8.3} {:>8.3} {:>7}",
                 name,
                 t,
@@ -246,14 +345,16 @@ fn compare(opts: &HashMap<String, String>) -> Result<(), String> {
                 if sat { "yes" } else { "NO" }
             );
         }
-        None => println!("{name:<16} {t:>9.3} {:>9} {:>8} {:>8} {:>7}", "-", "-", "-", "-"),
+        None => {
+            report!(reporter, "{name:<16} {t:>9.3} {:>9} {:>8} {:>8} {:>7}", "-", "-", "-", "-");
+        }
     };
     for strategy in [Strategy::MinChoice, Strategy::MaxFanOut] {
         let config = DivaConfig { k, strategy, seed, ..DivaConfig::default() };
-        let t = std::time::Instant::now();
+        let sw = Stopwatch::start();
         let res = Diva::new(config).run(&rel, &sigma);
-        let secs = t.elapsed().as_secs_f64();
-        report(&format!("DIVA-{}", strategy.name()), secs, res.as_ref().ok().map(|o| &o.relation));
+        let secs = sw.elapsed().as_secs_f64();
+        row(&format!("DIVA-{}", strategy.name()), secs, res.as_ref().ok().map(|o| &o.relation));
     }
     let baselines: Vec<Box<dyn Anonymizer>> = vec![
         Box::new(KMember { seed, ..KMember::default() }),
@@ -261,9 +362,9 @@ fn compare(opts: &HashMap<String, String>) -> Result<(), String> {
         Box::new(Mondrian),
     ];
     for algo in baselines {
-        let t = std::time::Instant::now();
+        let sw = Stopwatch::start();
         let out = algo.anonymize(&rel, k);
-        report(algo.name(), t.elapsed().as_secs_f64(), Some(&out.relation));
+        row(algo.name(), sw.elapsed().as_secs_f64(), Some(&out.relation));
     }
     Ok(())
 }
@@ -290,7 +391,8 @@ fn sigma_gen(opts: &HashMap<String, String>) -> Result<(), String> {
         other => return Err(format!("unknown constraint class {other:?}")),
     };
     std::fs::write(&output, spec::write(&sigma)).map_err(|e| e.to_string())?;
-    println!("wrote {} ({} constraints)", output.display(), sigma.len());
+    let reporter = Reporter::new(opts);
+    report!(reporter, "wrote {} ({} constraints)", output.display(), sigma.len());
     Ok(())
 }
 
@@ -314,7 +416,9 @@ fn generate(opts: &HashMap<String, String>) -> Result<(), String> {
         other => return Err(format!("unknown dataset {other:?}")),
     };
     write_relation_file(&rel, &output).map_err(|e| e.to_string())?;
-    println!(
+    let reporter = Reporter::new(opts);
+    report!(
+        reporter,
         "wrote {} ({} rows × {} attributes)",
         output.display(),
         rel.n_rows(),

@@ -326,3 +326,106 @@ fn bad_roles_and_missing_files() {
     assert!(!o.status.success());
     assert!(String::from_utf8_lossy(&o.stderr).contains("unknown role"));
 }
+
+#[test]
+fn trace_metrics_and_quiet_flags() {
+    let data = tmp("obs_medical.csv");
+    let out = tmp("obs_medical_anon.csv");
+    let sigma = tmp("obs_sigma.txt");
+    let trace = tmp("obs_trace.jsonl");
+    let metrics = tmp("obs_metrics.json");
+    diva(&[
+        "generate",
+        "--dataset",
+        "medical",
+        "--rows",
+        "300",
+        "--seed",
+        "11",
+        "--output",
+        data.to_str().unwrap(),
+    ]);
+    std::fs::write(&sigma, "ETH[Caucasian]: 10..300\n").unwrap();
+
+    let a = diva(&[
+        "anonymize",
+        "--input",
+        data.to_str().unwrap(),
+        "--roles",
+        MEDICAL_ROLES,
+        "--constraints",
+        sigma.to_str().unwrap(),
+        "--k",
+        "5",
+        "--quiet",
+        "--trace",
+        trace.to_str().unwrap(),
+        "--metrics",
+        metrics.to_str().unwrap(),
+        "--output",
+        out.to_str().unwrap(),
+    ]);
+    assert!(a.status.success(), "{}", String::from_utf8_lossy(&a.stderr));
+    // --quiet: no report lines at all.
+    assert!(a.stdout.is_empty(), "quiet run printed: {}", String::from_utf8_lossy(&a.stdout));
+
+    // The trace is JSON-lines of spans covering every pipeline phase.
+    let trace_text = std::fs::read_to_string(&trace).unwrap();
+    for phase in
+        ["diva.run", "diva.clustering", "diva.suppress", "diva.anonymize", "diva.integrate"]
+    {
+        assert!(trace_text.contains(&format!("\"name\":\"{phase}\"")), "missing {phase}");
+    }
+    for line in trace_text.lines() {
+        diva_obs::json::parse(line).expect("every trace line parses");
+    }
+    // The summary parses and carries per-strategy colouring counters.
+    let summary = diva_obs::json::parse(&std::fs::read_to_string(&metrics).unwrap()).unwrap();
+    let counters = summary.get("counters").expect("counters section");
+    assert!(
+        counters.get("coloring.MaxFanOut.node_selections").is_some(),
+        "per-strategy counters missing"
+    );
+    assert!(summary.get("spans").and_then(|s| s.get("diva.run")).is_some());
+}
+
+#[test]
+fn byte_identical_output_with_and_without_trace() {
+    let data = tmp("det_medical.csv");
+    let sigma = tmp("det_sigma.txt");
+    diva(&[
+        "generate",
+        "--dataset",
+        "medical",
+        "--rows",
+        "200",
+        "--seed",
+        "3",
+        "--output",
+        data.to_str().unwrap(),
+    ]);
+    std::fs::write(&sigma, "ETH[Caucasian]: 10..200\n").unwrap();
+    let run = |out: &std::path::Path, extra: &[&str]| {
+        let mut args = vec![
+            "anonymize",
+            "--input",
+            data.to_str().unwrap(),
+            "--roles",
+            MEDICAL_ROLES,
+            "--constraints",
+            sigma.to_str().unwrap(),
+            "--k",
+            "4",
+            "--output",
+            out.to_str().unwrap(),
+        ];
+        args.extend_from_slice(extra);
+        let o = diva(&args);
+        assert!(o.status.success(), "{}", String::from_utf8_lossy(&o.stderr));
+        std::fs::read(out).unwrap()
+    };
+    let plain = run(&tmp("det_plain.csv"), &[]);
+    let trace = tmp("det_trace.jsonl");
+    let traced = run(&tmp("det_traced.csv"), &["--trace", trace.to_str().unwrap()]);
+    assert_eq!(plain, traced, "enabling obs changed the published relation");
+}

@@ -228,6 +228,23 @@ impl CandidateSet {
     pub fn is_empty(&self) -> bool {
         self.candidates.is_empty()
     }
+
+    /// Publishes this candidate set's generation stats to `obs`: the
+    /// total generated (`candidates.generated`), the per-constraint
+    /// set-size and target-pool histograms, and how many constraints
+    /// carried no lower-bound obligation (`candidates.lower_free`).
+    /// Called once per constraint after enumeration.
+    pub fn record_to(&self, obs: &diva_obs::Obs) {
+        if !obs.is_enabled() {
+            return;
+        }
+        obs.counter("candidates.generated").add(self.candidates.len() as u64);
+        if self.lower_is_free {
+            obs.counter("candidates.lower_free").incr();
+        }
+        obs.histogram("candidates.set_size").record_len(self.candidates.len());
+        obs.histogram("candidates.target_rows").record_len(self.sorted_targets.len());
+    }
 }
 
 /// Sorts target rows so that tuples with similar QI values are

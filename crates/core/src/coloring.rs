@@ -14,6 +14,11 @@ use crate::graph::ConstraintGraph;
 use crate::state::SearchState;
 
 /// Counters reported by a colouring run.
+///
+/// Counters accumulate in plain fields during the search (the hot
+/// loop touches no atomics) and are flushed once per solve to the
+/// configured [`diva_obs::Obs`] handle as
+/// `coloring.<Strategy>.<counter>` counters.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ColoringStats {
     /// Candidate clusterings whose assignment was attempted.
@@ -22,6 +27,41 @@ pub struct ColoringStats {
     pub backtracks: u64,
     /// Nodes whose candidate lists were exhausted at least once.
     pub dead_ends: u64,
+    /// `NextNode` invocations that selected a node (search-tree depth
+    /// probes; §3.3's selection strategies).
+    pub node_selections: u64,
+    /// Subtrees abandoned by the forward check ("hopeless": some
+    /// uncoloured node can no longer reach its minimum size).
+    pub forward_check_prunes: u64,
+    /// Blocked candidates the search asked [`CandidateSet::repair`] to
+    /// re-materialize from free target tuples.
+    pub repair_attempts: u64,
+    /// Repairs that produced a materializable replacement clustering.
+    pub repair_successes: u64,
+}
+
+impl ColoringStats {
+    /// Flushes the counters to `obs` under the
+    /// `coloring.<strategy>.<counter>` naming scheme. Counters are
+    /// additive, so portfolio members sharing a handle aggregate
+    /// per strategy.
+    pub fn flush_to(&self, obs: &diva_obs::Obs, strategy: Strategy) {
+        if !obs.is_enabled() {
+            return;
+        }
+        let base = format!("coloring.{}", strategy.name());
+        for (counter, value) in [
+            ("assignments_tried", self.assignments_tried),
+            ("backtracks", self.backtracks),
+            ("dead_ends", self.dead_ends),
+            ("node_selections", self.node_selections),
+            ("forward_check_prunes", self.forward_check_prunes),
+            ("repair_attempts", self.repair_attempts),
+            ("repair_successes", self.repair_successes),
+        ] {
+            obs.counter(&format!("{base}.{counter}")).add(value);
+        }
+    }
 }
 
 /// The colouring search: assigns one candidate clustering (a colour)
@@ -101,8 +141,24 @@ impl<'a> Coloring<'a> {
         self.cancel.as_ref().is_some_and(|t| t.load(Ordering::Relaxed))
     }
 
-    /// Runs the search to completion.
+    /// Runs the search to completion. The search runs under a
+    /// `coloring.solve` span and flushes its counters to the
+    /// configured obs handle whether it succeeds or fails.
     pub fn solve(mut self) -> Result<ColoringOutcome, DivaError> {
+        let mut span = self
+            .config
+            .obs
+            .span("coloring.solve")
+            .attr("strategy", self.config.strategy.name())
+            .attr("nodes", self.graph.n_nodes());
+        let result = self.solve_impl();
+        span.set_attr("ok", result.is_ok());
+        span.end();
+        self.stats.flush_to(&self.config.obs, self.config.strategy);
+        result
+    }
+
+    fn solve_impl(&mut self) -> Result<ColoringOutcome, DivaError> {
         if self.is_cancelled() {
             return Err(DivaError::Cancelled);
         }
@@ -126,7 +182,7 @@ impl<'a> Coloring<'a> {
         Ok(ColoringOutcome {
             clusters,
             assignment: self.assignment.iter().filter_map(|a| *a).collect(),
-            stats: self.stats,
+            stats: self.stats.clone(),
         })
     }
 
@@ -156,6 +212,7 @@ impl<'a> Coloring<'a> {
                     if !self.config.enable_repair {
                         continue;
                     }
+                    self.stats.repair_attempts += 1;
                     let state = &self.state;
                     let Some(repaired) =
                         self.candidates[v]
@@ -163,6 +220,7 @@ impl<'a> Coloring<'a> {
                     else {
                         continue;
                     };
+                    self.stats.repair_successes += 1;
                     self.stats.assignments_tried += 1;
                     match self.state.try_assign(&repaired, self.graph) {
                         Some(t) => t,
@@ -192,7 +250,9 @@ impl<'a> Coloring<'a> {
                             .iter()
                             .any(|cl| self.state.rows_available(cl))
                 });
-            if !hopeless && self.color_remaining()? {
+            if hopeless {
+                self.stats.forward_check_prunes += 1;
+            } else if self.color_remaining()? {
                 return Ok(true);
             }
             // Backtrack: remove ⟨v, c⟩ from V and try another colour.
@@ -220,6 +280,7 @@ impl<'a> Coloring<'a> {
         if uncolored.is_empty() {
             return None;
         }
+        self.stats.node_selections += 1;
         Some(match self.config.strategy {
             Strategy::Basic => uncolored[self.rng.gen_range(0..uncolored.len())],
             Strategy::MinChoice => {

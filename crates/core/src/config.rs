@@ -72,6 +72,12 @@ pub struct DivaConfig {
     /// ([`crate::run_portfolio`]). `None` (the default) uses
     /// `std::thread::available_parallelism()`.
     pub threads: Option<usize>,
+    /// Observability handle: spans, counters, and histograms emitted
+    /// by the pipeline land here. The default is the disabled handle
+    /// ([`diva_obs::Obs::disabled`]), which records nothing and costs
+    /// one branch per instrumentation point — pipeline output is
+    /// byte-identical either way.
+    pub obs: diva_obs::Obs,
 }
 
 impl Default for DivaConfig {
@@ -85,6 +91,7 @@ impl Default for DivaConfig {
             l_diversity: 1,
             enable_repair: true,
             threads: None,
+            obs: diva_obs::Obs::disabled(),
         }
     }
 }
@@ -110,6 +117,12 @@ impl DivaConfig {
     /// Builder-style ℓ-diversity requirement (1 = off).
     pub fn l_diversity(mut self, l: usize) -> Self {
         self.l_diversity = l;
+        self
+    }
+
+    /// Builder-style observability handle (see [`DivaConfig::obs`]).
+    pub fn obs(mut self, obs: diva_obs::Obs) -> Self {
+        self.obs = obs;
         self
     }
 

@@ -3,9 +3,9 @@
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
-use diva_anonymize::{enforce_l_diversity, is_l_diverse, Anonymizer, KMember};
+use diva_anonymize::{cluster_observed, enforce_l_diversity, is_l_diverse, Anonymizer, KMember};
 use diva_constraints::{Constraint, ConstraintSet};
 use diva_relation::suppress::{suppress_clustering, Suppressed};
 use diva_relation::{is_k_anonymous, Relation, RowId};
@@ -18,6 +18,14 @@ use crate::graph::ConstraintGraph;
 use crate::integrate::integrate;
 
 /// Counters and timings of a DIVA run.
+///
+/// The timings are a view over the obs trace: each `t_*` field is the
+/// duration returned by ending the corresponding pipeline span
+/// (`diva.clustering`, `diva.suppress`, `diva.anonymize`,
+/// `diva.integrate`, `diva.run`), so `RunStats` agrees with an
+/// exported trace to the microsecond and stays populated even when
+/// the handle is disabled (spans always measure; they only *record*
+/// when enabled).
 #[derive(Debug, Clone, Default)]
 pub struct RunStats {
     /// `|Σ|`.
@@ -32,6 +40,9 @@ pub struct RunStats {
     pub integrate_repairs: usize,
     /// Time in DiverseClustering (graph + candidates + colouring).
     pub t_clustering: Duration,
+    /// Time in the Suppress step applied to `S_Σ` (zero when the run
+    /// folds a too-small residual instead of suppressing directly).
+    pub t_suppress: Duration,
     /// Time in the off-the-shelf Anonymize step.
     pub t_anonymize: Duration,
     /// Time in Integrate.
@@ -122,7 +133,13 @@ impl Diva {
         sigma: &[Constraint],
         cancel: Option<&Arc<AtomicBool>>,
     ) -> Result<DivaResult, DivaError> {
-        let t0 = Instant::now();
+        let obs = &self.config.obs;
+        let mut run_span = obs
+            .span("diva.run")
+            .attr("rows", rel.n_rows())
+            .attr("k", self.config.k)
+            .attr("strategy", self.config.strategy.name())
+            .attr("constraints", sigma.len());
         if self.config.k == 0 {
             return Err(DivaError::InvalidK);
         }
@@ -135,8 +152,11 @@ impl Diva {
         let mut stats = RunStats { n_constraints: set.len(), ..RunStats::default() };
 
         // --- DiverseClustering (Algorithm 3). ---
-        let tc = Instant::now();
+        let mut clustering_span = obs.span("diva.clustering");
+        let graph_span = obs.span("graph.build");
         let graph = ConstraintGraph::build(&set);
+        graph_span.end();
+        graph.record_to(obs);
         #[cfg(feature = "strict-invariants")]
         graph.validate().map_err(|detail| inv("BuildGraph", detail))?;
         let shuffle = (self.config.strategy == Strategy::Basic).then_some(self.config.seed);
@@ -175,6 +195,9 @@ impl Diva {
             set.constraints().iter().map(enumerate_one).collect()
         };
         stats.candidates_generated = candidates.iter().map(CandidateSet::len).sum();
+        for cs in &candidates {
+            cs.record_to(obs);
+        }
         let uppers: Vec<usize> = set.constraints().iter().map(|c| c.upper).collect();
         let labels: Vec<String> = set.constraints().iter().map(|c| c.label()).collect();
         let mut coloring = Coloring::new(&graph, &candidates, uppers, &labels, &self.config);
@@ -187,7 +210,14 @@ impl Diva {
         #[cfg(feature = "strict-invariants")]
         check_partition("DiverseClustering", &s_sigma, rel.n_rows(), false)?;
         stats.sigma_rows = s_sigma.iter().map(Vec::len).sum();
-        stats.t_clustering = tc.elapsed();
+        let cluster_sizes = obs.histogram("cluster.size");
+        for c in &s_sigma {
+            cluster_sizes.record_len(c.len());
+        }
+        clustering_span.set_attr("candidates", stats.candidates_generated);
+        clustering_span.set_attr("clusters", s_sigma.len());
+        clustering_span.set_attr("sigma_rows", stats.sigma_rows);
+        stats.t_clustering = clustering_span.end();
 
         // Rows not covered by S_Σ (Algorithm 1, line 4: R := R \ C_i).
         let mut covered = vec![false; rel.n_rows()];
@@ -206,19 +236,24 @@ impl Diva {
             // Fewer residual tuples than k: no k-anonymous R_k exists.
             // Fold them into an existing S_Σ cluster if some choice
             // keeps Σ satisfied (checked exhaustively), else fail.
-            let ta = Instant::now();
+            let anon_span = obs
+                .span("diva.anonymize")
+                .attr("fold_residual", true)
+                .attr("residual_rows", rest.len());
             let folded = self.fold_residual(rel, &set, &mut s_sigma, &rest)?;
             #[cfg(feature = "strict-invariants")]
             check_partition("Suppress", &folded.groups, folded.relation.n_rows(), true)?;
-            stats.t_anonymize = ta.elapsed();
+            stats.t_anonymize = anon_span.end();
             stats.sigma_rows = s_sigma.iter().map(Vec::len).sum();
-            let ti = Instant::now();
+            let int_span = obs.span("diva.integrate");
             let out = integrate(&folded, None, &set)?;
             #[cfg(feature = "strict-invariants")]
             check_partition("Integrate", &out.groups, out.relation.n_rows(), true)?;
             stats.integrate_repairs = out.repairs;
-            stats.t_integrate = ti.elapsed();
-            stats.t_total = t0.elapsed();
+            obs.counter("integrate.repairs").add(out.repairs as u64);
+            stats.t_integrate = int_span.end();
+            run_span.set_attr("stars", out.relation.star_count());
+            stats.t_total = run_span.end();
             return Ok(DivaResult {
                 relation: out.relation,
                 groups: out.groups,
@@ -227,14 +262,17 @@ impl Diva {
             });
         }
 
+        let suppress_span = obs.span("diva.suppress").attr("clusters", s_sigma.len());
         let r_sigma = suppress_clustering(rel, &s_sigma);
         #[cfg(feature = "strict-invariants")]
         check_partition("Suppress", &r_sigma.groups, r_sigma.relation.n_rows(), true)?;
+        stats.t_suppress = suppress_span.end();
+        let mut anon_span = obs.span("diva.anonymize").attr("residual_rows", rest.len());
         let r_k: Option<Suppressed> = if rest.is_empty() {
             None
         } else {
-            let ta = Instant::now();
-            let mut clusters = self.anonymizer.cluster(rel, &rest, self.config.k);
+            let mut clusters =
+                cluster_observed(self.anonymizer.as_ref(), rel, &rest, self.config.k, obs);
             if self.config.l_diversity > 1 {
                 clusters = enforce_l_diversity(rel, &clusters, self.config.l_diversity)
                     .ok_or_else(|| DivaError::PrivacyInfeasible {
@@ -256,23 +294,26 @@ impl Diva {
                 }
             }
             let rk = suppress_clustering(rel, &clusters);
-            stats.t_anonymize = ta.elapsed();
             Some(rk)
         };
+        anon_span.set_attr("groups", r_k.as_ref().map_or(0, |rk| rk.groups.len()));
+        stats.t_anonymize = anon_span.end();
 
-        let ti = Instant::now();
+        let int_span = obs.span("diva.integrate");
         let out = integrate(&r_sigma, r_k.as_ref(), &set)?;
         #[cfg(feature = "strict-invariants")]
         check_partition("Integrate", &out.groups, out.relation.n_rows(), true)?;
         stats.integrate_repairs = out.repairs;
-        stats.t_integrate = ti.elapsed();
+        obs.counter("integrate.repairs").add(out.repairs as u64);
+        stats.t_integrate = int_span.end();
 
         debug_assert!(is_k_anonymous(&out.relation, self.config.k));
         debug_assert!(set.satisfied_by(&out.relation));
         debug_assert!(
             self.config.l_diversity <= 1 || is_l_diverse(&out.relation, self.config.l_diversity)
         );
-        stats.t_total = t0.elapsed();
+        run_span.set_attr("stars", out.relation.star_count());
+        stats.t_total = run_span.end();
         Ok(DivaResult {
             relation: out.relation,
             groups: out.groups,
@@ -463,6 +504,55 @@ mod tests {
         let diva = Diva::with_anonymizer(DivaConfig::with_k(4), Box::new(diva_anonymize::Mondrian));
         let out = diva.run(&r, &[]).unwrap();
         assert!(is_k_anonymous(&out.relation, 4));
+    }
+
+    #[test]
+    fn obs_enabled_records_phase_spans_and_counters() {
+        let r = paper_table1();
+        let obs = diva_obs::Obs::enabled();
+        let diva = Diva::new(DivaConfig::with_k(2).obs(obs.clone()));
+        let out = diva.run(&r, &example_sigma()).unwrap();
+        let snap = obs.snapshot();
+        let names: Vec<&str> = snap.spans.iter().map(|s| s.name.as_str()).collect();
+        for required in [
+            "diva.run",
+            "diva.clustering",
+            "diva.suppress",
+            "diva.anonymize",
+            "diva.integrate",
+            "graph.build",
+            "coloring.solve",
+        ] {
+            assert!(names.contains(&required), "{required} missing from {names:?}");
+        }
+        // RunStats timings are literally the span durations.
+        let span_dur = |n: &str| snap.spans.iter().find(|s| s.name == n).map(|s| s.dur_us);
+        assert_eq!(span_dur("diva.run"), Some(out.stats.t_total.as_micros() as u64));
+        assert_eq!(span_dur("diva.clustering"), Some(out.stats.t_clustering.as_micros() as u64));
+        // Phase spans nest under diva.run.
+        let run_id = snap.spans.iter().find(|s| s.name == "diva.run").map(|s| s.id);
+        for phase in ["diva.clustering", "diva.suppress", "diva.anonymize", "diva.integrate"] {
+            let parent = snap.spans.iter().find(|s| s.name == phase).and_then(|s| s.parent);
+            assert_eq!(parent, run_id, "{phase} must nest under diva.run");
+        }
+        // Per-strategy search counters and generation counters flushed.
+        assert!(snap.counter("coloring.MaxFanOut.node_selections").unwrap_or(0) > 0);
+        assert_eq!(
+            snap.counter("candidates.generated"),
+            Some(out.stats.candidates_generated as u64)
+        );
+        assert!(snap.histograms.iter().any(|(n, h)| n == "cluster.size" && h.count > 0));
+    }
+
+    #[test]
+    fn disabled_obs_output_matches_enabled_byte_for_byte() {
+        let r = paper_table1();
+        let run = |obs: diva_obs::Obs| {
+            let diva = Diva::new(DivaConfig::with_k(2).obs(obs));
+            let out = diva.run(&r, &example_sigma()).unwrap();
+            (format!("{:?}", out.relation), out.groups, out.source_rows)
+        };
+        assert_eq!(run(diva_obs::Obs::disabled()), run(diva_obs::Obs::enabled()));
     }
 
     #[test]

@@ -131,6 +131,28 @@ impl ConstraintGraph {
         self.adj[i].len()
     }
 
+    /// Number of undirected edges `|E|`.
+    pub fn n_edges(&self) -> usize {
+        self.adj.iter().map(Vec::len).sum::<usize>() / 2
+    }
+
+    /// Publishes the CSR build stats (node/edge counts, inverted-index
+    /// size, row capacity, and the target-set size distribution) to
+    /// `obs`. Called once per pipeline run right after `BuildGraph`.
+    pub fn record_to(&self, obs: &diva_obs::Obs) {
+        if !obs.is_enabled() {
+            return;
+        }
+        obs.gauge("graph.nodes").set(self.n_nodes() as i64);
+        obs.gauge("graph.edges").set(self.n_edges() as i64);
+        obs.gauge("graph.csr_entries").set(self.row_nodes.len() as i64);
+        obs.gauge("graph.rows").set(self.n_rows as i64);
+        let sizes = obs.histogram("graph.target_set_size");
+        for s in &self.target_sets {
+            sizes.record_len(s.len());
+        }
+    }
+
     /// Checks the cross-structure invariants of the CSR layout, the
     /// target bitsets, and the adjacency lists. O(|CSR| + |E| + n·|R|);
     /// called by the `strict-invariants` pipeline gate after

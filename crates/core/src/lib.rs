@@ -50,6 +50,7 @@ pub use candidates::CandidateSet;
 pub use coloring::{Coloring, ColoringOutcome, ColoringStats};
 pub use config::{DivaConfig, Strategy};
 pub use diva::{Diva, DivaResult, RunStats};
+pub use diva_obs as obs;
 pub use error::DivaError;
 pub use graph::ConstraintGraph;
 pub use parallel::{run_portfolio, run_portfolio_with};

@@ -81,6 +81,13 @@ where
         }
     }
 
+    let obs = config.obs.clone();
+    let mut root_span = obs
+        .span("portfolio.run")
+        .attr("members", members.len())
+        .attr("seeds_per_strategy", seeds_per_strategy);
+    let root_id = root_span.id();
+
     // Workers are detached: they borrow nothing from this stack frame,
     // so the function can return the moment a winner reports, while
     // losers notice the cancellation token and wind down on their own.
@@ -96,6 +103,7 @@ where
     // is at least 1, so the cap is always positive.
     let hw = std::thread::available_parallelism().map(usize::from).unwrap_or(1);
     let n_workers = members.len().min(config.threads.unwrap_or(hw));
+    root_span.set_attr("workers", n_workers);
     for _ in 0..n_workers {
         let members = Arc::clone(&members);
         let rel = Arc::clone(&rel);
@@ -103,13 +111,35 @@ where
         let runner = Arc::clone(&runner);
         let cancel = Arc::clone(&cancel);
         let next = Arc::clone(&next);
+        let obs = obs.clone();
         let tx = tx.clone();
         std::thread::spawn(move || loop {
             let i = next.fetch_add(1, Ordering::Relaxed);
             if i >= members.len() || cancel.load(Ordering::Relaxed) {
                 break;
             }
+            // Each member runs under its own span, explicitly parented
+            // to the portfolio root (worker threads have no implicit
+            // span stack): the span's start/duration gives the member's
+            // start and finish/cancel latency, and the attrs identify
+            // the strategy and derived seed.
+            let mut member_span = obs
+                .span("portfolio.member")
+                .attr("member", i)
+                .attr("strategy", members[i].strategy.name())
+                .attr("seed", members[i].seed);
+            if let Some(id) = root_id {
+                member_span = member_span.with_parent(id);
+            }
             let out = runner(&members[i], &rel, &sigma, &cancel);
+            let outcome = match &out {
+                Ok(_) => "success",
+                Err(DivaError::Cancelled) => "cancelled",
+                Err(_) => "failure",
+            };
+            member_span.set_attr("outcome", outcome);
+            member_span.end();
+            obs.counter(&format!("portfolio.{outcome}")).incr();
             // A dropped receiver just means someone else already won.
             if tx.send(out).is_err() {
                 break;
@@ -123,6 +153,8 @@ where
         match outcome {
             Ok(res) => {
                 cancel.store(true, Ordering::Relaxed);
+                root_span.set_attr("outcome", "success");
+                root_span.end();
                 return Ok(res);
             }
             // A member that observed the token mid-run carries no
@@ -139,6 +171,8 @@ where
     }
     // Every sender is dropped only after all members completed; a
     // missing verdict can only mean the portfolio was empty.
+    root_span.set_attr("outcome", "failure");
+    root_span.end();
     Err(best_err.unwrap_or(DivaError::EmptyPortfolio))
 }
 
@@ -191,6 +225,42 @@ mod tests {
         assert!(is_k_anonymous(&out.relation, 5));
         let set = ConstraintSet::bind(&sigma, &out.relation).unwrap();
         assert!(set.satisfied_by(&out.relation));
+    }
+
+    #[test]
+    fn portfolio_emits_member_spans() {
+        let r = paper_table1();
+        let obs = crate::obs::Obs::enabled();
+        let config = DivaConfig::with_k(2).obs(obs.clone());
+        run_portfolio(&r, &example_sigma(), &config, 2).unwrap();
+        // Detached losers may still be winding down; only the root and
+        // the winner are guaranteed recorded at return. Wait briefly
+        // for the rest (members = 3 strategies × 2 seeds).
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            let snap = obs.snapshot();
+            let members: Vec<_> =
+                snap.spans.iter().filter(|s| s.name == "portfolio.member").collect();
+            let root = snap.spans.iter().find(|s| s.name == "portfolio.run");
+            let done = snap.counter("portfolio.success").unwrap_or(0)
+                + snap.counter("portfolio.failure").unwrap_or(0)
+                + snap.counter("portfolio.cancelled").unwrap_or(0);
+            if root.is_some() && !members.is_empty() && done == members.len() as u64 {
+                let root_id = root.map(|s| s.id);
+                for m in &members {
+                    assert_eq!(m.parent, root_id, "member spans parent to portfolio.run");
+                    assert!(
+                        m.attrs.iter().any(|(k, _)| k == "seed"),
+                        "member span carries its seed"
+                    );
+                    assert!(m.attrs.iter().any(|(k, _)| k == "outcome"));
+                }
+                assert!(snap.counter("portfolio.success").unwrap_or(0) >= 1);
+                break;
+            }
+            assert!(Instant::now() < deadline, "portfolio spans never completed");
+            std::thread::sleep(Duration::from_millis(5));
+        }
     }
 
     #[test]

@@ -1,0 +1,110 @@
+//! `trace-check` — validates an emitted trace/metrics pair.
+//!
+//! Usage: `trace-check <trace.jsonl> <metrics.json>`
+//!
+//! Checks that every trace line parses as a span object, that ids are
+//! unique and parents resolve, that the summary parses, and that both
+//! contain the four pipeline phase spans catalogued in DESIGN.md §9
+//! (`diva.clustering`, `diva.suppress`, `diva.anonymize`,
+//! `diva.integrate`). Used by `scripts/check.sh` as the obs gate.
+
+use diva_obs::json::{parse, Value};
+
+/// Spans that every successful pipeline run must emit.
+const REQUIRED_SPANS: [&str; 5] =
+    ["diva.run", "diva.clustering", "diva.suppress", "diva.anonymize", "diva.integrate"];
+
+fn check_trace(text: &str) -> Result<Vec<String>, String> {
+    let mut names = Vec::new();
+    let mut ids = Vec::new();
+    let mut parents = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let v = parse(line).map_err(|e| format!("trace line {}: {e}", lineno + 1))?;
+        if v.get("type").and_then(Value::as_str) != Some("span") {
+            return Err(format!("trace line {}: not a span object", lineno + 1));
+        }
+        let id = v
+            .get("id")
+            .and_then(Value::as_num)
+            .ok_or_else(|| format!("trace line {}: missing id", lineno + 1))?;
+        if ids.contains(&(id as u64)) {
+            return Err(format!("trace line {}: duplicate span id {id}", lineno + 1));
+        }
+        ids.push(id as u64);
+        if let Some(p) = v.get("parent").and_then(Value::as_num) {
+            parents.push(((lineno + 1), p as u64));
+        }
+        for key in ["thread", "start_us", "dur_us"] {
+            if v.get(key).and_then(Value::as_num).is_none() {
+                return Err(format!("trace line {}: missing {key}", lineno + 1));
+            }
+        }
+        let name = v
+            .get("name")
+            .and_then(Value::as_str)
+            .ok_or_else(|| format!("trace line {}: missing name", lineno + 1))?;
+        names.push(name.to_string());
+    }
+    for (lineno, parent) in parents {
+        if !ids.contains(&parent) {
+            return Err(format!("trace line {lineno}: dangling parent id {parent}"));
+        }
+    }
+    Ok(names)
+}
+
+fn check_summary(text: &str) -> Result<Vec<String>, String> {
+    let v = parse(text).map_err(|e| format!("summary: {e}"))?;
+    let spans = match v.get("spans") {
+        Some(Value::Obj(fields)) => fields.iter().map(|(k, _)| k.clone()).collect(),
+        _ => return Err("summary: missing \"spans\" object".to_string()),
+    };
+    for section in ["counters", "gauges", "histograms"] {
+        if !matches!(v.get(section), Some(Value::Obj(_))) {
+            return Err(format!("summary: missing \"{section}\" object"));
+        }
+    }
+    Ok(spans)
+}
+
+fn run(trace_path: &str, metrics_path: &str) -> Result<(), String> {
+    let trace = std::fs::read_to_string(trace_path)
+        .map_err(|e| format!("cannot read {trace_path}: {e}"))?;
+    let metrics = std::fs::read_to_string(metrics_path)
+        .map_err(|e| format!("cannot read {metrics_path}: {e}"))?;
+    let trace_names = check_trace(&trace)?;
+    let summary_names = check_summary(&metrics)?;
+    for required in REQUIRED_SPANS {
+        if !trace_names.iter().any(|n| n == required) {
+            return Err(format!("trace is missing required span \"{required}\""));
+        }
+        if !summary_names.iter().any(|n| n == required) {
+            return Err(format!("summary is missing required span \"{required}\""));
+        }
+    }
+    println!(
+        "trace-check ok: {} trace spans ({} distinct names), {} summarised names",
+        trace_names.len(),
+        {
+            let mut uniq = trace_names.clone();
+            uniq.sort();
+            uniq.dedup();
+            uniq.len()
+        },
+        summary_names.len()
+    );
+    Ok(())
+}
+
+fn main() -> std::process::ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    let (Some(trace_path), Some(metrics_path)) = (args.get(1), args.get(2)) else {
+        eprintln!("usage: trace-check <trace.jsonl> <metrics.json>");
+        return std::process::ExitCode::from(2);
+    };
+    if let Err(e) = run(trace_path, metrics_path) {
+        eprintln!("trace-check FAILED: {e}");
+        return std::process::ExitCode::FAILURE;
+    }
+    std::process::ExitCode::SUCCESS
+}

@@ -1,0 +1,221 @@
+//! Atomic counters, gauges, and fixed-bucket log₂ histograms.
+//!
+//! Handles are cheap to clone (an `Option<Arc<…>>`); the disabled
+//! variant carries `None` and every operation short-circuits on that
+//! single branch, so a pipeline built against a disabled [`crate::Obs`]
+//! pays one predictable-taken branch per metric call and allocates
+//! nothing.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Number of histogram buckets: one for the value `0` plus one per
+/// power of two up to `u64::MAX` (`⌊log₂ v⌋ + 1` for `v ≥ 1`).
+pub const N_BUCKETS: usize = 65;
+
+/// A monotone event counter.
+///
+/// Increments are relaxed atomic adds: per-strategy search counters
+/// are only read at snapshot time, never used for synchronization.
+#[derive(Debug, Clone, Default)]
+pub struct Counter(pub(crate) Option<Arc<AtomicU64>>);
+
+impl Counter {
+    /// A counter that ignores every operation (disabled mode).
+    pub fn noop() -> Self {
+        Self(None)
+    }
+
+    /// Adds `n` to the counter.
+    pub fn add(&self, n: u64) {
+        if let Some(cell) = &self.0 {
+            cell.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Adds one to the counter.
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// The current value (0 for a disabled counter).
+    pub fn get(&self) -> u64 {
+        self.0.as_ref().map_or(0, |cell| cell.load(Ordering::Relaxed))
+    }
+}
+
+/// A last-value-wins instantaneous measurement (worker pool size,
+/// CSR entry counts, …).
+#[derive(Debug, Clone, Default)]
+pub struct Gauge(pub(crate) Option<Arc<AtomicI64>>);
+
+impl Gauge {
+    /// A gauge that ignores every operation (disabled mode).
+    pub fn noop() -> Self {
+        Self(None)
+    }
+
+    /// Sets the gauge to `v`.
+    pub fn set(&self, v: i64) {
+        if let Some(cell) = &self.0 {
+            cell.store(v, Ordering::Relaxed);
+        }
+    }
+
+    /// The current value (0 for a disabled gauge).
+    pub fn get(&self) -> i64 {
+        self.0.as_ref().map_or(0, |cell| cell.load(Ordering::Relaxed))
+    }
+}
+
+/// The shared cells behind a [`Histogram`] handle.
+#[derive(Debug)]
+pub(crate) struct HistogramCells {
+    pub(crate) buckets: [AtomicU64; N_BUCKETS],
+    pub(crate) count: AtomicU64,
+    pub(crate) sum: AtomicU64,
+}
+
+impl HistogramCells {
+    pub(crate) fn new() -> Self {
+        Self {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+}
+
+/// A fixed-bucket log₂ histogram of `u64` samples.
+///
+/// Bucket `0` holds the value `0`; bucket `i ≥ 1` holds the values in
+/// `[2^(i-1), 2^i)`. The layout is fixed at compile time so recording
+/// is two relaxed atomic adds and a `leading_zeros` — no allocation,
+/// no locking, safe from any thread.
+#[derive(Debug, Clone, Default)]
+pub struct Histogram(pub(crate) Option<Arc<HistogramCells>>);
+
+/// The bucket index of a sample: `0` for `0`, else `⌊log₂ v⌋ + 1`.
+pub fn bucket_index(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        64 - v.leading_zeros() as usize
+    }
+}
+
+/// The inclusive upper bound of bucket `i` (the largest sample it can
+/// hold): `0` for bucket 0, else `2^i − 1` (saturating at `u64::MAX`).
+pub fn bucket_upper_bound(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else if i >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << i) - 1
+    }
+}
+
+impl Histogram {
+    /// A histogram that ignores every operation (disabled mode).
+    pub fn noop() -> Self {
+        Self(None)
+    }
+
+    /// Records one sample.
+    pub fn record(&self, v: u64) {
+        if let Some(cells) = &self.0 {
+            cells.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+            cells.count.fetch_add(1, Ordering::Relaxed);
+            cells.sum.fetch_add(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Records a `usize` sample (the common case: sizes and counts).
+    pub fn record_len(&self, v: usize) {
+        self.record(v as u64);
+    }
+
+    /// Number of recorded samples (0 for a disabled histogram).
+    pub fn count(&self) -> u64 {
+        self.0.as_ref().map_or(0, |c| c.count.load(Ordering::Relaxed))
+    }
+
+    /// Sum of recorded samples (0 for a disabled histogram).
+    pub fn sum(&self) -> u64 {
+        self.0.as_ref().map_or(0, |c| c.sum.load(Ordering::Relaxed))
+    }
+
+    /// The per-bucket counts, indexed by [`bucket_index`].
+    pub fn buckets(&self) -> [u64; N_BUCKETS] {
+        match &self.0 {
+            Some(c) => std::array::from_fn(|i| c.buckets[i].load(Ordering::Relaxed)),
+            None => [0; N_BUCKETS],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries_are_exact_powers_of_two() {
+        // 0 is its own bucket.
+        assert_eq!(bucket_index(0), 0);
+        // Bucket i >= 1 covers [2^(i-1), 2^i - 1]: check both edges of
+        // every representable bucket.
+        for i in 1..=63usize {
+            let lo = 1u64 << (i - 1);
+            let hi = (1u64 << i) - 1;
+            assert_eq!(bucket_index(lo), i, "lower edge of bucket {i}");
+            assert_eq!(bucket_index(hi), i, "upper edge of bucket {i}");
+            assert_eq!(bucket_upper_bound(i), hi);
+        }
+        // The top bucket holds everything from 2^63 up to u64::MAX.
+        assert_eq!(bucket_index(1u64 << 63), 64);
+        assert_eq!(bucket_index(u64::MAX), 64);
+        assert_eq!(bucket_upper_bound(64), u64::MAX);
+        assert_eq!(bucket_upper_bound(0), 0);
+    }
+
+    #[test]
+    fn adjacent_samples_straddle_buckets() {
+        for v in [1u64, 2, 4, 8, 1024, 1 << 40] {
+            assert_eq!(bucket_index(v), bucket_index(v - 1) + 1, "v = {v}");
+            assert_eq!(bucket_index(v), bucket_index(2 * v - 1), "v = {v}");
+        }
+    }
+
+    #[test]
+    fn histogram_records_count_sum_and_buckets() {
+        let h = Histogram(Some(Arc::new(HistogramCells::new())));
+        for v in [0u64, 1, 1, 3, 4, 1000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.sum(), 1009);
+        let b = h.buckets();
+        assert_eq!(b[0], 1); // 0
+        assert_eq!(b[1], 2); // 1, 1
+        assert_eq!(b[2], 1); // 3
+        assert_eq!(b[3], 1); // 4
+        assert_eq!(b[10], 1); // 1000 in [512, 1023]
+        assert_eq!(b.iter().sum::<u64>(), 6);
+    }
+
+    #[test]
+    fn disabled_handles_ignore_everything() {
+        let c = Counter::noop();
+        c.add(7);
+        c.incr();
+        assert_eq!(c.get(), 0);
+        let g = Gauge::noop();
+        g.set(-3);
+        assert_eq!(g.get(), 0);
+        let h = Histogram::noop();
+        h.record(9);
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.buckets(), [0; N_BUCKETS]);
+    }
+}

@@ -1,0 +1,84 @@
+//! Property tests for the concurrent metric primitives: counters and
+//! histograms must be exactly additive under arbitrary interleavings.
+
+use diva_obs::Obs;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// N threads hammering one named counter lose no increments.
+    #[test]
+    fn concurrent_counter_increments_are_lossless(
+        per_thread in proptest::collection::vec(1u64..200, 1..6),
+        step in 1u64..5,
+    ) {
+        let obs = Obs::enabled();
+        std::thread::scope(|scope| {
+            for &n in &per_thread {
+                let handle = obs.counter("shared");
+                scope.spawn(move || {
+                    for _ in 0..n {
+                        handle.add(step);
+                    }
+                });
+            }
+        });
+        let expected: u64 = per_thread.iter().sum::<u64>() * step;
+        prop_assert_eq!(obs.counter("shared").get(), expected);
+        prop_assert_eq!(obs.snapshot().counter("shared"), Some(expected));
+    }
+
+    /// Histogram count/sum/buckets stay consistent when samples arrive
+    /// from several threads at once.
+    #[test]
+    fn concurrent_histogram_records_are_lossless(
+        batches in proptest::collection::vec(
+            proptest::collection::vec(0u64..100_000, 1..50), 1..5),
+    ) {
+        let obs = Obs::enabled();
+        std::thread::scope(|scope| {
+            for batch in &batches {
+                let handle = obs.histogram("sizes");
+                scope.spawn(move || {
+                    for &v in batch {
+                        handle.record(v);
+                    }
+                });
+            }
+        });
+        let all: Vec<u64> = batches.iter().flatten().copied().collect();
+        let h = obs.histogram("sizes");
+        prop_assert_eq!(h.count(), all.len() as u64);
+        prop_assert_eq!(h.sum(), all.iter().sum::<u64>());
+        let buckets = h.buckets();
+        prop_assert_eq!(buckets.iter().sum::<u64>(), all.len() as u64);
+        for &v in &all {
+            prop_assert!(buckets[diva_obs::bucket_index(v)] > 0);
+        }
+    }
+
+    /// Spans recorded from many threads all land in the snapshot with
+    /// unique ids.
+    #[test]
+    fn concurrent_spans_all_recorded(n_threads in 1usize..6, per_thread in 1usize..10) {
+        let obs = Obs::enabled();
+        std::thread::scope(|scope| {
+            for t in 0..n_threads {
+                let worker = obs.clone();
+                scope.spawn(move || {
+                    for i in 0..per_thread {
+                        let span = worker.span("work").attr("t", t).attr("i", i);
+                        span.end();
+                    }
+                });
+            }
+        });
+        let snap = obs.snapshot();
+        prop_assert_eq!(snap.spans.len(), n_threads * per_thread);
+        let mut ids: Vec<u64> = snap.spans.iter().map(|s| s.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        prop_assert_eq!(ids.len(), n_threads * per_thread);
+    }
+}

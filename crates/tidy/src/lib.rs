@@ -18,10 +18,12 @@
 //!   governs worker lifetimes (scoped `thread::scope` joins are fine
 //!   anywhere).
 //! * **`wall-clock`** — no `Instant::now`/`SystemTime::now`/ambient
-//!   RNG inside the deterministic search modules; all randomness flows
-//!   from the seeded config.
-//! * **`missing-docs`** — `pub fn` / `pub struct` in `core` and
-//!   `constraints` carry doc comments.
+//!   RNG anywhere except `crates/obs/src/`: every clock read flows
+//!   through `diva_obs` (spans or `Stopwatch`) so timings are
+//!   observable and the search modules replay exactly from the seeded
+//!   config.
+//! * **`missing-docs`** — `pub fn` / `pub struct` in `core`,
+//!   `constraints`, and `obs` carry doc comments.
 //!
 //! Escape hatch: a `diva-tidy: allow(<rule>)` comment on the offending
 //! line or the line directly above suppresses that rule there. The
@@ -64,11 +66,10 @@ const ALLOWLIST: &[(&str, &str)] = &[("crates/core/src/state.rs", "hot-path-hash
 /// Library crates whose `src/` falls under the `no-panic` rule.
 /// Binaries and harnesses (`cli`, `bench`, `tidy`) may unwrap: their
 /// failures surface to a terminal, not to a caller.
-const LIB_CRATES: [&str; 6] =
-    ["relation", "constraints", "metrics", "anonymize", "datagen", "core"];
+const LIB_CRATES: [&str; 7] =
+    ["obs", "relation", "constraints", "metrics", "anonymize", "datagen", "core"];
 
-/// The dense search kernels covered by `hot-path-hash` and
-/// `wall-clock`.
+/// The dense search kernels covered by `hot-path-hash`.
 const HOT_PATH_FILES: [&str; 5] = [
     "crates/core/src/state.rs",
     "crates/core/src/graph.rs",
@@ -339,7 +340,9 @@ fn is_hot_path(path: &str) -> bool {
 }
 
 fn is_doc_scope(path: &str) -> bool {
-    path.starts_with("crates/core/src/") || path.starts_with("crates/constraints/src/")
+    path.starts_with("crates/core/src/")
+        || path.starts_with("crates/constraints/src/")
+        || path.starts_with("crates/obs/src/")
 }
 
 /// Token patterns for one rule: `(needle, what)` pairs.
@@ -419,11 +422,10 @@ pub fn scan_file(path: &str, source: &str) -> Vec<Violation> {
     );
     token_rule(
         "wall-clock",
-        is_hot_path(path),
+        !path.starts_with("crates/obs/src/"),
         CLOCK_TOKENS,
-        "in a deterministic search module — searches must replay exactly from \
-         `DivaConfig::seed`; take timings in `diva.rs`/`bench` and randomness from the \
-         seeded config",
+        "outside `crates/obs` — clock reads are confined to `diva-obs`; time with an obs \
+         span or `diva_obs::Stopwatch`, and take randomness from the seeded config",
     );
 
     if is_doc_scope(path) && !allowlisted("missing-docs") {

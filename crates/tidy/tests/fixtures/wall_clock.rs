@@ -1,4 +1,4 @@
-// Fixture: rule (d) `wall-clock`. Scanned as a deterministic-module path.
+// Fixture: rule (d) `wall-clock`. Fires on any path outside crates/obs/src/.
 
 pub fn bad_timer() -> std::time::Instant {
     std::time::Instant::now()

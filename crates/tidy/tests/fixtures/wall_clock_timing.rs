@@ -1,0 +1,10 @@
+// Fixture: rule (d) `wall-clock`, the pre-obs timing idiom — an ad-hoc
+// stopwatch around a pipeline call instead of `diva_obs::Stopwatch`.
+
+pub fn bad_measure() -> f64 {
+    let t = std::time::Instant::now();
+    expensive_pipeline_step();
+    t.elapsed().as_secs_f64()
+}
+
+fn expensive_pipeline_step() {}

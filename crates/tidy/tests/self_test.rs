@@ -66,10 +66,29 @@ fn rule_d_wall_clock_fires_on_fixture() {
 }
 
 #[test]
-fn rule_d_is_scoped_to_deterministic_modules() {
-    // diva.rs takes phase timings; Instant is fine there.
+fn rule_d_fires_everywhere_outside_obs() {
+    // diva.rs used to take raw phase timings; those now flow through
+    // obs spans, so the clock ban covers it (and every other module).
     let v = diva_tidy::scan_file("crates/core/src/diva.rs", &fixture("wall_clock.rs"));
+    assert_eq!(lines_for(&v, "wall-clock"), vec![4, 8, 13], "{v:#?}");
+    let v = diva_tidy::scan_file("crates/cli/src/main.rs", &fixture("wall_clock.rs"));
+    assert_eq!(lines_for(&v, "wall-clock"), vec![4, 8, 13], "{v:#?}");
+}
+
+#[test]
+fn rule_d_exempts_the_obs_crate() {
+    // diva-obs is the one place allowed to read the monotonic clock —
+    // it is the crate the rest of the workspace times through.
+    let v = diva_tidy::scan_file("crates/obs/src/lib.rs", &fixture("wall_clock.rs"));
     assert!(lines_for(&v, "wall-clock").is_empty(), "{v:#?}");
+}
+
+#[test]
+fn rule_d_catches_the_pre_obs_timing_idiom() {
+    // The exact pattern the obs migration removed from cli/bench:
+    // an ad-hoc `Instant` stopwatch around a pipeline call.
+    let v = diva_tidy::scan_file("crates/bench/src/runner.rs", &fixture("wall_clock_timing.rs"));
+    assert_eq!(lines_for(&v, "wall-clock"), vec![5], "{v:#?}");
 }
 
 #[test]

@@ -27,9 +27,27 @@ cargo test $FLAGS -q --features strict-invariants --test pipeline
 
 if [ "${SKIP_BENCH:-0}" = "1" ]; then
     echo "==> bench smoke skipped (SKIP_BENCH=1)"
+    echo "==> obs trace check skipped (SKIP_BENCH=1)"
 else
-    echo "==> bench smoke (perf emitter -> BENCH_diva.json)"
+    echo "==> bench smoke (perf emitter -> BENCH_diva.json, incl. obs overhead)"
     cargo run $FLAGS --release -p diva-bench --bin experiments -- perf >/dev/null
+
+    echo "==> obs trace check (medical-4k run -> trace-check)"
+    OBS_DIR="$(mktemp -d)"
+    trap 'rm -rf "$OBS_DIR"' EXIT
+    cargo run $FLAGS --release -q -p diva-cli --bin diva -- generate \
+        --dataset medical --rows 4000 --seed 7 --output "$OBS_DIR/medical.csv"
+    cargo run $FLAGS --release -q -p diva-cli --bin diva -- sigma-gen \
+        --input "$OBS_DIR/medical.csv" --roles qi,qi,qi,qi,qi,sensitive \
+        --class proportional --count 5 --slack 0.7 --min-freq 20 \
+        --output "$OBS_DIR/sigma.txt"
+    cargo run $FLAGS --release -q -p diva-cli --bin diva -- anonymize \
+        --input "$OBS_DIR/medical.csv" --roles qi,qi,qi,qi,qi,sensitive \
+        --constraints "$OBS_DIR/sigma.txt" -k 5 --quiet \
+        --trace "$OBS_DIR/trace.jsonl" --metrics "$OBS_DIR/metrics.json" \
+        --output "$OBS_DIR/anon.csv"
+    cargo run $FLAGS --release -q -p diva-obs --bin trace-check -- \
+        "$OBS_DIR/trace.jsonl" "$OBS_DIR/metrics.json"
 fi
 
 echo "==> all checks passed"

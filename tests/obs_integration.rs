@@ -1,0 +1,99 @@
+//! Workspace-level observability tests: trace completeness of a full
+//! pipeline run, byte-identical output with obs on vs off, and a
+//! disabled-mode overhead smoke (gated by `SKIP_BENCH=1` like the
+//! bench stage of `scripts/check.sh`).
+
+use diva_constraints::Constraint;
+use diva_core::{Diva, DivaConfig, Strategy};
+use diva_obs::{json, Obs, Stopwatch};
+use diva_relation::Relation;
+
+fn workload() -> (Relation, Vec<Constraint>) {
+    let rel = diva_datagen::medical(400, 7);
+    let sigma = diva_constraints::generators::proportional(&rel, 5, 0.7, 20);
+    (rel, sigma)
+}
+
+fn run_with(obs: Obs) -> diva_core::DivaResult {
+    let (rel, sigma) = workload();
+    let config = DivaConfig { k: 5, strategy: Strategy::MaxFanOut, obs, ..DivaConfig::default() };
+    Diva::new(config).run(&rel, &sigma).expect("workload solves")
+}
+
+/// Every phase of the pipeline must appear in the exported trace, the
+/// trace must be valid JSON-lines, and the summary must aggregate the
+/// same spans — the same contract `trace-check` enforces in check.sh.
+#[test]
+fn full_run_trace_is_complete_and_parses() {
+    let obs = Obs::enabled();
+    run_with(obs.clone());
+    let snapshot = obs.snapshot();
+
+    let trace = snapshot.trace_jsonl();
+    let mut names = Vec::new();
+    for line in trace.lines() {
+        let v = json::parse(line).expect("trace line parses");
+        assert_eq!(v.get("type").and_then(|t| t.as_str()), Some("span"));
+        if let Some(name) = v.get("name").and_then(|n| n.as_str()) {
+            names.push(name.to_string());
+        }
+    }
+    for required in
+        ["diva.run", "diva.clustering", "diva.suppress", "diva.anonymize", "diva.integrate"]
+    {
+        assert!(names.iter().any(|n| n == required), "trace lacks {required}");
+    }
+
+    let summary = json::parse(&snapshot.summary_json()).expect("summary parses");
+    let spans = summary.get("spans").expect("spans section");
+    assert!(spans.get("diva.run").is_some(), "summary lacks diva.run");
+    let counters = summary.get("counters").expect("counters section");
+    assert!(
+        counters.get("coloring.MaxFanOut.node_selections").is_some(),
+        "summary lacks per-strategy colouring counters"
+    );
+    let histograms = summary.get("histograms").expect("histograms section");
+    assert!(histograms.get("cluster.size").is_some(), "summary lacks cluster.size");
+}
+
+/// Enabling tracing must not perturb the published relation: the obs
+/// handle only observes, all decisions flow from `DivaConfig::seed`.
+#[test]
+fn enabled_and_disabled_obs_agree_byte_for_byte() {
+    let plain = run_with(Obs::disabled());
+    let traced = run_with(Obs::enabled());
+    assert_eq!(format!("{:?}", plain.relation), format!("{:?}", traced.relation));
+    assert_eq!(plain.groups, traced.groups);
+    assert_eq!(plain.source_rows, traced.source_rows);
+    assert_eq!(plain.stats.coloring, traced.stats.coloring);
+}
+
+/// Disabled-mode overhead smoke: a run with the default (disabled)
+/// handle must not be grossly slower than the enabled run is — the
+/// precise < 2% budget is measured in release mode by the perf bench
+/// (`obs_overhead` in `BENCH_diva.json`); this debug-mode smoke only
+/// guards against a pathological regression (e.g. the disabled path
+/// taking a lock per event). Set `SKIP_BENCH=1` to skip.
+#[test]
+fn disabled_mode_overhead_smoke() {
+    if std::env::var("SKIP_BENCH").as_deref() == Ok("1") {
+        return;
+    }
+    let best = |obs_for_rep: fn() -> Obs| {
+        let mut best = f64::INFINITY;
+        for _ in 0..3 {
+            let t = Stopwatch::start();
+            run_with(obs_for_rep());
+            best = best.min(t.elapsed().as_secs_f64());
+        }
+        best
+    };
+    let disabled = best(Obs::disabled);
+    let enabled = best(Obs::enabled);
+    // Debug builds are noisy; 1.5x is far above any plausible real
+    // overhead yet still catches accidental hot-path work.
+    assert!(
+        disabled <= enabled * 1.5,
+        "disabled obs ({disabled:.4}s) much slower than enabled ({enabled:.4}s)"
+    );
+}
