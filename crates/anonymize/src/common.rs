@@ -152,6 +152,28 @@ pub trait Anonymizer {
     /// penalizes it); when `rows` is empty the clustering is empty.
     fn cluster(&self, rel: &Relation, rows: &[RowId], k: usize) -> Vec<Vec<RowId>>;
 
+    /// [`Anonymizer::cluster`] with an early-stop probe: `None` means
+    /// the probe fired and the clustering was abandoned — the caller
+    /// is committed to degrading or cancelling, so no partial result
+    /// is returned. The default implementation polls once up front and
+    /// otherwise runs the plain `cluster`; algorithms whose clustering
+    /// loops over many rows (k-member's greedy growth) override it to
+    /// poll between steps so a wall-clock budget can reach inside the
+    /// anonymize phase. A probe that never fires must leave the result
+    /// identical to `cluster`.
+    fn cluster_interruptible(
+        &self,
+        rel: &Relation,
+        rows: &[RowId],
+        k: usize,
+        stop: &(dyn Fn() -> bool + Sync),
+    ) -> Option<Vec<Vec<RowId>>> {
+        if stop() {
+            return None;
+        }
+        Some(self.cluster(rel, rows, k))
+    }
+
     /// Clusters all rows of `rel` and applies suppression, yielding a
     /// `k`-anonymous relation (Definition 2.2's anonymization process).
     fn anonymize(&self, rel: &Relation, k: usize) -> Suppressed {
@@ -186,6 +208,36 @@ pub fn cluster_observed(
         sizes.record_len(c.len());
     }
     clusters
+}
+
+/// [`cluster_observed`] over [`Anonymizer::cluster_interruptible`]:
+/// the same instrumentation, plus a `stopped` span attribute when the
+/// probe abandoned the clustering.
+pub fn cluster_observed_interruptible(
+    algo: &dyn Anonymizer,
+    rel: &Relation,
+    rows: &[RowId],
+    k: usize,
+    obs: &diva_obs::Obs,
+    stop: &(dyn Fn() -> bool + Sync),
+) -> Option<Vec<Vec<RowId>>> {
+    let mut span = obs
+        .span("anonymize.cluster")
+        .attr("algorithm", algo.name())
+        .attr("rows", rows.len())
+        .attr("k", k);
+    let Some(clusters) = algo.cluster_interruptible(rel, rows, k, stop) else {
+        span.set_attr("stopped", true);
+        span.end();
+        return None;
+    };
+    span.set_attr("groups", clusters.len());
+    span.end();
+    let sizes = obs.histogram("anonymize.group_size");
+    for c in &clusters {
+        sizes.record_len(c.len());
+    }
+    Some(clusters)
 }
 
 /// Validates a clustering: covers every requested row exactly once and

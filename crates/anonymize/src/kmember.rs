@@ -103,14 +103,26 @@ impl Anonymizer for KMember {
     }
 
     fn cluster(&self, rel: &Relation, rows: &[RowId], k: usize) -> Vec<Vec<RowId>> {
+        // The probe never fires, so the interruptible path cannot
+        // return `None`; the fallback keeps this panic-free.
+        self.cluster_interruptible(rel, rows, k, &|| false).unwrap_or_default()
+    }
+
+    fn cluster_interruptible(
+        &self,
+        rel: &Relation,
+        rows: &[RowId],
+        k: usize,
+        stop: &(dyn Fn() -> bool + Sync),
+    ) -> Option<Vec<Vec<RowId>>> {
         assert!(k > 0, "k must be positive");
         if rows.is_empty() {
-            return Vec::new();
+            return Some(Vec::new());
         }
         let m = QiMatrix::new(rel, rows);
         let n = m.len();
         if n < k {
-            return m.to_relation_clusters(&[(0..n).collect()]);
+            return Some(m.to_relation_clusters(&[(0..n).collect()]));
         }
         let mut rng = StdRng::seed_from_u64(self.seed);
         let mut pool = Pool::new(n, &mut rng);
@@ -118,6 +130,12 @@ impl Anonymizer for KMember {
 
         let mut prev_seed = pool.items[rng.gen_range(0..pool.len())];
         while pool.len() >= k {
+            // Growing one cluster costs O(candidate_cap × k) distance
+            // scans; polling the probe here bounds the stop latency to
+            // a single cluster's growth.
+            if stop() {
+                return None;
+            }
             // Seed: record furthest from the previous seed.
             let Some(&seed) = pool
                 .candidates(self.candidate_cap)
@@ -153,7 +171,7 @@ impl Anonymizer for KMember {
             clusters[best].push(&m, i);
         }
         let local: Vec<Vec<usize>> = clusters.into_iter().map(|c| c.members).collect();
-        m.to_relation_clusters(&local)
+        Some(m.to_relation_clusters(&local))
     }
 }
 

@@ -16,7 +16,9 @@ use std::collections::{HashMap, HashSet};
 use std::hint::black_box;
 
 use diva_constraints::ConstraintSet;
-use diva_core::{run_portfolio, ConstraintGraph, Diva, DivaConfig, DivaError, Strategy};
+use diva_core::{
+    run_portfolio, BudgetSpec, ConstraintGraph, Diva, DivaConfig, DivaError, Outcome, Strategy,
+};
 use diva_obs::{Obs, Stopwatch};
 use diva_relation::{Relation, RowSet};
 
@@ -231,6 +233,19 @@ struct TrajectoryPoint {
     node_selections: u64,
     forward_check_prunes: u64,
     ok: bool,
+    /// `"exact"`, `"degraded:<kind>"`, or `"error"` — how the run
+    /// concluded (trajectory runs carry no budget, so a successful run
+    /// is always exact; the field keeps the schema aligned with the
+    /// budget sweep below).
+    outcome: String,
+}
+
+/// Renders a [`diva_core::Outcome`] for the JSON reports.
+fn outcome_label(outcome: &Outcome) -> String {
+    match outcome {
+        Outcome::Exact => "exact".to_owned(),
+        Outcome::Degraded { reason } => format!("degraded:{}", reason.kind()),
+    }
 }
 
 fn trajectory_point(rel: &Relation, k: usize, strategy: Strategy) -> TrajectoryPoint {
@@ -257,6 +272,7 @@ fn trajectory_point(rel: &Relation, k: usize, strategy: Strategy) -> TrajectoryP
         node_selections: 0,
         forward_check_prunes: 0,
         ok: false,
+        outcome: "error".to_owned(),
     };
     match &outcome {
         Ok(out) => {
@@ -269,6 +285,7 @@ fn trajectory_point(rel: &Relation, k: usize, strategy: Strategy) -> TrajectoryP
             point.node_selections = out.stats.coloring.node_selections;
             point.forward_check_prunes = out.stats.coloring.forward_check_prunes;
             point.ok = true;
+            point.outcome = outcome_label(&out.outcome);
         }
         Err(DivaError::SearchBudgetExhausted { backtracks }) => point.backtracks = *backtracks,
         Err(_) => {}
@@ -293,6 +310,61 @@ fn bench_portfolio(rel: &Relation, k: usize) -> PortfolioBench {
         Err(_) => (0, false),
     };
     PortfolioBench { rows: rel.n_rows(), seconds, winner_assignments, ok }
+}
+
+// ---------------------------------------------------------------------
+// Budget sweep: deadline vs outcome on the acceptance-size instance.
+// ---------------------------------------------------------------------
+
+/// Wall-clock deadlines swept on the 4k-row instance, milliseconds.
+/// The short end forces degradation; the long end completes exactly —
+/// the sweep records where the crossover sits on this hardware.
+const BUDGET_SWEEP_DEADLINES_MS: [u64; 4] = [5, 50, 500, 5_000];
+
+struct BudgetSweepPoint {
+    deadline_ms: u64,
+    seconds: f64,
+    outcome: String,
+    nodes_explored: u64,
+    star_count: usize,
+    ok: bool,
+}
+
+fn budget_sweep_point(
+    rel: &Relation,
+    sigma: &[diva_constraints::Constraint],
+    k: usize,
+    deadline_ms: u64,
+) -> BudgetSweepPoint {
+    let config = DivaConfig {
+        k,
+        budget: BudgetSpec {
+            deadline: Some(std::time::Duration::from_millis(deadline_ms)),
+            ..BudgetSpec::default()
+        },
+        ..DivaConfig::default()
+    };
+    let t = Stopwatch::start();
+    let outcome = Diva::new(config).run(rel, sigma);
+    let seconds = t.elapsed().as_secs_f64();
+    match &outcome {
+        Ok(out) => BudgetSweepPoint {
+            deadline_ms,
+            seconds,
+            outcome: outcome_label(&out.outcome),
+            nodes_explored: out.stats.budget.as_ref().map_or(0, |u| u.nodes_explored),
+            star_count: out.relation.star_count(),
+            ok: true,
+        },
+        Err(_) => BudgetSweepPoint {
+            deadline_ms,
+            seconds,
+            outcome: "error".to_owned(),
+            nodes_explored: 0,
+            star_count: 0,
+            ok: false,
+        },
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -374,6 +446,14 @@ pub fn bench_json() -> String {
     let portfolio = bench_portfolio(&diva_datagen::medical(1_000, 5), 5);
     let overhead = bench_obs_overhead(&diva_datagen::medical(1_000, 5), 5);
 
+    // Budget sweep on the acceptance instance (EXPERIMENTS.md §budget).
+    let sweep_rel = diva_datagen::medical(4_000, 29);
+    let sweep_sigma = diva_constraints::generators::proportional(&sweep_rel, 5, 0.7, 80);
+    let sweep: Vec<BudgetSweepPoint> = BUDGET_SWEEP_DEADLINES_MS
+        .iter()
+        .map(|&ms| budget_sweep_point(&sweep_rel, &sweep_sigma, 8, ms))
+        .collect();
+
     let mut out = String::new();
     out.push_str("{\n");
     out.push_str("  \"workload\": \"medical / proportional(n=5, frac=0.7), k=5\",\n");
@@ -407,7 +487,8 @@ pub fn bench_json() -> String {
              \"t_clustering_s\": {:.4}, \"t_suppress_s\": {:.4}, \
              \"t_anonymize_s\": {:.4}, \"t_integrate_s\": {:.4}, \
              \"assignments_tried\": {}, \"backtracks\": {}, \
-             \"node_selections\": {}, \"forward_check_prunes\": {}, \"ok\": {}}}{}\n",
+             \"node_selections\": {}, \"forward_check_prunes\": {}, \
+             \"ok\": {}, \"outcome\": \"{}\"}}{}\n",
             p.rows,
             p.strategy,
             p.seconds,
@@ -420,10 +501,31 @@ pub fn bench_json() -> String {
             p.node_selections,
             p.forward_check_prunes,
             p.ok,
+            p.outcome,
             if i + 1 < points.len() { "," } else { "" }
         ));
     }
     out.push_str("  ],\n");
+    out.push_str("  \"budget_sweep\": {\n");
+    out.push_str(
+        "    \"instance\": \"medical-4k, proportional(n=5, frac=0.7, min-freq=80), k=8\",\n",
+    );
+    out.push_str("    \"points\": [\n");
+    for (i, p) in sweep.iter().enumerate() {
+        out.push_str(&format!(
+            "      {{\"deadline_ms\": {}, \"seconds\": {:.4}, \"outcome\": \"{}\", \
+             \"nodes_explored\": {}, \"star_count\": {}, \"ok\": {}}}{}\n",
+            p.deadline_ms,
+            p.seconds,
+            p.outcome,
+            p.nodes_explored,
+            p.star_count,
+            p.ok,
+            if i + 1 < sweep.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("    ]\n");
+    out.push_str("  },\n");
     out.push_str("  \"portfolio\": {\n");
     out.push_str(&format!("    \"rows\": {},\n", portfolio.rows));
     out.push_str(&format!("    \"seconds\": {:.4},\n", portfolio.seconds));
@@ -483,6 +585,25 @@ mod tests {
         assert!(p.t_clustering_s > 0.0);
         let phases = p.t_clustering_s + p.t_suppress_s + p.t_anonymize_s + p.t_integrate_s;
         assert!(phases <= p.seconds, "phase timings exceed total");
+    }
+
+    #[test]
+    fn trajectory_point_labels_outcome() {
+        let rel = diva_datagen::medical(250, 5);
+        let p = trajectory_point(&rel, 5, Strategy::MinChoice);
+        assert_eq!(p.outcome, "exact");
+    }
+
+    #[test]
+    fn budget_sweep_point_degrades_under_zero_deadline() {
+        let rel = diva_datagen::medical(600, 5);
+        let sigma = diva_constraints::generators::proportional(&rel, 5, 0.7, 20);
+        let p = budget_sweep_point(&rel, &sigma, 5, 0);
+        assert!(p.ok, "degraded runs still publish a relation");
+        assert_eq!(p.outcome, "degraded:deadline");
+        let generous = budget_sweep_point(&rel, &sigma, 5, 600_000);
+        assert!(generous.ok);
+        assert_eq!(generous.outcome, "exact");
     }
 
     #[test]

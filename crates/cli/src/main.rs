@@ -19,7 +19,7 @@ use std::process::ExitCode;
 
 use diva_anonymize::{Anonymizer, KMember, Mondrian, Oka};
 use diva_constraints::{spec, Constraint, ConstraintSet};
-use diva_core::{run_portfolio, Diva, DivaConfig, Strategy};
+use diva_core::{run_portfolio, BudgetSpec, Diva, DivaConfig, Outcome, Strategy};
 use diva_obs::{Obs, Stopwatch};
 use diva_relation::csv::{read_relation_file, write_relation_file};
 use diva_relation::{is_k_anonymous, AttrRole, Relation};
@@ -94,6 +94,9 @@ fn usage() -> String {
      \u{20}          [--threads N  worker cap for --portfolio, default all cores]\n\
      \u{20}          [--trace FILE  write a JSON-lines span trace of the run]\n\
      \u{20}          [--metrics FILE  write the aggregated metrics summary JSON]\n\
+     \u{20}          [--deadline-ms N  wall-clock budget; exceeding it degrades gracefully]\n\
+     \u{20}          [--node-budget N  cap on explored search nodes before degrading]\n\
+     \u{20}          [--repair-budget N  cap on repair attempts before degrading]\n\
      \u{20}          [--seed N] --output FILE\n\
      check      --input FILE --roles LIST --constraints FILE -k N\n\
      stats      --input FILE --roles LIST -k N\n\
@@ -189,6 +192,29 @@ fn parse_seed(opts: &HashMap<String, String>) -> u64 {
     opts.get("seed").and_then(|s| s.parse().ok()).unwrap_or(0xd1fa)
 }
 
+/// Assembles the resource budget from `--deadline-ms`, `--node-budget`
+/// and `--repair-budget`. All three default to unlimited, preserving
+/// the exact-search behaviour when none are given.
+fn parse_budget(opts: &HashMap<String, String>) -> Result<BudgetSpec, String> {
+    let deadline = opts
+        .get("deadline-ms")
+        .map(|v| {
+            v.parse::<u64>()
+                .map(std::time::Duration::from_millis)
+                .map_err(|_| "deadline-ms must be a non-negative integer".to_string())
+        })
+        .transpose()?;
+    let node_budget = opts
+        .get("node-budget")
+        .map(|v| v.parse::<u64>().map_err(|_| "node-budget must be an integer".to_string()))
+        .transpose()?;
+    let repair_budget = opts
+        .get("repair-budget")
+        .map(|v| v.parse::<u64>().map_err(|_| "repair-budget must be an integer".to_string()))
+        .transpose()?;
+    Ok(BudgetSpec { deadline, node_budget, repair_budget })
+}
+
 fn anonymize(opts: &HashMap<String, String>) -> Result<(), String> {
     let reporter = Reporter::new(opts);
     let rel = load_input(opts)?;
@@ -214,6 +240,7 @@ fn anonymize(opts: &HashMap<String, String>) -> Result<(), String> {
             Ok(n) => Ok(n),
         })
         .transpose()?;
+    let budget = parse_budget(opts)?;
     let obs = obs_for(opts);
     let config = DivaConfig {
         k,
@@ -221,6 +248,7 @@ fn anonymize(opts: &HashMap<String, String>) -> Result<(), String> {
         seed,
         l_diversity,
         threads,
+        budget,
         obs: obs.clone(),
         ..DivaConfig::default()
     };
@@ -248,6 +276,9 @@ fn anonymize(opts: &HashMap<String, String>) -> Result<(), String> {
     write_exports(opts, &obs)?;
     let out = result.map_err(|e| e.to_string())?;
     write_relation_file(&out.relation, &output).map_err(|e| e.to_string())?;
+    if let Outcome::Degraded { reason } = &out.outcome {
+        report!(reporter, "degraded: {reason}");
+    }
     report!(
         reporter,
         "wrote {} ({} rows, {} ★, accuracy {:.3}, {} groups, {:?})",

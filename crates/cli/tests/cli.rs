@@ -390,6 +390,95 @@ fn trace_metrics_and_quiet_flags() {
 }
 
 #[test]
+fn deadline_budget_degrades_instead_of_failing() {
+    let data = tmp("budget_medical.csv");
+    let out = tmp("budget_anon.csv");
+    let sigma = tmp("budget_sigma.txt");
+    let g = diva(&[
+        "generate",
+        "--dataset",
+        "medical",
+        "--rows",
+        "2000",
+        "--seed",
+        "21",
+        "--output",
+        data.to_str().unwrap(),
+    ]);
+    assert!(g.status.success(), "{}", String::from_utf8_lossy(&g.stderr));
+    std::fs::write(&sigma, "ETH[Caucasian]: 10..2000\n").unwrap();
+
+    // A zero deadline is already expired when the run starts, so the
+    // pipeline must take the degraded path — and still exit 0 with a
+    // k-anonymous output file.
+    let a = diva(&[
+        "anonymize",
+        "--input",
+        data.to_str().unwrap(),
+        "--roles",
+        MEDICAL_ROLES,
+        "--constraints",
+        sigma.to_str().unwrap(),
+        "--k",
+        "5",
+        "--deadline-ms",
+        "0",
+        "--output",
+        out.to_str().unwrap(),
+    ]);
+    assert!(a.status.success(), "{}", String::from_utf8_lossy(&a.stderr));
+    let stdout = String::from_utf8_lossy(&a.stdout);
+    assert!(stdout.contains("degraded"), "no degraded report line in:\n{stdout}");
+
+    // The degraded output still passes `check`'s k-anonymity gate
+    // (constraints may be voided to count 0, which check accepts only
+    // when the lower bound is 0 — this sigma's lower bound is 10, so
+    // only assert the stats path here).
+    let s =
+        diva(&["stats", "--input", out.to_str().unwrap(), "--roles", MEDICAL_ROLES, "--k", "5"]);
+    assert!(s.status.success(), "{}", String::from_utf8_lossy(&s.stderr));
+
+    // An effectively unlimited budget must stay exact: no degraded line.
+    let b = diva(&[
+        "anonymize",
+        "--input",
+        data.to_str().unwrap(),
+        "--roles",
+        MEDICAL_ROLES,
+        "--constraints",
+        sigma.to_str().unwrap(),
+        "--k",
+        "5",
+        "--node-budget",
+        "1000000000",
+        "--output",
+        tmp("budget_anon_big.csv").to_str().unwrap(),
+    ]);
+    assert!(b.status.success(), "{}", String::from_utf8_lossy(&b.stderr));
+    let stdout = String::from_utf8_lossy(&b.stdout);
+    assert!(!stdout.contains("degraded"), "unlimited budget degraded:\n{stdout}");
+
+    // Malformed budget flags are rejected with a clear message.
+    let bad = diva(&[
+        "anonymize",
+        "--input",
+        data.to_str().unwrap(),
+        "--roles",
+        MEDICAL_ROLES,
+        "--constraints",
+        sigma.to_str().unwrap(),
+        "--k",
+        "5",
+        "--deadline-ms",
+        "soon",
+        "--output",
+        out.to_str().unwrap(),
+    ]);
+    assert!(!bad.status.success());
+    assert!(String::from_utf8_lossy(&bad.stderr).contains("deadline-ms"));
+}
+
+#[test]
 fn byte_identical_output_with_and_without_trace() {
     let data = tmp("det_medical.csv");
     let sigma = tmp("det_sigma.txt");

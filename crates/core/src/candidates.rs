@@ -87,6 +87,36 @@ impl CandidateSet {
         shuffle_seed: Option<u64>,
         min_sensitive: usize,
     ) -> Self {
+        Self::enumerate_interruptible(
+            rel,
+            c,
+            k,
+            max_candidates,
+            shuffle_seed,
+            min_sensitive,
+            &|| false,
+        )
+    }
+
+    /// [`CandidateSet::enumerate_with_privacy`] with an early-stop
+    /// probe. `stop` is polled between enumeration steps — window
+    /// enumeration is the longest uninterruptible stretch of the whole
+    /// pipeline on large inputs, so a wall-clock budget must be able
+    /// to reach inside it. Once `stop` returns `true` the candidate
+    /// list is abandoned (emptied): the caller is committed to
+    /// degrading or cancelling, so no further work is spent polishing
+    /// candidates that will never be searched. A probe that never
+    /// fires leaves the result byte-identical to the plain
+    /// enumeration.
+    pub fn enumerate_interruptible(
+        rel: &Relation,
+        c: &BoundConstraint,
+        k: usize,
+        max_candidates: usize,
+        shuffle_seed: Option<u64>,
+        min_sensitive: usize,
+        stop: &(dyn Fn() -> bool + Sync),
+    ) -> Self {
         // MinChoice/MaxFanOut cut clusters from the QI-similarity
         // order (cheap suppression); Basic — the paper's naive variant
         // — clusters random target subsets instead.
@@ -122,15 +152,30 @@ impl CandidateSet {
 
         let mut out: Vec<Clustering> = Vec::new();
         if sorted.len() <= SMALL_TARGET {
-            enumerate_small(&sorted, m_min, m_max, k, max_candidates, &mut out);
+            enumerate_small(&sorted, m_min, m_max, k, max_candidates, stop, &mut out);
         } else {
-            enumerate_windows(&sorted, m_min, m_max, k, max_candidates, &mut out);
+            enumerate_windows(&sorted, m_min, m_max, k, max_candidates, stop, &mut out);
         }
-        for clustering in &mut out {
+        // A fired probe abandons the list rather than spending more
+        // time canonicalizing candidates that will never be searched:
+        // the search's entry poll turns the same `stop` condition into
+        // a degradation or cancellation before candidates matter. The
+        // canonicalization pass re-polls periodically so a deadline
+        // arriving mid-pass is also honoured promptly.
+        let mut i = 0;
+        while i < out.len() {
+            if i & 0xFF == 0 && stop() {
+                break;
+            }
+            let clustering = &mut out[i];
             for cluster in clustering.iter_mut() {
                 cluster.sort_unstable();
             }
             clustering.sort();
+            i += 1;
+        }
+        if stop() {
+            out.clear();
         }
         out.dedup();
         if min_sensitive > 1 {
@@ -292,9 +337,13 @@ fn enumerate_small(
     m_max: usize,
     k: usize,
     cap: usize,
+    stop: &(dyn Fn() -> bool + Sync),
     out: &mut Vec<Clustering>,
 ) {
     for m in m_min..=m_max {
+        if stop() {
+            return;
+        }
         let mut idx: Vec<usize> = (0..m).collect();
         loop {
             let subset: Vec<RowId> = idx.iter().map(|&i| sorted[i]).collect();
@@ -337,6 +386,7 @@ fn enumerate_windows(
     m_max: usize,
     k: usize,
     cap: usize,
+    stop: &(dyn Fn() -> bool + Sync),
     out: &mut Vec<Clustering>,
 ) {
     let sizes = spread(m_min, m_max, SIZE_SAMPLES);
@@ -345,6 +395,12 @@ fn enumerate_windows(
         let last_start = sorted.len() - m;
         let starts = spread(0, last_start, per_size);
         for &s in &starts {
+            // Each window clones up to the whole target set; polling
+            // the probe per window keeps the stop latency bounded by
+            // one window's materialization.
+            if stop() {
+                return;
+            }
             let window = &sorted[s..s + m];
             push_variants(window, k, out);
             if out.len() >= cap {

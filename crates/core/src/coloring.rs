@@ -7,6 +7,7 @@ use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 
+use crate::budget::{Budget, DegradeReason};
 use crate::candidates::CandidateSet;
 use crate::config::{DivaConfig, Strategy};
 use crate::error::DivaError;
@@ -80,6 +81,10 @@ pub struct Coloring<'a> {
     /// search aborts with [`DivaError::Cancelled`] at the next poll
     /// (every [`CANCEL_POLL_MASK`] + 1 assignment attempts).
     cancel: Option<Arc<AtomicBool>>,
+    /// Resource budget checked at the same poll points; exhaustion
+    /// stops the search with the partial assignment instead of
+    /// unwinding it (see [`ColoringOutcome::degraded`]).
+    budget: Option<Arc<Budget>>,
 }
 
 /// Cancellation is polled when `assignments_tried & CANCEL_POLL_MASK
@@ -87,16 +92,34 @@ pub struct Coloring<'a> {
 /// enough that losing portfolio members exit promptly.
 const CANCEL_POLL_MASK: u64 = 0xFF;
 
-/// The result of a successful colouring.
+/// Why [`Coloring::color_remaining`] stopped before a verdict.
+enum Stop {
+    /// The portfolio cancellation token was observed.
+    Cancel,
+    /// The legacy fail-fast backtrack limit tripped (kept as an error
+    /// for back-compat, unlike budget exhaustion which degrades).
+    Backtracks(u64),
+    /// The resource budget was exhausted: keep the partial assignment
+    /// and degrade.
+    Degrade(DegradeReason),
+}
+
+/// The result of a colouring run.
 #[derive(Debug)]
 pub struct ColoringOutcome {
     /// The diverse clustering `S_Σ`: the distinct clusters across all
-    /// assigned clusterings (shared clusters appear once).
+    /// assigned clusterings (shared clusters appear once). When the
+    /// run degraded, these are the clusters of the partial prefix
+    /// assigned so far.
     pub clusters: Vec<Vec<diva_relation::RowId>>,
-    /// For each node, the chosen candidate index.
+    /// For each node (in node order, gaps skipped when degraded), the
+    /// chosen candidate index.
     pub assignment: Vec<usize>,
     /// Search counters.
     pub stats: ColoringStats,
+    /// `None` for a complete colouring; `Some(reason)` when the
+    /// resource budget tripped and the clusters are a partial prefix.
+    pub degraded: Option<DegradeReason>,
 }
 
 impl<'a> Coloring<'a> {
@@ -126,6 +149,7 @@ impl<'a> Coloring<'a> {
             rng: StdRng::seed_from_u64(config.seed),
             stats: ColoringStats::default(),
             cancel: None,
+            budget: None,
         }
     }
 
@@ -137,8 +161,32 @@ impl<'a> Coloring<'a> {
         self
     }
 
+    /// Attaches an armed resource budget, charged at the poll points;
+    /// exhaustion ends the search with the partial assignment
+    /// ([`ColoringOutcome::degraded`]).
+    pub fn with_budget(mut self, budget: Arc<Budget>) -> Self {
+        self.budget = Some(budget);
+        self
+    }
+
     fn is_cancelled(&self) -> bool {
         self.cancel.as_ref().is_some_and(|t| t.load(Ordering::Relaxed))
+    }
+
+    /// A poll point: injected slowdowns, then cancellation, then the
+    /// budget (charged one poll stride of explored nodes).
+    fn poll(&self, charge: u64) -> Result<(), Stop> {
+        #[cfg(feature = "fault-inject")]
+        self.config.faults.at_poll();
+        if self.is_cancelled() {
+            return Err(Stop::Cancel);
+        }
+        if let Some(budget) = &self.budget {
+            if let Some(reason) = budget.charge_nodes(charge) {
+                return Err(Stop::Degrade(reason));
+            }
+        }
+        Ok(())
     }
 
     /// Runs the search to completion. The search runs under a
@@ -153,21 +201,33 @@ impl<'a> Coloring<'a> {
             .attr("nodes", self.graph.n_nodes());
         let result = self.solve_impl();
         span.set_attr("ok", result.is_ok());
+        if let Ok(out) = &result {
+            if let Some(reason) = &out.degraded {
+                span.set_attr("degraded", reason.kind());
+            }
+        }
         span.end();
         self.stats.flush_to(&self.config.obs, self.config.strategy);
         result
     }
 
     fn solve_impl(&mut self) -> Result<ColoringOutcome, DivaError> {
-        if self.is_cancelled() {
-            return Err(DivaError::Cancelled);
+        // Entry poll: a search may be dequeued after the shared
+        // deadline already passed, and the injected-slowdown fault must
+        // fire at least once even for searches that finish in fewer
+        // assignments than the poll stride.
+        if let Err(stop) = self.poll(0) {
+            return self.stopped(stop);
         }
         // Fail fast on nodes with no candidates at all: the constraint
         // is unsatisfiable regardless of interactions.
         if let Some(i) = (0..self.graph.n_nodes()).find(|&i| self.candidates[i].is_empty()) {
             return Err(DivaError::NoDiverseClustering { constraint: self.labels[i].clone() });
         }
-        let colored = self.color_remaining()?;
+        let colored = match self.color_remaining() {
+            Ok(c) => c,
+            Err(stop) => return self.stopped(stop),
+        };
         if !colored {
             let failed =
                 (0..self.graph.n_nodes()).find(|&i| self.assignment[i].is_none()).unwrap_or(0);
@@ -183,12 +243,38 @@ impl<'a> Coloring<'a> {
             clusters,
             assignment: self.assignment.iter().filter_map(|a| *a).collect(),
             stats: self.stats.clone(),
+            degraded: None,
         })
     }
 
+    /// Maps an early [`Stop`] to the outer result: cancellation and the
+    /// legacy backtrack limit stay errors; budget exhaustion keeps the
+    /// partial assignment and reports it as a degraded outcome.
+    fn stopped(&self, stop: Stop) -> Result<ColoringOutcome, DivaError> {
+        match stop {
+            Stop::Cancel => Err(DivaError::Cancelled),
+            Stop::Backtracks(backtracks) => Err(DivaError::SearchBudgetExhausted { backtracks }),
+            Stop::Degrade(reason) => {
+                #[cfg(feature = "strict-invariants")]
+                self.state.validate(self.graph).map_err(|detail| DivaError::InvariantViolated {
+                    phase: "DiverseClustering".into(),
+                    detail,
+                })?;
+                Ok(ColoringOutcome {
+                    clusters: self.state.live_clusters(),
+                    assignment: self.assignment.iter().filter_map(|a| *a).collect(),
+                    stats: self.stats.clone(),
+                    degraded: Some(reason),
+                })
+            }
+        }
+    }
+
     /// Algorithm 4 (`Coloring`): returns `Ok(true)` if the remaining
-    /// nodes can be coloured consistently.
-    fn color_remaining(&mut self) -> Result<bool, DivaError> {
+    /// nodes can be coloured consistently. An `Err(Stop)` propagates
+    /// without unwinding the partial assignment, so a degraded stop
+    /// keeps the clustered-so-far prefix.
+    fn color_remaining(&mut self) -> Result<bool, Stop> {
         let Some(v) = self.next_node() else {
             return Ok(true); // V contains all nodes of G
         };
@@ -198,8 +284,8 @@ impl<'a> Coloring<'a> {
         }
         for ci in order {
             self.stats.assignments_tried += 1;
-            if self.stats.assignments_tried & CANCEL_POLL_MASK == 0 && self.is_cancelled() {
-                return Err(DivaError::Cancelled);
+            if self.stats.assignments_tried & CANCEL_POLL_MASK == 0 {
+                self.poll(CANCEL_POLL_MASK + 1)?;
             }
             let clustering = &self.candidates[v].candidates[ci];
             // IsConsistent + commit in one step. If the literal
@@ -213,6 +299,15 @@ impl<'a> Coloring<'a> {
                         continue;
                     }
                     self.stats.repair_attempts += 1;
+                    if let Some(budget) = &self.budget {
+                        if let Some(reason) = budget.charge_repair() {
+                            return Err(Stop::Degrade(reason));
+                        }
+                    }
+                    #[cfg(feature = "fault-inject")]
+                    if self.config.faults.repair_fails(self.stats.repair_attempts) {
+                        continue;
+                    }
                     let state = &self.state;
                     let Some(repaired) =
                         self.candidates[v]
@@ -261,9 +356,7 @@ impl<'a> Coloring<'a> {
             self.stats.backtracks += 1;
             if let Some(limit) = self.config.backtrack_limit {
                 if self.stats.backtracks > limit {
-                    return Err(DivaError::SearchBudgetExhausted {
-                        backtracks: self.stats.backtracks,
-                    });
+                    return Err(Stop::Backtracks(self.stats.backtracks));
                 }
             }
         }
@@ -435,6 +528,55 @@ mod tests {
     fn stats_are_recorded() {
         let out = solve_with(&example_sigma(), 2, Strategy::Basic).unwrap();
         assert!(out.stats.assignments_tried >= 3);
+    }
+
+    #[test]
+    fn zero_deadline_degrades_with_partial_prefix() {
+        let r = paper_table1();
+        let set = ConstraintSet::bind(&example_sigma(), &r).unwrap();
+        let graph = ConstraintGraph::build(&set);
+        let config = DivaConfig { k: 2, strategy: Strategy::MinChoice, ..DivaConfig::default() };
+        let candidates: Vec<CandidateSet> =
+            set.constraints().iter().map(|c| CandidateSet::enumerate(&r, c, 2, 64, None)).collect();
+        let uppers = set.constraints().iter().map(|c| c.upper).collect();
+        let labels: Vec<String> = set.constraints().iter().map(|c| c.label()).collect();
+        let budget = crate::BudgetSpec::with_deadline(std::time::Duration::ZERO).arm().unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(1));
+        let out = Coloring::new(&graph, &candidates, uppers, &labels, &config)
+            .with_budget(budget)
+            .solve()
+            .expect("budget exhaustion degrades, it does not error");
+        // The entry poll trips before any assignment: empty prefix.
+        assert!(out.clusters.is_empty());
+        assert!(matches!(out.degraded, Some(DegradeReason::DeadlineExceeded { .. })));
+    }
+
+    #[test]
+    fn generous_budget_is_identical_to_unbudgeted() {
+        let solve_budgeted = |budget: Option<Arc<Budget>>| {
+            let r = paper_table1();
+            let set = ConstraintSet::bind(&example_sigma(), &r).unwrap();
+            let graph = ConstraintGraph::build(&set);
+            let config =
+                DivaConfig { k: 2, strategy: Strategy::MinChoice, ..DivaConfig::default() };
+            let candidates: Vec<CandidateSet> = set
+                .constraints()
+                .iter()
+                .map(|c| CandidateSet::enumerate(&r, c, 2, 64, None))
+                .collect();
+            let uppers = set.constraints().iter().map(|c| c.upper).collect();
+            let labels: Vec<String> = set.constraints().iter().map(|c| c.label()).collect();
+            let mut coloring = Coloring::new(&graph, &candidates, uppers, &labels, &config);
+            if let Some(b) = budget {
+                coloring = coloring.with_budget(b);
+            }
+            coloring.solve().unwrap()
+        };
+        let plain = solve_budgeted(None);
+        let budgeted = solve_budgeted(crate::BudgetSpec::with_node_budget(u64::MAX / 2).arm());
+        assert_eq!(plain.clusters, budgeted.clusters);
+        assert_eq!(plain.assignment, budgeted.assignment);
+        assert!(budgeted.degraded.is_none());
     }
 
     #[test]

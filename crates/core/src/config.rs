@@ -78,6 +78,21 @@ pub struct DivaConfig {
     /// one branch per instrumentation point — pipeline output is
     /// byte-identical either way.
     pub obs: diva_obs::Obs,
+    /// Resource budget (wall-clock deadline, explored-node cap,
+    /// repair-attempt cap) for the run — or, under
+    /// [`crate::run_portfolio`], one global budget shared by every
+    /// member. Exhaustion degrades the run
+    /// ([`crate::Outcome::Degraded`]) instead of failing it; the
+    /// default is unlimited. Contrast with
+    /// [`DivaConfig::backtrack_limit`], which keeps its historical
+    /// fail-fast semantics
+    /// ([`DivaError::SearchBudgetExhausted`][crate::DivaError]).
+    pub budget: crate::BudgetSpec,
+    /// Deterministic fault-injection plan (testing/CI only; the field
+    /// exists only under the `fault-inject` feature). The default
+    /// injects nothing.
+    #[cfg(feature = "fault-inject")]
+    pub faults: crate::faults::FaultPlan,
 }
 
 impl Default for DivaConfig {
@@ -92,6 +107,9 @@ impl Default for DivaConfig {
             enable_repair: true,
             threads: None,
             obs: diva_obs::Obs::disabled(),
+            budget: crate::BudgetSpec::default(),
+            #[cfg(feature = "fault-inject")]
+            faults: crate::faults::FaultPlan::default(),
         }
     }
 }
@@ -123,6 +141,19 @@ impl DivaConfig {
     /// Builder-style observability handle (see [`DivaConfig::obs`]).
     pub fn obs(mut self, obs: diva_obs::Obs) -> Self {
         self.obs = obs;
+        self
+    }
+
+    /// Builder-style resource budget (see [`DivaConfig::budget`]).
+    pub fn budget(mut self, budget: crate::BudgetSpec) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Builder-style fault-injection plan (see [`DivaConfig::faults`]).
+    #[cfg(feature = "fault-inject")]
+    pub fn faults(mut self, faults: crate::faults::FaultPlan) -> Self {
+        self.faults = faults;
         self
     }
 
@@ -176,6 +207,14 @@ mod tests {
         let c = DivaConfig { threads: Some(0), ..DivaConfig::default() };
         let err = c.validate().unwrap_err();
         assert!(err.to_string().contains("threads"));
+    }
+
+    #[test]
+    fn default_budget_is_unlimited() {
+        let c = DivaConfig::default();
+        assert!(c.budget.is_unlimited());
+        let c = c.budget(crate::BudgetSpec::with_node_budget(512));
+        assert_eq!(c.budget.node_budget, Some(512));
     }
 
     #[test]

@@ -5,11 +5,14 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-use diva_anonymize::{cluster_observed, enforce_l_diversity, is_l_diverse, Anonymizer, KMember};
+use diva_anonymize::{
+    cluster_observed_interruptible, enforce_l_diversity, is_l_diverse, Anonymizer, KMember,
+};
 use diva_constraints::{Constraint, ConstraintSet};
 use diva_relation::suppress::{suppress_clustering, Suppressed};
-use diva_relation::{is_k_anonymous, Relation, RowId};
+use diva_relation::{is_k_anonymous, Relation, RowId, STAR_CODE};
 
+use crate::budget::{Budget, BudgetUsage, Controls, DegradeReason, Outcome};
 use crate::candidates::CandidateSet;
 use crate::coloring::{Coloring, ColoringStats};
 use crate::config::{DivaConfig, Strategy};
@@ -49,21 +52,31 @@ pub struct RunStats {
     pub t_integrate: Duration,
     /// End-to-end time.
     pub t_total: Duration,
+    /// Budget consumption at the end of the run; `None` when no budget
+    /// was configured. Under a portfolio the budget is shared, so the
+    /// snapshot reports portfolio-wide totals.
+    pub budget: Option<BudgetUsage>,
 }
 
-/// The output of a DIVA run: a `k`-anonymous relation satisfying `Σ`.
+/// The output of a DIVA run: a `k`-anonymous relation satisfying `Σ`
+/// exactly, or — when a resource budget tripped — the degraded-mode
+/// fallback tagged by [`DivaResult::outcome`].
 #[derive(Debug)]
 pub struct DivaResult {
     /// The published relation `R′`.
     pub relation: Relation,
     /// QI-groups of `R′` as output-row indices (`S_Σ` clusters first,
-    /// then the `Anonymize` groups).
+    /// then the `Anonymize` groups; in degraded mode the kept prefix
+    /// clusters followed by one fully-suppressed block).
     pub groups: Vec<Vec<RowId>>,
     /// Maps output rows to rows of the input relation (witnesses
     /// `R ⊑ R′`).
     pub source_rows: Vec<RowId>,
     /// Run counters and timings.
     pub stats: RunStats,
+    /// Whether this is the exact answer or a budget-degraded fallback
+    /// (see `DESIGN.md` §10 for the degraded-mode contract).
+    pub outcome: Outcome,
 }
 
 /// The DIVA algorithm.
@@ -109,22 +122,38 @@ impl Diva {
         &self.config
     }
 
-    /// Solves the (k, Σ)-anonymization problem for `rel`.
+    /// Solves the (k, Σ)-anonymization problem for `rel`. With a
+    /// configured [`DivaConfig::budget`], exhaustion returns the
+    /// degraded-mode result ([`Outcome::Degraded`]) instead of an
+    /// error.
     pub fn run(&self, rel: &Relation, sigma: &[Constraint]) -> Result<DivaResult, DivaError> {
-        self.run_inner(rel, sigma, None)
+        self.run_inner(rel, sigma, None, self.config.budget.arm())
     }
 
     /// [`Diva::run`] with a cancellation token: when `cancel` is set
     /// (by a winning portfolio sibling), the run aborts with
-    /// [`DivaError::Cancelled`] at the next poll point instead of
-    /// finishing its search.
+    /// [`DivaError::Cancelled`] at the next poll point or phase
+    /// boundary instead of finishing its search.
     pub fn run_cancellable(
         &self,
         rel: &Relation,
         sigma: &[Constraint],
         cancel: &Arc<AtomicBool>,
     ) -> Result<DivaResult, DivaError> {
-        self.run_inner(rel, sigma, Some(cancel))
+        self.run_inner(rel, sigma, Some(cancel), self.config.budget.arm())
+    }
+
+    /// [`Diva::run`] under shared [`Controls`]: the portfolio entry
+    /// point, where the cancellation token and the (already-armed,
+    /// globally shared) budget both come from the caller.
+    pub fn run_controlled(
+        &self,
+        rel: &Relation,
+        sigma: &[Constraint],
+        controls: &Controls,
+    ) -> Result<DivaResult, DivaError> {
+        let budget = controls.budget().cloned().or_else(|| self.config.budget.arm());
+        self.run_inner(rel, sigma, Some(controls.cancel_flag()), budget)
     }
 
     fn run_inner(
@@ -132,6 +161,7 @@ impl Diva {
         rel: &Relation,
         sigma: &[Constraint],
         cancel: Option<&Arc<AtomicBool>>,
+        budget: Option<Arc<Budget>>,
     ) -> Result<DivaResult, DivaError> {
         let obs = &self.config.obs;
         let mut run_span = obs
@@ -150,6 +180,13 @@ impl Diva {
         }
         let set = ConstraintSet::bind(sigma, rel)?;
         let mut stats = RunStats { n_constraints: set.len(), ..RunStats::default() };
+        // Phase-boundary deadline checks are cheap (one clock read);
+        // the finer-grained node/repair charging happens inside the
+        // search's poll points.
+        let deadline_hit = |b: &Option<Arc<Budget>>| b.as_ref().and_then(|b| b.check_deadline());
+        if let Some(reason) = deadline_hit(&budget) {
+            return self.degraded_result(rel, &set, Vec::new(), reason, stats, run_span, &budget);
+        }
 
         // --- DiverseClustering (Algorithm 3). ---
         let mut clustering_span = obs.span("diva.clustering");
@@ -163,15 +200,21 @@ impl Diva {
         // Candidate enumeration is independent per constraint — the
         // natural "satisfy constraints in parallel" decomposition the
         // paper's future-work section sketches — so fan it out over a
-        // scoped thread pool for multi-constraint inputs.
+        // scoped thread pool for multi-constraint inputs. Enumeration
+        // is the longest uninterruptible stretch on large inputs, so
+        // the budget's deadline (and the cancellation token) reach
+        // inside it via the stop probe; the search's entry poll then
+        // converts the fired probe into a degradation or cancellation.
+        let stop = || deadline_hit(&budget).is_some() || cancelled();
         let enumerate_one = |c: &diva_constraints::BoundConstraint| {
-            CandidateSet::enumerate_with_privacy(
+            CandidateSet::enumerate_interruptible(
                 rel,
                 c,
                 self.config.k,
                 self.config.max_candidates,
                 shuffle,
                 self.config.l_diversity,
+                &stop,
             )
         };
         let candidates: Vec<CandidateSet> = if set.len() > 1 {
@@ -204,8 +247,12 @@ impl Diva {
         if let Some(token) = cancel {
             coloring = coloring.with_cancel(Arc::clone(token));
         }
+        if let Some(b) = &budget {
+            coloring = coloring.with_budget(Arc::clone(b));
+        }
         let outcome = coloring.solve()?;
         stats.coloring = outcome.stats.clone();
+        let search_degraded = outcome.degraded;
         let mut s_sigma: Vec<Vec<RowId>> = outcome.clusters;
         #[cfg(feature = "strict-invariants")]
         check_partition("DiverseClustering", &s_sigma, rel.n_rows(), false)?;
@@ -218,6 +265,9 @@ impl Diva {
         clustering_span.set_attr("clusters", s_sigma.len());
         clustering_span.set_attr("sigma_rows", stats.sigma_rows);
         stats.t_clustering = clustering_span.end();
+        if let Some(reason) = search_degraded {
+            return self.degraded_result(rel, &set, s_sigma, reason, stats, run_span, &budget);
+        }
 
         // Rows not covered by S_Σ (Algorithm 1, line 4: R := R \ C_i).
         let mut covered = vec![false; rel.n_rows()];
@@ -227,8 +277,13 @@ impl Diva {
             }
         }
         let rest: Vec<RowId> = (0..rel.n_rows()).filter(|&r| !covered[r]).collect();
+        #[cfg(feature = "fault-inject")]
+        self.config.faults.at_phase("clustering", cancel);
         if cancelled() {
             return Err(DivaError::Cancelled);
+        }
+        if let Some(reason) = deadline_hit(&budget) {
+            return self.degraded_result(rel, &set, s_sigma, reason, stats, run_span, &budget);
         }
 
         // --- Anonymize + Integrate. ---
@@ -253,12 +308,15 @@ impl Diva {
             obs.counter("integrate.repairs").add(out.repairs as u64);
             stats.t_integrate = int_span.end();
             run_span.set_attr("stars", out.relation.star_count());
+            run_span.set_attr("outcome", "exact");
+            stats.budget = budget.as_ref().map(|b| b.usage());
             stats.t_total = run_span.end();
             return Ok(DivaResult {
                 relation: out.relation,
                 groups: out.groups,
                 source_rows: out.source_rows,
                 stats,
+                outcome: Outcome::Exact,
             });
         }
 
@@ -267,12 +325,39 @@ impl Diva {
         #[cfg(feature = "strict-invariants")]
         check_partition("Suppress", &r_sigma.groups, r_sigma.relation.n_rows(), true)?;
         stats.t_suppress = suppress_span.end();
+        if cancelled() {
+            return Err(DivaError::Cancelled);
+        }
+        if let Some(reason) = deadline_hit(&budget) {
+            return self.degraded_result(rel, &set, s_sigma, reason, stats, run_span, &budget);
+        }
         let mut anon_span = obs.span("diva.anonymize").attr("residual_rows", rest.len());
         let r_k: Option<Suppressed> = if rest.is_empty() {
             None
         } else {
-            let mut clusters =
-                cluster_observed(self.anonymizer.as_ref(), rel, &rest, self.config.k, obs);
+            // The anonymizer's clustering is the pipeline's other long
+            // uninterruptible stretch (k-member is O(n·cap) over the
+            // residual); the stop probe reaches inside it, and an
+            // abandoned clustering degrades with the clustered prefix.
+            let Some(mut clusters) = cluster_observed_interruptible(
+                self.anonymizer.as_ref(),
+                rel,
+                &rest,
+                self.config.k,
+                obs,
+                &stop,
+            ) else {
+                stats.t_anonymize = anon_span.end();
+                if cancelled() {
+                    return Err(DivaError::Cancelled);
+                }
+                let Some(reason) = deadline_hit(&budget) else {
+                    // The probe only fires on cancellation or deadline;
+                    // both are sticky, so this is unreachable.
+                    return Err(DivaError::Cancelled);
+                };
+                return self.degraded_result(rel, &set, s_sigma, reason, stats, run_span, &budget);
+            };
             if self.config.l_diversity > 1 {
                 clusters = enforce_l_diversity(rel, &clusters, self.config.l_diversity)
                     .ok_or_else(|| DivaError::PrivacyInfeasible {
@@ -298,6 +383,12 @@ impl Diva {
         };
         anon_span.set_attr("groups", r_k.as_ref().map_or(0, |rk| rk.groups.len()));
         stats.t_anonymize = anon_span.end();
+        if cancelled() {
+            return Err(DivaError::Cancelled);
+        }
+        if let Some(reason) = deadline_hit(&budget) {
+            return self.degraded_result(rel, &set, s_sigma, reason, stats, run_span, &budget);
+        }
 
         let int_span = obs.span("diva.integrate");
         let out = integrate(&r_sigma, r_k.as_ref(), &set)?;
@@ -313,12 +404,15 @@ impl Diva {
             self.config.l_diversity <= 1 || is_l_diverse(&out.relation, self.config.l_diversity)
         );
         run_span.set_attr("stars", out.relation.star_count());
+        run_span.set_attr("outcome", "exact");
+        stats.budget = budget.as_ref().map(|b| b.usage());
         stats.t_total = run_span.end();
         Ok(DivaResult {
             relation: out.relation,
             groups: out.groups,
             source_rows: out.source_rows,
             stats,
+            outcome: Outcome::Exact,
         })
     }
 
@@ -353,6 +447,215 @@ impl Diva {
             }
         }
         Err(DivaError::ResidualTooSmall { remaining: rest.len() })
+    }
+
+    /// Last-resort degraded output with an *empty* prefix: every row
+    /// is published with all QI values suppressed (one maximal
+    /// QI-group, every constraint voided). Used by the portfolio when
+    /// every member was lost to worker panics, so callers still get a
+    /// well-formed k-anonymous relation instead of an error.
+    pub(crate) fn degraded_fallback(
+        &self,
+        rel: &Relation,
+        sigma: &[Constraint],
+        reason: DegradeReason,
+    ) -> Result<DivaResult, DivaError> {
+        let obs = &self.config.obs;
+        let run_span = obs
+            .span("diva.run")
+            .attr("rows", rel.n_rows())
+            .attr("k", self.config.k)
+            .attr("fallback", true);
+        let set = ConstraintSet::bind(sigma, rel)?;
+        let stats = RunStats { n_constraints: set.len(), ..RunStats::default() };
+        self.degraded_result(rel, &set, Vec::new(), reason, stats, run_span, &None)
+    }
+
+    /// Builds the degraded-mode output (`DESIGN.md` §10) from the
+    /// clustered-so-far prefix `partial`:
+    ///
+    /// 1. Non-voided prefix clusters are suppressed normally (uniform
+    ///    QI values retained).
+    /// 2. Any constraint left violating by the prefix has its
+    ///    contributing clusters *voided* — all QI values suppressed —
+    ///    until its count is within bounds or zero ("satisfied or
+    ///    voided"; a degraded run never publishes a violating count).
+    /// 3. Voided and residual rows merge into one fully-suppressed
+    ///    block; if that block would have between 1 and k−1 rows, more
+    ///    clusters are voided so it reaches k (each cluster has ≥ k
+    ///    rows, so one always suffices).
+    ///
+    /// The result is k-anonymous and a refinement of the input, but
+    /// not suppression-minimal, and the ℓ-diversity extension is not
+    /// enforced. Every input row is still published exactly once.
+    //
+    // Takes the whole run context (stats, run span, budget) so every
+    // exhaustion site can hand off mid-run state in one call; grouping
+    // them into a carrier struct would just rename the argument list.
+    #[allow(clippy::too_many_arguments)]
+    fn degraded_result(
+        &self,
+        rel: &Relation,
+        set: &ConstraintSet,
+        partial: Vec<Vec<RowId>>,
+        reason: DegradeReason,
+        mut stats: RunStats,
+        mut run_span: diva_obs::Span,
+        budget: &Option<Arc<Budget>>,
+    ) -> Result<DivaResult, DivaError> {
+        let obs = &self.config.obs;
+        obs.counter(&format!("budget.exhausted.{}", reason.kind())).incr();
+        let mut span = obs
+            .span("diva.degrade")
+            .attr("reason", reason.kind())
+            .attr("prefix_clusters", partial.len());
+
+        // A prefix cluster contributes to a constraint iff *every* row
+        // is a target: the cluster is then uniform on the target
+        // columns, so suppression retains the target values for all of
+        // its rows. Any mixed cluster gets those columns starred and
+        // contributes zero.
+        let n_groups = partial.len();
+        let contrib: Vec<Vec<usize>> = set
+            .constraints()
+            .iter()
+            .map(|c| {
+                partial
+                    .iter()
+                    .map(|g| {
+                        if !g.is_empty() && g.iter().all(|&r| c.is_target(r)) {
+                            g.len()
+                        } else {
+                            0
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        let mut covered = vec![false; rel.n_rows()];
+        for c in &partial {
+            for &r in c {
+                covered[r] = true;
+            }
+        }
+        let residual: Vec<RowId> = (0..rel.n_rows()).filter(|&r| !covered[r]).collect();
+
+        // Voiding fixpoint. Voiding only ever lowers counts, and each
+        // pass either voids a cluster or terminates, so this is at most
+        // |partial| passes.
+        let mut voided = vec![false; n_groups];
+        loop {
+            let mut acted = false;
+            for (ci, c) in set.constraints().iter().enumerate() {
+                let count = |voided: &[bool]| -> usize {
+                    (0..n_groups).filter(|&g| !voided[g]).map(|g| contrib[ci][g]).sum()
+                };
+                // Over the upper bound: void contributors (last first,
+                // keeping earlier — typically larger-priority — ones)
+                // until within bounds.
+                while count(&voided) > c.upper {
+                    if let Some(g) = (0..n_groups).rev().find(|&g| !voided[g] && contrib[ci][g] > 0)
+                    {
+                        voided[g] = true;
+                        acted = true;
+                    }
+                }
+                // Under the lower bound (but non-zero): the count is
+                // unattainable, so void the constraint entirely.
+                if (1..c.lower).contains(&count(&voided)) {
+                    for g in (0..n_groups).filter(|&g| contrib[ci][g] > 0) {
+                        if !voided[g] {
+                            voided[g] = true;
+                            acted = true;
+                        }
+                    }
+                }
+            }
+            if acted {
+                continue;
+            }
+            // The fully-suppressed block must itself be a k-anonymous
+            // QI-group: empty or at least k rows.
+            let star_rows = residual.len()
+                + (0..n_groups).filter(|&g| voided[g]).map(|g| partial[g].len()).sum::<usize>();
+            if star_rows > 0 && star_rows < self.config.k {
+                if let Some(g) = (0..n_groups).rev().find(|&g| !voided[g]) {
+                    voided[g] = true;
+                    continue;
+                }
+            }
+            break;
+        }
+
+        // Materialize: kept clusters suppressed normally, then one
+        // fully-suppressed block for voided + residual rows.
+        let arity = rel.schema().arity();
+        let n_rows = rel.n_rows();
+        let mut cols: Vec<Vec<u32>> = (0..arity).map(|_| Vec::with_capacity(n_rows)).collect();
+        let mut groups: Vec<Vec<RowId>> = Vec::new();
+        let mut source_rows: Vec<RowId> = Vec::with_capacity(n_rows);
+        for (g, cluster) in partial.iter().enumerate() {
+            if voided[g] || cluster.is_empty() {
+                continue;
+            }
+            let start = source_rows.len();
+            let mut suppress_col = vec![false; arity];
+            for &c in rel.schema().qi_cols() {
+                let first = rel.code(cluster[0], c);
+                suppress_col[c] = cluster.iter().any(|&r| rel.code(r, c) != first);
+            }
+            for &r in cluster {
+                for c in 0..arity {
+                    cols[c].push(if suppress_col[c] { STAR_CODE } else { rel.code(r, c) });
+                }
+                source_rows.push(r);
+            }
+            groups.push((start..source_rows.len()).collect());
+        }
+        let star_src: Vec<RowId> = partial
+            .iter()
+            .enumerate()
+            .filter(|&(g, _)| voided[g])
+            .flat_map(|(_, c)| c.iter().copied())
+            .chain(residual.iter().copied())
+            .collect();
+        if !star_src.is_empty() {
+            let start = source_rows.len();
+            for &r in &star_src {
+                for (c, col) in cols.iter_mut().enumerate() {
+                    col.push(if rel.schema().is_qi(c) { STAR_CODE } else { rel.code(r, c) });
+                }
+                source_rows.push(r);
+            }
+            groups.push((start..source_rows.len()).collect());
+        }
+        let relation =
+            Relation::from_parts(std::sync::Arc::clone(rel.schema()), rel.dicts().to_vec(), cols);
+        #[cfg(feature = "strict-invariants")]
+        check_partition("Degrade", &groups, relation.n_rows(), true)?;
+        debug_assert!(rel.n_rows() < self.config.k || is_k_anonymous(&relation, self.config.k));
+        debug_assert!(set.constraints().iter().all(|c| {
+            let n = c.count_in(&relation);
+            n == 0 || (c.lower..=c.upper).contains(&n)
+        }));
+
+        stats.sigma_rows = source_rows.len() - star_src.len();
+        let n_voided = voided.iter().filter(|&&v| v).count();
+        span.set_attr("voided_clusters", n_voided);
+        span.set_attr("star_rows", star_src.len());
+        span.end();
+        run_span.set_attr("stars", relation.star_count());
+        run_span.set_attr("outcome", "degraded");
+        run_span.set_attr("degrade_reason", reason.kind());
+        stats.budget = budget.as_ref().map(|b| b.usage());
+        stats.t_total = run_span.end();
+        Ok(DivaResult {
+            relation,
+            groups,
+            source_rows,
+            stats,
+            outcome: Outcome::Degraded { reason },
+        })
     }
 }
 

@@ -61,6 +61,14 @@ pub enum DivaError {
         /// Which field, and why it was rejected.
         reason: String,
     },
+    /// A portfolio worker thread panicked mid-search (fault injection,
+    /// or a genuine bug caught by the portfolio's panic containment).
+    /// Surfaced per member; the portfolio itself degrades instead of
+    /// propagating this when every member is lost.
+    WorkerPanicked {
+        /// The panic message, best-effort stringified.
+        detail: String,
+    },
     /// A `strict-invariants` validator found a kernel structure in an
     /// inconsistent state, or an internal worker failed.
     InvariantViolated {
@@ -106,6 +114,9 @@ impl std::fmt::Display for DivaError {
             DivaError::InvalidConfig { reason } => {
                 write!(f, "invalid configuration: {reason}")
             }
+            DivaError::WorkerPanicked { detail } => {
+                write!(f, "portfolio worker panicked: {detail}")
+            }
             DivaError::InvariantViolated { phase, detail } => {
                 write!(f, "invariant violated at {phase}: {detail}")
             }
@@ -139,6 +150,8 @@ mod tests {
         assert!(DivaError::Cancelled.to_string().contains("cancelled"));
         let e = DivaError::InvalidConfig { reason: "threads must be positive".into() };
         assert!(e.to_string().contains("threads"));
+        let e = DivaError::WorkerPanicked { detail: "injected fault".into() };
+        assert!(e.to_string().contains("injected fault"));
         let e = DivaError::InvariantViolated {
             phase: "DiverseClustering".into(),
             detail: "row 3 owned by dead cluster".into(),

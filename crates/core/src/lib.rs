@@ -36,16 +36,20 @@
 //! assert!(diva_relation::is_k_anonymous(&out.relation, 2));
 //! ```
 
+pub mod budget;
 pub mod candidates;
 pub mod coloring;
 pub mod config;
 pub mod diva;
 pub mod error;
+#[cfg(feature = "fault-inject")]
+pub mod faults;
 pub mod graph;
 pub mod integrate;
 pub mod parallel;
 pub mod state;
 
+pub use budget::{Budget, BudgetSpec, BudgetUsage, Controls, DegradeReason, Outcome};
 pub use candidates::CandidateSet;
 pub use coloring::{Coloring, ColoringOutcome, ColoringStats};
 pub use config::{DivaConfig, Strategy};

@@ -21,12 +21,13 @@
 //! abandon their searches in the background instead of running to
 //! completion.
 
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc};
 
 use diva_constraints::Constraint;
 use diva_relation::Relation;
 
+use crate::budget::{Controls, DegradeReason};
 use crate::config::{DivaConfig, Strategy};
 use crate::diva::{Diva, DivaResult};
 use crate::error::DivaError;
@@ -40,20 +41,31 @@ use crate::error::DivaError;
 /// `seeds_per_strategy` is zero. If every member fails, the error of
 /// the member with the strongest verdict is returned (a
 /// `NoDiverseClustering` proof beats a budget exhaustion).
+///
+/// A configured [`DivaConfig::budget`] is armed **once** and shared by
+/// every member, so the deadline and node/repair caps are global to
+/// the portfolio — a member dequeued late does not get a fresh clock.
+/// The first member to report (exact winner *or* budget-degraded
+/// fallback) decides the portfolio's outcome and cancels the rest.
+/// Worker panics are contained: a panicking member is recorded as
+/// [`DivaError::WorkerPanicked`], and if *every* member is lost to
+/// panics (with no unsatisfiability proof), the portfolio returns the
+/// fully-suppressed degraded fallback instead of an error.
 pub fn run_portfolio(
     rel: &Relation,
     sigma: &[Constraint],
     config: &DivaConfig,
     seeds_per_strategy: usize,
 ) -> Result<DivaResult, DivaError> {
-    run_portfolio_with(rel, sigma, config, seeds_per_strategy, |member, rel, sigma, cancel| {
-        Diva::new(member.clone()).run_cancellable(rel, sigma, cancel)
+    run_portfolio_with(rel, sigma, config, seeds_per_strategy, |member, rel, sigma, controls| {
+        Diva::new(member.clone()).run_controlled(rel, sigma, controls)
     })
 }
 
 /// [`run_portfolio`] with an injectable member runner — the test seam
-/// that lets the early-return behaviour be exercised with synthetic
-/// fast/slow members. Production code uses [`run_portfolio`].
+/// that lets the early-return, panic-containment, and budget behaviour
+/// be exercised with synthetic members. Production code uses
+/// [`run_portfolio`].
 pub fn run_portfolio_with<F>(
     rel: &Relation,
     sigma: &[Constraint],
@@ -62,7 +74,7 @@ pub fn run_portfolio_with<F>(
     member_runner: F,
 ) -> Result<DivaResult, DivaError>
 where
-    F: Fn(&DivaConfig, &Relation, &[Constraint], &Arc<AtomicBool>) -> Result<DivaResult, DivaError>
+    F: Fn(&DivaConfig, &Relation, &[Constraint], &Controls) -> Result<DivaResult, DivaError>
         + Send
         + Sync
         + 'static,
@@ -95,7 +107,9 @@ where
     let rel = Arc::new(rel.clone());
     let sigma = Arc::new(sigma.to_vec());
     let runner = Arc::new(member_runner);
-    let cancel = Arc::new(AtomicBool::new(false));
+    // One budget for the whole portfolio: armed here (clock starts
+    // now) and shared through the controls every member receives.
+    let controls = Controls::new(config.budget.arm());
     let next = Arc::new(AtomicUsize::new(0));
     let (tx, rx) = mpsc::channel::<Result<DivaResult, DivaError>>();
 
@@ -109,13 +123,13 @@ where
         let rel = Arc::clone(&rel);
         let sigma = Arc::clone(&sigma);
         let runner = Arc::clone(&runner);
-        let cancel = Arc::clone(&cancel);
+        let controls = controls.clone();
         let next = Arc::clone(&next);
         let obs = obs.clone();
         let tx = tx.clone();
         std::thread::spawn(move || loop {
             let i = next.fetch_add(1, Ordering::Relaxed);
-            if i >= members.len() || cancel.load(Ordering::Relaxed) {
+            if i >= members.len() || controls.is_cancelled() {
                 break;
             }
             // Each member runs under its own span, explicitly parented
@@ -131,10 +145,23 @@ where
             if let Some(id) = root_id {
                 member_span = member_span.with_parent(id);
             }
-            let out = runner(&members[i], &rel, &sigma, &cancel);
+            // Panic containment: a panicking member (fault injection,
+            // or a real bug) becomes a WorkerPanicked verdict rather
+            // than a silently dropped sender, so the portfolio can
+            // still account for every member.
+            let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                #[cfg(feature = "fault-inject")]
+                members[i].faults.worker_panic_point(i);
+                runner(&members[i], &rel, &sigma, &controls)
+            }))
+            .unwrap_or_else(|payload| {
+                Err(DivaError::WorkerPanicked { detail: panic_message(payload.as_ref()) })
+            });
             let outcome = match &out {
-                Ok(_) => "success",
+                Ok(res) if res.outcome.is_exact() => "success",
+                Ok(_) => "degraded",
                 Err(DivaError::Cancelled) => "cancelled",
+                Err(DivaError::WorkerPanicked { .. }) => "panicked",
                 Err(_) => "failure",
             };
             member_span.set_attr("outcome", outcome);
@@ -149,17 +176,28 @@ where
     drop(tx);
 
     let mut best_err: Option<DivaError> = None;
+    let mut panic_detail: Option<String> = None;
     while let Ok(outcome) = rx.recv() {
         match outcome {
+            // Exact winner or budget-degraded member: either way the
+            // portfolio is decided (the budget is shared, so one
+            // member's exhaustion is everyone's) — cancel the rest and
+            // return.
             Ok(res) => {
-                cancel.store(true, Ordering::Relaxed);
-                root_span.set_attr("outcome", "success");
+                controls.request_cancel();
+                root_span.set_attr(
+                    "outcome",
+                    if res.outcome.is_exact() { "success" } else { "degraded" },
+                );
                 root_span.end();
                 return Ok(res);
             }
             // A member that observed the token mid-run carries no
             // verdict; it never reaches this loop before a win anyway.
             Err(DivaError::Cancelled) => {}
+            Err(DivaError::WorkerPanicked { detail }) => {
+                panic_detail = Some(detail);
+            }
             Err(e) => {
                 let stronger =
                     matches!(e, DivaError::NoDiverseClustering { .. }) || best_err.is_none();
@@ -169,11 +207,38 @@ where
             }
         }
     }
+    // A complete unsatisfiability proof from any member is the true
+    // verdict, panics elsewhere notwithstanding.
+    if matches!(best_err, Some(DivaError::NoDiverseClustering { .. })) {
+        root_span.set_attr("outcome", "failure");
+        root_span.end();
+        return Err(best_err.unwrap_or(DivaError::EmptyPortfolio));
+    }
+    // Members were lost to panics and nobody proved anything: degrade
+    // to the fully-suppressed fallback rather than failing the caller.
+    if let Some(detail) = panic_detail {
+        root_span.set_attr("outcome", "degraded");
+        root_span.end();
+        return Diva::new(config.clone()).degraded_fallback(
+            &rel,
+            &sigma,
+            DegradeReason::WorkerPanic { detail },
+        );
+    }
     // Every sender is dropped only after all members completed; a
     // missing verdict can only mean the portfolio was empty.
     root_span.set_attr("outcome", "failure");
     root_span.end();
     Err(best_err.unwrap_or(DivaError::EmptyPortfolio))
+}
+
+/// Best-effort stringification of a caught panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    payload
+        .downcast_ref::<&str>()
+        .map(|s| (*s).to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "non-string panic payload".to_string())
 }
 
 #[cfg(test)]
@@ -285,6 +350,7 @@ mod tests {
             groups: Vec::new(),
             source_rows: Vec::new(),
             stats: RunStats::default(),
+            outcome: crate::Outcome::Exact,
         }
     }
 
@@ -298,14 +364,14 @@ mod tests {
         let config = DivaConfig::with_k(2);
         let base_seed = config.seed;
         let t0 = Instant::now();
-        let out = run_portfolio_with(&r, &[], &config, 2, move |member, _rel, _sigma, cancel| {
+        let out = run_portfolio_with(&r, &[], &config, 2, move |member, _rel, _sigma, controls| {
             if member.strategy == Strategy::MinChoice && member.seed == base_seed {
                 std::thread::sleep(Duration::from_millis(20));
                 return Ok(dummy_result());
             }
             let start = Instant::now();
             while start.elapsed() < Duration::from_secs(10) {
-                if cancel.load(Ordering::Relaxed) {
+                if controls.is_cancelled() {
                     return Err(DivaError::Cancelled);
                 }
                 std::thread::sleep(Duration::from_millis(2));
@@ -326,7 +392,7 @@ mod tests {
             &[],
             &DivaConfig::with_k(2),
             1,
-            |member, _rel, _sigma, _cancel| {
+            |member, _rel, _sigma, _controls| {
                 if member.strategy == Strategy::Basic {
                     Err(DivaError::NoDiverseClustering { constraint: "X[x]".into() })
                 } else {
@@ -335,5 +401,93 @@ mod tests {
             },
         );
         assert!(matches!(out.unwrap_err(), DivaError::NoDiverseClustering { .. }));
+    }
+
+    #[test]
+    fn panicking_member_does_not_sink_the_portfolio() {
+        // Two of three strategies panic mid-search; the survivor's
+        // result must still come back, not an EmptyPortfolio from
+        // dropped senders.
+        let r = paper_table1();
+        let out = run_portfolio_with(
+            &r,
+            &[],
+            &DivaConfig::with_k(2),
+            1,
+            |member, _rel, _sigma, _controls| {
+                if member.strategy == Strategy::MinChoice {
+                    return Ok(dummy_result());
+                }
+                panic!("synthetic worker bug");
+            },
+        )
+        .unwrap();
+        assert!(out.outcome.is_exact());
+    }
+
+    #[test]
+    fn all_members_panicking_degrades_instead_of_erroring() {
+        let r = paper_table1();
+        let sigma = vec![Constraint::single("ETH", "Asian", 2, 5)];
+        let out = run_portfolio_with(
+            &r,
+            &sigma,
+            &DivaConfig::with_k(2),
+            1,
+            |_member, _rel, _sigma, _controls| -> Result<DivaResult, DivaError> {
+                panic!("synthetic worker bug");
+            },
+        )
+        .unwrap();
+        match &out.outcome {
+            crate::Outcome::Degraded { reason: crate::DegradeReason::WorkerPanic { detail } } => {
+                assert!(detail.contains("synthetic worker bug"));
+            }
+            other => panic!("expected WorkerPanic degradation, got {other:?}"),
+        }
+        // The fallback publishes every row, fully QI-suppressed.
+        assert_eq!(out.relation.n_rows(), r.n_rows());
+        assert!(is_k_anonymous(&out.relation, 2));
+        assert_eq!(out.groups.len(), 1);
+    }
+
+    #[test]
+    fn unsat_proof_beats_worker_panics() {
+        let r = paper_table1();
+        let out = run_portfolio_with(
+            &r,
+            &[],
+            &DivaConfig::with_k(2),
+            1,
+            |member, _rel, _sigma, _controls| {
+                if member.strategy == Strategy::MaxFanOut {
+                    return Err(DivaError::NoDiverseClustering { constraint: "X[x]".into() });
+                }
+                panic!("synthetic worker bug");
+            },
+        );
+        assert!(matches!(out.unwrap_err(), DivaError::NoDiverseClustering { .. }));
+    }
+
+    #[test]
+    fn zero_deadline_portfolio_degrades_on_the_real_pipeline() {
+        let r = paper_table1();
+        let config = DivaConfig::with_k(2).budget(crate::BudgetSpec::with_deadline(Duration::ZERO));
+        let out = run_portfolio(&r, &example_sigma(), &config, 2).unwrap();
+        assert!(!out.outcome.is_exact(), "zero deadline must degrade");
+        assert!(is_k_anonymous(&out.relation, 2));
+        assert_eq!(out.relation.n_rows(), r.n_rows());
+        assert!(out.stats.budget.is_some(), "budget usage recorded");
+    }
+
+    #[test]
+    fn generous_budget_portfolio_still_exact() {
+        let r = paper_table1();
+        let config = DivaConfig::with_k(2)
+            .budget(crate::BudgetSpec::with_deadline(Duration::from_secs(600)));
+        let out = run_portfolio(&r, &example_sigma(), &config, 1).unwrap();
+        assert!(out.outcome.is_exact());
+        let set = ConstraintSet::bind(&example_sigma(), &out.relation).unwrap();
+        assert!(set.satisfied_by(&out.relation));
     }
 }

@@ -3,7 +3,8 @@
 # tests (default + strict-invariants), and a bench smoke run.
 # Usage: scripts/check.sh  (from the repo root; pass --offline through
 # CARGO_FLAGS if the environment has no registry access; set
-# SKIP_BENCH=1 to skip the bench smoke during quick iterations).
+# SKIP_BENCH=1 to skip the bench smoke during quick iterations and
+# SKIP_FAULTS=1 to skip the fault-injection matrix).
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -24,6 +25,15 @@ cargo test $FLAGS -q --workspace
 echo "==> cargo test -q --features strict-invariants (runtime validators)"
 cargo test $FLAGS -q --features strict-invariants -p diva-core
 cargo test $FLAGS -q --features strict-invariants --test pipeline
+
+if [ "${SKIP_FAULTS:-0}" = "1" ]; then
+    echo "==> fault-injection matrix skipped (SKIP_FAULTS=1)"
+else
+    echo "==> cargo test -q --features fault-inject --test faults (fault matrix)"
+    cargo test $FLAGS -q --features fault-inject --test faults
+    echo "==> fault matrix under strict-invariants"
+    cargo test $FLAGS -q --features "fault-inject strict-invariants" --test faults
+fi
 
 if [ "${SKIP_BENCH:-0}" = "1" ]; then
     echo "==> bench smoke skipped (SKIP_BENCH=1)"

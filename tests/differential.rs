@@ -1,0 +1,155 @@
+//! Differential testing harness: the same instance solved many ways —
+//! every strategy, the racing portfolio, budget-unbounded and
+//! hugely-budgeted runs, and thread counts 1..4 — must agree on
+//! satisfiability, land in the same suppression band, and (where the
+//! configuration is identical) be byte-identical.
+
+use std::time::Duration;
+
+use diva_constraints::{generators, Constraint, ConstraintSet};
+use diva_core::{run_portfolio, BudgetSpec, Diva, DivaConfig, DivaError, DivaResult, Strategy};
+use diva_relation::{is_k_anonymous, Relation};
+
+/// A stable fingerprint of the published relation plus everything a
+/// caller can observe about the grouping.
+fn fingerprint(out: &DivaResult) -> String {
+    format!("{:?}|{:?}|{:?}", out.relation, out.groups, out.source_rows)
+}
+
+/// Calibrated satisfiable instances (seeds chosen so every strategy
+/// solves them under the vendored RNG's streams).
+fn instances() -> Vec<(&'static str, Relation, Vec<Constraint>, usize)> {
+    let medical = diva_datagen::medical(1_200, 11);
+    let medical_sigma = generators::with_conflict_rate(&medical, 6, 0.4, 5, 3);
+    let popsyn = diva_datagen::popsyn(2_000, diva_datagen::Dist::zipf_default(), 13);
+    let popsyn_sigma = generators::with_conflict_rate(&popsyn, 5, 0.3, 10, 8);
+    vec![("medical", medical, medical_sigma, 5), ("popsyn", popsyn, popsyn_sigma, 10)]
+}
+
+/// Every solver configuration agrees the calibrated instances are
+/// satisfiable, produces a valid (k, Σ)-anonymization, and lands
+/// within the expected suppression band: the guided strategies within
+/// 10% of each other, naive Basic within 55% (the paper's Fig. 5 gap
+/// — Basic suppresses far more), and the portfolio/budgeted runs
+/// matching some member.
+#[test]
+fn all_solvers_agree_on_satisfiable_instances() {
+    for (name, rel, sigma, k) in instances() {
+        let mut stars: Vec<(String, usize)> = Vec::new();
+        let mut check = |label: String, out: &DivaResult| {
+            assert!(is_k_anonymous(&out.relation, k), "{name}/{label}: not {k}-anonymous");
+            assert_eq!(out.relation.n_rows(), rel.n_rows(), "{name}/{label}: rows changed");
+            let set = ConstraintSet::bind(&sigma, &out.relation).expect("bind");
+            assert!(set.satisfied_by(&out.relation), "{name}/{label}: Σ violated");
+            assert!(out.outcome.is_exact(), "{name}/{label}: unexpectedly degraded");
+            stars.push((label, out.relation.star_count()));
+        };
+        for strategy in Strategy::all() {
+            let config =
+                DivaConfig { k, strategy, backtrack_limit: Some(50_000), ..DivaConfig::default() };
+            let out = Diva::new(config).run(&rel, &sigma).expect("strategy solves");
+            check(format!("{strategy}"), &out);
+        }
+        let out = run_portfolio(&rel, &sigma, &DivaConfig::with_k(k), 2).expect("portfolio");
+        check("portfolio".to_string(), &out);
+        // A huge-but-finite budget must not change the verdict.
+        let config = DivaConfig {
+            k,
+            budget: BudgetSpec {
+                deadline: Some(Duration::from_secs(3_600)),
+                node_budget: Some(u64::MAX / 2),
+                repair_budget: Some(u64::MAX / 2),
+            },
+            ..DivaConfig::default()
+        };
+        let out = Diva::new(config).run(&rel, &sigma).expect("budgeted run solves");
+        check("budgeted".to_string(), &out);
+
+        let min_stars = stars.iter().map(|(_, s)| *s).min().unwrap() as f64;
+        for (label, s) in &stars {
+            let tolerance = if label == "Basic" { 0.55 } else { 0.10 };
+            let ratio = *s as f64 / min_stars;
+            assert!(
+                ratio <= 1.0 + tolerance,
+                "{name}/{label}: {s} stars vs best {min_stars} exceeds the {tolerance} band \
+                 ({stars:?})"
+            );
+        }
+    }
+}
+
+/// A budget too large to ever trip must be byte-identical to running
+/// with no budget at all — arming the accounting cannot perturb the
+/// search.
+#[test]
+fn huge_budget_is_byte_identical_to_unbounded() {
+    let rel = diva_datagen::medical(1_200, 11);
+    let sigma = generators::with_conflict_rate(&rel, 6, 0.4, 5, 3);
+    let unbounded = Diva::new(DivaConfig::with_k(5)).run(&rel, &sigma).expect("solves");
+    let config = DivaConfig {
+        k: 5,
+        budget: BudgetSpec {
+            deadline: Some(Duration::from_secs(3_600)),
+            node_budget: Some(u64::MAX / 2),
+            repair_budget: Some(u64::MAX / 2),
+        },
+        ..DivaConfig::default()
+    };
+    let budgeted = Diva::new(config).run(&rel, &sigma).expect("solves");
+    assert_eq!(fingerprint(&unbounded), fingerprint(&budgeted));
+    assert!(budgeted.outcome.is_exact());
+    // The budgeted run additionally reports its accounting. (Node
+    // charges land in 256-assignment quanta, so a small search can
+    // legitimately report zero explored nodes — only presence is
+    // asserted here.)
+    assert!(budgeted.stats.budget.is_some(), "armed budget reports no usage");
+    assert!(unbounded.stats.budget.is_none(), "unbudgeted run invented accounting");
+}
+
+/// `Outcome::Exact` results are byte-identical whatever the `threads`
+/// setting: parallel candidate enumeration and the portfolio cap must
+/// not leak nondeterminism into the published relation.
+#[test]
+fn exact_outcome_is_byte_identical_across_thread_counts() {
+    let rel = diva_datagen::medical(1_200, 11);
+    let sigma = generators::with_conflict_rate(&rel, 6, 0.4, 5, 3);
+    let mut prints = Vec::new();
+    for threads in 1..=4usize {
+        let config = DivaConfig { k: 5, threads: Some(threads), ..DivaConfig::default() };
+        let out = Diva::new(config).run(&rel, &sigma).expect("solves");
+        assert!(out.outcome.is_exact());
+        prints.push(fingerprint(&out));
+    }
+    for p in &prints[1..] {
+        assert_eq!(&prints[0], p, "thread count changed an exact result");
+    }
+}
+
+/// On a provably unsatisfiable instance every configuration returns
+/// the same `NoDiverseClustering` verdict — including budgeted runs
+/// (an unsat proof beats degradation) and the portfolio (the proof
+/// beats every other member's failure).
+#[test]
+fn all_solvers_agree_on_an_unsatisfiable_instance() {
+    let rel = diva_datagen::medical(500, 43);
+    let eth = rel.schema().col_of("ETH");
+    let (code, name) = rel.dict(eth).iter().next().map(|(c, n)| (c, n.to_string())).unwrap();
+    let f = rel.column(eth).iter().filter(|&&c| c == code).count();
+    let sigma = vec![diva_constraints::Constraint::single("ETH", name, f + 1, f + 100)];
+
+    for strategy in Strategy::all() {
+        let config = DivaConfig { k: 5, strategy, ..DivaConfig::default() };
+        let err = Diva::new(config).run(&rel, &sigma).unwrap_err();
+        assert!(matches!(err, DivaError::NoDiverseClustering { .. }), "{strategy}: {err}");
+    }
+    let config = DivaConfig {
+        k: 5,
+        budget: BudgetSpec::with_deadline(Duration::from_secs(3_600)),
+        ..DivaConfig::default()
+    };
+    let err = Diva::new(config).run(&rel, &sigma).unwrap_err();
+    assert!(matches!(err, DivaError::NoDiverseClustering { .. }), "budgeted: {err}");
+
+    let err = run_portfolio(&rel, &sigma, &DivaConfig::with_k(5), 2).unwrap_err();
+    assert!(matches!(err, DivaError::NoDiverseClustering { .. }), "portfolio: {err}");
+}

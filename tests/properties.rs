@@ -121,6 +121,61 @@ proptest! {
         prop_assert_eq!(run(), run());
     }
 
+    /// The degraded-mode contract: under any node budget (including
+    /// one so small the search degrades immediately) and an optional
+    /// already-expired deadline, a degraded result is still a
+    /// refinement, k-anonymous, publishes every tuple exactly once,
+    /// and leaves every constraint either satisfied or fully voided.
+    #[test]
+    fn degraded_output_honours_the_contract(
+        rel in arb_relation(),
+        picks in proptest::collection::vec((0usize..4, 0usize..4), 1..4),
+        k in 2usize..4,
+        node_cap in 0u64..600,
+        expire_deadline in 0u8..2,
+    ) {
+        let sigma = arb_sigma(&rel, &picks, k);
+        let budget = diva_core::BudgetSpec {
+            deadline: (expire_deadline == 1).then_some(std::time::Duration::ZERO),
+            node_budget: Some(node_cap),
+            repair_budget: None,
+        };
+        let diva = Diva::new(DivaConfig::with_k(k).budget(budget));
+        match diva.run(&rel, &sigma) {
+            Ok(out) => {
+                prop_assert!(is_refinement(&rel, &out.relation, &out.source_rows));
+                prop_assert!(is_k_anonymous(&out.relation, k));
+                prop_assert_eq!(out.relation.n_rows(), rel.n_rows());
+                let mut src = out.source_rows.clone();
+                src.sort_unstable();
+                src.dedup();
+                prop_assert_eq!(src.len(), rel.n_rows());
+                let set = ConstraintSet::bind(&sigma, &out.relation).unwrap();
+                for c in set.constraints() {
+                    let n = c.count_in(&out.relation);
+                    prop_assert!(
+                        n == 0 || (c.lower..=c.upper).contains(&n),
+                        "{} neither satisfied nor voided: {} outside [{}, {}]",
+                        c.label(), n, c.lower, c.upper
+                    );
+                }
+                if out.outcome.is_exact() {
+                    // An exact outcome must additionally satisfy Σ
+                    // outright (no voiding).
+                    prop_assert!(set.satisfied_by(&out.relation));
+                } else {
+                    prop_assert!(out.stats.budget.is_some(), "degraded without accounting");
+                }
+            }
+            Err(DivaError::NoDiverseClustering { .. })
+            | Err(DivaError::ResidualTooSmall { .. })
+            | Err(DivaError::IntegrateFailed { .. }) => {
+                // Pre-search infeasibility proofs still beat degradation.
+            }
+            Err(e) => prop_assert!(false, "unexpected error class under budget: {e}"),
+        }
+    }
+
     /// Suppression never *increases* a target count: every constraint
     /// count in DIVA's output is ≤ its count in the input.
     #[test]
