@@ -14,6 +14,12 @@ use std::path::PathBuf;
 
 use diva_bench::{ablation, fig4, fig5, perf, tables, Params, Table};
 
+/// Memory attribution for the perf suite: with the counting allocator
+/// installed, trajectory points report per-run allocation totals.
+#[cfg(feature = "alloc-profile")]
+#[global_allocator]
+static GLOBAL_ALLOC: diva_obs::alloc::CountingAlloc = diva_obs::alloc::CountingAlloc::new();
+
 fn results_dir() -> PathBuf {
     std::env::var("DIVA_RESULTS_DIR").map_or_else(|_| PathBuf::from("results"), PathBuf::from)
 }

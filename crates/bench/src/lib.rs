@@ -29,3 +29,10 @@ pub mod tables;
 pub use params::Params;
 pub use runner::{run_baseline, run_diva, Measurement};
 pub use table::Table;
+
+/// The harness's own unit tests exercise memory attribution, so the
+/// test binary installs the counting allocator too (the `experiments`
+/// binary does the same in its own root).
+#[cfg(all(test, feature = "alloc-profile"))]
+#[global_allocator]
+static TEST_ALLOC: diva_obs::alloc::CountingAlloc = diva_obs::alloc::CountingAlloc::new();

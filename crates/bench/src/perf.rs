@@ -228,6 +228,15 @@ struct TrajectoryPoint {
     t_suppress_s: f64,
     t_anonymize_s: f64,
     t_integrate_s: f64,
+    /// Per-phase *self*-time (phase duration minus child spans),
+    /// seconds, from the trace analysis over the run's span tree.
+    self_clustering_s: f64,
+    self_suppress_s: f64,
+    self_anonymize_s: f64,
+    self_integrate_s: f64,
+    /// Bytes allocated under the `diva.run` span; zero when no
+    /// counting allocator is installed (`--no-default-features`).
+    alloc_bytes_total: u64,
     assignments_tried: u64,
     backtracks: u64,
     node_selections: u64,
@@ -250,10 +259,15 @@ fn outcome_label(outcome: &Outcome) -> String {
 
 fn trajectory_point(rel: &Relation, k: usize, strategy: Strategy) -> TrajectoryPoint {
     let sigma = diva_constraints::generators::proportional(rel, 5, 0.7, 20);
+    // Trajectory runs trace themselves: the span tree supplies the
+    // self-time breakdown and (with the counting allocator installed)
+    // per-run allocation totals.
+    let obs = Obs::enabled();
     let config = DivaConfig {
         k,
         strategy,
         backtrack_limit: Some(TRAJECTORY_BACKTRACK_LIMIT),
+        obs: obs.clone(),
         ..DivaConfig::default()
     };
     let t = Stopwatch::start();
@@ -267,6 +281,11 @@ fn trajectory_point(rel: &Relation, k: usize, strategy: Strategy) -> TrajectoryP
         t_suppress_s: 0.0,
         t_anonymize_s: 0.0,
         t_integrate_s: 0.0,
+        self_clustering_s: 0.0,
+        self_suppress_s: 0.0,
+        self_anonymize_s: 0.0,
+        self_integrate_s: 0.0,
+        alloc_bytes_total: 0,
         assignments_tried: 0,
         backtracks: 0,
         node_selections: 0,
@@ -274,6 +293,17 @@ fn trajectory_point(rel: &Relation, k: usize, strategy: Strategy) -> TrajectoryP
         ok: false,
         outcome: "error".to_owned(),
     };
+    for s in obs.snapshot().span_summaries() {
+        let self_s = s.self_us as f64 / 1e6;
+        match s.name.as_str() {
+            "diva.clustering" => point.self_clustering_s = self_s,
+            "diva.suppress" => point.self_suppress_s = self_s,
+            "diva.anonymize" => point.self_anonymize_s = self_s,
+            "diva.integrate" => point.self_integrate_s = self_s,
+            "diva.run" => point.alloc_bytes_total = s.alloc_bytes.unwrap_or(0),
+            _ => {}
+        }
+    }
     match &outcome {
         Ok(out) => {
             point.t_clustering_s = out.stats.t_clustering.as_secs_f64();
@@ -486,6 +516,9 @@ pub fn bench_json() -> String {
             "    {{\"rows\": {}, \"strategy\": \"{}\", \"seconds\": {:.4}, \
              \"t_clustering_s\": {:.4}, \"t_suppress_s\": {:.4}, \
              \"t_anonymize_s\": {:.4}, \"t_integrate_s\": {:.4}, \
+             \"self_clustering_s\": {:.4}, \"self_suppress_s\": {:.4}, \
+             \"self_anonymize_s\": {:.4}, \"self_integrate_s\": {:.4}, \
+             \"alloc_bytes_total\": {}, \
              \"assignments_tried\": {}, \"backtracks\": {}, \
              \"node_selections\": {}, \"forward_check_prunes\": {}, \
              \"ok\": {}, \"outcome\": \"{}\"}}{}\n",
@@ -496,6 +529,11 @@ pub fn bench_json() -> String {
             p.t_suppress_s,
             p.t_anonymize_s,
             p.t_integrate_s,
+            p.self_clustering_s,
+            p.self_suppress_s,
+            p.self_anonymize_s,
+            p.self_integrate_s,
+            p.alloc_bytes_total,
             p.assignments_tried,
             p.backtracks,
             p.node_selections,
@@ -585,6 +623,16 @@ mod tests {
         assert!(p.t_clustering_s > 0.0);
         let phases = p.t_clustering_s + p.t_suppress_s + p.t_anonymize_s + p.t_integrate_s;
         assert!(phases <= p.seconds, "phase timings exceed total");
+        // Self-time never exceeds the phase's own wall-clock.
+        assert!(p.self_clustering_s <= p.t_clustering_s + 1e-6);
+        assert!(p.self_anonymize_s <= p.t_anonymize_s + 1e-6);
+        // With the counting allocator installed the run attributes
+        // memory; without it the field stays zero.
+        if cfg!(feature = "alloc-profile") {
+            assert!(p.alloc_bytes_total > 0, "no memory attributed to diva.run");
+        } else {
+            assert_eq!(p.alloc_bytes_total, 0);
+        }
     }
 
     #[test]

@@ -24,8 +24,16 @@ use diva_obs::{Obs, Stopwatch};
 use diva_relation::csv::{read_relation_file, write_relation_file};
 use diva_relation::{is_k_anonymous, AttrRole, Relation};
 
+/// The CLI installs the counting allocator (feature `alloc-profile`,
+/// on by default) so exports carry per-span memory attribution; build
+/// with `--no-default-features` for an un-instrumented binary whose
+/// exports are byte-identical minus the alloc fields.
+#[cfg(feature = "alloc-profile")]
+#[global_allocator]
+static GLOBAL_ALLOC: diva_obs::alloc::CountingAlloc = diva_obs::alloc::CountingAlloc::new();
+
 /// Flags that take no value.
-const BOOLEAN_FLAGS: [&str; 1] = ["quiet"];
+const BOOLEAN_FLAGS: [&str; 2] = ["quiet", "profile"];
 
 /// Routes the human-readable report lines. `--quiet` drops them so
 /// the process's observable outputs are exactly its files (output CSV,
@@ -94,6 +102,8 @@ fn usage() -> String {
      \u{20}          [--threads N  worker cap for --portfolio, default all cores]\n\
      \u{20}          [--trace FILE  write a JSON-lines span trace of the run]\n\
      \u{20}          [--metrics FILE  write the aggregated metrics summary JSON]\n\
+     \u{20}          [--flame FILE  write collapsed stacks (self-time weighted) for flamegraphs]\n\
+     \u{20}          [--profile  print self-time / critical-path / allocation report lines]\n\
      \u{20}          [--deadline-ms N  wall-clock budget; exceeding it degrades gracefully]\n\
      \u{20}          [--node-budget N  cap on explored search nodes before degrading]\n\
      \u{20}          [--repair-budget N  cap on repair attempts before degrading]\n\
@@ -130,19 +140,21 @@ fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
     Ok(out)
 }
 
-/// Builds the obs handle for a command: enabled iff `--trace` or
-/// `--metrics` asks for an export (a disabled handle records nothing
-/// and keeps output byte-identical).
+/// Builds the obs handle for a command: enabled iff `--trace`,
+/// `--metrics`, or `--flame` asks for an export, or `--profile` for
+/// the analysis report (a disabled handle records nothing and keeps
+/// output byte-identical).
 fn obs_for(opts: &HashMap<String, String>) -> Obs {
-    if opts.contains_key("trace") || opts.contains_key("metrics") {
+    if ["trace", "metrics", "flame", "profile"].iter().any(|f| opts.contains_key(*f)) {
         Obs::enabled()
     } else {
         Obs::disabled()
     }
 }
 
-/// Writes the requested `--trace` (JSON-lines spans) and `--metrics`
-/// (aggregated summary) exports from `obs`.
+/// Writes the requested `--trace` (JSON-lines spans), `--metrics`
+/// (aggregated summary), and `--flame` (collapsed stacks) exports
+/// from `obs`.
 fn write_exports(opts: &HashMap<String, String>, obs: &Obs) -> Result<(), String> {
     if !obs.is_enabled() {
         return Ok(());
@@ -154,7 +166,50 @@ fn write_exports(opts: &HashMap<String, String>, obs: &Obs) -> Result<(), String
     if let Some(path) = opts.get("metrics") {
         std::fs::write(path, snap.summary_json()).map_err(|e| format!("{path}: {e}"))?;
     }
+    if let Some(path) = opts.get("flame") {
+        std::fs::write(path, snap.folded_stacks()).map_err(|e| format!("{path}: {e}"))?;
+    }
     Ok(())
+}
+
+/// Human-readable byte count for the `--profile` report.
+fn fmt_bytes(b: u64) -> String {
+    if b >= 1_048_576 {
+        format!("{:.1} MiB", b as f64 / 1_048_576.0)
+    } else if b >= 1024 {
+        format!("{:.1} KiB", b as f64 / 1024.0)
+    } else {
+        format!("{b} B")
+    }
+}
+
+/// Prints the `--profile` analysis over a finished run's snapshot:
+/// top spans by self-time, the critical path, and allocation totals
+/// (the last only when the counting allocator attributed memory —
+/// i.e. the default `alloc-profile` build).
+fn profile_report(reporter: &Reporter, obs: &Obs) {
+    let snap = obs.snapshot();
+    let mut summaries = snap.span_summaries();
+    summaries.sort_by(|a, b| b.self_us.cmp(&a.self_us).then_with(|| a.name.cmp(&b.name)));
+    let top: Vec<String> = summaries
+        .iter()
+        .filter(|s| s.self_us > 0)
+        .take(5)
+        .map(|s| format!("{} {:.3}s", s.name, s.self_us as f64 / 1e6))
+        .collect();
+    report!(reporter, "profile: self-time top: {}", top.join(", "));
+    let path = snap.critical_path();
+    let hops: Vec<&str> = path.iter().map(|h| h.name.as_str()).collect();
+    report!(reporter, "profile: critical path: {}", hops.join(" -> "));
+    if let Some(total) = summaries.iter().find(|s| s.name == "diva.run").and_then(|s| s.alloc_bytes)
+    {
+        let phases: Vec<String> = summaries
+            .iter()
+            .filter(|s| s.name.starts_with("diva.") && s.name != "diva.run")
+            .filter_map(|s| s.alloc_bytes.map(|b| format!("{} {}", s.name, fmt_bytes(b))))
+            .collect();
+        report!(reporter, "profile: alloc: diva.run {} ({})", fmt_bytes(total), phases.join(", "));
+    }
 }
 
 fn req<'a>(opts: &'a HashMap<String, String>, key: &str) -> Result<&'a str, String> {
@@ -274,6 +329,9 @@ fn anonymize(opts: &HashMap<String, String>) -> Result<(), String> {
     // Exports are written even on failure: the partial trace is
     // exactly what explains an aborted or infeasible search.
     write_exports(opts, &obs)?;
+    if opts.contains_key("profile") {
+        profile_report(&reporter, &obs);
+    }
     let out = result.map_err(|e| e.to_string())?;
     write_relation_file(&out.relation, &output).map_err(|e| e.to_string())?;
     if let Outcome::Degraded { reason } = &out.outcome {
@@ -289,9 +347,11 @@ fn anonymize(opts: &HashMap<String, String>) -> Result<(), String> {
         out.groups.len(),
         out.stats.t_total,
     );
-    for (path, what) in
-        [("trace", "span trace (json-lines)"), ("metrics", "metrics summary (json)")]
-    {
+    for (path, what) in [
+        ("trace", "span trace (json-lines)"),
+        ("metrics", "metrics summary (json)"),
+        ("flame", "collapsed flamegraph stacks (folded)"),
+    ] {
         if let Some(p) = opts.get(path) {
             report!(reporter, "wrote {p} ({what})");
         }

@@ -518,3 +518,98 @@ fn byte_identical_output_with_and_without_trace() {
     let traced = run(&tmp("det_traced.csv"), &["--trace", trace.to_str().unwrap()]);
     assert_eq!(plain, traced, "enabling obs changed the published relation");
 }
+
+#[test]
+fn flame_and_profile_report_cover_the_run() {
+    let data = tmp("prof_medical.csv");
+    let sigma = tmp("prof_sigma.txt");
+    diva(&[
+        "generate",
+        "--dataset",
+        "medical",
+        "--rows",
+        "200",
+        "--seed",
+        "5",
+        "--output",
+        data.to_str().unwrap(),
+    ]);
+    std::fs::write(&sigma, "ETH[Caucasian]: 10..200\n").unwrap();
+    let flame = tmp("prof.folded");
+    let trace = tmp("prof_trace.jsonl");
+    let a = diva(&[
+        "anonymize",
+        "--input",
+        data.to_str().unwrap(),
+        "--roles",
+        MEDICAL_ROLES,
+        "--constraints",
+        sigma.to_str().unwrap(),
+        "--k",
+        "4",
+        "--output",
+        tmp("prof_anon.csv").to_str().unwrap(),
+        "--trace",
+        trace.to_str().unwrap(),
+        "--flame",
+        flame.to_str().unwrap(),
+        "--profile",
+    ]);
+    assert!(a.status.success(), "{}", String::from_utf8_lossy(&a.stderr));
+    let stdout = String::from_utf8_lossy(&a.stdout);
+    assert!(stdout.contains("profile: self-time top:"), "{stdout}");
+    assert!(stdout.contains("profile: critical path: diva.run"), "{stdout}");
+    if cfg!(feature = "alloc-profile") {
+        assert!(stdout.contains("profile: alloc: diva.run"), "{stdout}");
+    } else {
+        assert!(!stdout.contains("profile: alloc:"), "{stdout}");
+    }
+    assert!(stdout.contains(&format!("wrote {}", flame.display())), "{stdout}");
+
+    // Every folded line is `diva.run[;child]* weight`, and the weights
+    // telescope back to the root span's duration (within one
+    // microsecond of rounding per span).
+    let folded = std::fs::read_to_string(&flame).unwrap();
+    assert!(!folded.is_empty(), "empty flame export");
+    let mut total = 0u64;
+    let mut n_lines = 0u64;
+    for line in folded.lines() {
+        let (stack, w) = line.rsplit_once(' ').expect("weight separator");
+        assert!(
+            stack == "diva.run" || stack.starts_with("diva.run;"),
+            "stack not rooted at diva.run: {line}"
+        );
+        total += w.parse::<u64>().expect("numeric weight");
+        n_lines += 1;
+    }
+    let trace_text = std::fs::read_to_string(&trace).unwrap();
+    let run_line = trace_text
+        .lines()
+        .find(|l| l.contains("\"name\":\"diva.run\""))
+        .expect("diva.run span in trace");
+    let dur_us: u64 = run_line
+        .split("\"dur_us\":")
+        .nth(1)
+        .and_then(|rest| rest.split(&[',', '}'][..]).next())
+        .and_then(|n| n.parse().ok())
+        .expect("dur_us on diva.run");
+    let n_spans = trace_text.lines().count() as u64;
+    assert!(
+        total <= dur_us + n_spans && total + n_spans * n_lines >= dur_us,
+        "folded weights {total} do not telescope to diva.run {dur_us} (±{n_spans} rounding)"
+    );
+
+    // Trace alloc fields are all-or-none with the counting allocator.
+    let has_alloc = trace_text.contains("\"alloc_bytes\":");
+    assert_eq!(
+        has_alloc,
+        cfg!(feature = "alloc-profile"),
+        "trace alloc fields do not match the alloc-profile feature"
+    );
+    if has_alloc {
+        assert!(
+            run_line.contains("\"alloc_bytes\":"),
+            "diva.run span missing alloc attribution: {run_line}"
+        );
+    }
+}

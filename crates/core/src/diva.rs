@@ -12,6 +12,8 @@ use diva_constraints::{Constraint, ConstraintSet};
 use diva_relation::suppress::{suppress_clustering, Suppressed};
 use diva_relation::{is_k_anonymous, Relation, RowId, STAR_CODE};
 
+use diva_obs::{AllocDelta, SpanClose};
+
 use crate::budget::{Budget, BudgetUsage, Controls, DegradeReason, Outcome};
 use crate::candidates::CandidateSet;
 use crate::coloring::{Coloring, ColoringStats};
@@ -56,6 +58,45 @@ pub struct RunStats {
     /// was configured. Under a portfolio the budget is shared, so the
     /// snapshot reports portfolio-wide totals.
     pub budget: Option<BudgetUsage>,
+    /// Per-phase memory attribution, mirroring the `t_*` fields the
+    /// same way: each delta is what the running thread allocated
+    /// inside the corresponding span. `None` unless the counting
+    /// allocator is live in this process (`diva-obs`'s
+    /// `alloc-profile` feature plus an installed
+    /// `#[global_allocator]` — see `diva_obs::alloc`).
+    pub alloc: Option<PhaseAlloc>,
+}
+
+/// Per-phase allocation deltas for one run; the memory-side mirror of
+/// the `t_*` timing fields on [`RunStats`]. Phases the run never
+/// entered keep zeroed deltas.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PhaseAlloc {
+    /// DiverseClustering (`diva.clustering`).
+    pub clustering: AllocDelta,
+    /// Suppress (`diva.suppress`).
+    pub suppress: AllocDelta,
+    /// Anonymize (`diva.anonymize`).
+    pub anonymize: AllocDelta,
+    /// Integrate (`diva.integrate`).
+    pub integrate: AllocDelta,
+    /// Degraded-mode materialization (`diva.degrade`).
+    pub degrade: AllocDelta,
+    /// The whole run (`diva.run`), including phase-external work.
+    pub total: AllocDelta,
+}
+
+/// Mirrors a profiled span close into `stats.alloc` — a no-op when
+/// profiling is inactive, so un-instrumented runs keep `alloc: None`
+/// and their output byte-identical.
+fn note_alloc(
+    stats: &mut RunStats,
+    close: &SpanClose,
+    pick: impl FnOnce(&mut PhaseAlloc) -> &mut AllocDelta,
+) {
+    if let Some(delta) = close.alloc {
+        *pick(stats.alloc.get_or_insert_with(PhaseAlloc::default)) = delta;
+    }
 }
 
 /// The output of a DIVA run: a `k`-anonymous relation satisfying `Σ`
@@ -264,7 +305,9 @@ impl Diva {
         clustering_span.set_attr("candidates", stats.candidates_generated);
         clustering_span.set_attr("clusters", s_sigma.len());
         clustering_span.set_attr("sigma_rows", stats.sigma_rows);
-        stats.t_clustering = clustering_span.end();
+        let close = clustering_span.end_profiled();
+        stats.t_clustering = close.dur;
+        note_alloc(&mut stats, &close, |p| &mut p.clustering);
         if let Some(reason) = search_degraded {
             return self.degraded_result(rel, &set, s_sigma, reason, stats, run_span, &budget);
         }
@@ -298,7 +341,9 @@ impl Diva {
             let folded = self.fold_residual(rel, &set, &mut s_sigma, &rest)?;
             #[cfg(feature = "strict-invariants")]
             check_partition("Suppress", &folded.groups, folded.relation.n_rows(), true)?;
-            stats.t_anonymize = anon_span.end();
+            let close = anon_span.end_profiled();
+            stats.t_anonymize = close.dur;
+            note_alloc(&mut stats, &close, |p| &mut p.anonymize);
             stats.sigma_rows = s_sigma.iter().map(Vec::len).sum();
             let int_span = obs.span("diva.integrate");
             let out = integrate(&folded, None, &set)?;
@@ -306,11 +351,15 @@ impl Diva {
             check_partition("Integrate", &out.groups, out.relation.n_rows(), true)?;
             stats.integrate_repairs = out.repairs;
             obs.counter("integrate.repairs").add(out.repairs as u64);
-            stats.t_integrate = int_span.end();
+            let close = int_span.end_profiled();
+            stats.t_integrate = close.dur;
+            note_alloc(&mut stats, &close, |p| &mut p.integrate);
             run_span.set_attr("stars", out.relation.star_count());
             run_span.set_attr("outcome", "exact");
             stats.budget = budget.as_ref().map(|b| b.usage());
-            stats.t_total = run_span.end();
+            let close = run_span.end_profiled();
+            stats.t_total = close.dur;
+            note_alloc(&mut stats, &close, |p| &mut p.total);
             return Ok(DivaResult {
                 relation: out.relation,
                 groups: out.groups,
@@ -324,7 +373,9 @@ impl Diva {
         let r_sigma = suppress_clustering(rel, &s_sigma);
         #[cfg(feature = "strict-invariants")]
         check_partition("Suppress", &r_sigma.groups, r_sigma.relation.n_rows(), true)?;
-        stats.t_suppress = suppress_span.end();
+        let close = suppress_span.end_profiled();
+        stats.t_suppress = close.dur;
+        note_alloc(&mut stats, &close, |p| &mut p.suppress);
         if cancelled() {
             return Err(DivaError::Cancelled);
         }
@@ -347,7 +398,9 @@ impl Diva {
                 obs,
                 &stop,
             ) else {
-                stats.t_anonymize = anon_span.end();
+                let close = anon_span.end_profiled();
+                stats.t_anonymize = close.dur;
+                note_alloc(&mut stats, &close, |p| &mut p.anonymize);
                 if cancelled() {
                     return Err(DivaError::Cancelled);
                 }
@@ -382,7 +435,9 @@ impl Diva {
             Some(rk)
         };
         anon_span.set_attr("groups", r_k.as_ref().map_or(0, |rk| rk.groups.len()));
-        stats.t_anonymize = anon_span.end();
+        let close = anon_span.end_profiled();
+        stats.t_anonymize = close.dur;
+        note_alloc(&mut stats, &close, |p| &mut p.anonymize);
         if cancelled() {
             return Err(DivaError::Cancelled);
         }
@@ -396,7 +451,9 @@ impl Diva {
         check_partition("Integrate", &out.groups, out.relation.n_rows(), true)?;
         stats.integrate_repairs = out.repairs;
         obs.counter("integrate.repairs").add(out.repairs as u64);
-        stats.t_integrate = int_span.end();
+        let close = int_span.end_profiled();
+        stats.t_integrate = close.dur;
+        note_alloc(&mut stats, &close, |p| &mut p.integrate);
 
         debug_assert!(is_k_anonymous(&out.relation, self.config.k));
         debug_assert!(set.satisfied_by(&out.relation));
@@ -406,7 +463,9 @@ impl Diva {
         run_span.set_attr("stars", out.relation.star_count());
         run_span.set_attr("outcome", "exact");
         stats.budget = budget.as_ref().map(|b| b.usage());
-        stats.t_total = run_span.end();
+        let close = run_span.end_profiled();
+        stats.t_total = close.dur;
+        note_alloc(&mut stats, &close, |p| &mut p.total);
         Ok(DivaResult {
             relation: out.relation,
             groups: out.groups,
@@ -643,12 +702,14 @@ impl Diva {
         let n_voided = voided.iter().filter(|&&v| v).count();
         span.set_attr("voided_clusters", n_voided);
         span.set_attr("star_rows", star_src.len());
-        span.end();
+        note_alloc(&mut stats, &span.end_profiled(), |p| &mut p.degrade);
         run_span.set_attr("stars", relation.star_count());
         run_span.set_attr("outcome", "degraded");
         run_span.set_attr("degrade_reason", reason.kind());
         stats.budget = budget.as_ref().map(|b| b.usage());
-        stats.t_total = run_span.end();
+        let close = run_span.end_profiled();
+        stats.t_total = close.dur;
+        note_alloc(&mut stats, &close, |p| &mut p.total);
         Ok(DivaResult {
             relation,
             groups,

@@ -53,7 +53,7 @@ pub use budget::{Budget, BudgetSpec, BudgetUsage, Controls, DegradeReason, Outco
 pub use candidates::CandidateSet;
 pub use coloring::{Coloring, ColoringOutcome, ColoringStats};
 pub use config::{DivaConfig, Strategy};
-pub use diva::{Diva, DivaResult, RunStats};
+pub use diva::{Diva, DivaResult, PhaseAlloc, RunStats};
 pub use diva_obs as obs;
 pub use error::DivaError;
 pub use graph::ConstraintGraph;

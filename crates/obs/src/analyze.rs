@@ -1,0 +1,267 @@
+//! Post-processing over a snapshot's span tree: self-time vs
+//! child-time, the critical path, and a collapsed-stack (folded)
+//! export for flamegraph tooling.
+//!
+//! All functions are pure over `&[SpanRecord]` so they can run on a
+//! live [`Snapshot`](crate::Snapshot) or on spans re-parsed from a
+//! trace file. Conventions:
+//!
+//! * **Self-time** of a span is its duration minus the summed
+//!   durations of its *direct* children (clamped at zero — integer
+//!   microsecond rounding can make children sum slightly past the
+//!   parent). Summing self-times over a tree telescopes back to the
+//!   root's duration, up to that rounding.
+//! * **Critical path** starts at the longest root span and repeatedly
+//!   descends into the child that finished last *within its parent's
+//!   window* — under the portfolio that is the member that gated the
+//!   result (cancelled losers may be recorded finishing after the
+//!   root closed; they are ignored unless no child finished inside
+//!   the window).
+//! * **Folded stacks** are `root;child;leaf weight` lines (the format
+//!   `inferno`/`flamegraph.pl` consume), one line per distinct span
+//!   name path, weighted by aggregate self-time in microseconds.
+//!   Zero-weight paths are dropped; lines are sorted for stable
+//!   output.
+
+use std::collections::HashMap;
+
+use crate::SpanRecord;
+
+/// One step of the critical path, root first.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CriticalHop {
+    /// Span id.
+    pub id: u64,
+    /// Span name.
+    pub name: String,
+    /// Thread ordinal the span closed on.
+    pub thread: u64,
+    /// Span duration, microseconds.
+    pub dur_us: u64,
+    /// Span self-time, microseconds.
+    pub self_us: u64,
+}
+
+/// Self-time of every span, index-aligned with `spans`: duration
+/// minus the summed durations of direct children, clamped at zero.
+#[must_use]
+pub fn self_times_us(spans: &[SpanRecord]) -> Vec<u64> {
+    let index = id_index(spans);
+    let mut selfs: Vec<u64> = spans.iter().map(|s| s.dur_us).collect();
+    for s in spans {
+        if let Some(&pi) = s.parent.as_ref().and_then(|p| index.get(p)) {
+            selfs[pi] = selfs[pi].saturating_sub(s.dur_us);
+        }
+    }
+    selfs
+}
+
+/// The critical path, root first: starts at the longest root span and
+/// follows, at each level, the child that finished last within the
+/// parent's time window (see the module docs for the portfolio
+/// rationale). Empty iff `spans` is empty.
+#[must_use]
+pub fn critical_path(spans: &[SpanRecord]) -> Vec<CriticalHop> {
+    let selfs = self_times_us(spans);
+    let mut children: HashMap<u64, Vec<usize>> = HashMap::new();
+    for (i, s) in spans.iter().enumerate() {
+        if let Some(p) = s.parent {
+            children.entry(p).or_default().push(i);
+        }
+    }
+    let Some(mut cur) = spans
+        .iter()
+        .enumerate()
+        .filter(|(_, s)| s.parent.is_none())
+        .max_by_key(|(i, s)| (s.dur_us, u64::MAX - spans[*i].id))
+        .map(|(i, _)| i)
+    else {
+        return Vec::new();
+    };
+    let mut path = Vec::new();
+    // The id-indexed descent cannot revisit a span (children are
+    // distinct indices), but cap the walk defensively anyway.
+    for _ in 0..=spans.len() {
+        let s = &spans[cur];
+        path.push(CriticalHop {
+            id: s.id,
+            name: s.name.clone(),
+            thread: s.thread,
+            dur_us: s.dur_us,
+            self_us: selfs[cur],
+        });
+        let Some(kids) = children.get(&s.id) else {
+            break;
+        };
+        let parent_end = s.start_us.saturating_add(s.dur_us);
+        let end = |i: &usize| spans[*i].start_us.saturating_add(spans[*i].dur_us);
+        // Prefer children that finished inside the parent's window
+        // (losers cancelled after the parent closed are not on the
+        // path); fall back to all children if rounding excluded every
+        // one of them.
+        let within: Vec<usize> = kids.iter().copied().filter(|i| end(i) <= parent_end).collect();
+        let pool = if within.is_empty() { kids.clone() } else { within };
+        let Some(next) = pool
+            .iter()
+            .max_by_key(|i| (end(i), spans[**i].dur_us, u64::MAX - spans[**i].id))
+            .copied()
+        else {
+            break;
+        };
+        cur = next;
+    }
+    path
+}
+
+/// Collapsed-stack (folded) rendering of the span tree: one
+/// `name;name;name weight\n` line per distinct root-to-span name
+/// path, weighted by aggregate self-time in microseconds. Lines are
+/// sorted; zero-weight paths are omitted. The sum of all weights
+/// equals the sum of all self-times with nonzero-weight paths.
+#[must_use]
+pub fn folded_stacks(spans: &[SpanRecord]) -> String {
+    let index = id_index(spans);
+    let selfs = self_times_us(spans);
+    let mut lines: Vec<(String, u64)> = Vec::new();
+    let mut weights: HashMap<String, u64> = HashMap::new();
+    for (i, s) in spans.iter().enumerate() {
+        if selfs[i] == 0 {
+            continue;
+        }
+        let mut names: Vec<&str> = vec![&s.name];
+        let mut cur = s;
+        // Depth cap guards against a malformed (cyclic) parent chain
+        // in externally-supplied records.
+        for _ in 0..spans.len() {
+            let Some(&pi) = cur.parent.as_ref().and_then(|p| index.get(p)) else {
+                break;
+            };
+            cur = &spans[pi];
+            names.push(&cur.name);
+        }
+        names.reverse();
+        *weights.entry(names.join(";")).or_insert(0) += selfs[i];
+    }
+    lines.extend(weights);
+    lines.sort();
+    let mut out = String::new();
+    for (stack, w) in &lines {
+        out.push_str(stack);
+        out.push(' ');
+        out.push_str(&w.to_string());
+        out.push('\n');
+    }
+    out
+}
+
+fn id_index(spans: &[SpanRecord]) -> HashMap<u64, usize> {
+    spans.iter().enumerate().map(|(i, s)| (s.id, i)).collect()
+}
+
+impl crate::Snapshot {
+    /// [`folded_stacks`] over this snapshot's spans.
+    #[must_use]
+    pub fn folded_stacks(&self) -> String {
+        folded_stacks(&self.spans)
+    }
+
+    /// [`critical_path`] over this snapshot's spans.
+    #[must_use]
+    pub fn critical_path(&self) -> Vec<CriticalHop> {
+        critical_path(&self.spans)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(id: u64, parent: Option<u64>, name: &str, start_us: u64, dur_us: u64) -> SpanRecord {
+        SpanRecord {
+            id,
+            parent,
+            name: name.to_string(),
+            thread: 0,
+            start_us,
+            dur_us,
+            attrs: Vec::new(),
+            alloc: None,
+        }
+    }
+
+    #[test]
+    fn self_time_subtracts_direct_children_only() {
+        let spans = vec![
+            span(1, None, "root", 0, 100),
+            span(2, Some(1), "mid", 10, 60),
+            span(3, Some(2), "leaf", 20, 40),
+        ];
+        assert_eq!(self_times_us(&spans), vec![40, 20, 40]);
+    }
+
+    #[test]
+    fn self_time_clamps_rounding_overshoot() {
+        let spans = vec![
+            span(1, None, "root", 0, 10),
+            span(2, Some(1), "a", 0, 6),
+            span(3, Some(1), "b", 6, 6),
+        ];
+        assert_eq!(self_times_us(&spans)[0], 0, "children overshoot clamps to zero");
+    }
+
+    #[test]
+    fn critical_path_follows_latest_finisher_within_window() {
+        // root [0,100]; fast member [5,35]; winner [5,95];
+        // cancelled loser recorded ending after root [5,120].
+        let spans = vec![
+            span(1, None, "portfolio.run", 0, 100),
+            span(2, Some(1), "member.fast", 5, 30),
+            span(3, Some(1), "member.winner", 5, 90),
+            span(4, Some(1), "member.loser", 5, 115),
+            span(5, Some(3), "inner", 10, 50),
+        ];
+        let path = critical_path(&spans);
+        let names: Vec<&str> = path.iter().map(|h| h.name.as_str()).collect();
+        assert_eq!(names, ["portfolio.run", "member.winner", "inner"]);
+    }
+
+    #[test]
+    fn critical_path_starts_at_longest_root() {
+        let spans = vec![span(1, None, "short", 0, 10), span(2, None, "long", 0, 50)];
+        let path = critical_path(&spans);
+        assert_eq!(path.len(), 1);
+        assert_eq!(path[0].name, "long");
+        assert!(critical_path(&[]).is_empty());
+    }
+
+    #[test]
+    fn folded_stacks_weights_sum_to_root_duration() {
+        let spans = vec![
+            span(1, None, "root", 0, 100),
+            span(2, Some(1), "a", 0, 30),
+            span(3, Some(1), "b", 30, 50),
+            span(4, Some(3), "b.inner", 35, 20),
+        ];
+        let folded = folded_stacks(&spans);
+        let mut total = 0u64;
+        for line in folded.lines() {
+            let (stack, w) = line.rsplit_once(' ').expect("weight separator");
+            assert!(stack.starts_with("root"));
+            total += w.parse::<u64>().expect("numeric weight");
+        }
+        assert_eq!(total, 100, "weights telescope to the root duration");
+        assert!(folded.contains("root;b;b.inner 20\n"));
+        assert!(folded.contains("root;a 30\n"));
+    }
+
+    #[test]
+    fn folded_stacks_aggregate_repeated_paths_and_skip_zero() {
+        let spans = vec![
+            span(1, None, "root", 0, 100),
+            span(2, Some(1), "step", 0, 40),
+            span(3, Some(1), "step", 40, 60),
+        ];
+        let folded = folded_stacks(&spans);
+        assert_eq!(folded, "root;step 100\n", "zero-self root dropped, steps merged");
+    }
+}

@@ -1,12 +1,18 @@
 //! `trace-check` — validates an emitted trace/metrics pair.
 //!
-//! Usage: `trace-check <trace.jsonl> <metrics.json>`
+//! Usage: `trace-check [--require-alloc] <trace.jsonl> <metrics.json>`
 //!
 //! Checks that every trace line parses as a span object, that ids are
-//! unique and parents resolve, that the summary parses, and that both
-//! contain the four pipeline phase spans catalogued in DESIGN.md §9
-//! (`diva.clustering`, `diva.suppress`, `diva.anonymize`,
-//! `diva.integrate`). Used by `scripts/check.sh` as the obs gate.
+//! unique and parents resolve, that any memory-attribution fields are
+//! complete (`alloc_bytes`/`alloc_count`/`peak_live_delta` appear all
+//! together or not at all), that the summary parses with the full
+//! per-span schema (`count`/`total_us`/`self_us`/`min_us`/`max_us`),
+//! and that both documents contain the pipeline phase spans
+//! catalogued in DESIGN.md §9 (`diva.clustering`, `diva.suppress`,
+//! `diva.anonymize`, `diva.integrate`). With `--require-alloc` every
+//! required span must additionally carry a positive `alloc_bytes` —
+//! the profiling gate in `scripts/check.sh` uses this to prove the
+//! counting allocator is live in the CLI binary.
 
 use diva_obs::json::{parse, Value};
 
@@ -14,8 +20,19 @@ use diva_obs::json::{parse, Value};
 const REQUIRED_SPANS: [&str; 5] =
     ["diva.run", "diva.clustering", "diva.suppress", "diva.anonymize", "diva.integrate"];
 
-fn check_trace(text: &str) -> Result<Vec<String>, String> {
-    let mut names = Vec::new();
+/// The trace-side memory-attribution fields: all present or all
+/// absent on a span line.
+const ALLOC_FIELDS: [&str; 3] = ["alloc_bytes", "alloc_count", "peak_live_delta"];
+
+/// Per-span-name facts collected from the trace: whether any instance
+/// carried a positive `alloc_bytes`.
+struct TraceFacts {
+    names: Vec<String>,
+    alloc_names: Vec<String>,
+}
+
+fn check_trace(text: &str) -> Result<TraceFacts, String> {
+    let mut facts = TraceFacts { names: Vec::new(), alloc_names: Vec::new() };
     let mut ids = Vec::new();
     let mut parents = Vec::new();
     for (lineno, line) in text.lines().enumerate() {
@@ -39,24 +56,46 @@ fn check_trace(text: &str) -> Result<Vec<String>, String> {
                 return Err(format!("trace line {}: missing {key}", lineno + 1));
             }
         }
+        if ALLOC_FIELDS.iter().any(|f| v.get(f).is_some()) {
+            for field in ALLOC_FIELDS {
+                if v.get(field).and_then(Value::as_num).is_none() {
+                    return Err(format!(
+                        "trace line {}: incomplete memory attribution (missing numeric {field})",
+                        lineno + 1
+                    ));
+                }
+            }
+        }
         let name = v
             .get("name")
             .and_then(Value::as_str)
             .ok_or_else(|| format!("trace line {}: missing name", lineno + 1))?;
-        names.push(name.to_string());
+        if v.get("alloc_bytes").and_then(Value::as_num).is_some_and(|b| b > 0.0) {
+            facts.alloc_names.push(name.to_string());
+        }
+        facts.names.push(name.to_string());
     }
     for (lineno, parent) in parents {
         if !ids.contains(&parent) {
             return Err(format!("trace line {lineno}: dangling parent id {parent}"));
         }
     }
-    Ok(names)
+    Ok(facts)
 }
 
 fn check_summary(text: &str) -> Result<Vec<String>, String> {
     let v = parse(text).map_err(|e| format!("summary: {e}"))?;
     let spans = match v.get("spans") {
-        Some(Value::Obj(fields)) => fields.iter().map(|(k, _)| k.clone()).collect(),
+        Some(Value::Obj(fields)) => {
+            for (name, span) in fields {
+                for key in ["count", "total_us", "self_us", "min_us", "max_us"] {
+                    if span.get(key).and_then(Value::as_num).is_none() {
+                        return Err(format!("summary: span \"{name}\" missing numeric \"{key}\""));
+                    }
+                }
+            }
+            fields.iter().map(|(k, _)| k.clone()).collect()
+        }
         _ => return Err("summary: missing \"spans\" object".to_string()),
     };
     for section in ["counters", "gauges", "histograms"] {
@@ -67,42 +106,51 @@ fn check_summary(text: &str) -> Result<Vec<String>, String> {
     Ok(spans)
 }
 
-fn run(trace_path: &str, metrics_path: &str) -> Result<(), String> {
+fn run(trace_path: &str, metrics_path: &str, require_alloc: bool) -> Result<(), String> {
     let trace = std::fs::read_to_string(trace_path)
         .map_err(|e| format!("cannot read {trace_path}: {e}"))?;
     let metrics = std::fs::read_to_string(metrics_path)
         .map_err(|e| format!("cannot read {metrics_path}: {e}"))?;
-    let trace_names = check_trace(&trace)?;
+    let facts = check_trace(&trace)?;
     let summary_names = check_summary(&metrics)?;
     for required in REQUIRED_SPANS {
-        if !trace_names.iter().any(|n| n == required) {
+        if !facts.names.iter().any(|n| n == required) {
             return Err(format!("trace is missing required span \"{required}\""));
         }
         if !summary_names.iter().any(|n| n == required) {
             return Err(format!("summary is missing required span \"{required}\""));
         }
+        if require_alloc && !facts.alloc_names.iter().any(|n| n == required) {
+            return Err(format!(
+                "span \"{required}\" has no positive alloc_bytes (is the counting \
+                 allocator installed in the producing binary?)"
+            ));
+        }
     }
     println!(
-        "trace-check ok: {} trace spans ({} distinct names), {} summarised names",
-        trace_names.len(),
+        "trace-check ok: {} trace spans ({} distinct names), {} summarised names{}",
+        facts.names.len(),
         {
-            let mut uniq = trace_names.clone();
+            let mut uniq = facts.names.clone();
             uniq.sort();
             uniq.dedup();
             uniq.len()
         },
-        summary_names.len()
+        summary_names.len(),
+        if require_alloc { ", alloc attribution present" } else { "" }
     );
     Ok(())
 }
 
 fn main() -> std::process::ExitCode {
-    let args: Vec<String> = std::env::args().collect();
-    let (Some(trace_path), Some(metrics_path)) = (args.get(1), args.get(2)) else {
-        eprintln!("usage: trace-check <trace.jsonl> <metrics.json>");
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let require_alloc = args.iter().any(|a| a == "--require-alloc");
+    args.retain(|a| a != "--require-alloc");
+    let (Some(trace_path), Some(metrics_path)) = (args.first(), args.get(1)) else {
+        eprintln!("usage: trace-check [--require-alloc] <trace.jsonl> <metrics.json>");
         return std::process::ExitCode::from(2);
     };
-    if let Err(e) = run(trace_path, metrics_path) {
+    if let Err(e) = run(trace_path, metrics_path, require_alloc) {
         eprintln!("trace-check FAILED: {e}");
         return std::process::ExitCode::FAILURE;
     }

@@ -1,0 +1,88 @@
+//! `trace-diff` — the trace-regression gate.
+//!
+//! Usage:
+//! `trace-diff [--time-threshold PCT] [--value-threshold PCT] <baseline.json> <current.json>`
+//!
+//! Compares two summary exports (the documents written by the CLI's
+//! `--metrics`) with [`diva_obs::diff::diff_summaries`]: span timings
+//! (`total_us`, `self_us`) against the time threshold, counters and
+//! span `alloc_bytes` against the value threshold, with absolute
+//! floors damping noise on tiny metrics. Exits 0 when the current
+//! capture is within thresholds, 1 on any regression (each printed to
+//! stderr), 2 on usage/IO/parse errors. `scripts/check.sh` runs this
+//! against the committed `results/baseline/medical-4k.summary.json`.
+
+use diva_obs::diff::{diff_summaries, DiffConfig};
+use diva_obs::json::parse;
+
+fn usage() -> std::process::ExitCode {
+    eprintln!(
+        "usage: trace-diff [--time-threshold PCT] [--value-threshold PCT] \
+         <baseline.json> <current.json>"
+    );
+    std::process::ExitCode::from(2)
+}
+
+fn run(baseline_path: &str, current_path: &str, cfg: &DiffConfig) -> Result<bool, String> {
+    let baseline_text = std::fs::read_to_string(baseline_path)
+        .map_err(|e| format!("cannot read {baseline_path}: {e}"))?;
+    let current_text = std::fs::read_to_string(current_path)
+        .map_err(|e| format!("cannot read {current_path}: {e}"))?;
+    let baseline = parse(&baseline_text).map_err(|e| format!("baseline {baseline_path}: {e}"))?;
+    let current = parse(&current_text).map_err(|e| format!("current {current_path}: {e}"))?;
+    let report = diff_summaries(&baseline, &current, cfg)?;
+    if report.is_ok() {
+        println!(
+            "trace-diff ok: {} metrics within thresholds (+{:.0}% time, +{:.0}% values)",
+            report.compared, cfg.time_threshold_pct, cfg.value_threshold_pct
+        );
+        return Ok(true);
+    }
+    eprintln!(
+        "trace-diff: {} of {} metrics regressed vs {baseline_path}:",
+        report.regressions.len(),
+        report.compared
+    );
+    for r in &report.regressions {
+        eprintln!("  {r}");
+    }
+    Ok(false)
+}
+
+fn main() -> std::process::ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut cfg = DiffConfig::default();
+    let mut paths: Vec<&str> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            flag @ ("--time-threshold" | "--value-threshold") => {
+                let Some(pct) = args.get(i + 1).and_then(|v| v.parse::<f64>().ok()) else {
+                    return usage();
+                };
+                if flag == "--time-threshold" {
+                    cfg.time_threshold_pct = pct;
+                } else {
+                    cfg.value_threshold_pct = pct;
+                }
+                i += 2;
+            }
+            other if other.starts_with("--") => return usage(),
+            other => {
+                paths.push(other);
+                i += 1;
+            }
+        }
+    }
+    let [baseline_path, current_path] = paths[..] else {
+        return usage();
+    };
+    match run(baseline_path, current_path, &cfg) {
+        Ok(true) => std::process::ExitCode::SUCCESS,
+        Ok(false) => std::process::ExitCode::FAILURE,
+        Err(e) => {
+            eprintln!("trace-diff ERROR: {e}");
+            std::process::ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,288 @@
+//! Trace-regression comparison: the logic behind the `trace-diff`
+//! binary (kept in the library so it is unit-testable and reusable
+//! from the workspace's profiling tests).
+//!
+//! [`diff_summaries`] compares two parsed summary exports
+//! ([`Snapshot::summary_json`](crate::Snapshot::summary_json)
+//! documents) — the committed baseline against a fresh capture — and
+//! reports every metric whose **current** value grew past
+//! `baseline × (1 + threshold/100)`:
+//!
+//! * span `total_us` and `self_us` use [`DiffConfig::time_threshold_pct`]
+//!   (timings are noisy; the default 75% tolerates scheduler jitter
+//!   while still catching a 2× slowdown);
+//! * span `alloc_bytes` and every counter use
+//!   [`DiffConfig::value_threshold_pct`] (deterministic quantities get
+//!   the tighter default 50%);
+//! * metrics below an absolute floor ([`DiffConfig::min_time_us`],
+//!   [`DiffConfig::min_counter`], [`DiffConfig::min_alloc_bytes`]) are
+//!   skipped — a 5 µs span tripling is noise, not a regression;
+//! * a baseline metric (above its floor) missing from the current
+//!   capture is itself a regression — losing a phase span or counter
+//!   means the instrumentation silently broke;
+//! * improvements (current below baseline) never fail the gate, and
+//!   metrics present only in the current capture are ignored (new
+//!   instrumentation is not a regression).
+
+use crate::json::Value;
+
+/// Thresholds and floors for [`diff_summaries`].
+#[derive(Debug, Clone)]
+pub struct DiffConfig {
+    /// Allowed relative growth for span timings (`total_us`,
+    /// `self_us`), percent.
+    pub time_threshold_pct: f64,
+    /// Allowed relative growth for deterministic values (counters,
+    /// `alloc_bytes`), percent.
+    pub value_threshold_pct: f64,
+    /// Span timings below this many microseconds in the baseline are
+    /// not compared.
+    pub min_time_us: f64,
+    /// Counters below this baseline value are not compared.
+    pub min_counter: f64,
+    /// `alloc_bytes` below this baseline value are not compared.
+    pub min_alloc_bytes: f64,
+}
+
+impl Default for DiffConfig {
+    fn default() -> Self {
+        DiffConfig {
+            time_threshold_pct: 75.0,
+            value_threshold_pct: 50.0,
+            min_time_us: 10_000.0,
+            min_counter: 32.0,
+            min_alloc_bytes: 1_048_576.0,
+        }
+    }
+}
+
+/// One metric that regressed past its threshold.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Regression {
+    /// Dotted metric path, e.g. `spans.diva.anonymize.self_us`.
+    pub metric: String,
+    /// Baseline value.
+    pub baseline: f64,
+    /// Current value (`f64::NAN` never occurs; a missing metric is
+    /// reported as `0`).
+    pub current: f64,
+    /// Relative change, percent (positive = worse).
+    pub change_pct: f64,
+    /// The threshold that was exceeded, percent.
+    pub threshold_pct: f64,
+}
+
+impl std::fmt::Display for Regression {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}: {} -> {} ({:+.1}% > +{:.0}% allowed)",
+            self.metric, self.baseline, self.current, self.change_pct, self.threshold_pct
+        )
+    }
+}
+
+/// Outcome of one comparison: how many metrics were compared and
+/// which regressed. The gate passes iff `regressions` is empty.
+#[derive(Debug, Clone, Default)]
+pub struct DiffReport {
+    /// Metrics that cleared their floor and were compared.
+    pub compared: usize,
+    /// Metrics that exceeded their threshold, in document order.
+    pub regressions: Vec<Regression>,
+}
+
+impl DiffReport {
+    /// Whether the gate passes (no regressions).
+    #[must_use]
+    pub fn is_ok(&self) -> bool {
+        self.regressions.is_empty()
+    }
+}
+
+/// Compares two parsed summary documents (baseline vs current). Errors
+/// only on structurally invalid documents (missing/ill-typed `spans`
+/// or `counters` sections); regressions are reported, not errors.
+pub fn diff_summaries(
+    baseline: &Value,
+    current: &Value,
+    cfg: &DiffConfig,
+) -> Result<DiffReport, String> {
+    let mut report = DiffReport::default();
+    let base_spans = section(baseline, "spans", "baseline")?;
+    let cur_spans = current.get("spans");
+    for (name, base_span) in base_spans {
+        for (field, threshold, floor) in [
+            ("total_us", cfg.time_threshold_pct, cfg.min_time_us),
+            ("self_us", cfg.time_threshold_pct, cfg.min_time_us),
+            ("alloc_bytes", cfg.value_threshold_pct, cfg.min_alloc_bytes),
+        ] {
+            let Some(base_val) = base_span.get(field).and_then(Value::as_num) else {
+                continue;
+            };
+            if base_val < floor {
+                continue;
+            }
+            let cur_val = cur_spans
+                .and_then(|s| s.get(name))
+                .and_then(|s| s.get(field))
+                .and_then(Value::as_num);
+            compare(&mut report, &format!("spans.{name}.{field}"), base_val, cur_val, threshold);
+        }
+    }
+    let base_counters = section(baseline, "counters", "baseline")?;
+    let cur_counters = current.get("counters");
+    for (name, base_counter) in base_counters {
+        let Some(base_val) = base_counter.as_num() else {
+            continue;
+        };
+        if base_val < cfg.min_counter {
+            continue;
+        }
+        let cur_val = cur_counters.and_then(|c| c.get(name)).and_then(Value::as_num);
+        compare(
+            &mut report,
+            &format!("counters.{name}"),
+            base_val,
+            cur_val,
+            cfg.value_threshold_pct,
+        );
+    }
+    Ok(report)
+}
+
+/// Records the comparison of one metric into `report`. A missing
+/// current value counts as `0` *and* as a regression (instrumentation
+/// that stops reporting is as bad as a slowdown).
+fn compare(
+    report: &mut DiffReport,
+    metric: &str,
+    baseline: f64,
+    current: Option<f64>,
+    threshold_pct: f64,
+) {
+    report.compared += 1;
+    let Some(current) = current else {
+        report.regressions.push(Regression {
+            metric: format!("{metric} (missing from current capture)"),
+            baseline,
+            current: 0.0,
+            change_pct: -100.0,
+            threshold_pct,
+        });
+        return;
+    };
+    if baseline <= 0.0 {
+        return;
+    }
+    let change_pct = (current - baseline) / baseline * 100.0;
+    if current > baseline * (1.0 + threshold_pct / 100.0) {
+        report.regressions.push(Regression {
+            metric: metric.to_string(),
+            baseline,
+            current,
+            change_pct,
+            threshold_pct,
+        });
+    }
+}
+
+/// Fetches a named object section from a summary document.
+fn section<'v>(doc: &'v Value, key: &str, which: &str) -> Result<&'v [(String, Value)], String> {
+    match doc.get(key) {
+        Some(Value::Obj(fields)) => Ok(fields),
+        Some(_) => Err(format!("{which} summary: \"{key}\" is not an object")),
+        None => Err(format!("{which} summary: missing \"{key}\" section")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse;
+
+    const BASE: &str = r#"{
+  "spans": {
+    "diva.anonymize": {"count": 1, "total_us": 50000, "self_us": 40000, "min_us": 50000, "max_us": 50000, "alloc_bytes": 8000000},
+    "diva.tiny": {"count": 1, "total_us": 5, "self_us": 5, "min_us": 5, "max_us": 5}
+  },
+  "counters": {
+    "search.backtracks": 1000,
+    "search.rare": 3
+  },
+  "gauges": {},
+  "histograms": {}
+}"#;
+
+    /// Recursively multiplies every number in a document — the
+    /// "2x-inflated copy" of the acceptance criteria.
+    fn inflate(v: &Value, factor: f64) -> Value {
+        match v {
+            Value::Num(n) => Value::Num(n * factor),
+            Value::Arr(items) => Value::Arr(items.iter().map(|i| inflate(i, factor)).collect()),
+            Value::Obj(fields) => Value::Obj(
+                fields.iter().map(|(k, val)| (k.clone(), inflate(val, factor))).collect(),
+            ),
+            other => other.clone(),
+        }
+    }
+
+    #[test]
+    fn self_diff_passes() {
+        let base = parse(BASE).expect("baseline parses");
+        let report = diff_summaries(&base, &base, &DiffConfig::default()).expect("diff runs");
+        assert!(report.is_ok(), "identical summaries regress: {:?}", report.regressions);
+        // anonymize total+self+alloc, plus one counter over its floor.
+        assert_eq!(report.compared, 4);
+    }
+
+    #[test]
+    fn doubled_metrics_fail() {
+        let base = parse(BASE).expect("baseline parses");
+        let doubled = inflate(&base, 2.0);
+        let report = diff_summaries(&base, &doubled, &DiffConfig::default()).expect("diff runs");
+        assert!(!report.is_ok());
+        let metrics: Vec<&str> = report.regressions.iter().map(|r| r.metric.as_str()).collect();
+        assert!(metrics.contains(&"spans.diva.anonymize.total_us"));
+        assert!(metrics.contains(&"spans.diva.anonymize.alloc_bytes"));
+        assert!(metrics.contains(&"counters.search.backtracks"));
+        assert!(
+            !metrics.iter().any(|m| m.contains("diva.tiny") || m.contains("search.rare")),
+            "metrics under their absolute floor are never compared"
+        );
+        for r in &report.regressions {
+            assert!(r.to_string().contains("->"), "display renders the transition");
+        }
+    }
+
+    #[test]
+    fn improvements_and_growth_within_threshold_pass() {
+        let base = parse(BASE).expect("baseline parses");
+        let better = inflate(&base, 0.5);
+        let cfg = DiffConfig::default();
+        assert!(diff_summaries(&base, &better, &cfg).expect("diff runs").is_ok());
+        // +40% counter growth stays under the 50% value threshold;
+        // +70% time growth stays under the 75% time threshold.
+        let slightly = inflate(&base, 1.4);
+        assert!(diff_summaries(&base, &slightly, &cfg).expect("diff runs").is_ok());
+    }
+
+    #[test]
+    fn missing_baseline_metric_is_a_regression() {
+        let base = parse(BASE).expect("baseline parses");
+        let current = parse(r#"{"spans": {}, "counters": {}, "gauges": {}, "histograms": {}}"#)
+            .expect("current parses");
+        let report = diff_summaries(&base, &current, &DiffConfig::default()).expect("diff runs");
+        assert_eq!(report.regressions.len(), 4, "every floored metric reported missing");
+        assert!(report.regressions[0].metric.contains("missing"));
+    }
+
+    #[test]
+    fn malformed_documents_error() {
+        let base = parse(BASE).expect("baseline parses");
+        let bad = parse(r#"{"spans": 3}"#).expect("parses");
+        assert!(diff_summaries(&bad, &base, &DiffConfig::default()).is_err());
+        let missing = parse(r#"{"counters": {}}"#).expect("parses");
+        assert!(diff_summaries(&missing, &base, &DiffConfig::default()).is_err());
+    }
+}

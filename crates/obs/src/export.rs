@@ -9,18 +9,29 @@
 //! ```
 //!
 //! `parent` is `null` for root spans. `attrs` values are numbers,
-//! booleans, or strings.
+//! booleans, or strings. When the counting allocator is live
+//! ([`crate::alloc::profiling_active`]) every span line additionally
+//! carries `"alloc_bytes":N,"alloc_count":N,"peak_live_delta":N`
+//! (between `dur_us` and `attrs`); when it is not, the fields are
+//! absent and the trace is byte-identical to an un-instrumented
+//! build.
 //!
 //! ## Summary schema (a single JSON object)
 //!
 //! ```json
 //! {"spans":    {"diva.clustering": {"count":1,"total_us":3400,
+//!                                   "self_us":3100,
 //!                                   "min_us":3400,"max_us":3400}},
 //!  "counters": {"coloring.MaxFanOut.backtracks": 17},
 //!  "gauges":   {"graph.csr_adj_entries": 912},
 //!  "histograms": {"cluster.size": {"count":40,"sum":4000,
 //!                 "buckets":[{"le":127,"count":40}]}}}
 //! ```
+//!
+//! `self_us` is the aggregate self-time (duration minus child
+//! durations, see [`crate::analyze`]). Span objects gain an
+//! `"alloc_bytes"` key after `max_us` when any instance of the name
+//! carried allocation attribution.
 //!
 //! Histogram buckets are log₂ ([`crate::bucket_index`]); only non-empty
 //! buckets are emitted, keyed by their inclusive upper bound `le`.
@@ -51,10 +62,16 @@ pub struct SpanSummary {
     pub count: u64,
     /// Total microseconds across them.
     pub total_us: u64,
+    /// Total self-time (duration minus direct children) across them,
+    /// microseconds — see [`crate::analyze::self_times_us`].
+    pub self_us: u64,
     /// Fastest instance, microseconds.
     pub min_us: u64,
     /// Slowest instance, microseconds.
     pub max_us: u64,
+    /// Total bytes allocated across instances that carried memory
+    /// attribution; `None` when none did (profiling inactive).
+    pub alloc_bytes: Option<u64>,
 }
 
 /// A frozen view of an [`crate::Obs`] handle: completed spans in start
@@ -87,23 +104,32 @@ impl Snapshot {
         self.counters.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
     }
 
-    /// Per-name span aggregates (count/total/min/max), sorted by name.
+    /// Per-name span aggregates (count/total/self/min/max plus alloc
+    /// totals when attributed), sorted by name.
     pub fn span_summaries(&self) -> Vec<SpanSummary> {
+        let selfs = crate::analyze::self_times_us(&self.spans);
         let mut out: Vec<SpanSummary> = Vec::new();
-        for span in &self.spans {
+        for (span, &self_us) in self.spans.iter().zip(selfs.iter()) {
+            let bytes = span.alloc.map(|a| a.bytes);
             match out.iter_mut().find(|s| s.name == span.name) {
                 Some(agg) => {
                     agg.count += 1;
                     agg.total_us += span.dur_us;
+                    agg.self_us += self_us;
                     agg.min_us = agg.min_us.min(span.dur_us);
                     agg.max_us = agg.max_us.max(span.dur_us);
+                    if let Some(b) = bytes {
+                        agg.alloc_bytes = Some(agg.alloc_bytes.unwrap_or(0) + b);
+                    }
                 }
                 None => out.push(SpanSummary {
                     name: span.name.clone(),
                     count: 1,
                     total_us: span.dur_us,
+                    self_us,
                     min_us: span.dur_us,
                     max_us: span.dur_us,
+                    alloc_bytes: bytes,
                 }),
             }
         }
@@ -132,6 +158,14 @@ impl Snapshot {
             out.push_str(&span.start_us.to_string());
             out.push_str(",\"dur_us\":");
             out.push_str(&span.dur_us.to_string());
+            if let Some(a) = &span.alloc {
+                out.push_str(",\"alloc_bytes\":");
+                out.push_str(&a.bytes.to_string());
+                out.push_str(",\"alloc_count\":");
+                out.push_str(&a.count.to_string());
+                out.push_str(",\"peak_live_delta\":");
+                out.push_str(&a.peak_live_delta.to_string());
+            }
             out.push_str(",\"attrs\":{");
             for (i, (k, v)) in span.attrs.iter().enumerate() {
                 if i > 0 {
@@ -157,13 +191,18 @@ impl Snapshot {
                 out.push(',');
             }
             out.push_str(&format!(
-                "\n    \"{}\": {{\"count\": {}, \"total_us\": {}, \"min_us\": {}, \"max_us\": {}}}",
+                "\n    \"{}\": {{\"count\": {}, \"total_us\": {}, \"self_us\": {}, \"min_us\": {}, \"max_us\": {}",
                 escape(&s.name),
                 s.count,
                 s.total_us,
+                s.self_us,
                 s.min_us,
                 s.max_us
             ));
+            if let Some(bytes) = s.alloc_bytes {
+                out.push_str(&format!(", \"alloc_bytes\": {bytes}"));
+            }
+            out.push('}');
         }
         if !summaries.is_empty() {
             out.push_str("\n  ");

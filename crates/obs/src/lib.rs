@@ -53,6 +53,9 @@
 //! raw timer uses [`Stopwatch`] so every clock read flows through one
 //! audited module.
 
+pub mod alloc;
+pub mod analyze;
+pub mod diff;
 pub mod export;
 pub mod json;
 pub mod metrics;
@@ -63,6 +66,7 @@ use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
+pub use alloc::{AllocDelta, AllocStats};
 pub use export::{HistogramSnapshot, Snapshot, SpanSummary};
 pub use metrics::{bucket_index, bucket_upper_bound, Counter, Gauge, Histogram, N_BUCKETS};
 
@@ -164,6 +168,11 @@ pub struct SpanRecord {
     pub dur_us: u64,
     /// Attributes, in attachment order.
     pub attrs: Vec<(String, AttrValue)>,
+    /// Memory attributed to this span: what its thread allocated
+    /// between open and close. `None` unless the counting allocator
+    /// is live ([`alloc::profiling_active`]) — and `None` renders
+    /// nothing, keeping un-instrumented traces byte-identical.
+    pub alloc: Option<AllocDelta>,
 }
 
 /// The shared state behind an enabled handle.
@@ -255,7 +264,7 @@ impl Obs {
                 attrs: Vec::new(),
             }
         });
-        Span { start: Instant::now(), active }
+        Span { start: Instant::now(), alloc_start: alloc::baseline(), active }
     }
 
     /// The counter registered under `name` (created on first use).
@@ -365,7 +374,20 @@ struct ActiveSpan {
 #[derive(Debug)]
 pub struct Span {
     start: Instant,
+    alloc_start: alloc::AllocStats,
     active: Option<ActiveSpan>,
+}
+
+/// What ending a span measured: its duration, plus the thread's
+/// allocation delta when the counting allocator is live. Returned by
+/// [`Span::end_profiled`] so phase code can mirror both quantities
+/// into `RunStats` without re-reading any counter.
+#[derive(Debug, Clone, Copy)]
+pub struct SpanClose {
+    /// Wall-clock duration of the span.
+    pub dur: Duration,
+    /// Allocation attribution; `None` unless profiling is active.
+    pub alloc: Option<AllocDelta>,
 }
 
 impl Span {
@@ -405,13 +427,21 @@ impl Span {
 
     /// Ends the span, returning its duration. Enabled handles retain
     /// the [`SpanRecord`].
-    pub fn end(mut self) -> Duration {
-        let dur = self.start.elapsed();
-        self.finish(dur);
-        dur
+    pub fn end(self) -> Duration {
+        self.end_profiled().dur
     }
 
-    fn finish(&mut self, dur: Duration) {
+    /// Ends the span, returning duration **and** the thread's
+    /// allocation delta over the span ([`SpanClose`]). Identical to
+    /// [`Span::end`] when profiling is inactive (`alloc` is `None`).
+    pub fn end_profiled(mut self) -> SpanClose {
+        let dur = self.start.elapsed();
+        let alloc = alloc::measure(&self.alloc_start);
+        self.finish(dur, alloc);
+        SpanClose { dur, alloc }
+    }
+
+    fn finish(&mut self, dur: Duration, alloc: Option<AllocDelta>) {
         let Some(active) = self.active.take() else {
             return;
         };
@@ -430,6 +460,7 @@ impl Span {
             start_us,
             dur_us: dur.as_micros() as u64,
             attrs: active.attrs,
+            alloc,
         };
         lock_or_recover(&active.inner.spans).push(record);
     }
@@ -438,7 +469,8 @@ impl Span {
 impl Drop for Span {
     fn drop(&mut self) {
         let dur = self.start.elapsed();
-        self.finish(dur);
+        let alloc = alloc::measure(&self.alloc_start);
+        self.finish(dur, alloc);
     }
 }
 

@@ -22,6 +22,12 @@
 //!   through `diva_obs` (spans or `Stopwatch`) so timings are
 //!   observable and the search modules replay exactly from the seeded
 //!   config.
+//! * **`global-alloc`** — raw allocator plumbing (`std::alloc`, the
+//!   `GlobalAlloc` trait) is confined to `crates/obs/src/`, where the
+//!   counting allocator lives; everywhere else installs
+//!   `diva_obs::alloc::CountingAlloc` via `#[global_allocator]` (which
+//!   the rule deliberately does not match) so memory attribution has a
+//!   single implementation.
 //! * **`missing-docs`** — `pub fn` / `pub struct` in `core`,
 //!   `constraints`, and `obs` carry doc comments.
 //!
@@ -51,8 +57,8 @@ impl std::fmt::Display for Violation {
 }
 
 /// Every rule the scanner knows, in reporting order.
-pub const RULES: [&str; 5] =
-    ["no-panic", "hot-path-hash", "thread-spawn", "wall-clock", "missing-docs"];
+pub const RULES: [&str; 6] =
+    ["no-panic", "hot-path-hash", "thread-spawn", "wall-clock", "global-alloc", "missing-docs"];
 
 /// Sanctioned exceptions baked into the tool (file, rule). Inline
 /// `diva-tidy: allow(...)` comments cover one line; this list covers
@@ -367,6 +373,9 @@ const HASH_TOKENS: Tokens =
 
 const SPAWN_TOKENS: Tokens = &[("thread::spawn", "`std::thread::spawn`")];
 
+const ALLOC_TOKENS: Tokens =
+    &[("std::alloc", "`std::alloc`"), ("GlobalAlloc", "the `GlobalAlloc` trait")];
+
 const CLOCK_TOKENS: Tokens = &[
     ("Instant::now", "`Instant::now`"),
     ("SystemTime::now", "`SystemTime::now`"),
@@ -431,6 +440,14 @@ pub fn scan_file(path: &str, source: &str) -> Vec<Violation> {
         CLOCK_TOKENS,
         "outside `crates/obs` — clock reads are confined to `diva-obs`; time with an obs \
          span or `diva_obs::Stopwatch`, and take randomness from the seeded config",
+    );
+    token_rule(
+        "global-alloc",
+        !path.starts_with("crates/obs/src/"),
+        ALLOC_TOKENS,
+        "outside `crates/obs` — allocator plumbing is confined to `diva_obs::alloc` so memory \
+         attribution has one implementation; install `diva_obs::alloc::CountingAlloc` with \
+         `#[global_allocator]` instead of rolling raw allocator code",
     );
 
     if is_doc_scope(path) && !allowlisted("missing-docs") {

@@ -1,0 +1,7 @@
+// Fixture: rule (f) `global-alloc`. Fires on any path outside crates/obs/src/.
+
+pub fn bad_raw_layout() -> usize {
+    std::alloc::Layout::new::<u64>().size()
+}
+
+pub fn bad_allocator_bound<A: GlobalAlloc>(_a: A) {}

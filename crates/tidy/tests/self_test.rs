@@ -92,6 +92,29 @@ fn rule_d_catches_the_pre_obs_timing_idiom() {
 }
 
 #[test]
+fn rule_f_global_alloc_fires_on_fixture() {
+    let v = diva_tidy::scan_file("crates/relation/src/fixture.rs", &fixture("global_alloc.rs"));
+    assert_eq!(lines_for(&v, "global-alloc"), vec![4, 7], "{v:#?}");
+}
+
+#[test]
+fn rule_f_exempts_the_obs_crate() {
+    // diva_obs::alloc is the one sanctioned home of allocator code.
+    let v = diva_tidy::scan_file("crates/obs/src/alloc.rs", &fixture("global_alloc.rs"));
+    assert!(lines_for(&v, "global-alloc").is_empty(), "{v:#?}");
+}
+
+#[test]
+fn rule_f_ignores_counting_allocator_installs() {
+    // Installing the obs counting allocator is the sanctioned idiom:
+    // neither token matches the attribute or the fully-qualified type.
+    let src = "#[global_allocator]\nstatic A: diva_obs::alloc::CountingAlloc = \
+               diva_obs::alloc::CountingAlloc::new();\n";
+    let v = diva_tidy::scan_file("crates/cli/src/main.rs", src);
+    assert!(lines_for(&v, "global-alloc").is_empty(), "{v:#?}");
+}
+
+#[test]
 fn rule_e_missing_docs_fires_on_fixture() {
     let v = diva_tidy::scan_file("crates/core/src/fixture.rs", &fixture("missing_docs.rs"));
     assert_eq!(lines_for(&v, "missing-docs"), vec![3, 5], "{v:#?}");

@@ -1,14 +1,43 @@
 #!/usr/bin/env sh
 # Repo gate: formatting, lints, the diva-tidy static-analysis pass,
-# tests (default + strict-invariants), and a bench smoke run.
+# tests (default + strict-invariants), a bench smoke run, and the
+# profiling/trace-regression gate.
 # Usage: scripts/check.sh  (from the repo root; pass --offline through
 # CARGO_FLAGS if the environment has no registry access; set
-# SKIP_BENCH=1 to skip the bench smoke during quick iterations and
-# SKIP_FAULTS=1 to skip the fault-injection matrix).
+# SKIP_BENCH=1 to skip the bench smoke during quick iterations,
+# SKIP_FAULTS=1 to skip the fault-injection matrix, and
+# SKIP_PROFILE=1 to skip the profiling capture + trace-diff gate).
 set -eu
 
 cd "$(dirname "$0")/.."
 FLAGS="${CARGO_FLAGS:---offline}"
+BASELINE="results/baseline/medical-4k.summary.json"
+
+OBS_DIR=""
+PROF_DIR=""
+cleanup() {
+    [ -n "$OBS_DIR" ] && rm -rf "$OBS_DIR"
+    [ -n "$PROF_DIR" ] && rm -rf "$PROF_DIR"
+}
+trap cleanup EXIT
+
+# Shared medical-4k capture recipe: generate + sigma-gen + anonymize
+# into $1 (the workdir), passing any extra anonymize flags through.
+capture_medical_4k() {
+    dir="$1"
+    shift
+    cargo run $FLAGS --release -q -p diva-cli --bin diva -- generate \
+        --dataset medical --rows 4000 --seed 7 --output "$dir/medical.csv"
+    cargo run $FLAGS --release -q -p diva-cli --bin diva -- sigma-gen \
+        --input "$dir/medical.csv" --roles qi,qi,qi,qi,qi,sensitive \
+        --class proportional --count 5 --slack 0.7 --min-freq 20 \
+        --output "$dir/sigma.txt"
+    cargo run $FLAGS --release -q -p diva-cli --bin diva -- anonymize \
+        --input "$dir/medical.csv" --roles qi,qi,qi,qi,qi,sensitive \
+        --constraints "$dir/sigma.txt" -k 5 --quiet \
+        --trace "$dir/trace.jsonl" --metrics "$dir/metrics.json" \
+        --output "$dir/anon.csv" "$@"
+}
 
 echo "==> cargo fmt --check"
 cargo fmt --check
@@ -44,20 +73,31 @@ else
 
     echo "==> obs trace check (medical-4k run -> trace-check)"
     OBS_DIR="$(mktemp -d)"
-    trap 'rm -rf "$OBS_DIR"' EXIT
-    cargo run $FLAGS --release -q -p diva-cli --bin diva -- generate \
-        --dataset medical --rows 4000 --seed 7 --output "$OBS_DIR/medical.csv"
-    cargo run $FLAGS --release -q -p diva-cli --bin diva -- sigma-gen \
-        --input "$OBS_DIR/medical.csv" --roles qi,qi,qi,qi,qi,sensitive \
-        --class proportional --count 5 --slack 0.7 --min-freq 20 \
-        --output "$OBS_DIR/sigma.txt"
-    cargo run $FLAGS --release -q -p diva-cli --bin diva -- anonymize \
-        --input "$OBS_DIR/medical.csv" --roles qi,qi,qi,qi,qi,sensitive \
-        --constraints "$OBS_DIR/sigma.txt" -k 5 --quiet \
-        --trace "$OBS_DIR/trace.jsonl" --metrics "$OBS_DIR/metrics.json" \
-        --output "$OBS_DIR/anon.csv"
+    capture_medical_4k "$OBS_DIR"
     cargo run $FLAGS --release -q -p diva-obs --bin trace-check -- \
         "$OBS_DIR/trace.jsonl" "$OBS_DIR/metrics.json"
+fi
+
+if [ "${SKIP_PROFILE:-0}" = "1" ]; then
+    echo "==> profiling gate skipped (SKIP_PROFILE=1)"
+else
+    echo "==> cargo test -q --features alloc-profile (memory attribution)"
+    cargo test $FLAGS -q --features alloc-profile --test profiling
+    cargo test $FLAGS -q -p diva-obs --features alloc-profile
+
+    echo "==> profiling capture (medical-4k with counting allocator + flamegraph)"
+    PROF_DIR="$(mktemp -d)"
+    capture_medical_4k "$PROF_DIR" --flame "$PROF_DIR/flame.folded"
+    cargo run $FLAGS --release -q -p diva-obs --bin trace-check -- \
+        --require-alloc "$PROF_DIR/trace.jsonl" "$PROF_DIR/metrics.json"
+
+    echo "==> trace-diff regression gate (capture vs $BASELINE)"
+    if ! cargo run $FLAGS --release -q -p diva-obs --bin trace-diff -- \
+        "$BASELINE" "$PROF_DIR/metrics.json"; then
+        cp "$PROF_DIR/metrics.json" "$BASELINE.candidate"
+        echo "trace-diff: regression vs baseline; if intentional, refresh with: mv $BASELINE.candidate $BASELINE" >&2
+        exit 1
+    fi
 fi
 
 echo "==> all checks passed"

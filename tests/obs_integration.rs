@@ -60,12 +60,28 @@ fn full_run_trace_is_complete_and_parses() {
 /// handle only observes, all decisions flow from `DivaConfig::seed`.
 #[test]
 fn enabled_and_disabled_obs_agree_byte_for_byte() {
+    let obs = Obs::enabled();
     let plain = run_with(Obs::disabled());
-    let traced = run_with(Obs::enabled());
+    let traced = run_with(obs.clone());
     assert_eq!(format!("{:?}", plain.relation), format!("{:?}", traced.relation));
     assert_eq!(plain.groups, traced.groups);
     assert_eq!(plain.source_rows, traced.source_rows);
     assert_eq!(plain.stats.coloring, traced.stats.coloring);
+    // Without an installed counting allocator (this test binary has
+    // none), memory attribution stays off: no per-phase totals in the
+    // stats and no alloc fields in the exports, so the trace and
+    // summary stay byte-identical to the pre-profiling schema.
+    assert!(plain.stats.alloc.is_none(), "disabled obs must not attribute memory");
+    assert!(traced.stats.alloc.is_none(), "no allocator installed, alloc must be None");
+    let snapshot = obs.snapshot();
+    assert!(
+        !snapshot.trace_jsonl().contains("alloc_bytes"),
+        "trace must omit alloc fields without a counting allocator"
+    );
+    assert!(
+        !snapshot.summary_json().contains("alloc_bytes"),
+        "summary must omit alloc totals without a counting allocator"
+    );
 }
 
 /// Disabled-mode overhead smoke: a run with the default (disabled)
