@@ -398,6 +398,85 @@ fn budget_sweep_point(
 }
 
 // ---------------------------------------------------------------------
+// Component scaling: decomposed solving vs the monolithic search.
+// ---------------------------------------------------------------------
+
+/// Thread counts swept for the component pool.
+const COMPONENT_THREADS: [usize; 3] = [1, 2, 4];
+/// Full-pipeline repetitions per configuration; the minimum is kept
+/// (fewer than the kernel microbenches — each rep is a whole run).
+const COMPONENT_REPS: usize = 3;
+
+struct ComponentScaling {
+    instance: &'static str,
+    rows: usize,
+    constraints: usize,
+    components: usize,
+    monolithic_ms: f64,
+    /// `(threads, best clustering ms, speedup vs monolithic)`.
+    decomposed: Vec<(usize, f64, f64)>,
+}
+
+/// Best-of-reps clustering-phase wall-clock for one configuration,
+/// milliseconds. Only the clustering phase is timed: decomposition
+/// acts there, while suppress/anonymize/integrate see the identical
+/// merged clustering either way.
+fn best_clustering_ms(
+    rel: &Relation,
+    sigma: &[diva_constraints::Constraint],
+    config: &DivaConfig,
+    label: &str,
+) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..=COMPONENT_REPS {
+        let out = Diva::new(config.clone())
+            .run(black_box(rel), black_box(sigma))
+            .unwrap_or_else(|e| panic!("component scaling {label}: {e}"));
+        assert!(out.outcome.is_exact(), "component scaling {label}: degraded");
+        best = best.min(out.stats.t_clustering.as_secs_f64() * 1e3);
+    }
+    best
+}
+
+fn bench_component_scaling(
+    instance: &'static str,
+    rel: &Relation,
+    sigma: &[diva_constraints::Constraint],
+    k: usize,
+) -> ComponentScaling {
+    let set = ConstraintSet::bind(sigma, rel).expect("component sigma binds");
+    let components = diva_core::components(&ConstraintGraph::build(&set)).len();
+    // MinChoice keeps the comparison about decomposition itself: its
+    // global next-node scan is O(nodes × candidates × rows), so
+    // shrinking instances to component footprints pays even on one
+    // thread, and the pool adds wall-clock parallelism on top.
+    let base = DivaConfig {
+        k,
+        strategy: Strategy::MinChoice,
+        backtrack_limit: Some(50_000),
+        ..DivaConfig::default()
+    };
+    let mono = DivaConfig { decompose: false, threads: Some(1), ..base.clone() };
+    let monolithic_ms = best_clustering_ms(rel, sigma, &mono, instance);
+    let decomposed = COMPONENT_THREADS
+        .iter()
+        .map(|&t| {
+            let config = DivaConfig { threads: Some(t), ..base.clone() };
+            let ms = best_clustering_ms(rel, sigma, &config, instance);
+            (t, ms, ratio(monolithic_ms, ms))
+        })
+        .collect();
+    ComponentScaling {
+        instance,
+        rows: rel.n_rows(),
+        constraints: set.len(),
+        components,
+        monolithic_ms,
+        decomposed,
+    }
+}
+
+// ---------------------------------------------------------------------
 // Observability overhead: disabled obs must cost (almost) nothing.
 // ---------------------------------------------------------------------
 
@@ -484,6 +563,17 @@ pub fn bench_json() -> String {
         .map(|&ms| budget_sweep_point(&sweep_rel, &sweep_sigma, 8, ms))
         .collect();
 
+    // Component scaling (EXPERIMENTS.md §components): the acceptance
+    // medical-4k instance (whose proportional Σ chains into a single
+    // component — the decomposed path must not regress it) and a
+    // many-component islands instance where the pool actually fans out.
+    let islands_rel = diva_datagen::medical(6_000, 17);
+    let islands_sigma = diva_constraints::generators::islands(&islands_rel, 12, 4, 0.7, 30);
+    let scaling = [
+        bench_component_scaling("medical-4k", &sweep_rel, &sweep_sigma, 8),
+        bench_component_scaling("medical-6k-islands", &islands_rel, &islands_sigma, 5),
+    ];
+
     let mut out = String::new();
     out.push_str("{\n");
     out.push_str("  \"workload\": \"medical / proportional(n=5, frac=0.7), k=5\",\n");
@@ -561,6 +651,29 @@ pub fn bench_json() -> String {
             p.ok,
             if i + 1 < sweep.len() { "," } else { "" }
         ));
+    }
+    out.push_str("    ]\n");
+    out.push_str("  },\n");
+    out.push_str("  \"component_scaling\": {\n");
+    out.push_str("    \"strategy\": \"MinChoice\",\n");
+    out.push_str("    \"metric\": \"clustering-phase wall-clock, best of reps, ms\",\n");
+    out.push_str("    \"instances\": [\n");
+    for (i, s) in scaling.iter().enumerate() {
+        out.push_str(&format!(
+            "      {{\"instance\": \"{}\", \"rows\": {}, \"constraints\": {}, \
+             \"components\": {}, \"monolithic_ms\": {:.4}, \"decomposed\": [",
+            s.instance, s.rows, s.constraints, s.components, s.monolithic_ms
+        ));
+        for (j, (threads, ms, speedup)) in s.decomposed.iter().enumerate() {
+            out.push_str(&format!(
+                "{}{{\"threads\": {}, \"ms\": {:.4}, \"speedup\": {:.2}}}",
+                if j == 0 { "" } else { ", " },
+                threads,
+                ms,
+                speedup
+            ));
+        }
+        out.push_str(&format!("]}}{}\n", if i + 1 < scaling.len() { "," } else { "" }));
     }
     out.push_str("    ]\n");
     out.push_str("  },\n");
@@ -652,6 +765,20 @@ mod tests {
         let generous = budget_sweep_point(&rel, &sigma, 5, 600_000);
         assert!(generous.ok);
         assert_eq!(generous.outcome, "exact");
+    }
+
+    #[test]
+    fn component_scaling_measures_a_multi_component_instance() {
+        let rel = diva_datagen::medical(800, 17);
+        let sigma = diva_constraints::generators::islands(&rel, 4, 2, 0.9, 10);
+        let s = bench_component_scaling("test", &rel, &sigma, 3);
+        assert!(s.components > 1, "islands instance must decompose, got {}", s.components);
+        assert!(s.monolithic_ms.is_finite() && s.monolithic_ms >= 0.0);
+        assert_eq!(s.decomposed.len(), COMPONENT_THREADS.len());
+        for (threads, ms, speedup) in &s.decomposed {
+            assert!(COMPONENT_THREADS.contains(threads));
+            assert!(ms.is_finite() && speedup.is_finite());
+        }
     }
 
     #[test]

@@ -33,7 +33,7 @@ use diva_relation::{is_k_anonymous, AttrRole, Relation};
 static GLOBAL_ALLOC: diva_obs::alloc::CountingAlloc = diva_obs::alloc::CountingAlloc::new();
 
 /// Flags that take no value.
-const BOOLEAN_FLAGS: [&str; 2] = ["quiet", "profile"];
+const BOOLEAN_FLAGS: [&str; 3] = ["quiet", "profile", "no-decompose"];
 
 /// Routes the human-readable report lines. `--quiet` drops them so
 /// the process's observable outputs are exactly its files (output CSV,
@@ -99,7 +99,9 @@ fn usage() -> String {
      \u{20}          [--strategy basic|minchoice|maxfanout] [--algo kmember|oka|mondrian]\n\
      \u{20}          [--l N  distinct l-diversity, default 1 = off]\n\
      \u{20}          [--portfolio N  race all strategies × N seeds, first win returns]\n\
-     \u{20}          [--threads N  worker cap for --portfolio, default all cores]\n\
+     \u{20}          [--threads N  worker cap for --portfolio and the component pool]\n\
+     \u{20}          [--no-decompose  force the monolithic solve (no component parallelism)]\n\
+     \u{20}          [--component-portfolio N  race all strategies on components of ≥ N nodes]\n\
      \u{20}          [--trace FILE  write a JSON-lines span trace of the run]\n\
      \u{20}          [--metrics FILE  write the aggregated metrics summary JSON]\n\
      \u{20}          [--flame FILE  write collapsed stacks (self-time weighted) for flamegraphs]\n\
@@ -112,8 +114,9 @@ fn usage() -> String {
      stats      --input FILE --roles LIST -k N\n\
      generate   --dataset medical|pantheon|census|credit|popsyn --rows N \\\n\
      \u{20}          [--dist uniform|zipf|gaussian] [--seed N] --output FILE\n\
-     sigma-gen  --input FILE --roles LIST --class proportional|minfreq|average \\\n\
-     \u{20}          --count N [--slack F] [--min-freq N] --output FILE\n\
+     sigma-gen  --input FILE --roles LIST --class proportional|minfreq|average|islands \\\n\
+     \u{20}          --count N [--slack F] [--min-freq N] \\\n\
+     \u{20}          [--per-group N  islands: constraints per family, default 3] --output FILE\n\
      compare    --input FILE --roles LIST --constraints FILE -k N [--seed N]\n\
      \n\
      global:    --quiet  suppress the human-readable report lines"
@@ -296,6 +299,13 @@ fn anonymize(opts: &HashMap<String, String>) -> Result<(), String> {
         })
         .transpose()?;
     let budget = parse_budget(opts)?;
+    let component_portfolio = opts
+        .get("component-portfolio")
+        .map(|v| match v.parse::<usize>() {
+            Ok(0) | Err(_) => Err("component-portfolio must be a positive node count".to_string()),
+            Ok(n) => Ok(n),
+        })
+        .transpose()?;
     let obs = obs_for(opts);
     let config = DivaConfig {
         k,
@@ -304,6 +314,8 @@ fn anonymize(opts: &HashMap<String, String>) -> Result<(), String> {
         l_diversity,
         threads,
         budget,
+        decompose: !opts.contains_key("no-decompose"),
+        component_portfolio,
         obs: obs.clone(),
         ..DivaConfig::default()
     };
@@ -479,6 +491,14 @@ fn sigma_gen(opts: &HashMap<String, String>) -> Result<(), String> {
         "proportional" => diva_constraints::generators::proportional(&rel, count, slack, min_freq),
         "minfreq" => diva_constraints::generators::min_frequency(&rel, count, slack, min_freq),
         "average" => diva_constraints::generators::average(&rel, count, slack, min_freq),
+        "islands" => {
+            let per_group: usize = opts
+                .get("per-group")
+                .map(|v| v.parse::<usize>().map_err(|_| "per-group must be an integer".to_string()))
+                .transpose()?
+                .unwrap_or(3);
+            diva_constraints::generators::islands(&rel, count, per_group, slack, min_freq)
+        }
         other => return Err(format!("unknown constraint class {other:?}")),
     };
     std::fs::write(&output, spec::write(&sigma)).map_err(|e| e.to_string())?;

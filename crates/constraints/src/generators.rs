@@ -270,6 +270,107 @@ pub fn with_conflict_rate(
     out
 }
 
+/// **Island generator**: `groups` mutually independent constraint
+/// families, one per frequent value of the widest QI attribute.
+///
+/// Each family is a hub constraint on `A = v` plus up to
+/// `per_group - 1` conjunctive refinements `(A = v, B = b)` over the
+/// most frequent co-occurring values of the other QI attributes. Every
+/// family's targets live inside the `A = v` rows, and distinct values
+/// of `A` partition the relation — so families are pairwise disjoint
+/// and the constraint graph decomposes into exactly one connected
+/// component per family. Built for exercising component-parallel
+/// solving (Fig. 4-style workloads are a single component; real
+/// constraint sets over regional or categorical partitions look like
+/// this instead).
+///
+/// All windows are proportional-style `(1 ± slack)` around the
+/// observed frequency, so the input itself satisfies the set.
+/// Refinement values rarer than `min_freq` are skipped so every
+/// constraint admits a size-≥k clustering.
+pub fn islands(
+    rel: &Relation,
+    groups: usize,
+    per_group: usize,
+    slack: f64,
+    min_freq: usize,
+) -> Vec<Constraint> {
+    let cols = qi_cols(rel);
+    let Some(&first_col) = cols.first() else {
+        return Vec::new();
+    };
+    let part_col = *cols.iter().max_by_key(|&&c| rel.dict(c).len()).unwrap_or(&first_col);
+    let window = |f: usize| {
+        let lower = ((1.0 - slack) * f as f64).ceil().max(0.0) as usize;
+        let upper = (((1.0 + slack) * f as f64).ceil() as usize).max(lower);
+        (lower, upper)
+    };
+    let attr = attr_name(rel, part_col);
+    let others: Vec<usize> = cols.iter().copied().filter(|&c| c != part_col).collect();
+    let mut out = Vec::new();
+    let hubs: Vec<(u32, usize)> = value_frequencies(rel, part_col)
+        .into_iter()
+        .filter(|&(_, f)| f >= min_freq)
+        .take(groups)
+        .collect();
+    for (v_code, v_freq) in hubs {
+        let value = decode(rel, part_col, v_code);
+        let (lo, hi) = window(v_freq);
+        out.push(Constraint::single(&attr, &value, lo, hi));
+        if per_group <= 1 {
+            continue;
+        }
+        let rows: Vec<usize> =
+            (0..rel.n_rows()).filter(|&r| rel.code(r, part_col) == v_code).collect();
+        // Most frequent values of the other attributes *within* this
+        // island's rows, interleaved round-robin as in
+        // [`frequent_values`].
+        let per_col: Vec<Vec<(u32, usize)>> = others
+            .iter()
+            .map(|&c| {
+                let dict_len = rel.dict(c).len();
+                let mut counts = vec![0usize; dict_len];
+                for &r in &rows {
+                    let code = rel.code(r, c) as usize;
+                    if code < dict_len {
+                        counts[code] += 1;
+                    }
+                }
+                let mut freqs: Vec<(u32, usize)> = counts
+                    .into_iter()
+                    .enumerate()
+                    .filter(|&(_, f)| f >= min_freq)
+                    .map(|(code, f)| (code as u32, f))
+                    .collect();
+                freqs.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+                freqs
+            })
+            .collect();
+        let max_len = per_col.iter().map(Vec::len).max().unwrap_or(0);
+        let mut picked = 1; // the hub
+        'family: for rank in 0..max_len {
+            for (oi, &b_col) in others.iter().enumerate() {
+                if picked >= per_group {
+                    break 'family;
+                }
+                if let Some(&(b_code, b_freq)) = per_col[oi].get(rank) {
+                    let (lo, hi) = window(b_freq);
+                    out.push(Constraint::multi(
+                        vec![
+                            (attr.clone(), value.clone()),
+                            (attr_name(rel, b_col), decode(rel, b_col, b_code)),
+                        ],
+                        lo,
+                        hi,
+                    ));
+                    picked += 1;
+                }
+            }
+        }
+    }
+    out
+}
+
 /// Sanity helper: retain only constraints whose attributes are QI in
 /// `rel` (useful when a spec file was written for a different schema).
 pub fn retain_bindable(rel: &Relation, constraints: Vec<Constraint>) -> Vec<Constraint> {
@@ -334,6 +435,31 @@ mod tests {
         let r = medical(1_000, 4);
         assert_eq!(proportional(&r, 5, 0.2, 5), proportional(&r, 5, 0.2, 5));
         assert_eq!(with_conflict_rate(&r, 8, 0.5, 5, 9), with_conflict_rate(&r, 8, 0.5, 5, 9));
+        assert_eq!(islands(&r, 4, 3, 0.5, 10), islands(&r, 4, 3, 0.5, 10));
+    }
+
+    #[test]
+    fn island_families_are_disjoint_and_satisfied_by_input() {
+        let r = medical(2_000, 7);
+        let sigma = islands(&r, 4, 3, 0.5, 10);
+        assert_eq!(sigma.len(), 12, "4 families x 3 constraints");
+        let set = ConstraintSet::bind(&sigma, &r).unwrap();
+        assert!(set.satisfied_by(&r), "input must satisfy its own windows");
+        // Every constraint's first target names the partition value; two
+        // constraints from different families must target disjoint rows.
+        let bound = set.constraints();
+        for i in 0..bound.len() {
+            let rows_i: std::collections::HashSet<usize> =
+                bound[i].target_rows.iter().copied().collect();
+            for j in i + 1..bound.len() {
+                if sigma[i].targets[0].1 != sigma[j].targets[0].1 {
+                    assert!(
+                        bound[j].target_rows.iter().all(|r| !rows_i.contains(r)),
+                        "families {i}/{j} share rows"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

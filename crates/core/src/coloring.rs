@@ -5,7 +5,7 @@ use std::sync::Arc;
 
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
-use rand::{Rng, SeedableRng};
+use rand::SeedableRng;
 
 use crate::budget::{Budget, DegradeReason};
 use crate::candidates::CandidateSet;
@@ -75,7 +75,12 @@ pub struct Coloring<'a> {
     config: &'a DivaConfig,
     state: SearchState,
     assignment: Vec<Option<usize>>,
-    rng: StdRng,
+    /// The nodes' *global* ids — their indices in the full,
+    /// pre-decomposition graph. Empty means identity (the monolithic
+    /// solve); a component-local search passes its node list so the
+    /// Basic strategy's hashed choices are keyed identically to the
+    /// monolithic run.
+    node_ids: Vec<u32>,
     stats: ColoringStats,
     /// Portfolio cancellation token: when another member wins, the
     /// search aborts with [`DivaError::Cancelled`] at the next poll
@@ -91,6 +96,24 @@ pub struct Coloring<'a> {
 /// == 0` — cheap enough to leave the hot path unaffected, frequent
 /// enough that losing portfolio members exit promptly.
 const CANCEL_POLL_MASK: u64 = 0xFF;
+
+/// Decorrelates the Basic strategy's candidate-order stream from its
+/// node-selection stream (both are keyed by the same (seed, node)).
+const CANDIDATE_ORDER_SALT: u64 = 0x5bd1_e995_0a1c_ca57;
+
+/// Position-independent hash behind the Basic strategy's "random"
+/// choices: a splitmix64-style finalizer over (seed, global node id).
+/// A stream RNG would entangle each choice with every previously
+/// visited node, so a component-local search could never replay the
+/// monolithic search's decisions; hashing by global node id makes the
+/// choice a pure function of the node, which is what makes
+/// decomposed and monolithic Basic solves byte-identical.
+fn basic_mix(seed: u64, x: u64) -> u64 {
+    let mut z = seed ^ x.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
 
 /// Why [`Coloring::color_remaining`] stopped before a verdict.
 enum Stop {
@@ -146,11 +169,29 @@ impl<'a> Coloring<'a> {
                 graph.n_rows(),
             ),
             assignment: vec![None; graph.n_nodes()],
-            rng: StdRng::seed_from_u64(config.seed),
+            node_ids: Vec::new(),
             stats: ColoringStats::default(),
             cancel: None,
             budget: None,
         }
+    }
+
+    /// Declares the nodes' global ids (their indices in the full,
+    /// pre-decomposition graph); defaults to the identity. Component
+    /// solves pass their node list so the Basic strategy's hashed
+    /// node/candidate choices match what the monolithic search would
+    /// do for the same nodes.
+    pub fn with_node_ids(mut self, ids: Vec<u32>) -> Self {
+        debug_assert_eq!(ids.len(), self.graph.n_nodes());
+        self.node_ids = ids;
+        self
+    }
+
+    /// The global id of local node `node` (identity when no remap was
+    /// declared).
+    #[inline]
+    fn global_id(&self, node: usize) -> u64 {
+        self.node_ids.get(node).map_or(node as u64, |&g| u64::from(g))
     }
 
     /// Attaches a cancellation token (used by the parallel portfolio):
@@ -238,7 +279,9 @@ impl<'a> Coloring<'a> {
             phase: "DiverseClustering".into(),
             detail,
         })?;
-        let clusters = self.state.live_clusters();
+        // Canonical order: registry order is chronology-dependent and
+        // would differ between monolithic and component-merged solves.
+        let clusters = self.state.live_clusters_canonical();
         Ok(ColoringOutcome {
             clusters,
             assignment: self.assignment.iter().filter_map(|a| *a).collect(),
@@ -261,7 +304,7 @@ impl<'a> Coloring<'a> {
                     detail,
                 })?;
                 Ok(ColoringOutcome {
-                    clusters: self.state.live_clusters(),
+                    clusters: self.state.live_clusters_canonical(),
                     assignment: self.assignment.iter().filter_map(|a| *a).collect(),
                     stats: self.stats.clone(),
                     degraded: Some(reason),
@@ -280,7 +323,15 @@ impl<'a> Coloring<'a> {
         };
         let mut order: Vec<usize> = (0..self.candidates[v].len()).collect();
         if self.config.strategy == Strategy::Basic {
-            order.shuffle(&mut self.rng);
+            // A fixed per-node permutation (keyed by the node's global
+            // id, not a shared stream) so re-expansions and
+            // component-local searches walk candidates in the same
+            // order as the monolithic search.
+            let mut rng = StdRng::seed_from_u64(basic_mix(
+                self.config.seed ^ CANDIDATE_ORDER_SALT,
+                self.global_id(v),
+            ));
+            order.shuffle(&mut rng);
         }
         for ci in order {
             self.stats.assignments_tried += 1;
@@ -375,7 +426,17 @@ impl<'a> Coloring<'a> {
         }
         self.stats.node_selections += 1;
         Some(match self.config.strategy {
-            Strategy::Basic => uncolored[self.rng.gen_range(0..uncolored.len())],
+            Strategy::Basic => {
+                // "Random" = smallest hash of (seed, global node id):
+                // a pure function of the uncoloured set, so the choice
+                // restricted to any component equals that component's
+                // own choice.
+                uncolored
+                    .iter()
+                    .min_by_key(|&&i| basic_mix(self.config.seed, self.global_id(i)))
+                    .copied()
+                    .unwrap_or(uncolored[0])
+            }
             Strategy::MinChoice => {
                 // Most restrictive first: fewest *currently consistent*
                 // candidates (rows still available given coloured

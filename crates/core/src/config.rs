@@ -69,9 +69,27 @@ pub struct DivaConfig {
     /// backtracking.
     pub enable_repair: bool,
     /// Worker-thread cap for the parallel portfolio
-    /// ([`crate::run_portfolio`]). `None` (the default) uses
+    /// ([`crate::run_portfolio`]) and the component worker pool.
+    /// `None` (the default) uses
     /// `std::thread::available_parallelism()`.
     pub threads: Option<usize>,
+    /// Whether the clustering phase decomposes the constraint graph
+    /// into connected components and solves them concurrently on the
+    /// bounded worker pool (on by default). Components are provably
+    /// independent sub-problems, so the published output is
+    /// byte-identical either way for exact outcomes — `false` forces
+    /// the historical monolithic solve (the differential suite's
+    /// reference path).
+    pub decompose: bool,
+    /// Node-count threshold at which a single hard component is solved
+    /// by an inner strategy portfolio (the three strategies racing on
+    /// that component, first valid colouring wins) instead of the
+    /// configured strategy alone. `None` (the default) disables the
+    /// inner portfolio; racing trades the byte-for-byte determinism of
+    /// the single-strategy pool for robustness on adversarial
+    /// components, exactly like [`crate::run_portfolio`] at whole-run
+    /// scope.
+    pub component_portfolio: Option<usize>,
     /// Observability handle: spans, counters, and histograms emitted
     /// by the pipeline land here. The default is the disabled handle
     /// ([`diva_obs::Obs::disabled`]), which records nothing and costs
@@ -106,6 +124,8 @@ impl Default for DivaConfig {
             l_diversity: 1,
             enable_repair: true,
             threads: None,
+            decompose: true,
+            component_portfolio: None,
             obs: diva_obs::Obs::disabled(),
             budget: crate::BudgetSpec::default(),
             #[cfg(feature = "fault-inject")]
@@ -157,6 +177,20 @@ impl DivaConfig {
         self
     }
 
+    /// Builder-style decomposition toggle (see
+    /// [`DivaConfig::decompose`]).
+    pub fn decompose(mut self, on: bool) -> Self {
+        self.decompose = on;
+        self
+    }
+
+    /// Builder-style inner-portfolio threshold (see
+    /// [`DivaConfig::component_portfolio`]).
+    pub fn component_portfolio(mut self, threshold: Option<usize>) -> Self {
+        self.component_portfolio = threshold;
+        self
+    }
+
     /// Builder-style worker-thread cap; use at construction so an
     /// out-of-range value is rejected up front.
     pub fn threads(mut self, threads: Option<usize>) -> Result<Self, crate::DivaError> {
@@ -197,6 +231,11 @@ mod tests {
         assert_eq!(c.k, 5);
         assert_eq!(c.strategy, Strategy::Basic);
         assert_eq!(c.seed, 9);
+        assert!(c.decompose, "decomposition is on by default");
+        assert!(c.component_portfolio.is_none());
+        let c = c.decompose(false).component_portfolio(Some(8));
+        assert!(!c.decompose);
+        assert_eq!(c.component_portfolio, Some(8));
     }
 
     #[test]

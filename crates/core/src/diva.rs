@@ -16,7 +16,7 @@ use diva_obs::{AllocDelta, SpanClose};
 
 use crate::budget::{Budget, BudgetUsage, Controls, DegradeReason, Outcome};
 use crate::candidates::CandidateSet;
-use crate::coloring::{Coloring, ColoringStats};
+use crate::coloring::ColoringStats;
 use crate::config::{DivaConfig, Strategy};
 use crate::error::DivaError;
 use crate::graph::ConstraintGraph;
@@ -284,14 +284,19 @@ impl Diva {
         }
         let uppers: Vec<usize> = set.constraints().iter().map(|c| c.upper).collect();
         let labels: Vec<String> = set.constraints().iter().map(|c| c.label()).collect();
-        let mut coloring = Coloring::new(&graph, &candidates, uppers, &labels, &self.config);
-        if let Some(token) = cancel {
-            coloring = coloring.with_cancel(Arc::clone(token));
-        }
-        if let Some(b) = &budget {
-            coloring = coloring.with_budget(Arc::clone(b));
-        }
-        let outcome = coloring.solve()?;
+        // Decomposition layer: connected components of the constraint
+        // graph are independent sub-problems, solved concurrently as
+        // compact local instances and merged back (byte-identical to
+        // the monolithic search for exact outcomes — DESIGN.md §12).
+        let outcome = crate::decompose::solve_clustering(
+            &graph,
+            &candidates,
+            &uppers,
+            &labels,
+            &self.config,
+            cancel,
+            budget.as_ref(),
+        )?;
         stats.coloring = outcome.stats.clone();
         let search_degraded = outcome.degraded;
         let mut s_sigma: Vec<Vec<RowId>> = outcome.clusters;
@@ -906,6 +911,48 @@ mod tests {
             Some(out.stats.candidates_generated as u64)
         );
         assert!(snap.histograms.iter().any(|(n, h)| n == "cluster.size" && h.count > 0));
+    }
+
+    #[test]
+    fn obs_records_component_spans_for_multi_component_runs() {
+        let r = paper_table1();
+        // African {4,5} + Vancouver {5,6,7,9} chain into one
+        // component; Calgary {0,1,2} is an island — two components.
+        let sigma = vec![
+            Constraint::single("ETH", "African", 2, 3),
+            Constraint::single("CTY", "Vancouver", 2, 4),
+            Constraint::single("CTY", "Calgary", 2, 3),
+        ];
+        let obs = diva_obs::Obs::enabled();
+        Diva::new(DivaConfig::with_k(2).obs(obs.clone())).run(&r, &sigma).unwrap();
+        let snap = obs.snapshot();
+        // Gauge + size histogram from the graph build.
+        let gauge = snap.gauges.iter().find(|(n, _)| n == "graph.components").map(|(_, v)| *v);
+        assert_eq!(gauge, Some(2), "graph.components gauge");
+        assert!(
+            snap.histograms.iter().any(|(n, h)| n == "graph.component_size" && h.count == 2),
+            "graph.component_size histogram"
+        );
+        // `diva.components` nests under `diva.clustering` and has one
+        // `diva.component` child per component.
+        let parent_of = |name: &str| snap.spans.iter().find(|s| s.name == name);
+        let components_span = parent_of("diva.components").expect("diva.components span");
+        let clustering_id = parent_of("diva.clustering").map(|s| s.id);
+        assert_eq!(components_span.parent, clustering_id);
+        let children: Vec<_> = snap.spans.iter().filter(|s| s.name == "diva.component").collect();
+        assert_eq!(children.len(), 2, "one span per component");
+        for c in &children {
+            assert_eq!(c.parent, Some(components_span.id));
+        }
+        // Each component's search nests under its component span.
+        let solves: Vec<_> = snap.spans.iter().filter(|s| s.name == "coloring.solve").collect();
+        assert_eq!(solves.len(), 2, "one search per component");
+        for s in &solves {
+            assert!(
+                children.iter().any(|c| Some(c.id) == s.parent),
+                "coloring.solve must nest under a diva.component span"
+            );
+        }
     }
 
     #[test]

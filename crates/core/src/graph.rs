@@ -136,9 +136,148 @@ impl ConstraintGraph {
         self.adj.iter().map(Vec::len).sum::<usize>() / 2
     }
 
+    /// Connected-component structure of the graph: per-node component
+    /// labels plus the component count. Components are numbered by
+    /// first appearance in node order (node 0 always lives in
+    /// component 0), so every caller sees the same stable component
+    /// order. Discovered by a union-find pass over the CSR inverted
+    /// index — all nodes listed for a row pairwise share that row,
+    /// hence are adjacent — which costs O(|CSR| α) instead of
+    /// touching the materialized edge lists.
+    pub fn component_labels(&self) -> (Vec<u32>, usize) {
+        fn find(parent: &mut [u32], mut x: u32) -> u32 {
+            // Path halving: point every other node at its grandparent.
+            while parent[x as usize] != x {
+                let gp = parent[parent[x as usize] as usize];
+                parent[x as usize] = gp;
+                x = gp;
+            }
+            x
+        }
+        let n = self.n_nodes();
+        let mut parent: Vec<u32> = (0..n as u32).collect();
+        for r in 0..self.n_rows {
+            let nodes =
+                &self.row_nodes[self.row_offsets[r] as usize..self.row_offsets[r + 1] as usize];
+            if let Some((&first, rest)) = nodes.split_first() {
+                let mut a = find(&mut parent, first);
+                for &b in rest {
+                    let rb = find(&mut parent, b);
+                    if rb == a {
+                        continue;
+                    }
+                    // Always keep the smaller id as the root so the
+                    // final labelling is independent of merge order.
+                    if rb < a {
+                        parent[a as usize] = rb;
+                        a = rb;
+                    } else {
+                        parent[rb as usize] = a;
+                    }
+                }
+            }
+        }
+        let mut labels = vec![0u32; n];
+        let mut dense = vec![u32::MAX; n];
+        let mut count = 0u32;
+        for i in 0..n as u32 {
+            let root = find(&mut parent, i) as usize;
+            if dense[root] == u32::MAX {
+                dense[root] = count;
+                count += 1;
+            }
+            labels[i as usize] = dense[root];
+        }
+        (labels, count as usize)
+    }
+
+    /// Builds the compact subgraph induced by one connected component.
+    ///
+    /// `nodes` holds the component's global node ids and `rows` the
+    /// union of their target rows, both ascending. Local ids are
+    /// positions within those slices, so the compact graph's row
+    /// capacity is the component footprint `rows.len()` rather than
+    /// the whole relation — per-component `RowSet`/`SearchState`
+    /// allocations shrink accordingly. Both remaps are monotone,
+    /// which preserves every node-order and row-order tie-break of
+    /// the monolithic solve.
+    ///
+    /// Errors when `nodes`/`rows` do not describe a closed component
+    /// (a target row missing from `rows`, or a neighbour outside
+    /// `nodes`): a mis-remapped component is corruption that must
+    /// surface, not be published.
+    pub fn compact_subgraph(&self, nodes: &[u32], rows: &[RowId]) -> Result<Self, String> {
+        let n_local_rows = rows.len();
+        let mut to_local_row = vec![u32::MAX; self.n_rows];
+        for (l, &g) in rows.iter().enumerate() {
+            if g >= self.n_rows {
+                return Err(format!(
+                    "compact_subgraph: row {g} outside graph row capacity {}",
+                    self.n_rows
+                ));
+            }
+            to_local_row[g] = l as u32;
+        }
+        let mut to_local_node = vec![u32::MAX; self.n_nodes()];
+        for (l, &g) in nodes.iter().enumerate() {
+            if g as usize >= self.n_nodes() {
+                return Err(format!(
+                    "compact_subgraph: node {g} outside graph with {} nodes",
+                    self.n_nodes()
+                ));
+            }
+            to_local_node[g as usize] = l as u32;
+        }
+        let mut target_sets = Vec::with_capacity(nodes.len());
+        for &g in nodes {
+            let global = &self.target_sets[g as usize];
+            let set = global.remap(n_local_rows, |r| {
+                let l = to_local_row[r];
+                (l != u32::MAX).then_some(l as usize)
+            })?;
+            if set.len() != global.len() {
+                return Err(format!(
+                    "compact_subgraph: node {g} has target rows outside the component row span"
+                ));
+            }
+            target_sets.push(set);
+        }
+        let mut row_offsets = Vec::with_capacity(n_local_rows + 1);
+        row_offsets.push(0u32);
+        let mut row_nodes = Vec::new();
+        for &g in rows {
+            for &gn in self.nodes_of(g) {
+                let ln = to_local_node[gn as usize];
+                if ln == u32::MAX {
+                    return Err(format!(
+                        "compact_subgraph: row {g} is targeted by node {gn} outside the component"
+                    ));
+                }
+                row_nodes.push(ln);
+            }
+            row_offsets.push(row_nodes.len() as u32);
+        }
+        let mut adj = Vec::with_capacity(nodes.len());
+        for &g in nodes {
+            let mut local_neighbors = Vec::with_capacity(self.adj[g as usize].len());
+            for &j in &self.adj[g as usize] {
+                let lj = to_local_node[j];
+                if lj == u32::MAX {
+                    return Err(format!(
+                        "compact_subgraph: node {g} is adjacent to {j} outside the component"
+                    ));
+                }
+                local_neighbors.push(lj as usize);
+            }
+            adj.push(local_neighbors);
+        }
+        Ok(Self { adj, target_sets, row_offsets, row_nodes, n_rows: n_local_rows })
+    }
+
     /// Publishes the CSR build stats (node/edge counts, inverted-index
-    /// size, row capacity, and the target-set size distribution) to
-    /// `obs`. Called once per pipeline run right after `BuildGraph`.
+    /// size, row capacity, the target-set size distribution, and the
+    /// connected-component count/size distribution) to `obs`. Called
+    /// once per pipeline run right after `BuildGraph`.
     pub fn record_to(&self, obs: &diva_obs::Obs) {
         if !obs.is_enabled() {
             return;
@@ -150,6 +289,16 @@ impl ConstraintGraph {
         let sizes = obs.histogram("graph.target_set_size");
         for s in &self.target_sets {
             sizes.record_len(s.len());
+        }
+        let (labels, n_components) = self.component_labels();
+        obs.gauge("graph.components").set(n_components as i64);
+        let mut component_sizes = vec![0usize; n_components];
+        for &l in &labels {
+            component_sizes[l as usize] += 1;
+        }
+        let comp_hist = obs.histogram("graph.component_size");
+        for s in component_sizes {
+            comp_hist.record_len(s);
         }
     }
 
@@ -196,6 +345,11 @@ impl ConstraintGraph {
                 n
             ));
         }
+        // Capacities are graph-relative: `n_rows` is the whole
+        // relation's target span for a built graph but the component
+        // footprint for a compact subgraph, and both are valid here —
+        // a target set only has to match the capacity of the graph it
+        // belongs to.
         for (i, set) in self.target_sets.iter().enumerate() {
             set.validate().map_err(|e| format!("ConstraintGraph: node {i} target set: {e}"))?;
             if set.capacity() != self.n_rows {
@@ -319,6 +473,94 @@ mod tests {
         let r = paper_table1();
         let set = ConstraintSet::bind(&[], &r).unwrap();
         ConstraintGraph::build(&set).validate().unwrap();
+    }
+
+    fn two_component_graph() -> ConstraintGraph {
+        // Asian targets rows {7,8,9}; African targets {4,5} — disjoint.
+        let r = paper_table1();
+        let set = ConstraintSet::bind(
+            &[Constraint::single("ETH", "Asian", 2, 5), Constraint::single("ETH", "African", 1, 3)],
+            &r,
+        )
+        .unwrap();
+        ConstraintGraph::build(&set)
+    }
+
+    #[test]
+    fn component_labels_split_disjoint_constraints() {
+        let (labels, n) = two_component_graph().component_labels();
+        assert_eq!(n, 2);
+        assert_eq!(labels, vec![0, 1]);
+        // The Figure-2 graph is connected: one component.
+        let (labels, n) = example_graph().component_labels();
+        assert_eq!(n, 1);
+        assert_eq!(labels, vec![0, 0, 0]);
+        // The empty graph has no components.
+        let r = paper_table1();
+        let set = ConstraintSet::bind(&[], &r).unwrap();
+        let (labels, n) = ConstraintGraph::build(&set).component_labels();
+        assert_eq!(n, 0);
+        assert!(labels.is_empty());
+    }
+
+    #[test]
+    fn compact_subgraph_preserves_structure_at_local_capacity() {
+        // Asian {7,8,9} and Vancouver {5,6,7,9} share rows 7 and 9:
+        // one component whose footprint is rows {5,6,7,8,9}.
+        let r = paper_table1();
+        let set = ConstraintSet::bind(
+            &[
+                Constraint::single("ETH", "Asian", 2, 5),
+                Constraint::single("CTY", "Vancouver", 2, 4),
+            ],
+            &r,
+        )
+        .unwrap();
+        let g = ConstraintGraph::build(&set);
+        let rows = vec![5, 6, 7, 8, 9];
+        let compact = g.compact_subgraph(&[0, 1], &rows).unwrap();
+        compact.validate().unwrap();
+        assert_eq!(compact.n_nodes(), 2);
+        assert_eq!(compact.n_rows(), rows.len(), "capacity shrinks to the footprint");
+        assert_eq!(compact.target_set(0).iter().collect::<Vec<_>>(), vec![2, 3, 4]);
+        assert_eq!(compact.target_set(1).iter().collect::<Vec<_>>(), vec![0, 1, 2, 4]);
+        assert_eq!(compact.neighbors(0), &[1]);
+        assert_eq!(compact.neighbors(1), &[0]);
+        assert_eq!(compact.nodes_of(2), &[0, 1], "local row 2 = global row 7");
+        assert_eq!(compact.nodes_of(3), &[0], "local row 3 = global row 8");
+    }
+
+    #[test]
+    fn compact_subgraph_rejects_unclosed_row_span() {
+        // Omitting global row 8 from the footprint orphans one of
+        // Asian's target rows: the compaction must refuse.
+        let r = paper_table1();
+        let set = ConstraintSet::bind(&[Constraint::single("ETH", "Asian", 2, 5)], &r).unwrap();
+        let g = ConstraintGraph::build(&set);
+        let err = g.compact_subgraph(&[0], &[7, 9]).unwrap_err();
+        assert!(err.contains("outside the component row span"), "{err}");
+    }
+
+    #[test]
+    fn validate_reports_mis_remapped_row_id() {
+        // Corruption injection for the compact path: pretend the remap
+        // sent global row 8 to the wrong local id, so node 0's target
+        // set names a local row the CSR index never listed for it.
+        let r = paper_table1();
+        let set = ConstraintSet::bind(
+            &[
+                Constraint::single("ETH", "Asian", 2, 5),
+                Constraint::single("CTY", "Vancouver", 2, 4),
+            ],
+            &r,
+        )
+        .unwrap();
+        let g = ConstraintGraph::build(&set);
+        let mut compact = g.compact_subgraph(&[0, 1], &[5, 6, 7, 8, 9]).unwrap();
+        compact.target_sets[0].remove(3); // drop the true local id of row 8
+        compact.target_sets[0].insert(0); // claim local row 0 (global 5) instead
+        let err = compact.validate().unwrap_err();
+        assert!(err.contains("CSR index omits it"), "{err}");
     }
 
     #[test]

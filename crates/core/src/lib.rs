@@ -40,6 +40,7 @@ pub mod budget;
 pub mod candidates;
 pub mod coloring;
 pub mod config;
+pub mod decompose;
 pub mod diva;
 pub mod error;
 #[cfg(feature = "fault-inject")]
@@ -47,12 +48,14 @@ pub mod faults;
 pub mod graph;
 pub mod integrate;
 pub mod parallel;
+pub mod pool;
 pub mod state;
 
 pub use budget::{Budget, BudgetSpec, BudgetUsage, Controls, DegradeReason, Outcome};
 pub use candidates::CandidateSet;
 pub use coloring::{Coloring, ColoringOutcome, ColoringStats};
 pub use config::{DivaConfig, Strategy};
+pub use decompose::{components, Component};
 pub use diva::{Diva, DivaResult, PhaseAlloc, RunStats};
 pub use diva_obs as obs;
 pub use error::DivaError;

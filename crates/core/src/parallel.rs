@@ -232,8 +232,10 @@ where
     Err(best_err.unwrap_or(DivaError::EmptyPortfolio))
 }
 
-/// Best-effort stringification of a caught panic payload.
-fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+/// Best-effort stringification of a caught panic payload. Shared with
+/// the component worker pool ([`crate::pool`]), which contains panics
+/// the same way.
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     payload
         .downcast_ref::<&str>()
         .map(|s| (*s).to_string())

@@ -318,6 +318,20 @@ impl SearchState {
         self.clusters.iter().flatten().filter(|e| e.refcount > 0).map(|e| e.rows.clone()).collect()
     }
 
+    /// The live clusters in canonical (lexicographic) order. Registry
+    /// order depends on assignment chronology, which differs between
+    /// the monolithic solve and a component-merged solve even when the
+    /// cluster *sets* are identical — every publisher goes through
+    /// this instead of [`SearchState::live_clusters`] so both paths
+    /// emit byte-identical output. Rows within a cluster are already
+    /// ascending and live clusters are pairwise distinct, so the sort
+    /// is a strict total order.
+    pub fn live_clusters_canonical(&self) -> Vec<Vec<RowId>> {
+        let mut clusters = self.live_clusters();
+        clusters.sort_unstable();
+        clusters
+    }
+
     /// Rows covered by the live clusters, ascending.
     pub fn covered_rows(&self) -> Vec<RowId> {
         self.row_owner.iter().enumerate().filter(|(_, &o)| o != NO_OWNER).map(|(r, _)| r).collect()
@@ -556,6 +570,19 @@ mod tests {
         assert_eq!(st.retained(0), 2);
         assert_eq!(st.retained(2), 2);
         assert_eq!(st.retained(1), 0);
+    }
+
+    #[test]
+    fn canonical_cluster_order_is_chronology_independent() {
+        let (g, mut st) = setup();
+        let _t1 = st.try_assign(&vec![vec![7, 9]], &g).unwrap();
+        let _t2 = st.try_assign(&vec![vec![4, 5]], &g).unwrap();
+        let (g2, mut st2) = setup();
+        let _t1 = st2.try_assign(&vec![vec![4, 5]], &g2).unwrap();
+        let _t2 = st2.try_assign(&vec![vec![7, 9]], &g2).unwrap();
+        assert_ne!(st.live_clusters(), st2.live_clusters(), "registry order is chronological");
+        assert_eq!(st.live_clusters_canonical(), st2.live_clusters_canonical());
+        assert_eq!(st.live_clusters_canonical(), vec![vec![4, 5], vec![7, 9]]);
     }
 
     #[test]

@@ -14,9 +14,9 @@
 //!   `BTreeMap`; the one sanctioned use (the FNV-keyed cluster
 //!   registry in `state.rs`) is on the built-in allowlist.
 //! * **`thread-spawn`** — detached `std::thread::spawn` only in
-//!   `core::parallel`, where the portfolio's cancellation token
-//!   governs worker lifetimes (scoped `thread::scope` joins are fine
-//!   anywhere).
+//!   `core::parallel` (portfolio workers governed by the cancellation
+//!   token) and `core::pool` (the component worker pool); scoped
+//!   `thread::scope` joins are fine anywhere.
 //! * **`wall-clock`** — no `Instant::now`/`SystemTime::now`/ambient
 //!   RNG anywhere except `crates/obs/src/`: every clock read flows
 //!   through `diva_obs` (spans or `Stopwatch`) so timings are
@@ -429,10 +429,11 @@ pub fn scan_file(path: &str, source: &str) -> Vec<Violation> {
     );
     token_rule(
         "thread-spawn",
-        path != "crates/core/src/parallel.rs",
+        path != "crates/core/src/parallel.rs" && path != "crates/core/src/pool.rs",
         SPAWN_TOKENS,
-        "outside `core::parallel` — detached workers must poll the portfolio cancellation \
-         token; use `std::thread::scope` or route the work through `run_portfolio`",
+        "outside `core::parallel`/`core::pool` — detached workers must poll the portfolio \
+         cancellation token; use `std::thread::scope` or route the work through \
+         `run_portfolio` or the component pool",
     );
     token_rule(
         "wall-clock",

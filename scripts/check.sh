@@ -5,7 +5,8 @@
 # Usage: scripts/check.sh  (from the repo root; pass --offline through
 # CARGO_FLAGS if the environment has no registry access; set
 # SKIP_BENCH=1 to skip the bench smoke during quick iterations,
-# SKIP_FAULTS=1 to skip the fault-injection matrix, and
+# SKIP_FAULTS=1 to skip the fault-injection matrix,
+# SKIP_DECOMP=1 to skip the decomposition differential, and
 # SKIP_PROFILE=1 to skip the profiling capture + trace-diff gate).
 set -eu
 
@@ -54,6 +55,14 @@ cargo test $FLAGS -q --workspace
 echo "==> cargo test -q --features strict-invariants (runtime validators)"
 cargo test $FLAGS -q --features strict-invariants -p diva-core
 cargo test $FLAGS -q --features strict-invariants --test pipeline
+
+if [ "${SKIP_DECOMP:-0}" = "1" ]; then
+    echo "==> decomposition differential skipped (SKIP_DECOMP=1)"
+else
+    echo "==> decomposition differential under strict-invariants (byte-identity)"
+    cargo test $FLAGS -q --features strict-invariants --test differential \
+        decomposed_solve_is_byte_identical_to_monolithic
+fi
 
 if [ "${SKIP_FAULTS:-0}" = "1" ]; then
     echo "==> fault-injection matrix skipped (SKIP_FAULTS=1)"

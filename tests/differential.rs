@@ -26,6 +26,51 @@ fn instances() -> Vec<(&'static str, Relation, Vec<Constraint>, usize)> {
     vec![("medical", medical, medical_sigma, 5), ("popsyn", popsyn, popsyn_sigma, 10)]
 }
 
+/// Instances for the decomposition differential: the calibrated pair
+/// (whose proportional σ chains into a single component, pinning the
+/// decomposed path's parity with the monolithic fast path) plus a
+/// genuinely many-component instance from the `islands` generator
+/// (8 disjoint constraint families → 8 components of 2 nodes each;
+/// windows loose enough that even naive Basic solves every family).
+fn decomposition_instances() -> Vec<(&'static str, Relation, Vec<Constraint>, usize)> {
+    let mut out = instances();
+    let many = diva_datagen::medical(1_500, 17);
+    let many_sigma = generators::islands(&many, 8, 2, 0.9, 20);
+    out.push(("medical-many", many, many_sigma, 5));
+    out
+}
+
+/// The decomposition layer's tentpole guarantee: for every strategy
+/// and thread count, component-parallel solving publishes the
+/// byte-identical relation the forced-monolithic solve publishes.
+/// The inner component portfolio stays off — racing is wall-clock
+/// nondeterministic by design, so only the pure pool is pinned here.
+#[test]
+fn decomposed_solve_is_byte_identical_to_monolithic() {
+    for (name, rel, sigma, k) in decomposition_instances() {
+        for strategy in Strategy::all() {
+            let base =
+                DivaConfig { k, strategy, backtrack_limit: Some(50_000), ..DivaConfig::default() };
+            let mono = Diva::new(DivaConfig { decompose: false, threads: Some(1), ..base.clone() })
+                .run(&rel, &sigma)
+                .unwrap_or_else(|e| panic!("{name}/{strategy}: monolithic failed: {e}"));
+            assert!(mono.outcome.is_exact(), "{name}/{strategy}: monolithic degraded");
+            let reference = fingerprint(&mono);
+            for threads in [1usize, 2, 8] {
+                let out = Diva::new(DivaConfig { threads: Some(threads), ..base.clone() })
+                    .run(&rel, &sigma)
+                    .unwrap_or_else(|e| panic!("{name}/{strategy}/t{threads}: {e}"));
+                assert!(out.outcome.is_exact(), "{name}/{strategy}/t{threads}: degraded");
+                assert_eq!(
+                    fingerprint(&out),
+                    reference,
+                    "{name}/{strategy}: decomposed (threads={threads}) diverged from monolithic"
+                );
+            }
+        }
+    }
+}
+
 /// Every solver configuration agrees the calibrated instances are
 /// satisfiable, produces a valid (k, Σ)-anonymization, and lands
 /// within the expected suppression band: the guided strategies within

@@ -4,7 +4,9 @@
 use std::sync::Arc;
 
 use diva_constraints::{Constraint, ConstraintSet};
-use diva_core::{Diva, DivaConfig, DivaError, Strategy as DivaStrategy};
+use diva_core::{
+    components, ConstraintGraph, Diva, DivaConfig, DivaError, Strategy as DivaStrategy,
+};
 use diva_relation::suppress::is_refinement;
 use diva_relation::{is_k_anonymous, Attribute, Relation, RelationBuilder, Schema};
 use proptest::prelude::*;
@@ -173,6 +175,57 @@ proptest! {
                 // Pre-search infeasibility proofs still beat degradation.
             }
             Err(e) => prop_assert!(false, "unexpected error class under budget: {e}"),
+        }
+    }
+
+    /// Decomposition is an exact partition of the constraint graph:
+    /// every node lands in exactly one component, every targeted row
+    /// in exactly one component footprint (untargeted rows in none),
+    /// and no adjacency or CSR entry crosses a component boundary.
+    #[test]
+    fn decomposition_is_an_exact_partition(
+        rel in arb_relation(),
+        picks in proptest::collection::vec((0usize..4, 0usize..4), 1..5),
+        k in 2usize..4,
+    ) {
+        let sigma = arb_sigma(&rel, &picks, k);
+        let set = ConstraintSet::bind(&sigma, &rel).unwrap();
+        let graph = ConstraintGraph::build(&set);
+        let comps = components(&graph);
+        // Node partition.
+        let mut node_comp = vec![usize::MAX; graph.n_nodes()];
+        for (ci, comp) in comps.iter().enumerate() {
+            for &n in &comp.nodes {
+                prop_assert_eq!(node_comp[n as usize], usize::MAX, "node {} twice", n);
+                node_comp[n as usize] = ci;
+            }
+        }
+        prop_assert!(node_comp.iter().all(|&c| c != usize::MAX), "node in no component");
+        // Row partition over the targeted rows.
+        let mut row_comp = vec![usize::MAX; graph.n_rows()];
+        for (ci, comp) in comps.iter().enumerate() {
+            for &r in &comp.rows {
+                prop_assert_eq!(row_comp[r], usize::MAX, "row {} in two footprints", r);
+                row_comp[r] = ci;
+            }
+        }
+        for (r, &rc) in row_comp.iter().enumerate() {
+            let nodes = graph.nodes_of(r);
+            if nodes.is_empty() {
+                prop_assert_eq!(rc, usize::MAX, "untargeted row {} claimed", r);
+            }
+            for &n in nodes {
+                prop_assert_eq!(
+                    rc, node_comp[n as usize],
+                    "row {} and its node {} disagree", r, n
+                );
+            }
+        }
+        // No edge crosses a boundary.
+        for i in 0..graph.n_nodes() {
+            for &j in graph.neighbors(i) {
+                prop_assert_eq!(node_comp[i], node_comp[j], "edge {}-{} crosses", i, j);
+            }
         }
     }
 
