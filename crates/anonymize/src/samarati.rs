@@ -71,7 +71,7 @@ impl Samarati {
     pub fn anonymize(&self, rel: &Relation, k: usize) -> Option<FullDomainResult> {
         assert!(k > 0, "k must be positive");
         let qi_cols = rel.schema().qi_cols().to_vec();
-        let hierarchies: Vec<Hierarchy> = qi_cols
+        let qi_hierarchies: Vec<Hierarchy> = qi_cols
             .iter()
             .map(|&c| {
                 let name = rel.schema().attribute(c).name();
@@ -85,7 +85,7 @@ impl Samarati {
                 })
             })
             .collect();
-        let heights: Vec<usize> = hierarchies.iter().map(|h| h.height()).collect();
+        let heights: Vec<usize> = qi_hierarchies.iter().map(|h| h.height()).collect();
         let max_height: usize = heights.iter().sum();
 
         // Binary search the minimal satisfiable height.
@@ -94,10 +94,11 @@ impl Samarati {
 
         // The top of the lattice is all-★: satisfiable iff n ≥ k or
         // n ≤ max_sup.
-        let mut best = self.satisfiable_at(rel, &qi_cols, &hierarchies, &heights, max_height, k)?;
+        let mut best =
+            self.satisfiable_at(rel, &qi_cols, &qi_hierarchies, &heights, max_height, k)?;
         while lo < hi {
             let mid = lo + (hi - lo) / 2;
-            match self.satisfiable_at(rel, &qi_cols, &hierarchies, &heights, mid, k) {
+            match self.satisfiable_at(rel, &qi_cols, &qi_hierarchies, &heights, mid, k) {
                 Some(sol) => {
                     best = sol;
                     hi = mid;
@@ -106,7 +107,7 @@ impl Samarati {
             }
         }
         let (levels, suppressed_rows) = best;
-        let relation = materialize(rel, &qi_cols, &hierarchies, &levels, &suppressed_rows);
+        let relation = materialize(rel, &qi_cols, &qi_hierarchies, &levels, &suppressed_rows);
         let height = levels.iter().sum();
         Some(FullDomainResult { relation, levels, suppressed_rows, height })
     }

@@ -22,7 +22,7 @@ fn distribution(rel: &Relation, rows: &[RowId], sens_cols: &[usize]) -> HashMap<
         *counts.entry(key).or_default() += 1;
     }
     let n = rows.len().max(1) as f64;
-    counts.into_iter().map(|(k, c)| (k, c as f64 / n)).collect()
+    counts.into_iter().map(|(k, c)| (k, c as f64 / n)).collect::<HashMap<_, _>>()
 }
 
 /// Total variation distance between two distributions over the same

@@ -59,30 +59,30 @@ impl Hierarchy {
     /// # Panics
     ///
     /// Panics on duplicate leaves or empty input.
-    pub fn from_chains<S: AsRef<str>>(chains: &[Vec<S>]) -> Self {
-        assert!(!chains.is_empty(), "hierarchy needs at least one leaf");
-        let height = chains.iter().map(Vec::len).max().unwrap_or(0);
+    pub fn from_chains<S: AsRef<str>>(leaf_chains: &[Vec<S>]) -> Self {
+        assert!(!leaf_chains.is_empty(), "hierarchy needs at least one leaf");
+        let height = leaf_chains.iter().map(Vec::len).max().unwrap_or(0);
         let mut map: HashMap<String, Vec<String>> = HashMap::new();
-        for chain in chains {
+        let mut cover: HashMap<String, usize> = HashMap::new();
+        // Cover counts accumulate in input order (not map order), so
+        // ties in downstream consumers break deterministically.
+        for chain in leaf_chains {
             assert!(!chain.is_empty(), "empty chain");
             let mut padded: Vec<String> = chain.iter().map(|s| s.as_ref().to_string()).collect();
             while padded.len() < height {
                 let last = padded.last().cloned().unwrap_or_default();
                 padded.push(last);
             }
-            let leaf = padded[0].clone();
-            assert!(map.insert(leaf.clone(), padded).is_none(), "duplicate leaf {leaf:?}");
-        }
-        let mut cover: HashMap<String, usize> = HashMap::new();
-        for chain in map.values() {
             // Each leaf contributes once to every distinct ancestor
             // label on its chain.
             let mut seen = std::collections::HashSet::new();
-            for label in chain {
-                if seen.insert(label) {
+            for label in &padded {
+                if seen.insert(label.clone()) {
                     *cover.entry(label.clone()).or_default() += 1;
                 }
             }
+            let leaf = padded[0].clone();
+            assert!(map.insert(leaf.clone(), padded).is_none(), "duplicate leaf {leaf:?}");
         }
         let n_leaves = map.len();
         Self { chains: map, height, cover, n_leaves }

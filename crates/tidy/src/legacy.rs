@@ -1,0 +1,182 @@
+//! The pre-lexer line stripper, kept verbatim as the differential
+//! oracle: `lexer::blank_literals` must reproduce this function's
+//! output byte for byte on every source file (see
+//! `tests/self_test.rs`). It is not used by any rule.
+
+/// Strips comments and string/char literals, blanking them to spaces
+/// (so columns and braces outside literals are preserved).
+#[must_use]
+pub fn strip_comments_and_strings(source: &str) -> Vec<String> {
+    #[derive(PartialEq)]
+    enum St {
+        Normal,
+        LineComment,
+        BlockComment(usize),
+        Str,
+        RawStr(usize),
+    }
+    let mut st = St::Normal;
+    let mut out = Vec::new();
+    let mut cur = String::new();
+    let chars: Vec<char> = source.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '\n' {
+            if st == St::LineComment {
+                st = St::Normal;
+            }
+            out.push(std::mem::take(&mut cur));
+            i += 1;
+            continue;
+        }
+        match st {
+            St::Normal => {
+                if c == '/' && chars.get(i + 1) == Some(&'/') {
+                    st = St::LineComment;
+                    cur.push(' ');
+                    i += 1;
+                    cur.push(' ');
+                } else if c == '/' && chars.get(i + 1) == Some(&'*') {
+                    st = St::BlockComment(1);
+                    cur.push_str("  ");
+                    i += 1;
+                } else if c == '"' {
+                    st = St::Str;
+                    cur.push(' ');
+                } else if let Some((skip, hashes)) = ((c == 'r' || c == 'b')
+                    && !prev_is_ident(&cur))
+                .then(|| raw_str_hashes(&chars[i..]))
+                .flatten()
+                {
+                    for _ in 0..=skip {
+                        cur.push(' ');
+                    }
+                    i += skip;
+                    st = St::RawStr(hashes);
+                } else if c == '\'' {
+                    // Char literal vs lifetime: 'x' or '\x…' is a
+                    // literal; anything else is a lifetime tick.
+                    if chars.get(i + 1) == Some(&'\\') {
+                        cur.push(' ');
+                        i += 1;
+                        while i < chars.len() && chars[i] != '\'' {
+                            if chars[i] == '\\' {
+                                i += 1;
+                                cur.push(' ');
+                            }
+                            cur.push(' ');
+                            i += 1;
+                        }
+                        cur.push(' ');
+                    } else if chars.get(i + 2) == Some(&'\'') {
+                        cur.push_str("   ");
+                        i += 2;
+                    } else {
+                        cur.push('\'');
+                    }
+                } else {
+                    cur.push(c);
+                }
+            }
+            St::LineComment => cur.push(' '),
+            St::BlockComment(depth) => {
+                if c == '*' && chars.get(i + 1) == Some(&'/') {
+                    st = if depth == 1 { St::Normal } else { St::BlockComment(depth - 1) };
+                    cur.push_str("  ");
+                    i += 1;
+                } else if c == '/' && chars.get(i + 1) == Some(&'*') {
+                    st = St::BlockComment(depth + 1);
+                    cur.push_str("  ");
+                    i += 1;
+                } else {
+                    cur.push(' ');
+                }
+            }
+            St::Str => {
+                if c == '\\' {
+                    cur.push_str("  ");
+                    i += 1;
+                } else if c == '"' {
+                    st = St::Normal;
+                    cur.push(' ');
+                } else {
+                    cur.push(' ');
+                }
+            }
+            St::RawStr(hashes) => {
+                if c == '"' && closes_raw(&chars[i..], hashes) {
+                    for _ in 0..=hashes {
+                        cur.push(' ');
+                    }
+                    i += hashes;
+                    st = St::Normal;
+                } else {
+                    cur.push(' ');
+                }
+            }
+        }
+        i += 1;
+    }
+    if !cur.is_empty() || source.ends_with('\n') {
+        out.push(cur);
+    }
+    out
+}
+
+/// Whether the blanked text so far ends in an identifier character (so
+/// `r` in `for` is not mistaken for a raw-string sigil).
+fn prev_is_ident(cur: &str) -> bool {
+    cur.chars().next_back().is_some_and(|c| c.is_alphanumeric() || c == '_')
+}
+
+/// If `chars` starts a raw string (`r"`, `r#"`, `br##"`, …), returns
+/// `(offset_of_opening_quote, n_hashes)`.
+fn raw_str_hashes(chars: &[char]) -> Option<(usize, usize)> {
+    let mut j = 1;
+    if chars.first() == Some(&'b') {
+        if chars.get(1) != Some(&'r') {
+            return None;
+        }
+        j = 2;
+    }
+    let start = j;
+    while chars.get(j) == Some(&'#') {
+        j += 1;
+    }
+    (chars.get(j) == Some(&'"')).then_some((j, j - start))
+}
+
+/// Whether a `"` at the head of `chars` is followed by enough `#`s to
+/// close a raw string opened with `hashes` hashes.
+fn closes_raw(chars: &[char], hashes: usize) -> bool {
+    (1..=hashes).all(|k| chars.get(k) == Some(&'#'))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strips_line_and_block_comments() {
+        let s = strip_comments_and_strings("a // unwrap()\nb /* panic! */ c\n");
+        assert!(!s[0].contains("unwrap"));
+        assert!(!s[1].contains("panic"));
+        assert!(s[1].contains('c'));
+    }
+
+    #[test]
+    fn strips_strings_and_chars_keeps_lifetimes() {
+        let s = strip_comments_and_strings("let x = \".unwrap()\"; let c = '{'; &'a str\n");
+        assert!(!s[0].contains("unwrap"));
+        assert!(!s[0].contains('{'), "char literal brace blanked");
+        assert!(s[0].contains("&'a str"), "lifetime survives: {}", s[0]);
+    }
+
+    #[test]
+    fn raw_strings_are_blanked() {
+        let s = strip_comments_and_strings("let x = r#\"panic!\"#; y\n");
+        assert!(!s[0].contains("panic"));
+        assert!(s[0].contains('y'));
+    }
+}

@@ -1,0 +1,419 @@
+//! A small dependency-free Rust lexer: the token layer `diva-tidy`'s
+//! structural rules are built on.
+//!
+//! The lexer produces a flat stream of [`Token`]s with 1-based
+//! line/column spans. It is deliberately not a full grammar — just
+//! enough lexical structure that rules can match identifier/punct
+//! sequences without ever firing inside comments, strings, or char
+//! literals, and so diagnostics carry exact columns.
+//!
+//! Fidelity contract: blanking every comment/string/char token of the
+//! stream out of the source (see [`blank_literals`]) reproduces the
+//! legacy line-stripper's output byte for byte; the differential
+//! self-test in `tests/self_test.rs` proves this over every `.rs` file
+//! in the repository and a proptest corpus.
+
+/// Lexical class of a [`Token`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`fn`, `HashMap`, `unsafe`, …).
+    Ident,
+    /// Lifetime or loop label (`'a`, `'static`) — the tick plus the
+    /// identifier.
+    Lifetime,
+    /// A single punctuation character (`.`, `:`, `{`, …). Multi-char
+    /// operators are consecutive `Punct` tokens.
+    Punct,
+    /// Numeric literal (integer or float, any base, with suffix).
+    Number,
+    /// `"…"` string literal, quotes included.
+    Str,
+    /// Raw string literal (`r"…"`, `r#"…"#`, `br#"…"#`), prefix and
+    /// hashes included.
+    RawStr,
+    /// Char literal (`'x'`, `'\n'`), quotes included.
+    Char,
+    /// `// …` comment up to (not including) the newline. Doc line
+    /// comments (`///`, `//!`) are included — inspect `text`.
+    LineComment,
+    /// `/* … */` comment, nesting-aware, delimiters included.
+    BlockComment,
+}
+
+/// One lexed token with its exact source text and start position.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// Lexical class.
+    pub kind: TokKind,
+    /// Verbatim source text of the token.
+    pub text: String,
+    /// 1-based line of the first character.
+    pub line: usize,
+    /// 1-based column (in chars) of the first character.
+    pub col: usize,
+}
+
+impl Token {
+    /// Whether the token is a (line or block) comment.
+    #[must_use]
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokKind::LineComment | TokKind::BlockComment)
+    }
+
+    /// Whether the token is a string/char literal of any flavour.
+    #[must_use]
+    pub fn is_literal_text(&self) -> bool {
+        matches!(self.kind, TokKind::Str | TokKind::RawStr | TokKind::Char)
+    }
+
+    /// Whether this token is exactly the identifier `s`.
+    #[must_use]
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// Whether this token is exactly the punctuation char `c`.
+    #[must_use]
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct && self.text.len() == c.len_utf8() && self.text.starts_with(c)
+    }
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    i: usize,
+    line: usize,
+    col: usize,
+}
+
+impl Lexer {
+    fn peek(&self, n: usize) -> Option<char> {
+        self.chars.get(self.i + n).copied()
+    }
+
+    /// Consumes one char, tracking line/col.
+    fn bump(&mut self, buf: &mut String) {
+        let c = self.chars[self.i];
+        buf.push(c);
+        self.i += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+    }
+
+    fn bump_n(&mut self, n: usize, buf: &mut String) {
+        for _ in 0..n {
+            if self.i < self.chars.len() {
+                self.bump(buf);
+            }
+        }
+    }
+
+    fn is_ident_char(c: char) -> bool {
+        c.is_alphanumeric() || c == '_'
+    }
+
+    /// If position `i` starts a raw string (`r"`, `r#"`, `br##"`, …),
+    /// returns the total prefix length up to and including the opening
+    /// quote, and the number of hashes.
+    fn raw_str_open(&self) -> Option<(usize, usize)> {
+        let mut j = match (self.peek(0), self.peek(1)) {
+            (Some('r'), _) => 1,
+            (Some('b'), Some('r')) => 2,
+            _ => return None,
+        };
+        let start = j;
+        while self.peek(j) == Some('#') {
+            j += 1;
+        }
+        (self.peek(j) == Some('"')).then_some((j + 1, j - start))
+    }
+}
+
+/// Lexes `source` into a token stream. Whitespace is dropped;
+/// everything else (including comments) is kept. Never fails: any
+/// unexpected byte becomes a `Punct` token and unterminated literals
+/// run to end of input.
+#[must_use]
+pub fn lex(source: &str) -> Vec<Token> {
+    let mut lx = Lexer { chars: source.chars().collect(), i: 0, line: 1, col: 1 };
+    let mut toks = Vec::new();
+    while lx.i < lx.chars.len() {
+        let c = lx.chars[lx.i];
+        if c.is_whitespace() {
+            lx.bump(&mut String::new());
+            continue;
+        }
+        let (line, col) = (lx.line, lx.col);
+        let mut text = String::new();
+        let kind = if c == '/' && lx.peek(1) == Some('/') {
+            while lx.i < lx.chars.len() && lx.chars[lx.i] != '\n' {
+                lx.bump(&mut text);
+            }
+            TokKind::LineComment
+        } else if c == '/' && lx.peek(1) == Some('*') {
+            lx.bump_n(2, &mut text);
+            let mut depth = 1usize;
+            while lx.i < lx.chars.len() && depth > 0 {
+                if lx.peek(0) == Some('/') && lx.peek(1) == Some('*') {
+                    lx.bump_n(2, &mut text);
+                    depth += 1;
+                } else if lx.peek(0) == Some('*') && lx.peek(1) == Some('/') {
+                    lx.bump_n(2, &mut text);
+                    depth -= 1;
+                } else {
+                    lx.bump(&mut text);
+                }
+            }
+            TokKind::BlockComment
+        } else if c == '"' {
+            lex_string(&mut lx, &mut text);
+            TokKind::Str
+        } else if let Some((open_len, hashes)) = lx.raw_str_open() {
+            lx.bump_n(open_len, &mut text);
+            while let Some(ch) = lx.peek(0) {
+                if ch == '"' && (1..=hashes).all(|k| lx.peek(k) == Some('#')) {
+                    lx.bump_n(1 + hashes, &mut text);
+                    break;
+                }
+                lx.bump(&mut text);
+            }
+            TokKind::RawStr
+        } else if c == '\'' {
+            // Char literal vs lifetime, mirroring the legacy stripper:
+            // '\… or 'x' is a literal; anything else is a tick.
+            if lx.peek(1) == Some('\\') {
+                lx.bump(&mut text); // opening '
+                while let Some(ch) = lx.peek(0) {
+                    if ch == '\\' {
+                        lx.bump_n(2, &mut text);
+                    } else if ch == '\'' {
+                        lx.bump(&mut text);
+                        break;
+                    } else {
+                        lx.bump(&mut text);
+                    }
+                }
+                TokKind::Char
+            } else if lx.peek(2) == Some('\'') {
+                lx.bump_n(3, &mut text);
+                TokKind::Char
+            } else {
+                lx.bump(&mut text);
+                let mut any = false;
+                while lx.peek(0).is_some_and(Lexer::is_ident_char) {
+                    lx.bump(&mut text);
+                    any = true;
+                }
+                if any {
+                    TokKind::Lifetime
+                } else {
+                    TokKind::Punct
+                }
+            }
+        } else if Lexer::is_ident_char(c) && !c.is_ascii_digit() {
+            while lx.peek(0).is_some_and(Lexer::is_ident_char) {
+                lx.bump(&mut text);
+            }
+            TokKind::Ident
+        } else if c.is_ascii_digit() {
+            while lx.peek(0).is_some_and(Lexer::is_ident_char) {
+                lx.bump(&mut text);
+            }
+            // Fraction part: `1.5` but not `1..2` or `1.method()`.
+            if lx.peek(0) == Some('.') && lx.peek(1).is_some_and(|d| d.is_ascii_digit()) {
+                lx.bump(&mut text);
+                while lx.peek(0).is_some_and(Lexer::is_ident_char) {
+                    lx.bump(&mut text);
+                }
+            }
+            TokKind::Number
+        } else {
+            lx.bump(&mut text);
+            TokKind::Punct
+        };
+        toks.push(Token { kind, text, line, col });
+    }
+    toks
+}
+
+fn lex_string(lx: &mut Lexer, text: &mut String) {
+    lx.bump(text); // opening quote
+    while let Some(ch) = lx.peek(0) {
+        if ch == '\\' {
+            lx.bump_n(2, text);
+        } else if ch == '"' {
+            lx.bump(text);
+            break;
+        } else {
+            lx.bump(text);
+        }
+    }
+}
+
+/// Blanks every comment and string/char literal of `source` to spaces
+/// (one space per char, newlines preserved) and returns the result
+/// line by line — exactly one output line per source line, so rules
+/// may index the result by token line numbers. This is the
+/// preprocessed text the line-oriented legacy rules run on.
+#[must_use]
+pub fn blank_lines(source: &str) -> Vec<String> {
+    let mut lines: Vec<Vec<char>> = source.split('\n').map(|l| l.chars().collect()).collect();
+    for t in lex(source) {
+        if !(t.is_comment() || t.is_literal_text()) {
+            continue;
+        }
+        let mut line = t.line - 1;
+        let mut col = t.col - 1;
+        for ch in t.text.chars() {
+            if ch == '\n' {
+                line += 1;
+                col = 0;
+            } else {
+                lines[line][col] = ' ';
+                col += 1;
+            }
+        }
+    }
+    lines.into_iter().map(|v| v.into_iter().collect()).collect()
+}
+
+/// [`blank_lines`] with the legacy stripper's one behavioural quirk
+/// replayed: a `\`-newline continuation inside a (non-raw) string or
+/// char literal counts as an ordinary escape pair, so the consumed
+/// newline never ends a line — the stripper emitted the two source
+/// lines as one, with an extra space for the swallowed `\n`. This is
+/// the lexer-side half of the differential self-test; structural rules
+/// use [`blank_lines`] instead and keep true line numbers.
+#[must_use]
+pub fn blank_literals(source: &str) -> Vec<String> {
+    let mut lines = blank_lines(source);
+    let mut merges: Vec<usize> = Vec::new();
+    for t in lex(source) {
+        if matches!(t.kind, TokKind::Str | TokKind::Char) {
+            merges.extend(continuation_lines(&t));
+        }
+    }
+    merges.sort_unstable();
+    for &l in merges.iter().rev() {
+        if l + 1 < lines.len() {
+            let next = lines.remove(l + 1);
+            lines[l].push(' ');
+            lines[l].push_str(&next);
+        }
+    }
+    lines
+}
+
+/// Zero-based indices of lines that a string/char literal continues
+/// past via an escaped newline (`\` as the last character of the
+/// line). Escape pairs are tracked so `\\` followed by a real newline
+/// is not a continuation.
+fn continuation_lines(t: &Token) -> Vec<usize> {
+    let mut out = Vec::new();
+    let mut line = t.line - 1;
+    let mut chars = t.text.chars();
+    chars.next(); // opening delimiter
+    while let Some(c) = chars.next() {
+        match c {
+            '\n' => line += 1,
+            '\\' => {
+                if let Some('\n') = chars.next() {
+                    out.push(line);
+                    line += 1;
+                }
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn lexes_idents_puncts_numbers() {
+        let k = kinds("let x = 42 + y_2;");
+        assert_eq!(
+            k,
+            vec![
+                (TokKind::Ident, "let".into()),
+                (TokKind::Ident, "x".into()),
+                (TokKind::Punct, "=".into()),
+                (TokKind::Number, "42".into()),
+                (TokKind::Punct, "+".into()),
+                (TokKind::Ident, "y_2".into()),
+                (TokKind::Punct, ";".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_and_strings_are_single_tokens() {
+        let k = kinds("a // rest\n\"s \\\" t\" /* b /* nested */ c */ z");
+        assert_eq!(k[0], (TokKind::Ident, "a".into()));
+        assert_eq!(k[1], (TokKind::LineComment, "// rest".into()));
+        assert_eq!(k[2], (TokKind::Str, "\"s \\\" t\"".into()));
+        assert_eq!(k[3], (TokKind::BlockComment, "/* b /* nested */ c */".into()));
+        assert_eq!(k[4], (TokKind::Ident, "z".into()));
+    }
+
+    #[test]
+    fn raw_strings_and_byte_strings() {
+        let k = kinds("r#\"pa\"nic\"# br\"x\" b\"y\"");
+        assert_eq!(k[0], (TokKind::RawStr, "r#\"pa\"nic\"#".into()));
+        assert_eq!(k[1], (TokKind::RawStr, "br\"x\"".into()));
+        // Plain byte strings lex as ident `b` + string, matching the
+        // legacy stripper's classification.
+        assert_eq!(k[2], (TokKind::Ident, "b".into()));
+        assert_eq!(k[3], (TokKind::Str, "\"y\"".into()));
+    }
+
+    #[test]
+    fn char_vs_lifetime() {
+        let k = kinds("'x' '\\n' &'a str 'label: loop");
+        assert_eq!(k[0], (TokKind::Char, "'x'".into()));
+        assert_eq!(k[1], (TokKind::Char, "'\\n'".into()));
+        assert_eq!(k[2], (TokKind::Punct, "&".into()));
+        assert_eq!(k[3], (TokKind::Lifetime, "'a".into()));
+        assert_eq!(k[5], (TokKind::Lifetime, "'label".into()));
+    }
+
+    #[test]
+    fn positions_are_one_based_lines_and_cols() {
+        let t = lex("ab\n  cd");
+        assert_eq!((t[0].line, t[0].col), (1, 1));
+        assert_eq!((t[1].line, t[1].col), (2, 3));
+    }
+
+    #[test]
+    fn blanking_matches_source_shape() {
+        let src = "a = \"lit\"; // c\n";
+        let b = blank_literals(src);
+        assert_eq!(b[0], "a =      ;     ");
+        assert_eq!(b[1], "");
+    }
+
+    #[test]
+    fn string_continuations_merge_like_the_legacy_stripper() {
+        // `\`-newline inside a string: the legacy stripper consumed
+        // the newline as an escaped char, joining the lines with one
+        // extra space. `blank_lines` keeps true line structure.
+        let src = "f(\"ab \\\n cd\");\nnext";
+        assert_eq!(blank_lines(src), vec!["f(     ", "    );", "next"]);
+        assert_eq!(blank_literals(src), vec!["f(          );", "next"]);
+        // An escaped backslash before a real newline is no
+        // continuation.
+        let src2 = "g(\"x\\\\\ny\");";
+        assert_eq!(blank_literals(src2), blank_lines(src2));
+    }
+}

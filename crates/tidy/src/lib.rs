@@ -1,8 +1,10 @@
 //! `diva-tidy` — the repository's own static-analysis gate.
 //!
-//! A dependency-free, tidy-style line/token scanner (in the spirit of
-//! rustc's `tidy`, not a full parser) that mechanically enforces the
-//! repo-specific disciplines the hot-path refactors rely on:
+//! A dependency-free structural analyzer (in the spirit of rustc's
+//! `tidy`, grown from a line scanner into a lexer + brace-tree parser)
+//! that mechanically enforces the repo-specific disciplines the
+//! hot-path refactors and the differential determinism harness rely
+//! on:
 //!
 //! * **`no-panic`** — library code must route failures through typed
 //!   errors (`DivaError` and friends); `unwrap()`/`expect()`/`panic!`
@@ -28,14 +30,42 @@
 //!   `diva_obs::alloc::CountingAlloc` via `#[global_allocator]` (which
 //!   the rule deliberately does not match) so memory attribution has a
 //!   single implementation.
-//! * **`missing-docs`** — `pub fn` / `pub struct` in `core`,
-//!   `constraints`, and `obs` carry doc comments.
+//! * **`missing-docs`** — public items in the library crates (`core`,
+//!   `constraints`, `obs`, `relation`, `metrics`, `datagen`) carry doc
+//!   comments; pre-existing debt is budgeted by the ratchet file.
+//! * **`nondet-iter`** — iteration over `HashMap`/`HashSet` outside
+//!   test code must be canonicalized where it happens (sort before
+//!   emitting, collect into a keyed/ordered container, or an
+//!   order-free consumer), so hash order never reaches published
+//!   clusters, traces, or bench JSON.
+//! * **`atomic-ordering`** — every atomic load/store/RMW names an
+//!   explicit `Ordering` at the call site; `SeqCst` is confined to
+//!   `core::{parallel, pool}` and `obs` and requires a `SeqCst:`
+//!   justification comment.
+//! * **`unsafe-safety`** — every `unsafe` block/fn/impl carries a
+//!   `// SAFETY:` comment (an `unsafe impl`'s comment covers the items
+//!   it contains).
+//! * **`crate-layering`** — cross-crate references must follow the
+//!   declared DAG (see `rules::LAYERS` and DESIGN.md §13); an upward
+//!   or lateral `diva_*` reference in non-test code is a violation.
+//! * **`unused-allow`** — an inline allow directive that suppresses
+//!   nothing is itself a violation.
 //!
 //! Escape hatch: a `diva-tidy: allow(<rule>)` comment on the offending
 //! line or the line directly above suppresses that rule there. The
-//! policy for allows lives in `CONTRIBUTING.md`.
+//! policy for allow vs. fix vs. ratchet lives in `CONTRIBUTING.md`.
 
 use std::path::{Path, PathBuf};
+
+pub mod lexer;
+pub mod parse;
+pub mod ratchet;
+mod rules;
+
+/// The pre-lexer line stripper, kept as the oracle for the
+/// lexer/stripper differential self-test. Not part of the tool's API.
+#[doc(hidden)]
+pub mod legacy;
 
 /// One diagnostic produced by the scanner.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -44,6 +74,8 @@ pub struct Violation {
     pub file: String,
     /// 1-based line number.
     pub line: usize,
+    /// 1-based column (in chars) of the offending token.
+    pub col: usize,
     /// Rule identifier (`no-panic`, `hot-path-hash`, …).
     pub rule: &'static str,
     /// Human-readable description with remediation guidance.
@@ -52,17 +84,43 @@ pub struct Violation {
 
 impl std::fmt::Display for Violation {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "{}:{}: [{}] {}", self.file, self.line, self.rule, self.msg)
+        write!(f, "{}:{}:{}: [{}] {}", self.file, self.line, self.col, self.rule, self.msg)
+    }
+}
+
+impl Violation {
+    /// Serializes one violation as a JSON object (for `--emit json`).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"file\":{},\"line\":{},\"col\":{},\"rule\":{},\"msg\":{}}}",
+            ratchet::json_str(&self.file),
+            self.line,
+            self.col,
+            ratchet::json_str(self.rule),
+            ratchet::json_str(&self.msg)
+        )
     }
 }
 
 /// Every rule the scanner knows, in reporting order.
-pub const RULES: [&str; 6] =
-    ["no-panic", "hot-path-hash", "thread-spawn", "wall-clock", "global-alloc", "missing-docs"];
+pub const RULES: [&str; 11] = [
+    "no-panic",
+    "hot-path-hash",
+    "thread-spawn",
+    "wall-clock",
+    "global-alloc",
+    "missing-docs",
+    "nondet-iter",
+    "atomic-ordering",
+    "unsafe-safety",
+    "crate-layering",
+    "unused-allow",
+];
 
 /// Sanctioned exceptions baked into the tool (file, rule). Inline
-/// `diva-tidy: allow(...)` comments cover one line; this list covers
-/// whole files whose exception is a standing design decision.
+/// allow directives cover one line; this list covers whole files whose
+/// exception is a standing design decision.
 ///
 /// * `state.rs` / `hot-path-hash`: the cluster registry is keyed by a
 ///   precomputed FNV hash with collisions resolved by row comparison —
@@ -71,17 +129,17 @@ pub const RULES: [&str; 6] =
 ///   panic on purpose (`worker_panic_point` simulates a crashing
 ///   portfolio worker); it is compiled only under `fault-inject` and
 ///   never into production builds (see `DESIGN.md` §10).
-const ALLOWLIST: &[(&str, &str)] =
+pub(crate) const ALLOWLIST: &[(&str, &str)] =
     &[("crates/core/src/state.rs", "hot-path-hash"), ("crates/core/src/faults.rs", "no-panic")];
 
 /// Library crates whose `src/` falls under the `no-panic` rule.
 /// Binaries and harnesses (`cli`, `bench`, `tidy`) may unwrap: their
 /// failures surface to a terminal, not to a caller.
-const LIB_CRATES: [&str; 7] =
+pub(crate) const LIB_CRATES: [&str; 7] =
     ["obs", "relation", "constraints", "metrics", "anonymize", "datagen", "core"];
 
 /// The dense search kernels covered by `hot-path-hash`.
-const HOT_PATH_FILES: [&str; 5] = [
+pub(crate) const HOT_PATH_FILES: [&str; 5] = [
     "crates/core/src/state.rs",
     "crates/core/src/graph.rs",
     "crates/core/src/coloring.rs",
@@ -89,429 +147,16 @@ const HOT_PATH_FILES: [&str; 5] = [
     "crates/relation/src/rowset.rs",
 ];
 
-/// A preprocessed source line.
-#[derive(Debug)]
-struct Line {
-    /// Original text (used for allow-comment detection and doc checks).
-    raw: String,
-    /// Text with comments and string/char literal contents blanked to
-    /// spaces, so token matching never fires inside prose or literals.
-    code: String,
-    /// Whether the line sits inside a `#[cfg(test)]` item.
-    in_test: bool,
-}
-
-/// Strips comments and string/char literals, blanking them to spaces
-/// (so columns and braces outside literals are preserved).
-fn strip_comments_and_strings(source: &str) -> Vec<String> {
-    #[derive(PartialEq)]
-    enum St {
-        Normal,
-        LineComment,
-        BlockComment(usize),
-        Str,
-        RawStr(usize),
-    }
-    let mut st = St::Normal;
-    let mut out = Vec::new();
-    let mut cur = String::new();
-    let chars: Vec<char> = source.chars().collect();
-    let mut i = 0;
-    while i < chars.len() {
-        let c = chars[i];
-        if c == '\n' {
-            if st == St::LineComment {
-                st = St::Normal;
-            }
-            out.push(std::mem::take(&mut cur));
-            i += 1;
-            continue;
-        }
-        match st {
-            St::Normal => {
-                if c == '/' && chars.get(i + 1) == Some(&'/') {
-                    st = St::LineComment;
-                    cur.push(' ');
-                    i += 1;
-                    cur.push(' ');
-                } else if c == '/' && chars.get(i + 1) == Some(&'*') {
-                    st = St::BlockComment(1);
-                    cur.push_str("  ");
-                    i += 1;
-                } else if c == '"' {
-                    st = St::Str;
-                    cur.push(' ');
-                } else if let Some((skip, hashes)) = ((c == 'r' || c == 'b')
-                    && !prev_is_ident(&cur))
-                .then(|| raw_str_hashes(&chars[i..]))
-                .flatten()
-                {
-                    for _ in 0..=skip {
-                        cur.push(' ');
-                    }
-                    i += skip;
-                    st = St::RawStr(hashes);
-                } else if c == '\'' {
-                    // Char literal vs lifetime: 'x' or '\x…' is a
-                    // literal; anything else is a lifetime tick.
-                    if chars.get(i + 1) == Some(&'\\') {
-                        cur.push(' ');
-                        i += 1;
-                        while i < chars.len() && chars[i] != '\'' {
-                            if chars[i] == '\\' {
-                                i += 1;
-                                cur.push(' ');
-                            }
-                            cur.push(' ');
-                            i += 1;
-                        }
-                        cur.push(' ');
-                    } else if chars.get(i + 2) == Some(&'\'') {
-                        cur.push_str("   ");
-                        i += 2;
-                    } else {
-                        cur.push('\'');
-                    }
-                } else {
-                    cur.push(c);
-                }
-            }
-            St::LineComment => cur.push(' '),
-            St::BlockComment(depth) => {
-                if c == '*' && chars.get(i + 1) == Some(&'/') {
-                    st = if depth == 1 { St::Normal } else { St::BlockComment(depth - 1) };
-                    cur.push_str("  ");
-                    i += 1;
-                } else if c == '/' && chars.get(i + 1) == Some(&'*') {
-                    st = St::BlockComment(depth + 1);
-                    cur.push_str("  ");
-                    i += 1;
-                } else {
-                    cur.push(' ');
-                }
-            }
-            St::Str => {
-                if c == '\\' {
-                    cur.push_str("  ");
-                    i += 1;
-                } else if c == '"' {
-                    st = St::Normal;
-                    cur.push(' ');
-                } else {
-                    cur.push(' ');
-                }
-            }
-            St::RawStr(hashes) => {
-                if c == '"' && closes_raw(&chars[i..], hashes) {
-                    for _ in 0..=hashes {
-                        cur.push(' ');
-                    }
-                    i += hashes;
-                    st = St::Normal;
-                } else {
-                    cur.push(' ');
-                }
-            }
-        }
-        i += 1;
-    }
-    if !cur.is_empty() || source.ends_with('\n') {
-        out.push(cur);
-    }
-    out
-}
-
-/// Whether the blanked text so far ends in an identifier character (so
-/// `r` in `for` is not mistaken for a raw-string sigil).
-fn prev_is_ident(cur: &str) -> bool {
-    cur.chars().next_back().is_some_and(|c| c.is_alphanumeric() || c == '_')
-}
-
-/// If `chars` starts a raw string (`r"`, `r#"`, `br##"`, …), returns
-/// `(offset_of_opening_quote, n_hashes)`.
-fn raw_str_hashes(chars: &[char]) -> Option<(usize, usize)> {
-    let mut j = 1;
-    if chars.first() == Some(&'b') {
-        if chars.get(1) != Some(&'r') {
-            return None;
-        }
-        j = 2;
-    }
-    let start = j;
-    while chars.get(j) == Some(&'#') {
-        j += 1;
-    }
-    (chars.get(j) == Some(&'"')).then_some((j, j - start))
-}
-
-/// Whether a `"` at the head of `chars` is followed by enough `#`s to
-/// close a raw string opened with `hashes` hashes.
-fn closes_raw(chars: &[char], hashes: usize) -> bool {
-    (1..=hashes).all(|k| chars.get(k) == Some(&'#'))
-}
-
-/// Preprocesses a file: strips literals, then marks `#[cfg(test)]`
-/// regions by brace tracking (attribute → next block or `;`).
-fn preprocess(source: &str) -> Vec<Line> {
-    let stripped = strip_comments_and_strings(source);
-    let raws: Vec<&str> = source.lines().collect();
-
-    #[derive(Clone, Copy, PartialEq)]
-    enum Region {
-        None,
-        /// Attribute seen; waiting for the item's `{` (or a `;`).
-        Pending {
-            attr_depth: usize,
-        },
-        Active {
-            end_depth: usize,
-        },
-    }
-    let mut region = Region::None;
-    let mut depth = 0usize;
-    let mut lines = Vec::with_capacity(stripped.len());
-    for (idx, code) in stripped.iter().enumerate() {
-        if region == Region::None
-            && (code.contains("#[cfg(test)]")
-                || code.contains("#[cfg(any(test")
-                || code.contains("#[cfg(all(test"))
-        {
-            region = Region::Pending { attr_depth: depth };
-        }
-        let mut in_test = region != Region::None;
-        for ch in code.chars() {
-            match ch {
-                '{' => {
-                    if let Region::Pending { .. } = region {
-                        region = Region::Active { end_depth: depth };
-                        in_test = true;
-                    }
-                    depth += 1;
-                }
-                '}' => {
-                    depth = depth.saturating_sub(1);
-                    if let Region::Active { end_depth } = region {
-                        if depth == end_depth {
-                            region = Region::None;
-                        }
-                    }
-                }
-                ';' => {
-                    if let Region::Pending { attr_depth } = region {
-                        if depth == attr_depth {
-                            // `#[cfg(test)] use …;` — single item.
-                            region = Region::None;
-                        }
-                    }
-                }
-                _ => {}
-            }
-        }
-        lines.push(Line {
-            raw: raws.get(idx).unwrap_or(&"").to_string(),
-            code: code.clone(),
-            in_test,
-        });
-    }
-    lines
-}
-
-/// Rules suppressed on `line` (0-based) by an inline
-/// `diva-tidy: allow(rule)` comment on the same or the previous line.
-fn allowed_rules(lines: &[Line], line: usize) -> Vec<String> {
-    let mut out = Vec::new();
-    let mut scan = |raw: &str| {
-        let mut rest = raw;
-        while let Some(pos) = rest.find("diva-tidy: allow(") {
-            let after = &rest[pos + "diva-tidy: allow(".len()..];
-            if let Some(end) = after.find(')') {
-                out.push(after[..end].trim().to_string());
-            }
-            rest = after;
-        }
-    };
-    if line > 0 {
-        scan(&lines[line - 1].raw);
-    }
-    scan(&lines[line].raw);
-    out
-}
-
-fn is_library_src(path: &str) -> bool {
-    path.starts_with("src/")
-        || LIB_CRATES.iter().any(|c| {
-            path.strip_prefix("crates/")
-                .and_then(|p| p.strip_prefix(c))
-                .is_some_and(|p| p.starts_with("/src/"))
-        })
-}
-
-fn is_hot_path(path: &str) -> bool {
-    HOT_PATH_FILES.contains(&path)
-}
-
-fn is_doc_scope(path: &str) -> bool {
-    path.starts_with("crates/core/src/")
-        || path.starts_with("crates/constraints/src/")
-        || path.starts_with("crates/obs/src/")
-}
-
-/// Token patterns for one rule: `(needle, what)` pairs.
-type Tokens = &'static [(&'static str, &'static str)];
-
-const PANIC_TOKENS: Tokens = &[
-    (".unwrap()", "`unwrap()`"),
-    (".expect(", "`expect()`"),
-    ("panic!", "`panic!`"),
-    ("unreachable!", "`unreachable!`"),
-    ("todo!", "`todo!`"),
-    ("unimplemented!", "`unimplemented!`"),
-];
-
-const HASH_TOKENS: Tokens =
-    &[("HashMap", "`HashMap`"), ("HashSet", "`HashSet`"), ("BTreeMap", "`BTreeMap`")];
-
-const SPAWN_TOKENS: Tokens = &[("thread::spawn", "`std::thread::spawn`")];
-
-const ALLOC_TOKENS: Tokens =
-    &[("std::alloc", "`std::alloc`"), ("GlobalAlloc", "the `GlobalAlloc` trait")];
-
-const CLOCK_TOKENS: Tokens = &[
-    ("Instant::now", "`Instant::now`"),
-    ("SystemTime::now", "`SystemTime::now`"),
-    ("thread_rng", "ambient `thread_rng`"),
-    ("from_entropy", "entropy-seeded RNG"),
-    ("rand::random", "ambient `rand::random`"),
-];
-
 /// Scans one file. `path` is the workspace-relative path (with `/`
 /// separators) that rule scoping is decided on.
+#[must_use]
 pub fn scan_file(path: &str, source: &str) -> Vec<Violation> {
-    let lines = preprocess(source);
-    let mut out = Vec::new();
-    let allowlisted = |rule: &str| ALLOWLIST.contains(&(path, rule));
-
-    let mut token_rule = |rule: &'static str, in_scope: bool, tokens: Tokens, why: &str| {
-        if !in_scope || allowlisted(rule) {
-            return;
-        }
-        for (i, line) in lines.iter().enumerate() {
-            if line.in_test {
-                continue;
-            }
-            for &(needle, what) in tokens {
-                if line.code.contains(needle) && !allowed_rules(&lines, i).iter().any(|r| r == rule)
-                {
-                    out.push(Violation {
-                        file: path.to_string(),
-                        line: i + 1,
-                        rule,
-                        msg: format!("{what} {why}"),
-                    });
-                }
-            }
-        }
-    };
-
-    token_rule(
-        "no-panic",
-        is_library_src(path),
-        PANIC_TOKENS,
-        "in library code — route the failure through a typed error (`DivaError`, \
-         `ConstraintError`, …) or restructure with `let-else`; `assert!` may state invariants",
-    );
-    token_rule(
-        "hot-path-hash",
-        is_hot_path(path),
-        HASH_TOKENS,
-        "in a dense search kernel — PR 1 de-hashed these modules (bitsets, CSR, dense vecs); \
-         use the dense structures or get the use sanctioned on the tidy allowlist",
-    );
-    token_rule(
-        "thread-spawn",
-        path != "crates/core/src/parallel.rs" && path != "crates/core/src/pool.rs",
-        SPAWN_TOKENS,
-        "outside `core::parallel`/`core::pool` — detached workers must poll the portfolio \
-         cancellation token; use `std::thread::scope` or route the work through \
-         `run_portfolio` or the component pool",
-    );
-    token_rule(
-        "wall-clock",
-        !path.starts_with("crates/obs/src/"),
-        CLOCK_TOKENS,
-        "outside `crates/obs` — clock reads are confined to `diva-obs`; time with an obs \
-         span or `diva_obs::Stopwatch`, and take randomness from the seeded config",
-    );
-    token_rule(
-        "global-alloc",
-        !path.starts_with("crates/obs/src/"),
-        ALLOC_TOKENS,
-        "outside `crates/obs` — allocator plumbing is confined to `diva_obs::alloc` so memory \
-         attribution has one implementation; install `diva_obs::alloc::CountingAlloc` with \
-         `#[global_allocator]` instead of rolling raw allocator code",
-    );
-
-    if is_doc_scope(path) && !allowlisted("missing-docs") {
-        check_docs(path, &lines, &mut out);
-    }
-    out.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
+    let map = parse::FileMap::build(source);
+    let mut ctx = rules::Ctx::new(path, &map);
+    rules::run_all(&mut ctx);
+    let mut out = ctx.finish();
+    out.sort_by(|a, b| (a.line, a.rule, a.col).cmp(&(b.line, b.rule, b.col)));
     out
-}
-
-/// The `missing-docs` rule: every non-test `pub fn` / `pub struct`
-/// must be preceded by a doc comment (attribute lines in between are
-/// skipped).
-fn check_docs(path: &str, lines: &[Line], out: &mut Vec<Violation>) {
-    for (i, line) in lines.iter().enumerate() {
-        if line.in_test {
-            continue;
-        }
-        let trimmed = line.code.trim_start();
-        let Some(mut rest) = trimmed.strip_prefix("pub ") else {
-            continue;
-        };
-        loop {
-            let before = rest;
-            for q in ["const ", "async ", "unsafe "] {
-                if let Some(r) = rest.strip_prefix(q) {
-                    rest = r;
-                }
-            }
-            if rest == before {
-                break;
-            }
-        }
-        let item = if rest.starts_with("fn ") {
-            "pub fn"
-        } else if rest.starts_with("struct ") {
-            "pub struct"
-        } else {
-            continue;
-        };
-        let mut j = i;
-        let mut documented = false;
-        while j > 0 {
-            j -= 1;
-            let above = lines[j].raw.trim_start();
-            if above.starts_with("#[") || above.starts_with("#![") {
-                continue; // attribute between docs and item
-            }
-            documented =
-                above.starts_with("///") || above.starts_with("#[doc") || above.starts_with("/**");
-            break;
-        }
-        if !documented && !allowed_rules(lines, i).iter().any(|r| r == "missing-docs") {
-            out.push(Violation {
-                file: path.to_string(),
-                line: i + 1,
-                rule: "missing-docs",
-                msg: format!(
-                    "{item} without a doc comment — `core` and `constraints` document their \
-                     public surface"
-                ),
-            });
-        }
-    }
 }
 
 /// Recursively collects `.rs` files under `dir` into `out`.
@@ -567,46 +212,12 @@ mod tests {
     use super::*;
 
     #[test]
-    fn strips_line_and_block_comments() {
-        let s = strip_comments_and_strings("a // unwrap()\nb /* panic! */ c\n");
-        assert!(!s[0].contains("unwrap"));
-        assert!(!s[1].contains("panic"));
-        assert!(s[1].contains('c'));
-    }
-
-    #[test]
-    fn strips_strings_and_chars_keeps_lifetimes() {
-        let s = strip_comments_and_strings("let x = \".unwrap()\"; let c = '{'; &'a str\n");
-        assert!(!s[0].contains("unwrap"));
-        assert!(!s[0].contains('{'), "char literal brace blanked");
-        assert!(s[0].contains("&'a str"), "lifetime survives: {}", s[0]);
-    }
-
-    #[test]
-    fn raw_strings_are_blanked() {
-        let s = strip_comments_and_strings("let x = r#\"panic!\"#; y\n");
-        assert!(!s[0].contains("panic"));
-        assert!(s[0].contains('y'));
-    }
-
-    #[test]
-    fn cfg_test_region_is_marked() {
-        let src = "fn a() {}\n#[cfg(test)]\nmod tests {\n    fn b() { x.unwrap() }\n}\nfn c() {}\n";
-        let lines = preprocess(src);
-        assert!(!lines[0].in_test);
-        assert!(lines[1].in_test && lines[2].in_test && lines[3].in_test && lines[4].in_test);
-        assert!(!lines[5].in_test);
-    }
-
-    #[test]
     fn cfg_test_single_item_ends_at_semicolon() {
         let src = "#[cfg(test)]\nuse foo::bar;\nfn c() { x.unwrap() }\n";
-        let lines = preprocess(src);
-        assert!(lines[1].in_test);
-        assert!(!lines[2].in_test);
         let v = scan_file("crates/core/src/x.rs", src);
         assert_eq!(v.len(), 1, "{v:?}");
         assert_eq!(v[0].line, 3);
+        assert_eq!(v[0].rule, "no-panic");
     }
 
     #[test]
@@ -614,7 +225,7 @@ mod tests {
         let src =
             "fn f() {\n    // diva-tidy: allow(no-panic)\n    x.unwrap();\n    y.unwrap();\n}\n";
         let v = scan_file("crates/core/src/x.rs", src);
-        assert_eq!(v.len(), 1);
+        assert_eq!(v.len(), 1, "{v:?}");
         assert_eq!(v[0].line, 4);
     }
 
@@ -623,5 +234,30 @@ mod tests {
         let src = "use std::collections::HashMap;\n";
         assert!(scan_file("crates/core/src/state.rs", src).is_empty());
         assert_eq!(scan_file("crates/core/src/graph.rs", src).len(), 1);
+    }
+
+    #[test]
+    fn violations_carry_columns() {
+        let src = "fn f() {\n    x.unwrap();\n}\n";
+        let v = scan_file("crates/core/src/x.rs", src);
+        assert_eq!(v.len(), 1);
+        assert_eq!((v[0].line, v[0].col), (2, 6), "column of `.unwrap()`: {v:?}");
+        assert_eq!(format!("{}", v[0]).split(": ").next(), Some("crates/core/src/x.rs:2:6"));
+    }
+
+    #[test]
+    fn violation_json_is_escaped() {
+        let v = Violation {
+            file: "a\"b.rs".to_string(),
+            line: 1,
+            col: 2,
+            rule: "no-panic",
+            msg: "say \"hi\"".to_string(),
+        };
+        assert_eq!(
+            v.to_json(),
+            "{\"file\":\"a\\\"b.rs\",\"line\":1,\"col\":2,\"rule\":\"no-panic\",\
+             \"msg\":\"say \\\"hi\\\"\"}"
+        );
     }
 }

@@ -1,0 +1,308 @@
+//! Structural view of one source file: the brace-tree item layer on
+//! top of the lexer.
+//!
+//! [`FileMap`] pre-computes everything the rules need to reason about
+//! structure instead of raw lines: matched brace pairs, function spans
+//! (name + body token range), `#[cfg(test)]` regions, statement
+//! boundaries inside a block, and the comment-blanked line text the
+//! line-oriented legacy rules still run on.
+
+use crate::lexer::{blank_lines, lex, TokKind, Token};
+
+/// A `fn` item: its name and the token range of its body.
+#[derive(Debug)]
+pub struct FnSpan {
+    /// Function name (the identifier after `fn`).
+    pub name: String,
+    /// Token index of the body's opening `{`.
+    pub open: usize,
+    /// Token index of the matching `}` (or one past the last token if
+    /// unterminated).
+    pub close: usize,
+}
+
+/// Lexed + structurally indexed source file.
+pub struct FileMap {
+    /// The full token stream, comments included.
+    pub toks: Vec<Token>,
+    /// Source lines with comments and string/char literals blanked —
+    /// byte-identical to the legacy stripper's output.
+    pub code_lines: Vec<String>,
+    /// Verbatim source lines.
+    pub raw_lines: Vec<String>,
+    /// Per source line: inside a `#[cfg(test)]` item?
+    pub line_in_test: Vec<bool>,
+    /// For each `{`/`}` token, the index of its partner.
+    brace_match: Vec<Option<usize>>,
+    /// For each token, the index of the innermost unmatched `{` before
+    /// it (`None` at top level).
+    enclosing_open: Vec<Option<usize>>,
+    /// Every `fn` item with a body, in source order.
+    pub fns: Vec<FnSpan>,
+}
+
+impl FileMap {
+    /// Lexes and indexes `source`.
+    #[must_use]
+    pub fn build(source: &str) -> Self {
+        let toks = lex(source);
+        let code_lines = blank_lines(source);
+        let raw_lines: Vec<String> = source.split('\n').map(str::to_string).collect();
+        let line_in_test = mark_cfg_test(&code_lines);
+        let (brace_match, enclosing_open) = match_braces(&toks);
+        let fns = find_fns(&toks, &brace_match);
+        FileMap { toks, code_lines, raw_lines, line_in_test, brace_match, enclosing_open, fns }
+    }
+
+    /// Whether token `i` sits inside a `#[cfg(test)]` item.
+    #[must_use]
+    pub fn tok_in_test(&self, i: usize) -> bool {
+        self.line_in_test.get(self.toks[i].line - 1).copied().unwrap_or(false)
+    }
+
+    /// Next non-comment token index after `i`.
+    #[must_use]
+    pub fn next_code(&self, i: usize) -> Option<usize> {
+        (i + 1..self.toks.len()).find(|&j| !self.toks[j].is_comment())
+    }
+
+    /// Previous non-comment token index before `i`.
+    #[must_use]
+    pub fn prev_code(&self, i: usize) -> Option<usize> {
+        (0..i).rev().find(|&j| !self.toks[j].is_comment())
+    }
+
+    /// The innermost function whose body contains token `i`.
+    #[must_use]
+    pub fn enclosing_fn(&self, i: usize) -> Option<&FnSpan> {
+        self.fns.iter().filter(|f| f.open < i && i < f.close).max_by_key(|f| f.open)
+    }
+
+    /// Token range (inclusive start, exclusive end) of the statement
+    /// containing token `site` plus the following statement of the same
+    /// block — the window a `nondet-iter` site may be canonicalized in.
+    ///
+    /// Statements are split only on `;` at zero paren/bracket depth,
+    /// with nested `{…}` groups opaque, so a sort inside a closure or a
+    /// loop body stays inside its statement's window.
+    #[must_use]
+    pub fn statement_window(&self, site: usize) -> (usize, usize) {
+        let (start, end) = match self.enclosing_open[site] {
+            Some(open) => (open + 1, self.brace_match[open].unwrap_or(self.toks.len())),
+            None => (0, self.toks.len()),
+        };
+        let mut stmts: Vec<(usize, usize)> = Vec::new();
+        let mut stmt_start = start;
+        let mut pdepth = 0usize;
+        let mut bdepth = 0usize;
+        let mut j = start;
+        while j < end {
+            let t = &self.toks[j];
+            if t.is_punct('{') {
+                j = self.brace_match[j].map_or(end, |m| m + 1);
+                continue;
+            }
+            if t.is_punct('(') {
+                pdepth += 1;
+            } else if t.is_punct(')') {
+                pdepth = pdepth.saturating_sub(1);
+            } else if t.is_punct('[') {
+                bdepth += 1;
+            } else if t.is_punct(']') {
+                bdepth = bdepth.saturating_sub(1);
+            } else if t.is_punct(';') && pdepth == 0 && bdepth == 0 {
+                stmts.push((stmt_start, j + 1));
+                stmt_start = j + 1;
+            }
+            j += 1;
+        }
+        if stmt_start < end {
+            stmts.push((stmt_start, end));
+        }
+        let Some(k) = stmts.iter().position(|&(a, b)| a <= site && site < b) else {
+            return (start, end);
+        };
+        let window_end = stmts.get(k + 1).map_or(stmts[k].1, |&(_, b)| b);
+        (stmts[k].0, window_end)
+    }
+
+    /// The matching partner of brace token `i`, if balanced.
+    #[must_use]
+    pub fn brace_partner(&self, i: usize) -> Option<usize> {
+        self.brace_match.get(i).copied().flatten()
+    }
+}
+
+/// Marks which lines fall inside a `#[cfg(test)]` item, by attribute +
+/// brace tracking over the blanked lines (attribute → next block or
+/// `;`). This is the legacy region state machine, now fed by the
+/// lexer-derived blanked text.
+fn mark_cfg_test(code_lines: &[String]) -> Vec<bool> {
+    #[derive(Clone, Copy, PartialEq)]
+    enum Region {
+        None,
+        /// Attribute seen; waiting for the item's `{` (or a `;`).
+        Pending {
+            attr_depth: usize,
+        },
+        Active {
+            end_depth: usize,
+        },
+    }
+    let mut region = Region::None;
+    let mut depth = 0usize;
+    let mut out = Vec::with_capacity(code_lines.len());
+    for code in code_lines {
+        if region == Region::None
+            && (code.contains("#[cfg(test)]")
+                || code.contains("#[cfg(any(test")
+                || code.contains("#[cfg(all(test"))
+        {
+            region = Region::Pending { attr_depth: depth };
+        }
+        let mut in_test = region != Region::None;
+        for ch in code.chars() {
+            match ch {
+                '{' => {
+                    if let Region::Pending { .. } = region {
+                        region = Region::Active { end_depth: depth };
+                        in_test = true;
+                    }
+                    depth += 1;
+                }
+                '}' => {
+                    depth = depth.saturating_sub(1);
+                    if let Region::Active { end_depth } = region {
+                        if depth == end_depth {
+                            region = Region::None;
+                        }
+                    }
+                }
+                ';' => {
+                    if let Region::Pending { attr_depth } = region {
+                        if depth == attr_depth {
+                            // `#[cfg(test)] use …;` — single item.
+                            region = Region::None;
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+        out.push(in_test);
+    }
+    out
+}
+
+/// Pairs up `{`/`}` tokens and records each token's innermost
+/// enclosing open brace.
+fn match_braces(toks: &[Token]) -> (Vec<Option<usize>>, Vec<Option<usize>>) {
+    let mut brace_match = vec![None; toks.len()];
+    let mut enclosing = vec![None; toks.len()];
+    let mut stack: Vec<usize> = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        enclosing[i] = stack.last().copied();
+        if t.is_punct('{') {
+            stack.push(i);
+        } else if t.is_punct('}') {
+            if let Some(open) = stack.pop() {
+                brace_match[open] = Some(i);
+                brace_match[i] = Some(open);
+            }
+        }
+    }
+    (brace_match, enclosing)
+}
+
+/// Finds every `fn name … { body }` item: from the `fn` keyword, the
+/// body is the first `{` at zero paren depth; a `;` first means a
+/// bodyless declaration (trait method) and is skipped.
+fn find_fns(toks: &[Token], brace_match: &[Option<usize>]) -> Vec<FnSpan> {
+    let mut fns = Vec::new();
+    for i in 0..toks.len() {
+        if !toks[i].is_ident("fn") {
+            continue;
+        }
+        let Some(name_idx) = (i + 1..toks.len()).find(|&j| !toks[j].is_comment()) else {
+            continue;
+        };
+        if toks[name_idx].kind != TokKind::Ident {
+            continue;
+        }
+        let mut pdepth = 0usize;
+        for j in name_idx + 1..toks.len() {
+            let t = &toks[j];
+            if t.is_punct('(') {
+                pdepth += 1;
+            } else if t.is_punct(')') {
+                pdepth = pdepth.saturating_sub(1);
+            } else if pdepth == 0 && t.is_punct(';') {
+                break; // bodyless declaration
+            } else if pdepth == 0 && t.is_punct('{') {
+                fns.push(FnSpan {
+                    name: toks[name_idx].text.clone(),
+                    open: j,
+                    close: brace_match[j].unwrap_or(toks.len()),
+                });
+                break;
+            }
+        }
+    }
+    fns
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cfg_test_region_is_marked() {
+        let src = "fn a() {}\n#[cfg(test)]\nmod tests {\n    fn b() { x.f() }\n}\nfn c() {}\n";
+        let m = FileMap::build(src);
+        assert!(!m.line_in_test[0]);
+        assert!(m.line_in_test[1] && m.line_in_test[2] && m.line_in_test[3] && m.line_in_test[4]);
+        assert!(!m.line_in_test[5]);
+    }
+
+    #[test]
+    fn fn_spans_cover_bodies() {
+        let src = "fn outer(a: u32) -> u32 {\n    inner();\n    a\n}\nfn inner() {}\n";
+        let m = FileMap::build(src);
+        let names: Vec<&str> = m.fns.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, ["outer", "inner"]);
+        let call = m.toks.iter().position(|t| t.is_ident("inner")).unwrap();
+        // First `inner` mention is the call inside `outer`.
+        assert_eq!(m.enclosing_fn(call).unwrap().name, "outer");
+    }
+
+    #[test]
+    fn statement_window_spans_two_statements() {
+        let src = "fn f() {\n    let v = m.make();\n    v.sort();\n    v.emit();\n}\n";
+        let m = FileMap::build(src);
+        let site = m.toks.iter().position(|t| t.is_ident("make")).unwrap();
+        let (a, b) = m.statement_window(site);
+        let text: Vec<&str> = m.toks[a..b].iter().map(|t| t.text.as_str()).collect();
+        assert!(text.contains(&"sort"), "window reaches the next statement: {text:?}");
+        assert!(!text.contains(&"emit"), "window stops after one extra statement: {text:?}");
+    }
+
+    #[test]
+    fn statement_window_treats_nested_braces_as_opaque() {
+        // The closure body's `;` must not split the statement.
+        let src = "fn f() {\n    let v = m.iter().map(|x| { g(x); h(x) }).collect();\n    \
+                   v.sort();\n}\n";
+        let m = FileMap::build(src);
+        let site = m.toks.iter().position(|t| t.is_ident("iter")).unwrap();
+        let (a, b) = m.statement_window(site);
+        let text: Vec<&str> = m.toks[a..b].iter().map(|t| t.text.as_str()).collect();
+        assert!(text.contains(&"sort"), "{text:?}");
+    }
+
+    #[test]
+    fn bodyless_trait_fns_have_no_span() {
+        let src = "trait T {\n    fn decl(&self);\n    fn with_body(&self) {}\n}\n";
+        let m = FileMap::build(src);
+        let names: Vec<&str> = m.fns.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, ["with_body"]);
+    }
+}

@@ -1,0 +1,302 @@
+//! The tidy ratchet: per-(rule, file) violation budgets.
+//!
+//! Rules that cannot reach zero immediately (the `missing-docs`
+//! expansion over the whole library surface) are gated by a committed
+//! baseline, `results/tidy-ratchet.json`: a count above the baseline
+//! for any (rule, file) pair is a regression; counts below it tighten
+//! the baseline automatically. The JSON codec is hand-rolled so the
+//! tidy crate stays dependency-free.
+
+use std::collections::BTreeMap;
+
+use crate::Violation;
+
+/// Violation counts keyed by rule, then by workspace-relative file.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Ratchet {
+    /// rule → file → tolerated count.
+    pub counts: BTreeMap<String, BTreeMap<String, usize>>,
+}
+
+/// One (rule, file) pair whose count exceeds the baseline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Regression {
+    /// Rule identifier.
+    pub rule: String,
+    /// Workspace-relative file.
+    pub file: String,
+    /// Tolerated count from the baseline (0 if the pair is absent).
+    pub baseline: usize,
+    /// Observed count.
+    pub current: usize,
+}
+
+impl Ratchet {
+    /// Tallies a scan's violations into per-(rule, file) counts.
+    #[must_use]
+    pub fn from_violations(violations: &[Violation]) -> Self {
+        let mut counts: BTreeMap<String, BTreeMap<String, usize>> = BTreeMap::new();
+        for v in violations {
+            *counts.entry(v.rule.to_string()).or_default().entry(v.file.clone()).or_default() += 1;
+        }
+        Ratchet { counts }
+    }
+
+    /// Every (rule, file) pair of `self` whose count exceeds the
+    /// corresponding `baseline` count (absent pairs tolerate zero).
+    #[must_use]
+    pub fn regressions_against(&self, baseline: &Ratchet) -> Vec<Regression> {
+        let mut out = Vec::new();
+        for (rule, files) in &self.counts {
+            for (file, &current) in files {
+                let base =
+                    baseline.counts.get(rule).and_then(|f| f.get(file)).copied().unwrap_or(0);
+                if current > base {
+                    out.push(Regression {
+                        rule: rule.clone(),
+                        file: file.clone(),
+                        baseline: base,
+                        current,
+                    });
+                }
+            }
+        }
+        out
+    }
+
+    /// Total tolerated violations.
+    #[must_use]
+    pub fn total(&self) -> usize {
+        self.counts.values().flat_map(BTreeMap::values).sum()
+    }
+
+    /// Serializes deterministically (sorted keys, two-space indent,
+    /// trailing newline) so the committed file diffs cleanly.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\n");
+        let mut first_rule = true;
+        for (rule, files) in &self.counts {
+            if !first_rule {
+                s.push_str(",\n");
+            }
+            first_rule = false;
+            s.push_str(&format!("  {}: {{\n", json_str(rule)));
+            let mut first_file = true;
+            for (file, count) in files {
+                if !first_file {
+                    s.push_str(",\n");
+                }
+                first_file = false;
+                s.push_str(&format!("    {}: {count}", json_str(file)));
+            }
+            s.push_str("\n  }");
+        }
+        s.push_str("\n}\n");
+        s
+    }
+
+    /// Parses the two-level `{rule: {file: count}}` object produced by
+    /// [`Ratchet::to_json`]. Anything structurally different is an
+    /// error (exit code 2 territory, not a silent empty baseline).
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        let mut p = Parser { chars: text.chars().collect(), i: 0 };
+        let mut counts: BTreeMap<String, BTreeMap<String, usize>> = BTreeMap::new();
+        p.expect('{')?;
+        if !p.peek_is('}') {
+            loop {
+                let rule = p.string()?;
+                p.expect(':')?;
+                p.expect('{')?;
+                let files = counts.entry(rule).or_default();
+                if !p.peek_is('}') {
+                    loop {
+                        let file = p.string()?;
+                        p.expect(':')?;
+                        let n = p.number()?;
+                        files.insert(file, n);
+                        if !p.comma_or_close('}')? {
+                            break;
+                        }
+                    }
+                }
+                p.expect('}')?;
+                if !p.comma_or_close('}')? {
+                    break;
+                }
+            }
+        }
+        p.expect('}')?;
+        p.skip_ws();
+        if p.i < p.chars.len() {
+            return Err(format!("trailing content at offset {}", p.i));
+        }
+        Ok(Ratchet { counts })
+    }
+}
+
+/// Escapes a string for JSON output (quotes, backslashes, control
+/// chars — all the repo's paths and rule names need, and then some).
+pub(crate) fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+struct Parser {
+    chars: Vec<char>,
+    i: usize,
+}
+
+impl Parser {
+    fn skip_ws(&mut self) {
+        while self.chars.get(self.i).is_some_and(|c| c.is_whitespace()) {
+            self.i += 1;
+        }
+    }
+
+    fn peek_is(&mut self, c: char) -> bool {
+        self.skip_ws();
+        self.chars.get(self.i) == Some(&c)
+    }
+
+    fn expect(&mut self, c: char) -> Result<(), String> {
+        self.skip_ws();
+        if self.chars.get(self.i) == Some(&c) {
+            self.i += 1;
+            Ok(())
+        } else {
+            Err(format!("expected `{c}` at offset {}", self.i))
+        }
+    }
+
+    /// After a value: `,` → more entries (true); the given closer →
+    /// done (false, closer not consumed).
+    fn comma_or_close(&mut self, close: char) -> Result<bool, String> {
+        self.skip_ws();
+        match self.chars.get(self.i) {
+            Some(',') => {
+                self.i += 1;
+                Ok(true)
+            }
+            Some(c) if *c == close => Ok(false),
+            _ => Err(format!("expected `,` or `{close}` at offset {}", self.i)),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect('"')?;
+        let mut out = String::new();
+        loop {
+            match self.chars.get(self.i) {
+                None => return Err("unterminated string".to_string()),
+                Some('"') => {
+                    self.i += 1;
+                    return Ok(out);
+                }
+                Some('\\') => {
+                    self.i += 1;
+                    match self.chars.get(self.i) {
+                        Some('n') => out.push('\n'),
+                        Some('t') => out.push('\t'),
+                        Some('r') => out.push('\r'),
+                        Some(&c @ ('"' | '\\' | '/')) => out.push(c),
+                        other => return Err(format!("unsupported escape {other:?}")),
+                    }
+                    self.i += 1;
+                }
+                Some(&c) => {
+                    out.push(c);
+                    self.i += 1;
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<usize, String> {
+        self.skip_ws();
+        let start = self.i;
+        while self.chars.get(self.i).is_some_and(char::is_ascii_digit) {
+            self.i += 1;
+        }
+        if self.i == start {
+            return Err(format!("expected a number at offset {start}"));
+        }
+        self.chars[start..self.i]
+            .iter()
+            .collect::<String>()
+            .parse()
+            .map_err(|e| format!("bad number: {e}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(rule: &'static str, file: &str) -> Violation {
+        Violation { file: file.to_string(), line: 1, col: 1, rule, msg: String::new() }
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let r = Ratchet::from_violations(&[
+            v("missing-docs", "crates/core/src/lib.rs"),
+            v("missing-docs", "crates/core/src/lib.rs"),
+            v("missing-docs", "crates/obs/src/lib.rs"),
+            v("no-panic", "crates/relation/src/x.rs"),
+        ]);
+        let parsed = Ratchet::from_json(&r.to_json()).expect("round trip");
+        assert_eq!(parsed, r);
+        assert_eq!(parsed.total(), 4);
+        assert_eq!(parsed.counts["missing-docs"]["crates/core/src/lib.rs"], 2);
+    }
+
+    #[test]
+    fn empty_ratchet_round_trips() {
+        let r = Ratchet::default();
+        assert_eq!(Ratchet::from_json(&r.to_json()).expect("round trip"), r);
+    }
+
+    #[test]
+    fn regression_detection_uses_zero_default() {
+        let baseline = Ratchet::from_violations(&[v("missing-docs", "a.rs")]);
+        let current = Ratchet::from_violations(&[
+            v("missing-docs", "a.rs"),
+            v("missing-docs", "a.rs"),
+            v("no-panic", "b.rs"),
+        ]);
+        let regs = current.regressions_against(&baseline);
+        assert_eq!(regs.len(), 2, "{regs:?}");
+        assert!(regs.iter().any(|r| r.rule == "missing-docs" && r.baseline == 1 && r.current == 2));
+        assert!(regs.iter().any(|r| r.rule == "no-panic" && r.baseline == 0 && r.current == 1));
+    }
+
+    #[test]
+    fn improvement_is_not_a_regression() {
+        let baseline = Ratchet::from_violations(&[v("missing-docs", "a.rs"), v("x", "a.rs")]);
+        let current = Ratchet::from_violations(&[v("missing-docs", "a.rs")]);
+        assert!(current.regressions_against(&baseline).is_empty());
+        assert_ne!(current, baseline, "tightening rewrites the baseline");
+    }
+
+    #[test]
+    fn malformed_json_is_an_error() {
+        assert!(Ratchet::from_json("{").is_err());
+        assert!(Ratchet::from_json("[]").is_err());
+        assert!(Ratchet::from_json("{\"r\": {\"f\": -1}}").is_err());
+        assert!(Ratchet::from_json("{} trailing").is_err());
+    }
+}

@@ -1,0 +1,36 @@
+// Fixture: rule `atomic-ordering`. Scanned both as a plain core path
+// (SeqCst confinement fires) and as `core/src/parallel.rs` (SeqCst
+// allowed, but only with a `SeqCst:` justification comment).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+static COUNT: AtomicUsize = AtomicUsize::new(0);
+
+fn bad_default_ordering() -> usize {
+    COUNT.load()
+}
+
+fn bad_seqcst_placement_or_justification() {
+    COUNT.store(1, Ordering::SeqCst);
+}
+
+fn good_relaxed() -> usize {
+    COUNT.fetch_add(1, Ordering::Relaxed)
+}
+
+fn good_justified_seqcst() {
+    // SeqCst: fixture justification — total order on the final flag.
+    COUNT.store(2, Ordering::SeqCst);
+}
+
+fn allowed_hatch() -> usize {
+    // diva-tidy: allow(atomic-ordering)
+    COUNT.load()
+}
+
+#[cfg(test)]
+mod tests {
+    fn test_code_is_exempt() {
+        super::COUNT.load();
+    }
+}

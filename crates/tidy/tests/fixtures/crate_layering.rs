@@ -1,0 +1,20 @@
+// Fixture: rule `crate-layering`. Scanned as a relation path (layer 1),
+// both findings fire; scanned as a core path (layer 4) the file is clean.
+use diva_core::solve::Solver;
+
+fn upward_call() -> u64 {
+    // Fully-qualified paths invert the layering just like `use` does.
+    diva_metrics::loss::suppressed_cells as u64
+}
+
+fn same_layer_is_fine() {
+    let _ = diva_relation_helper();
+}
+
+fn diva_relation_helper() {}
+
+#[cfg(test)]
+mod tests {
+    // Tests may reach anywhere in the workspace.
+    use diva_datagen::synthetic;
+}

@@ -1,0 +1,50 @@
+// Fixture: rule `nondet-iter`. Scanned as a library path outside tests.
+
+use std::collections::{HashMap, HashSet};
+
+fn bad_direct_emit(m: &HashMap<String, u32>) -> Vec<String> {
+    m.keys().cloned().collect()
+}
+
+fn bad_for_loop(s: &HashSet<u32>) {
+    for v in s {
+        emit(*v);
+    }
+}
+
+fn good_sort_before_emit(m: &HashMap<String, u32>) -> Vec<String> {
+    let mut keys: Vec<String> = m.keys().cloned().collect();
+    keys.sort();
+    keys
+}
+
+fn good_collect_keyed(m: &HashMap<String, u32>) -> HashMap<String, u32> {
+    m.iter().map(|(k, v)| (k.clone(), *v)).collect::<HashMap<_, _>>()
+}
+
+fn good_order_free(m: &HashMap<String, u32>) -> usize {
+    m.values().count()
+}
+
+fn canonical_weights(m: &HashMap<String, u32>) -> Vec<u32> {
+    m.values().copied().collect()
+}
+
+fn allowed_hatch(m: &HashMap<String, u32>) {
+    // diva-tidy: allow(nondet-iter)
+    for k in m.keys() {
+        emit_str(k);
+    }
+}
+
+fn emit(_v: u32) {}
+fn emit_str(_k: &str) {}
+
+#[cfg(test)]
+mod tests {
+    fn hash_order_fine_in_tests(m: &std::collections::HashMap<u32, u32>) {
+        for v in m.values() {
+            super::emit(*v);
+        }
+    }
+}

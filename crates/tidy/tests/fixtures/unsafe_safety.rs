@@ -1,0 +1,40 @@
+// Fixture: rule `unsafe-safety`. Scanned as any non-test path.
+
+fn bad_block() {
+    unsafe {
+        danger();
+    }
+}
+
+fn good_block() {
+    // SAFETY: fixture — the invariant is stated right here.
+    unsafe {
+        danger();
+    }
+}
+
+pub unsafe fn bad_exposed() {}
+
+/// Docs for the good fn.
+// SAFETY: callers uphold the fixture invariant.
+pub unsafe fn good_exposed() {}
+
+// SAFETY: the whole impl is justified once; the unsafe fns it
+// contains inherit the justification (the `GlobalAlloc` idiom).
+unsafe impl Scary for Holder {
+    unsafe fn covered_by_impl(&self) {}
+}
+
+unsafe impl Sync for Uncovered {}
+
+struct Holder;
+struct Uncovered;
+
+unsafe fn danger() {}
+
+#[cfg(test)]
+mod tests {
+    fn test_code_is_exempt() {
+        unsafe { super::danger() }
+    }
+}

@@ -1,0 +1,23 @@
+// Fixture: rule `unused-allow`. Scanned as a library path (e.g. under
+// `crates/relation/src/`) so `no-panic` is live for the used-allow case.
+
+// diva-tidy: allow(no-panic)
+fn stale_allow_suppresses_nothing() -> u32 {
+    7
+}
+
+fn used_allow_is_fine(v: Option<u32>) -> u32 {
+    // diva-tidy: allow(no-panic)
+    v.unwrap()
+}
+
+// diva-tidy: allow(made-up-rule)
+fn unknown_rule_name() {}
+
+#[cfg(test)]
+mod tests {
+    fn stale_allows_in_tests_are_tolerated() -> u32 {
+        // diva-tidy: allow(no-panic)
+        1
+    }
+}

@@ -6,8 +6,9 @@
 # CARGO_FLAGS if the environment has no registry access; set
 # SKIP_BENCH=1 to skip the bench smoke during quick iterations,
 # SKIP_FAULTS=1 to skip the fault-injection matrix,
-# SKIP_DECOMP=1 to skip the decomposition differential, and
-# SKIP_PROFILE=1 to skip the profiling capture + trace-diff gate).
+# SKIP_DECOMP=1 to skip the decomposition differential,
+# SKIP_PROFILE=1 to skip the profiling capture + trace-diff gate, and
+# SKIP_TIDY_RATCHET=1 to skip the tidy ratchet gate).
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -46,8 +47,25 @@ cargo fmt --check
 echo "==> cargo clippy --workspace --all-targets -D warnings"
 cargo clippy $FLAGS --workspace --all-targets -- -D warnings
 
-echo "==> diva-tidy (repo lint rules)"
-cargo run $FLAGS -q -p diva-tidy
+if [ "${SKIP_TIDY_RATCHET:-0}" = "1" ]; then
+    echo "==> diva-tidy ratchet gate skipped (SKIP_TIDY_RATCHET=1)"
+else
+    echo "==> diva-tidy (repo lint rules, ratcheted vs results/tidy-ratchet.json)"
+    # Exit codes: 0 clean/within-ratchet, 1 regression, 2 tool error.
+    tidy_status=0
+    cargo run $FLAGS -q -p diva-tidy -- \
+        --emit json --ratchet results/tidy-ratchet.json \
+        >/dev/null || tidy_status=$?
+    if [ "$tidy_status" -eq 1 ]; then
+        echo "diva-tidy: new findings exceed the committed ratchet; fix them or," >&2
+        echo "for rules that legitimately cannot reach zero yet, refresh with:" >&2
+        echo "    cargo run -q -p diva-tidy -- --write-ratchet" >&2
+        exit 1
+    elif [ "$tidy_status" -ne 0 ]; then
+        echo "diva-tidy: tool error (exit $tidy_status)" >&2
+        exit "$tidy_status"
+    fi
+fi
 
 echo "==> cargo test -q"
 cargo test $FLAGS -q --workspace
