@@ -33,7 +33,7 @@ use diva_relation::{is_k_anonymous, AttrRole, Relation};
 static GLOBAL_ALLOC: diva_obs::alloc::CountingAlloc = diva_obs::alloc::CountingAlloc::new();
 
 /// Flags that take no value.
-const BOOLEAN_FLAGS: [&str; 3] = ["quiet", "profile", "no-decompose"];
+const BOOLEAN_FLAGS: [&str; 5] = ["quiet", "profile", "no-decompose", "watch", "stall-escalate"];
 
 /// Routes the human-readable report lines. `--quiet` drops them so
 /// the process's observable outputs are exactly its files (output CSV,
@@ -109,6 +109,14 @@ fn usage() -> String {
      \u{20}          [--deadline-ms N  wall-clock budget; exceeding it degrades gracefully]\n\
      \u{20}          [--node-budget N  cap on explored search nodes before degrading]\n\
      \u{20}          [--repair-budget N  cap on repair attempts before degrading]\n\
+     \u{20}          [--stats-addr HOST:PORT  serve live progress over HTTP (/metrics\n\
+     \u{20}           Prometheus text, /stats.json summary schema); port 0 picks a free\n\
+     \u{20}           port, announced on stderr]\n\
+     \u{20}          [--watch  print one live progress line per sample to stderr]\n\
+     \u{20}          [--sample-ms N  live sampling interval, default 100]\n\
+     \u{20}          [--stall-periods N  idle samples before the stall watchdog trips,\n\
+     \u{20}           default 5]\n\
+     \u{20}          [--stall-escalate  a detected stall degrades the run gracefully]\n\
      \u{20}          [--seed N] --output FILE\n\
      check      --input FILE --roles LIST --constraints FILE -k N\n\
      stats      --input FILE --roles LIST -k N\n\
@@ -273,6 +281,85 @@ fn parse_budget(opts: &HashMap<String, String>) -> Result<BudgetSpec, String> {
     Ok(BudgetSpec { deadline, node_budget, repair_budget })
 }
 
+/// Running live-telemetry machinery for one `anonymize` invocation:
+/// the sampler thread plus, when `--stats-addr` was given, the TCP
+/// stats endpoint. [`LiveTelemetry::stop`] joins both.
+struct LiveTelemetry {
+    sampler: diva_obs::live::Sampler,
+    server: Option<diva_obs::serve::StatsServer>,
+}
+
+impl LiveTelemetry {
+    /// Shuts the endpoint first (so no scrape observes a dead
+    /// sampler), then stops the sampler thread.
+    fn stop(self) {
+        if let Some(server) = self.server {
+            server.shutdown();
+        }
+        self.sampler.stop();
+    }
+}
+
+/// True when any live-telemetry flag asks for an enabled progress
+/// board; with none of them the run keeps the disabled board and its
+/// output stays byte-identical to a telemetry-free build.
+fn live_requested(opts: &HashMap<String, String>) -> bool {
+    ["stats-addr", "watch", "sample-ms", "stall-periods", "stall-escalate"]
+        .iter()
+        .any(|f| opts.contains_key(*f))
+}
+
+/// Parses the live-telemetry flags, spawns the sampler (with a
+/// `--watch` stderr callback when asked), and binds the
+/// `--stats-addr` endpoint. The resolved listen address goes to
+/// stderr — even under `--quiet` — so scripts can bind port 0 and
+/// discover the real port without racing for one themselves.
+fn start_live_telemetry(
+    opts: &HashMap<String, String>,
+    board: &diva_obs::live::ProgressBoard,
+    obs: &Obs,
+) -> Result<LiveTelemetry, String> {
+    let interval_ms = opts
+        .get("sample-ms")
+        .map(|v| match v.parse::<u64>() {
+            Ok(0) | Err(_) => Err("sample-ms must be a positive integer".to_string()),
+            Ok(n) => Ok(n),
+        })
+        .transpose()?
+        .unwrap_or(100);
+    let stall_periods = opts
+        .get("stall-periods")
+        .map(|v| match v.parse::<u32>() {
+            Ok(0) | Err(_) => Err("stall-periods must be a positive integer".to_string()),
+            Ok(n) => Ok(n),
+        })
+        .transpose()?
+        .unwrap_or(5);
+    let config = diva_obs::live::SamplerConfig {
+        interval: std::time::Duration::from_millis(interval_ms),
+        stall_periods,
+        escalate: opts.contains_key("stall-escalate"),
+        ..diva_obs::live::SamplerConfig::default()
+    };
+    let on_sample: Option<diva_obs::live::OnSample> = if opts.contains_key("watch") {
+        Some(Box::new(|sample| eprintln!("{}", sample.watch_line())))
+    } else {
+        None
+    };
+    let sampler = diva_obs::live::Sampler::spawn(board, obs, config, on_sample);
+    let server = opts
+        .get("stats-addr")
+        .map(|addr| {
+            diva_obs::serve::StatsServer::bind(addr, board.clone(), sampler.log())
+                .map_err(|e| format!("--stats-addr {addr}: {e}"))
+        })
+        .transpose()?;
+    if let Some(server) = &server {
+        eprintln!("stats endpoint listening on {}", server.local_addr());
+    }
+    Ok(LiveTelemetry { sampler, server })
+}
+
 fn anonymize(opts: &HashMap<String, String>) -> Result<(), String> {
     let reporter = Reporter::new(opts);
     let rel = load_input(opts)?;
@@ -307,6 +394,13 @@ fn anonymize(opts: &HashMap<String, String>) -> Result<(), String> {
         })
         .transpose()?;
     let obs = obs_for(opts);
+    let board = if live_requested(opts) {
+        diva_obs::live::ProgressBoard::enabled()
+    } else {
+        diva_obs::live::ProgressBoard::disabled()
+    };
+    let live =
+        if board.is_enabled() { Some(start_live_telemetry(opts, &board, &obs)?) } else { None };
     let config = DivaConfig {
         k,
         strategy,
@@ -317,6 +411,7 @@ fn anonymize(opts: &HashMap<String, String>) -> Result<(), String> {
         decompose: !opts.contains_key("no-decompose"),
         component_portfolio,
         obs: obs.clone(),
+        board,
         ..DivaConfig::default()
     };
     let portfolio = opts
@@ -338,6 +433,12 @@ fn anonymize(opts: &HashMap<String, String>) -> Result<(), String> {
             };
         Diva::with_anonymizer(config, anonymizer).run(&rel, &sigma)
     };
+    // Tear down the endpoint and sampler before reporting so the last
+    // watch line lands above the summary and no scrape can observe a
+    // half-written export.
+    if let Some(live) = live {
+        live.stop();
+    }
     // Exports are written even on failure: the partial trace is
     // exactly what explains an aborted or infeasible search.
     write_exports(opts, &obs)?;

@@ -181,6 +181,15 @@ pub enum DegradeReason {
         /// The panic message of the last lost worker.
         detail: String,
     },
+    /// The live-telemetry stall watchdog saw the node counter frozen
+    /// past its threshold and (with escalation enabled) requested a
+    /// graceful wind-down through the same degradation path a budget
+    /// trip takes.
+    Stalled {
+        /// Node count at the moment the coloring poll honoured the
+        /// watchdog's degrade request.
+        nodes: u64,
+    },
 }
 
 impl DegradeReason {
@@ -192,6 +201,7 @@ impl DegradeReason {
             DegradeReason::NodeBudgetExhausted { .. } => "nodes",
             DegradeReason::RepairBudgetExhausted { .. } => "repairs",
             DegradeReason::WorkerPanic { .. } => "worker_panic",
+            DegradeReason::Stalled { .. } => "stall",
         }
     }
 }
@@ -210,6 +220,9 @@ impl std::fmt::Display for DegradeReason {
             }
             DegradeReason::WorkerPanic { detail } => {
                 write!(f, "all portfolio workers lost to panics (last: {detail})")
+            }
+            DegradeReason::Stalled { nodes } => {
+                write!(f, "stall watchdog escalated (node counter frozen at {nodes})")
             }
         }
     }
@@ -371,13 +384,15 @@ mod tests {
             DegradeReason::NodeBudgetExhausted { explored: 512, cap: 256 },
             DegradeReason::RepairBudgetExhausted { attempts: 4, cap: 3 },
             DegradeReason::WorkerPanic { detail: "injected".into() },
+            DegradeReason::Stalled { nodes: 9000 },
         ];
         let kinds: Vec<_> = reasons.iter().map(DegradeReason::kind).collect();
-        assert_eq!(kinds, ["deadline", "nodes", "repairs", "worker_panic"]);
+        assert_eq!(kinds, ["deadline", "nodes", "repairs", "worker_panic", "stall"]);
         assert!(reasons[0].to_string().contains("50 ms"));
         assert!(reasons[1].to_string().contains("256"));
         assert!(reasons[2].to_string().contains("3"));
         assert!(reasons[3].to_string().contains("injected"));
+        assert!(reasons[4].to_string().contains("9000"));
     }
 
     #[test]

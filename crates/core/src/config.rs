@@ -106,6 +106,16 @@ pub struct DivaConfig {
     /// fail-fast semantics
     /// ([`DivaError::SearchBudgetExhausted`][crate::DivaError]).
     pub budget: crate::BudgetSpec,
+    /// Live-telemetry progress board
+    /// ([`diva_obs::live::ProgressBoard`]): in-flight counters
+    /// (phase, nodes expanded, repairs, components, budget cells)
+    /// published from the existing cancellation poll points for the
+    /// sampler/stats endpoint to read. The default is the disabled
+    /// board, which costs one branch per publish and keeps the run
+    /// byte-identical to one without live telemetry. The board's
+    /// degrade-request flag is the stall watchdog's escalation
+    /// channel ([`crate::DegradeReason::Stalled`]).
+    pub board: diva_obs::live::ProgressBoard,
     /// Deterministic fault-injection plan (testing/CI only; the field
     /// exists only under the `fault-inject` feature). The default
     /// injects nothing.
@@ -128,6 +138,7 @@ impl Default for DivaConfig {
             component_portfolio: None,
             obs: diva_obs::Obs::disabled(),
             budget: crate::BudgetSpec::default(),
+            board: diva_obs::live::ProgressBoard::disabled(),
             #[cfg(feature = "fault-inject")]
             faults: crate::faults::FaultPlan::default(),
         }
@@ -167,6 +178,12 @@ impl DivaConfig {
     /// Builder-style resource budget (see [`DivaConfig::budget`]).
     pub fn budget(mut self, budget: crate::BudgetSpec) -> Self {
         self.budget = budget;
+        self
+    }
+
+    /// Builder-style live-telemetry board (see [`DivaConfig::board`]).
+    pub fn board(mut self, board: diva_obs::live::ProgressBoard) -> Self {
+        self.board = board;
         self
     }
 
@@ -254,6 +271,14 @@ mod tests {
         assert!(c.budget.is_unlimited());
         let c = c.budget(crate::BudgetSpec::with_node_budget(512));
         assert_eq!(c.budget.node_budget, Some(512));
+    }
+
+    #[test]
+    fn default_board_is_disabled() {
+        let c = DivaConfig::default();
+        assert!(!c.board.is_enabled(), "live telemetry must be opt-in");
+        let c = c.board(diva_obs::live::ProgressBoard::enabled());
+        assert!(c.board.is_enabled());
     }
 
     #[test]

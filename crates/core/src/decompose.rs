@@ -109,6 +109,7 @@ pub(crate) fn solve_clustering(
 ) -> Result<ColoringOutcome, DivaError> {
     let comps = if config.decompose { components(graph) } else { Vec::new() };
     if comps.len() <= 1 {
+        config.board.set_components_total(1);
         let mut coloring = Coloring::new(graph, candidates, uppers.to_vec(), labels, config);
         if let Some(token) = cancel {
             coloring = coloring.with_cancel(Arc::clone(token));
@@ -116,7 +117,9 @@ pub(crate) fn solve_clustering(
         if let Some(b) = budget {
             coloring = coloring.with_budget(Arc::clone(b));
         }
-        return coloring.solve();
+        let result = coloring.solve();
+        config.board.component_finished();
+        return result;
     }
 
     // Entry-poll parity with the monolithic search: injected
@@ -183,6 +186,7 @@ pub(crate) fn solve_clustering(
     let n_workers = config.threads.unwrap_or(hw).clamp(1, subs.len());
     let mut span = obs.span("diva.components").attr("count", subs.len()).attr("workers", n_workers);
     let span_id = span.id();
+    config.board.set_components_total(subs.len() as u64);
     let results = pool::run_tasks(&subs, n_workers, |idx, sub| {
         // Opened on the worker thread with an explicit parent, so this
         // component's `coloring.solve` span nests under it while the
@@ -206,6 +210,7 @@ pub(crate) fn solve_clustering(
             },
         );
         comp_span.end();
+        config.board.component_finished();
         result
     });
 

@@ -220,6 +220,11 @@ impl Diva {
             return Err(DivaError::Cancelled);
         }
         let set = ConstraintSet::bind(sigma, rel)?;
+        let board = &self.config.board;
+        board.set_constraints_total(set.len() as u64);
+        if let Some(b) = &budget {
+            board.set_budget_limits(b.spec().node_budget, b.spec().deadline);
+        }
         let mut stats = RunStats { n_constraints: set.len(), ..RunStats::default() };
         // Phase-boundary deadline checks are cheap (one clock read);
         // the finer-grained node/repair charging happens inside the
@@ -230,6 +235,7 @@ impl Diva {
         }
 
         // --- DiverseClustering (Algorithm 3). ---
+        board.set_phase(diva_obs::live::Phase::Clustering);
         let mut clustering_span = obs.span("diva.clustering");
         let graph_span = obs.span("graph.build");
         let graph = ConstraintGraph::build(&set);
@@ -316,6 +322,9 @@ impl Diva {
         if let Some(reason) = search_degraded {
             return self.degraded_result(rel, &set, s_sigma, reason, stats, run_span, &budget);
         }
+        // An exact (non-degraded) colouring satisfies every bound
+        // constraint by construction.
+        board.add_satisfied(set.len() as u64);
 
         // Rows not covered by S_Σ (Algorithm 1, line 4: R := R \ C_i).
         let mut covered = vec![false; rel.n_rows()];
@@ -339,6 +348,7 @@ impl Diva {
             // Fewer residual tuples than k: no k-anonymous R_k exists.
             // Fold them into an existing S_Σ cluster if some choice
             // keeps Σ satisfied (checked exhaustively), else fail.
+            board.set_phase(diva_obs::live::Phase::Anonymize);
             let anon_span = obs
                 .span("diva.anonymize")
                 .attr("fold_residual", true)
@@ -350,6 +360,7 @@ impl Diva {
             stats.t_anonymize = close.dur;
             note_alloc(&mut stats, &close, |p| &mut p.anonymize);
             stats.sigma_rows = s_sigma.iter().map(Vec::len).sum();
+            board.set_phase(diva_obs::live::Phase::Integrate);
             let int_span = obs.span("diva.integrate");
             let out = integrate(&folded, None, &set)?;
             #[cfg(feature = "strict-invariants")]
@@ -365,6 +376,7 @@ impl Diva {
             let close = run_span.end_profiled();
             stats.t_total = close.dur;
             note_alloc(&mut stats, &close, |p| &mut p.total);
+            board.set_phase(diva_obs::live::Phase::Done);
             return Ok(DivaResult {
                 relation: out.relation,
                 groups: out.groups,
@@ -374,6 +386,7 @@ impl Diva {
             });
         }
 
+        board.set_phase(diva_obs::live::Phase::Suppress);
         let suppress_span = obs.span("diva.suppress").attr("clusters", s_sigma.len());
         let r_sigma = suppress_clustering(rel, &s_sigma);
         #[cfg(feature = "strict-invariants")]
@@ -387,6 +400,7 @@ impl Diva {
         if let Some(reason) = deadline_hit(&budget) {
             return self.degraded_result(rel, &set, s_sigma, reason, stats, run_span, &budget);
         }
+        board.set_phase(diva_obs::live::Phase::Anonymize);
         let mut anon_span = obs.span("diva.anonymize").attr("residual_rows", rest.len());
         let r_k: Option<Suppressed> = if rest.is_empty() {
             None
@@ -450,6 +464,7 @@ impl Diva {
             return self.degraded_result(rel, &set, s_sigma, reason, stats, run_span, &budget);
         }
 
+        board.set_phase(diva_obs::live::Phase::Integrate);
         let int_span = obs.span("diva.integrate");
         let out = integrate(&r_sigma, r_k.as_ref(), &set)?;
         #[cfg(feature = "strict-invariants")]
@@ -471,6 +486,7 @@ impl Diva {
         let close = run_span.end_profiled();
         stats.t_total = close.dur;
         note_alloc(&mut stats, &close, |p| &mut p.total);
+        board.set_phase(diva_obs::live::Phase::Done);
         Ok(DivaResult {
             relation: out.relation,
             groups: out.groups,
@@ -569,6 +585,7 @@ impl Diva {
     ) -> Result<DivaResult, DivaError> {
         let obs = &self.config.obs;
         obs.counter(&format!("budget.exhausted.{}", reason.kind())).incr();
+        self.config.board.set_phase(diva_obs::live::Phase::Degrade);
         let mut span = obs
             .span("diva.degrade")
             .attr("reason", reason.kind())
@@ -704,6 +721,21 @@ impl Diva {
         }));
 
         stats.sigma_rows = source_rows.len() - star_src.len();
+        // Per-constraint verdicts for the live board: non-zero final
+        // count = satisfied (within bounds by the fixpoint), zero =
+        // voided.
+        let mut n_sat = 0u64;
+        let mut n_voided_constraints = 0u64;
+        for (ci, _) in set.constraints().iter().enumerate() {
+            let count: usize = (0..n_groups).filter(|&g| !voided[g]).map(|g| contrib[ci][g]).sum();
+            if count > 0 {
+                n_sat += 1;
+            } else {
+                n_voided_constraints += 1;
+            }
+        }
+        self.config.board.add_satisfied(n_sat);
+        self.config.board.add_voided(n_voided_constraints);
         let n_voided = voided.iter().filter(|&&v| v).count();
         span.set_attr("voided_clusters", n_voided);
         span.set_attr("star_rows", star_src.len());
@@ -715,6 +747,7 @@ impl Diva {
         let close = run_span.end_profiled();
         stats.t_total = close.dur;
         note_alloc(&mut stats, &close, |p| &mut p.total);
+        self.config.board.set_phase(diva_obs::live::Phase::Done);
         Ok(DivaResult {
             relation,
             groups,

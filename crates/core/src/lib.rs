@@ -36,19 +36,32 @@
 //! assert!(diva_relation::is_k_anonymous(&out.relation, 2));
 //! ```
 
+/// Resource budgets and graceful degradation.
 pub mod budget;
+/// Candidate clustering enumeration (`Clusterings(σ, R)`).
 pub mod candidates;
+/// The recursive colouring search (Algorithms 3 and 4).
 pub mod coloring;
+/// DIVA configuration: node-selection strategies and search knobs.
 pub mod config;
+/// Constraint-graph decomposition into independent components.
 pub mod decompose;
+/// The DIVA pipeline (Algorithm 1): clustering through integration.
 pub mod diva;
+/// Errors produced by the DIVA pipeline.
 pub mod error;
+/// Deterministic fault injection for robustness testing.
 #[cfg(feature = "fault-inject")]
 pub mod faults;
+/// The constraint graph: nodes per constraint, edges on overlap.
 pub mod graph;
+/// The `Integrate` step: unions `R_Σ` and `R_k`, repairs violations.
 pub mod integrate;
+/// Parallel portfolio search across strategies and seeds.
 pub mod parallel;
+/// Bounded scoped-thread worker pool for component-parallel solving.
 pub mod pool;
+/// Mutable search state: cluster registry and usage maps.
 pub mod state;
 
 pub use budget::{Budget, BudgetSpec, BudgetUsage, Controls, DegradeReason, Outcome};

@@ -18,7 +18,9 @@
 //!
 //! Everything is deterministic given `(spec, n_rows, seed)`.
 
+/// Hand-rolled categorical samplers: Uniform, Zipfian, Gaussian.
 pub mod dist;
+/// Dataset specifications matching Table 4 of the paper.
 pub mod spec;
 
 mod engine;

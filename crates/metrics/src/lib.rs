@@ -17,8 +17,11 @@
 //!   are monotone in information loss, preserving the orderings and
 //!   crossovers the figures show (`DESIGN.md` §2.6).
 
+/// ε-differentially-private query answering over anonymized outputs.
 pub mod dp;
+/// Descriptive statistics of an anonymization result.
 pub mod stats;
+/// Workload-based utility over aggregate analyst queries.
 pub mod utility;
 
 pub use dp::LaplaceMechanism;

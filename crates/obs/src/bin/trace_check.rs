@@ -1,6 +1,18 @@
-//! `trace-check` — validates an emitted trace/metrics pair.
+//! `trace-check` — validates an emitted trace/metrics pair, or
+//! scrapes a live stats endpoint mid-run.
 //!
-//! Usage: `trace-check [--require-alloc] <trace.jsonl> <metrics.json>`
+//! Usage:
+//! `trace-check [--require-alloc] <trace.jsonl> <metrics.json>`
+//! `trace-check --scrape HOST:PORT [--timeout-ms N]`
+//!
+//! The `--scrape` client mode polls a running `diva --stats-addr`
+//! endpoint until it observes an in-flight snapshot with a non-zero
+//! node count, validating on every poll that `/metrics` parses as
+//! Prometheus text with the required families and that `/stats.json`
+//! carries the four-section summary schema with the `live.*` keys.
+//! On success it prints the observed mid-run counters (for the caller
+//! to compare against the finished run's totals) and exits 0; it
+//! exits non-zero if the run ends before any such snapshot is seen.
 //!
 //! Checks that every trace line parses as a span object, that ids are
 //! unique and parents resolve, that any memory-attribution fields are
@@ -142,12 +154,122 @@ fn run(trace_path: &str, metrics_path: &str, require_alloc: bool) -> Result<(), 
     Ok(())
 }
 
+/// Prometheus families every `/metrics` exposition must carry.
+const REQUIRED_FAMILIES: [&str; 5] = [
+    "diva_phase",
+    "diva_nodes_expanded_total",
+    "diva_repairs_total",
+    "diva_elapsed_ms",
+    "diva_stalled",
+];
+
+/// One poll of both endpoint routes. Returns `Ok(None)` when the
+/// documents validate but the search has not expanded a node yet.
+fn try_scrape(
+    addr: &std::net::SocketAddr,
+    timeout: std::time::Duration,
+) -> Result<Option<(u64, String, u64)>, String> {
+    use diva_obs::serve::parse_prometheus;
+    let (status, prom) =
+        diva_obs::serve::http_get(addr, "/metrics", timeout).map_err(|e| e.to_string())?;
+    if !status.contains("200") {
+        return Err(format!("GET /metrics: {}", status.trim()));
+    }
+    let samples = parse_prometheus(&prom).map_err(|e| format!("/metrics: {e}"))?;
+    for family in REQUIRED_FAMILIES {
+        if !samples.iter().any(|s| s.name == family) {
+            return Err(format!("/metrics is missing family \"{family}\""));
+        }
+    }
+    let metric = |name: &str| {
+        samples
+            .iter()
+            .find(|s| s.name == name)
+            .map(|s| s.value)
+            .ok_or_else(|| format!("/metrics is missing \"{name}\""))
+    };
+    let nodes = metric("diva_nodes_expanded_total")? as u64;
+    let elapsed_ms = metric("diva_elapsed_ms")? as u64;
+    let phase = samples
+        .iter()
+        .find(|s| s.name == "diva_phase")
+        .and_then(|s| s.label("phase"))
+        .unwrap_or("?")
+        .to_string();
+    let (status, json) =
+        diva_obs::serve::http_get(addr, "/stats.json", timeout).map_err(|e| e.to_string())?;
+    if !status.contains("200") {
+        return Err(format!("GET /stats.json: {}", status.trim()));
+    }
+    let v = parse(&json).map_err(|e| format!("/stats.json: {e}"))?;
+    for section in ["spans", "counters", "gauges", "histograms"] {
+        if !matches!(v.get(section), Some(Value::Obj(_))) {
+            return Err(format!("/stats.json is missing \"{section}\" object"));
+        }
+    }
+    for (section, key) in [
+        ("counters", "live.nodes_expanded"),
+        ("counters", "live.repairs"),
+        ("gauges", "live.phase_code"),
+        ("gauges", "live.elapsed_ms"),
+        ("gauges", "live.stalled"),
+    ] {
+        if v.get(section).and_then(|s| s.get(key)).and_then(Value::as_num).is_none() {
+            return Err(format!("/stats.json {section} is missing numeric \"{key}\""));
+        }
+    }
+    Ok(if nodes > 0 { Some((nodes, phase, elapsed_ms)) } else { None })
+}
+
+/// The `--scrape` client mode: poll the endpoint until a validated
+/// mid-run snapshot with `nodes > 0` appears (or the timeout ends —
+/// which covers both "run finished first" via connection refusal and
+/// a genuinely empty board).
+fn scrape(addr: &str, timeout_ms: u64) -> Result<(), String> {
+    let addr: std::net::SocketAddr = addr.parse().map_err(|e| format!("--scrape {addr}: {e}"))?;
+    let per_request = std::time::Duration::from_millis(500);
+    let deadline = diva_obs::Stopwatch::start();
+    let mut last_err = "endpoint never responded".to_string();
+    while deadline.elapsed() < std::time::Duration::from_millis(timeout_ms) {
+        match try_scrape(&addr, per_request) {
+            Ok(Some((nodes, phase, elapsed_ms))) => {
+                println!("scrape ok: nodes={nodes} phase={phase} elapsed_ms={elapsed_ms}");
+                return Ok(());
+            }
+            Ok(None) => last_err = "snapshots valid, but nodes stayed 0".to_string(),
+            Err(e) => last_err = e,
+        }
+        std::thread::sleep(std::time::Duration::from_millis(5));
+    }
+    Err(format!("no mid-run snapshot with nodes > 0 within {timeout_ms}ms (last: {last_err})"))
+}
+
 fn main() -> std::process::ExitCode {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if let Some(pos) = args.iter().position(|a| a == "--scrape") {
+        let Some(addr) = args.get(pos + 1).cloned() else {
+            eprintln!("usage: trace-check --scrape HOST:PORT [--timeout-ms N]");
+            return std::process::ExitCode::from(2);
+        };
+        let timeout_ms = args
+            .iter()
+            .position(|a| a == "--timeout-ms")
+            .and_then(|i| args.get(i + 1))
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(10_000);
+        if let Err(e) = scrape(&addr, timeout_ms) {
+            eprintln!("trace-check FAILED: {e}");
+            return std::process::ExitCode::FAILURE;
+        }
+        return std::process::ExitCode::SUCCESS;
+    }
     let require_alloc = args.iter().any(|a| a == "--require-alloc");
     args.retain(|a| a != "--require-alloc");
     let (Some(trace_path), Some(metrics_path)) = (args.first(), args.get(1)) else {
-        eprintln!("usage: trace-check [--require-alloc] <trace.jsonl> <metrics.json>");
+        eprintln!(
+            "usage: trace-check [--require-alloc] <trace.jsonl> <metrics.json>\n\
+             \u{20}      trace-check --scrape HOST:PORT [--timeout-ms N]"
+        );
         return std::process::ExitCode::from(2);
     };
     if let Err(e) = run(trace_path, metrics_path, require_alloc) {

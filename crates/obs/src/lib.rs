@@ -53,12 +53,26 @@
 //! raw timer uses [`Stopwatch`] so every clock read flows through one
 //! audited module.
 
+/// Counting `GlobalAlloc` wrapper and per-thread/global allocation
+/// statistics (`alloc-profile` feature; inert stubs otherwise).
 pub mod alloc;
+/// Post-hoc span analysis: self-times, critical path, folded stacks.
 pub mod analyze;
+/// Relative-threshold comparison of two summary documents (the
+/// `trace-diff` regression gate).
 pub mod diff;
+/// Snapshot freezing and JSONL-trace / summary-JSON rendering.
 pub mod export;
+/// Hand-rolled RFC-8259 JSON parser and number/string helpers.
 pub mod json;
+/// Live in-flight telemetry: the lock-free `ProgressBoard`, the
+/// background sampler, and the stall watchdog.
+pub mod live;
+/// Atomic counter/gauge/histogram primitives and log₂ bucketing.
 pub mod metrics;
+/// Std-only blocking TCP stats endpoint (Prometheus text + live
+/// summary-JSON) over a `ProgressBoard`.
+pub mod serve;
 
 use std::cell::RefCell;
 use std::collections::HashMap;

@@ -1,0 +1,600 @@
+//! A std-only, blocking TCP stats endpoint over a
+//! [`crate::live::ProgressBoard`].
+//!
+//! The no-registry constraint rules out every async stack, so this is
+//! a deliberately boring thread-per-connection HTTP/1.0 server: one
+//! accept-loop thread, one short-lived handler thread per connection,
+//! graceful shutdown by flag + self-connect. Scrape volume for a
+//! stats endpoint is human-scale (a poller every few seconds), so the
+//! simplicity is the feature.
+//!
+//! ## Routes
+//!
+//! * `GET /metrics` — Prometheus text exposition (version 0.0.4
+//!   shape: `# HELP` / `# TYPE` comments plus `name{labels} value`
+//!   samples). Rendered by [`prometheus_text`] and parseable by the
+//!   in-repo [`parse_prometheus`], which the round-trip tests and the
+//!   `trace-check --scrape` client mode use.
+//! * `GET /stats.json` (also `/`) — the live snapshot rendered
+//!   through the **existing summary-JSON schema**
+//!   (`{"spans":{},"counters":{},"gauges":{},"histograms":{}}`, see
+//!   [`crate::export`]), so every consumer of `--metrics` files can
+//!   parse the live document unchanged: board counters land under
+//!   `"counters"`, point-in-time cells under `"gauges"`.
+//!
+//! Anything else is a 404. Requests are read with a short timeout so
+//! a stuck client cannot wedge a handler thread forever.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::export::Snapshot;
+use crate::live::{BoardSnapshot, ProgressBoard, Sample, SampleLog};
+
+/// Renders the board snapshot (plus derived rates from the latest
+/// sampler tick, when one exists) as Prometheus text exposition.
+pub fn prometheus_text(snap: &BoardSnapshot, latest: Option<&Sample>) -> String {
+    let mut out = String::with_capacity(1024);
+    let mut gauge = |name: &str, help: &str, labels: &str, value: String| {
+        out.push_str("# HELP ");
+        out.push_str(name);
+        out.push(' ');
+        out.push_str(help);
+        out.push_str("\n# TYPE ");
+        out.push_str(name);
+        out.push_str(" gauge\n");
+        out.push_str(name);
+        out.push_str(labels);
+        out.push(' ');
+        out.push_str(&value);
+        out.push('\n');
+    };
+    gauge(
+        "diva_phase",
+        "Current pipeline phase (code; label carries the name).",
+        &format!("{{phase=\"{}\"}}", snap.phase.as_str()),
+        snap.phase.code().to_string(),
+    );
+    gauge(
+        "diva_nodes_expanded_total",
+        "Search nodes expanded (poll-stride granularity).",
+        "",
+        snap.nodes.to_string(),
+    );
+    gauge("diva_repairs_total", "Repair attempts.", "", snap.repairs.to_string());
+    gauge(
+        "diva_constraints_satisfied",
+        "Constraints satisfied by formed clusters.",
+        "",
+        snap.satisfied.to_string(),
+    );
+    gauge(
+        "diva_constraints_voided",
+        "Constraints voided on the degradation path.",
+        "",
+        snap.voided.to_string(),
+    );
+    gauge(
+        "diva_constraints_total",
+        "Size of the bound constraint set.",
+        "",
+        snap.constraints_total.to_string(),
+    );
+    gauge("diva_components_done", "Components solved.", "", snap.components_done.to_string());
+    gauge(
+        "diva_components_total",
+        "Components in the decomposition.",
+        "",
+        snap.components_total.to_string(),
+    );
+    gauge(
+        "diva_budget_node_limit",
+        "Armed node budget (0 = unlimited).",
+        "",
+        snap.node_limit.to_string(),
+    );
+    gauge(
+        "diva_deadline_ms",
+        "Armed deadline in milliseconds (0 = none).",
+        "",
+        snap.deadline_ms.to_string(),
+    );
+    gauge(
+        "diva_live_alloc_bytes",
+        "Live heap bytes under the counting allocator.",
+        "",
+        snap.live_alloc_bytes.to_string(),
+    );
+    gauge(
+        "diva_stalled",
+        "1 while the stall watchdog considers the run stalled.",
+        "",
+        u64::from(snap.stalled).to_string(),
+    );
+    gauge(
+        "diva_elapsed_ms",
+        "Milliseconds since the board was created.",
+        "",
+        snap.elapsed_ms.to_string(),
+    );
+    if let Some(sample) = latest {
+        gauge(
+            "diva_nodes_per_sec",
+            "Node-expansion rate over the last sampling window.",
+            "",
+            format_f64(sample.nodes_per_sec),
+        );
+        gauge(
+            "diva_repairs_per_sec",
+            "Repair rate over the last sampling window.",
+            "",
+            format_f64(sample.repairs_per_sec),
+        );
+        if let Some(eta) = sample.eta_ms {
+            gauge(
+                "diva_eta_ms",
+                "Projected ms to node-budget exhaustion at the current rate.",
+                "",
+                eta.to_string(),
+            );
+        }
+        if let Some(rem) = sample.deadline_remaining_ms {
+            gauge(
+                "diva_deadline_remaining_ms",
+                "Ms left before the deadline.",
+                "",
+                rem.to_string(),
+            );
+        }
+    }
+    out
+}
+
+fn format_f64(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Renders the live snapshot through the existing summary-JSON schema
+/// ([`crate::export::Snapshot::summary_json`]): monotone cells as
+/// `"counters"`, point-in-time cells (and derived rates, rounded) as
+/// `"gauges"`; the spans/histograms sections stay empty.
+pub fn stats_json(snap: &BoardSnapshot, latest: Option<&Sample>) -> String {
+    let mut view = Snapshot {
+        counters: vec![
+            ("live.constraints_satisfied".to_string(), snap.satisfied),
+            ("live.constraints_voided".to_string(), snap.voided),
+            ("live.nodes_expanded".to_string(), snap.nodes),
+            ("live.repairs".to_string(), snap.repairs),
+        ],
+        gauges: vec![
+            ("live.alloc_bytes".to_string(), snap.live_alloc_bytes),
+            ("live.components_done".to_string(), snap.components_done as i64),
+            ("live.components_total".to_string(), snap.components_total as i64),
+            ("live.constraints_total".to_string(), snap.constraints_total as i64),
+            ("live.deadline_ms".to_string(), snap.deadline_ms as i64),
+            ("live.elapsed_ms".to_string(), snap.elapsed_ms as i64),
+            ("live.node_limit".to_string(), snap.node_limit as i64),
+            ("live.phase_code".to_string(), snap.phase.code() as i64),
+            ("live.stalled".to_string(), i64::from(snap.stalled)),
+        ],
+        ..Snapshot::default()
+    };
+    if let Some(sample) = latest {
+        view.gauges.push(("live.nodes_per_sec".to_string(), sample.nodes_per_sec as i64));
+        view.gauges.push(("live.repairs_per_sec".to_string(), sample.repairs_per_sec as i64));
+        if let Some(eta) = sample.eta_ms {
+            view.gauges.push(("live.eta_ms".to_string(), eta as i64));
+        }
+        if let Some(rem) = sample.deadline_remaining_ms {
+            view.gauges.push(("live.deadline_remaining_ms".to_string(), rem as i64));
+        }
+        view.gauges.sort_by(|a, b| a.0.cmp(&b.0));
+    }
+    view.summary_json()
+}
+
+/// One parsed Prometheus sample line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PromSample {
+    /// Metric name.
+    pub name: String,
+    /// `(key, value)` label pairs, in source order.
+    pub labels: Vec<(String, String)>,
+    /// Sample value.
+    pub value: f64,
+}
+
+impl PromSample {
+    /// The value of label `key`, if present.
+    pub fn label(&self, key: &str) -> Option<&str> {
+        self.labels.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
+    }
+}
+
+/// Parses Prometheus text exposition into its sample lines, skipping
+/// `#` comments and blank lines. The in-repo counterpart to
+/// [`prometheus_text`] — the endpoint round-trip tests and the
+/// `trace-check --scrape` client mode are built on it.
+pub fn parse_prometheus(text: &str) -> Result<Vec<PromSample>, String> {
+    let mut out = Vec::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        out.push(parse_sample_line(line).map_err(|e| format!("line {}: {e}", lineno + 1))?);
+    }
+    Ok(out)
+}
+
+fn parse_sample_line(line: &str) -> Result<PromSample, String> {
+    let (name, labels, value_part) = match line.find('{') {
+        Some(open) => {
+            let close = line[open..]
+                .find('}')
+                .map(|i| open + i)
+                .ok_or_else(|| "unterminated label set".to_string())?;
+            (&line[..open], parse_labels(&line[open + 1..close])?, &line[close + 1..])
+        }
+        None => {
+            let sp = line
+                .find(char::is_whitespace)
+                .ok_or_else(|| "sample line has no value".to_string())?;
+            (&line[..sp], Vec::new(), &line[sp..])
+        }
+    };
+    if name.is_empty() {
+        return Err("empty metric name".to_string());
+    }
+    let value_text = value_part.trim();
+    let value: f64 = value_text.parse().map_err(|_| format!("bad sample value {value_text:?}"))?;
+    Ok(PromSample { name: name.to_string(), labels, value })
+}
+
+fn parse_labels(body: &str) -> Result<Vec<(String, String)>, String> {
+    let mut labels = Vec::new();
+    let body = body.trim();
+    if body.is_empty() {
+        return Ok(labels);
+    }
+    for pair in body.split(',') {
+        let eq = pair.find('=').ok_or_else(|| format!("label without '=': {pair:?}"))?;
+        let key = pair[..eq].trim();
+        let val = pair[eq + 1..].trim();
+        let val = val
+            .strip_prefix('"')
+            .and_then(|v| v.strip_suffix('"'))
+            .ok_or_else(|| format!("unquoted label value: {pair:?}"))?;
+        if key.is_empty() {
+            return Err(format!("empty label key: {pair:?}"));
+        }
+        labels.push((key.to_string(), val.to_string()));
+    }
+    Ok(labels)
+}
+
+/// The blocking stats endpoint: binds a listener, serves
+/// `/metrics` + `/stats.json` until [`StatsServer::shutdown`] (or
+/// drop) stops it.
+pub struct StatsServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for StatsServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StatsServer").field("addr", &self.addr).finish()
+    }
+}
+
+impl StatsServer {
+    /// Binds `addr` (e.g. `127.0.0.1:0` for an ephemeral port — read
+    /// the real one back from [`StatsServer::local_addr`]) and starts
+    /// the accept loop over `board`/`log`.
+    pub fn bind(addr: &str, board: ProgressBoard, log: SampleLog) -> std::io::Result<StatsServer> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let accept_stop = Arc::clone(&stop);
+        let accept_handle = std::thread::spawn(move || {
+            accept_loop(&listener, &board, &log, &accept_stop);
+        });
+        Ok(StatsServer { addr: local, stop, accept_handle: Some(accept_handle) })
+    }
+
+    /// The bound address (resolves port 0 to the real port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting, unblocks the accept loop, and joins it (also
+    /// runs on drop).
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        // Unblock the accept() call with a throwaway connection.
+        let _ = TcpStream::connect_timeout(&self.addr, Duration::from_millis(500));
+        if let Some(handle) = self.accept_handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for StatsServer {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+fn accept_loop(listener: &TcpListener, board: &ProgressBoard, log: &SampleLog, stop: &AtomicBool) {
+    for stream in listener.incoming() {
+        if stop.load(Ordering::Relaxed) {
+            return;
+        }
+        let Ok(stream) = stream else { continue };
+        let handler_board = board.clone();
+        let handler_log = log.clone();
+        std::thread::spawn(move || {
+            let _ = handle_connection(stream, &handler_board, &handler_log);
+        });
+    }
+}
+
+fn handle_connection(
+    stream: TcpStream,
+    board: &ProgressBoard,
+    log: &SampleLog,
+) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_secs(2)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(2)))?;
+    let mut reader = BufReader::new(stream);
+    let mut request_line = String::new();
+    reader.read_line(&mut request_line)?;
+    // Drain headers so well-behaved clients see a clean close.
+    loop {
+        let mut header = String::new();
+        let n = reader.read_line(&mut header)?;
+        if n == 0 || header == "\r\n" || header == "\n" {
+            break;
+        }
+    }
+    let path = request_line.split_whitespace().nth(1).unwrap_or("");
+    let (status, content_type, body) = match (board.read(), path) {
+        (Some(snap), "/metrics") => {
+            let latest = log.latest();
+            ("200 OK", "text/plain; version=0.0.4", prometheus_text(&snap, latest.as_ref()))
+        }
+        (Some(snap), "/stats.json" | "/") => {
+            let latest = log.latest();
+            ("200 OK", "application/json", stats_json(&snap, latest.as_ref()))
+        }
+        (None, "/metrics" | "/stats.json" | "/") => {
+            ("503 Service Unavailable", "text/plain", "progress board disabled\n".to_string())
+        }
+        _ => ("404 Not Found", "text/plain", format!("no route for {path}\n")),
+    };
+    let mut stream = reader.into_inner();
+    let response = format!(
+        "HTTP/1.0 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(response.as_bytes())?;
+    stream.flush()
+}
+
+/// A minimal blocking HTTP GET against the endpoint: returns
+/// `(status_line, body)`. Shared by the tests and the
+/// `trace-check --scrape` client mode.
+pub fn http_get(
+    addr: &SocketAddr,
+    path: &str,
+    timeout: Duration,
+) -> std::io::Result<(String, String)> {
+    let stream = TcpStream::connect_timeout(addr, timeout)?;
+    stream.set_read_timeout(Some(timeout))?;
+    stream.set_write_timeout(Some(timeout))?;
+    let mut stream = stream;
+    write!(stream, "GET {path} HTTP/1.0\r\nHost: {addr}\r\nConnection: close\r\n\r\n")?;
+    stream.flush()?;
+    let mut reader = BufReader::new(stream);
+    let mut status_line = String::new();
+    reader.read_line(&mut status_line)?;
+    loop {
+        let mut header = String::new();
+        let n = reader.read_line(&mut header)?;
+        if n == 0 || header == "\r\n" || header == "\n" {
+            break;
+        }
+    }
+    let mut body = String::new();
+    let mut chunk = String::new();
+    loop {
+        chunk.clear();
+        match reader.read_line(&mut chunk) {
+            Ok(0) => break,
+            Ok(_) => body.push_str(&chunk),
+            Err(_) => break,
+        }
+    }
+    Ok((status_line.trim_end().to_string(), body))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::{parse, Value};
+    use crate::live::{Phase, SampleLog, Sampler, SamplerConfig};
+    use crate::Obs;
+
+    fn populated_board() -> ProgressBoard {
+        let board = ProgressBoard::enabled();
+        board.set_phase(Phase::Anonymize);
+        board.add_nodes(1234);
+        board.add_repairs(7);
+        board.add_satisfied(40);
+        board.add_voided(2);
+        board.set_constraints_total(50);
+        board.set_components_total(12);
+        board.component_finished();
+        board.component_finished();
+        board.set_budget_limits(Some(10_000), Some(Duration::from_secs(10)));
+        board
+    }
+
+    #[test]
+    fn prometheus_round_trips_through_the_in_repo_parser() {
+        let board = populated_board();
+        let snap = board.read().expect("enabled board");
+        let text = prometheus_text(&snap, None);
+        let samples = parse_prometheus(&text).expect("rendered text parses");
+        let get = |name: &str| {
+            samples
+                .iter()
+                .find(|s| s.name == name)
+                .unwrap_or_else(|| panic!("missing {name} in:\n{text}"))
+        };
+        assert_eq!(get("diva_nodes_expanded_total").value, 1234.0);
+        assert_eq!(get("diva_repairs_total").value, 7.0);
+        assert_eq!(get("diva_constraints_satisfied").value, 40.0);
+        assert_eq!(get("diva_constraints_voided").value, 2.0);
+        assert_eq!(get("diva_components_done").value, 2.0);
+        assert_eq!(get("diva_components_total").value, 12.0);
+        assert_eq!(get("diva_budget_node_limit").value, 10_000.0);
+        assert_eq!(get("diva_deadline_ms").value, 10_000.0);
+        assert_eq!(get("diva_stalled").value, 0.0);
+        let phase = get("diva_phase");
+        assert_eq!(phase.value, Phase::Anonymize.code() as f64);
+        assert_eq!(phase.label("phase"), Some("anonymize"));
+    }
+
+    #[test]
+    fn prometheus_renders_rates_from_the_latest_sample() {
+        let board = populated_board();
+        let snap = board.read().expect("read");
+        let sample = Sample {
+            board: snap.clone(),
+            nodes_per_sec: 512.5,
+            repairs_per_sec: 3.0,
+            eta_ms: Some(750),
+            deadline_remaining_ms: Some(9000),
+            idle_periods: 0,
+        };
+        let text = prometheus_text(&snap, Some(&sample));
+        let samples = parse_prometheus(&text).expect("parses");
+        let value = |name: &str| samples.iter().find(|s| s.name == name).map(|s| s.value);
+        assert_eq!(value("diva_nodes_per_sec"), Some(512.5));
+        assert_eq!(value("diva_repairs_per_sec"), Some(3.0));
+        assert_eq!(value("diva_eta_ms"), Some(750.0));
+        assert_eq!(value("diva_deadline_remaining_ms"), Some(9000.0));
+    }
+
+    #[test]
+    fn parser_rejects_malformed_lines() {
+        assert!(parse_prometheus("metric_without_value").is_err());
+        assert!(parse_prometheus("bad{unterminated 1").is_err());
+        assert!(parse_prometheus("bad{k=unquoted} 1").is_err());
+        assert!(parse_prometheus("bad{novalue} 1").is_err());
+        assert!(parse_prometheus("name notanumber").is_err());
+        // Comments and blanks are fine.
+        assert_eq!(parse_prometheus("# HELP x y\n\n# TYPE x gauge\n").expect("ok").len(), 0);
+    }
+
+    #[test]
+    fn stats_json_uses_the_summary_schema() {
+        let board = populated_board();
+        let snap = board.read().expect("read");
+        let text = stats_json(&snap, None);
+        let v = parse(&text).expect("summary-JSON parses with the in-repo parser");
+        assert_eq!(
+            v.get("counters").and_then(|c| c.get("live.nodes_expanded")).and_then(Value::as_num),
+            Some(1234.0)
+        );
+        assert_eq!(
+            v.get("gauges").and_then(|g| g.get("live.phase_code")).and_then(Value::as_num),
+            Some(Phase::Anonymize.code() as f64)
+        );
+        assert_eq!(
+            v.get("gauges").and_then(|g| g.get("live.components_total")).and_then(Value::as_num),
+            Some(12.0)
+        );
+        // The schema's four sections all exist, like every --metrics file.
+        for section in ["spans", "counters", "gauges", "histograms"] {
+            assert!(v.get(section).is_some(), "missing {section}");
+        }
+    }
+
+    #[test]
+    fn endpoint_serves_both_routes_over_real_tcp() {
+        let board = populated_board();
+        let sampler = Sampler::spawn(
+            &board,
+            &Obs::disabled(),
+            SamplerConfig {
+                interval: Duration::from_millis(10),
+                stall_periods: 1000,
+                escalate: false,
+                ring_capacity: 16,
+            },
+            None,
+        );
+        let server = StatsServer::bind("127.0.0.1:0", board.clone(), sampler.log()).expect("bind");
+        let addr = server.local_addr();
+        assert_ne!(addr.port(), 0, "port 0 resolves to a real port");
+
+        let (status, body) =
+            http_get(&addr, "/metrics", Duration::from_secs(2)).expect("GET /metrics");
+        assert!(status.contains("200"), "{status}");
+        let samples = parse_prometheus(&body).expect("prometheus body parses");
+        assert!(samples.iter().any(|s| s.name == "diva_nodes_expanded_total" && s.value == 1234.0));
+
+        let (status, body) =
+            http_get(&addr, "/stats.json", Duration::from_secs(2)).expect("GET /stats.json");
+        assert!(status.contains("200"), "{status}");
+        let v = parse(&body).expect("json body parses");
+        assert_eq!(
+            v.get("counters").and_then(|c| c.get("live.nodes_expanded")).and_then(Value::as_num),
+            Some(1234.0)
+        );
+
+        let (status, _) = http_get(&addr, "/nope", Duration::from_secs(2)).expect("GET /nope");
+        assert!(status.contains("404"), "{status}");
+
+        sampler.stop();
+        server.shutdown();
+    }
+
+    #[test]
+    fn endpoint_reports_unavailable_for_a_disabled_board() {
+        let server = StatsServer::bind("127.0.0.1:0", ProgressBoard::disabled(), SampleLog::new(8))
+            .expect("bind");
+        let addr = server.local_addr();
+        let (status, _) = http_get(&addr, "/metrics", Duration::from_secs(2)).expect("GET");
+        assert!(status.contains("503"), "{status}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn shutdown_unblocks_and_joins() {
+        let server = StatsServer::bind("127.0.0.1:0", ProgressBoard::enabled(), SampleLog::new(8))
+            .expect("bind");
+        let addr = server.local_addr();
+        server.shutdown();
+        // Once joined, fresh connections must not be served.
+        let after = http_get(&addr, "/metrics", Duration::from_millis(300));
+        assert!(
+            after.is_err() || !after.expect("response").0.contains("200"),
+            "server still answering after shutdown"
+        );
+    }
+}

@@ -18,18 +18,31 @@
 //! comparisons and hashing touch only machine words, and string data is
 //! stored once per distinct value.
 
+/// Row-at-a-time relation construction.
 pub mod builder;
+/// Dependency-free CSV reading and writing (RFC-4180 quoting).
 pub mod csv;
+/// Per-column string dictionaries.
 pub mod dict;
+/// Aligned plain-text and Markdown rendering of relations.
 pub mod display;
+/// Shared fixtures: the paper's running example (Table 1).
 pub mod fixtures;
+/// Generalization-based recoding of anonymization outputs.
 pub mod generalize;
+/// QI-groups and `k`-anonymity (Definition 2.1).
 pub mod groups;
+/// Generalization hierarchies over QI attribute domains.
 pub mod hierarchy;
+/// The columnar relation type.
 pub mod relation;
+/// A fixed-capacity bitset over row ids.
 pub mod rowset;
+/// Relation schemas: attribute names and privacy roles.
 pub mod schema;
+/// Cluster-driven value suppression (Algorithm 2) and refinement.
 pub mod suppress;
+/// Cell values: dictionary codes plus the suppression symbol.
 pub mod value;
 
 pub use builder::RelationBuilder;

@@ -17,8 +17,10 @@
 //!   registry in `state.rs`) is on the built-in allowlist.
 //! * **`thread-spawn`** — detached `std::thread::spawn` only in
 //!   `core::parallel` (portfolio workers governed by the cancellation
-//!   token) and `core::pool` (the component worker pool); scoped
-//!   `thread::scope` joins are fine anywhere.
+//!   token), `core::pool` (the component worker pool), and the
+//!   live-telemetry daemons `obs::live` (the sampler) and
+//!   `obs::serve` (the stats listener), both held by join-on-drop
+//!   handles; scoped `thread::scope` joins are fine anywhere.
 //! * **`wall-clock`** — no `Instant::now`/`SystemTime::now`/ambient
 //!   RNG anywhere except `crates/obs/src/`: every clock read flows
 //!   through `diva_obs` (spans or `Stopwatch`) so timings are

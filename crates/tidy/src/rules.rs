@@ -187,6 +187,17 @@ const CLOCK_TOKENS: Tokens = &[
     ("rand::random", "ambient `rand::random`"),
 ];
 
+/// Files sanctioned to call `std::thread::spawn`: the two search-side
+/// worker modules (which poll the cancellation token) and the two
+/// live-telemetry daemons (the background sampler and the stats
+/// listener, both owned by join-on-drop handles).
+const THREAD_SPAWN_SANCTIONED: [&str; 4] = [
+    "crates/core/src/parallel.rs",
+    "crates/core/src/pool.rs",
+    "crates/obs/src/live.rs",
+    "crates/obs/src/serve.rs",
+];
+
 fn run_legacy_token_rules(ctx: &mut Ctx<'_>) {
     let path = ctx.path;
     token_rule(
@@ -208,11 +219,12 @@ fn run_legacy_token_rules(ctx: &mut Ctx<'_>) {
     token_rule(
         ctx,
         "thread-spawn",
-        path != "crates/core/src/parallel.rs" && path != "crates/core/src/pool.rs",
+        !THREAD_SPAWN_SANCTIONED.contains(&path),
         SPAWN_TOKENS,
-        "outside `core::parallel`/`core::pool` — detached workers must poll the portfolio \
-         cancellation token; use `std::thread::scope` or route the work through \
-         `run_portfolio` or the component pool",
+        "outside the sanctioned spawn sites — detached workers must poll the portfolio \
+         cancellation token; use `std::thread::scope`, route the work through \
+         `run_portfolio` or the component pool, or (for telemetry daemons) the obs \
+         sampler/listener",
     );
     token_rule(
         ctx,

@@ -1,0 +1,10 @@
+// Fixture: rule (c) `thread-spawn`, telemetry-daemon shape. Mirrors
+// the obs sampler/listener idiom: a detached spawn whose handle is
+// kept for join-on-drop. Sanctioned only under `crates/obs/src/live.rs`
+// and `crates/obs/src/serve.rs`; anywhere else it must fire.
+
+pub fn daemon_with_join_handle() -> std::thread::JoinHandle<()> {
+    std::thread::spawn(|| loop {
+        std::thread::sleep(std::time::Duration::from_millis(100));
+    })
+}

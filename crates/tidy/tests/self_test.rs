@@ -63,6 +63,27 @@ fn rule_c_exempts_core_parallel() {
 }
 
 #[test]
+fn rule_c_exempts_the_telemetry_daemons() {
+    // The live sampler and the stats listener own detached threads
+    // behind join-on-drop handles — sanctioned spawn sites.
+    for path in ["crates/obs/src/live.rs", "crates/obs/src/serve.rs"] {
+        let v = diva_tidy::scan_file(path, &fixture("sampler_spawn.rs"));
+        assert!(lines_for(&v, "thread-spawn").is_empty(), "{path}: {v:#?}");
+    }
+}
+
+#[test]
+fn rule_c_confines_the_telemetry_exemption_to_those_files() {
+    // The same daemon-shaped spawn anywhere else in `crates/obs` (or
+    // the workspace) still fires: the exemption is per-file, not
+    // per-crate.
+    for path in ["crates/obs/src/metrics.rs", "crates/core/src/diva.rs"] {
+        let v = diva_tidy::scan_file(path, &fixture("sampler_spawn.rs"));
+        assert_eq!(lines_for(&v, "thread-spawn"), vec![7], "{path}: {v:#?}");
+    }
+}
+
+#[test]
 fn rule_d_wall_clock_fires_on_fixture() {
     // rowset.rs: deterministic hot path, not in the doc scope.
     let v = diva_tidy::scan_file("crates/relation/src/rowset.rs", &fixture("wall_clock.rs"));

@@ -7,7 +7,8 @@
 # SKIP_BENCH=1 to skip the bench smoke during quick iterations,
 # SKIP_FAULTS=1 to skip the fault-injection matrix,
 # SKIP_DECOMP=1 to skip the decomposition differential,
-# SKIP_PROFILE=1 to skip the profiling capture + trace-diff gate, and
+# SKIP_PROFILE=1 to skip the profiling capture + trace-diff gate,
+# SKIP_LIVE=1 to skip the live-telemetry mid-run scrape gate, and
 # SKIP_TIDY_RATCHET=1 to skip the tidy ratchet gate).
 set -eu
 
@@ -17,9 +18,11 @@ BASELINE="results/baseline/medical-4k.summary.json"
 
 OBS_DIR=""
 PROF_DIR=""
+LIVE_DIR=""
 cleanup() {
     [ -n "$OBS_DIR" ] && rm -rf "$OBS_DIR"
     [ -n "$PROF_DIR" ] && rm -rf "$PROF_DIR"
+    [ -n "$LIVE_DIR" ] && rm -rf "$LIVE_DIR"
 }
 trap cleanup EXIT
 
@@ -103,6 +106,58 @@ else
     capture_medical_4k "$OBS_DIR"
     cargo run $FLAGS --release -q -p diva-obs --bin trace-check -- \
         "$OBS_DIR/trace.jsonl" "$OBS_DIR/metrics.json"
+fi
+
+if [ "${SKIP_LIVE:-0}" = "1" ]; then
+    echo "==> live telemetry gate skipped (SKIP_LIVE=1)"
+else
+    echo "==> live telemetry gate (mid-run scrape of --stats-addr on medical-4k)"
+    # Pre-build both binaries so the scrape client launches instantly
+    # once the run is in flight.
+    cargo build $FLAGS --release -q -p diva-cli -p diva-obs
+    LIVE_DIR="$(mktemp -d)"
+    cargo run $FLAGS --release -q -p diva-cli --bin diva -- generate \
+        --dataset medical --rows 4000 --seed 7 --output "$LIVE_DIR/medical.csv"
+    # 15 proportional constraints make the colouring search long
+    # enough (~10^5 nodes) that a mid-run snapshot is observable.
+    cargo run $FLAGS --release -q -p diva-cli --bin diva -- sigma-gen \
+        --input "$LIVE_DIR/medical.csv" --roles qi,qi,qi,qi,qi,sensitive \
+        --class proportional --count 15 --slack 0.7 --min-freq 20 \
+        --output "$LIVE_DIR/sigma.txt"
+    cargo run $FLAGS --release -q -p diva-cli --bin diva -- anonymize \
+        --input "$LIVE_DIR/medical.csv" --roles qi,qi,qi,qi,qi,sensitive \
+        --constraints "$LIVE_DIR/sigma.txt" -k 5 --quiet \
+        --metrics "$LIVE_DIR/metrics.json" --stats-addr 127.0.0.1:0 \
+        --output "$LIVE_DIR/anon.csv" 2>"$LIVE_DIR/stderr.log" &
+    live_pid=$!
+    # The CLI binds port 0 and announces the resolved address on
+    # stderr; poll for the announcement.
+    live_addr=""
+    i=0
+    while [ "$i" -lt 400 ]; do
+        live_addr=$(sed -n 's/^stats endpoint listening on //p' "$LIVE_DIR/stderr.log")
+        [ -n "$live_addr" ] && break
+        i=$((i + 1))
+        sleep 0.01
+    done
+    if [ -z "$live_addr" ]; then
+        cat "$LIVE_DIR/stderr.log" >&2
+        echo "live: stats endpoint address never announced" >&2
+        exit 1
+    fi
+    scrape_out=$(cargo run $FLAGS --release -q -p diva-obs --bin trace-check -- \
+        --scrape "$live_addr" --timeout-ms 20000)
+    echo "$scrape_out"
+    wait "$live_pid"
+    mid_nodes=$(printf '%s' "$scrape_out" | sed -n 's/^scrape ok: nodes=\([0-9]*\).*/\1/p')
+    final_nodes=$(sed -n 's/.*"coloring.MaxFanOut.assignments_tried": *\([0-9]*\).*/\1/p' \
+        "$LIVE_DIR/metrics.json")
+    if [ -z "$mid_nodes" ] || [ -z "$final_nodes" ] \
+        || [ "$mid_nodes" -le 0 ] || [ "$mid_nodes" -ge "$final_nodes" ]; then
+        echo "live: mid-run node count ($mid_nodes) not strictly inside (0, $final_nodes)" >&2
+        exit 1
+    fi
+    echo "live telemetry ok: scraped $mid_nodes of $final_nodes nodes mid-run"
 fi
 
 if [ "${SKIP_PROFILE:-0}" = "1" ]; then

@@ -247,3 +247,77 @@ fn degraded_runs_are_visible_in_the_trace() {
         "budget-exhaustion counter missing:\n{summary}"
     );
 }
+
+/// Stall watchdog escalation: with polls slowed far past the sampling
+/// window, the node counter freezes mid-search; the watchdog must
+/// flag the stall, escalate through the board's degrade request, and
+/// the search must surface it as a graceful `Stalled` degradation —
+/// not an error, a hang, or a broken relation.
+#[test]
+fn stall_watchdog_escalation_degrades_a_frozen_search() {
+    // ~10^5-assignment search: plenty of poll points for the injected
+    // sleep to freeze the published counter between.
+    let rel = diva_datagen::medical(2000, 7);
+    let sigma = generators::proportional(&rel, 10, 0.7, 20);
+    let board = diva_obs::live::ProgressBoard::enabled();
+    let sampler = diva_obs::live::Sampler::spawn(
+        &board,
+        &Obs::disabled(),
+        diva_obs::live::SamplerConfig {
+            interval: Duration::from_millis(10),
+            stall_periods: 3,
+            escalate: true,
+            ..diva_obs::live::SamplerConfig::default()
+        },
+        None,
+    );
+    let config = DivaConfig {
+        k: 5,
+        board: board.clone(),
+        faults: FaultPlan::seeded(1).slow_polls(Duration::from_millis(300)),
+        ..DivaConfig::default()
+    };
+    let out = Diva::new(config).run(&rel, &sigma).expect("stall degrades, not errors");
+    let log = sampler.log();
+    sampler.stop();
+    match &out.outcome {
+        Outcome::Degraded { reason: DegradeReason::Stalled { nodes } } => {
+            assert!(*nodes > 0, "stall must be reported after the search expanded nodes");
+        }
+        other => panic!("expected Stalled degradation, got {other:?}"),
+    }
+    assert_contract(&rel, &sigma, 5, &out);
+    // The live flag un-latches once the degraded pipeline resumes
+    // making progress; the episode count and the latched escalation
+    // request are the durable evidence.
+    assert!(log.stalls_flagged() >= 1, "sampler never flagged the stall");
+    assert!(board.degrade_requested());
+    let snap = board.read().expect("enabled board snapshots");
+    assert_eq!(snap.phase, diva_obs::live::Phase::Done, "degraded runs still publish completion");
+}
+
+/// The same watchdog, armed identically, must stay quiet on a healthy
+/// (fault-free) run: no stall flags, no escalation, exact outcome.
+#[test]
+fn stall_watchdog_stays_quiet_on_a_healthy_run() {
+    let (rel, sigma) = workload(600);
+    let board = diva_obs::live::ProgressBoard::enabled();
+    let sampler = diva_obs::live::Sampler::spawn(
+        &board,
+        &Obs::disabled(),
+        diva_obs::live::SamplerConfig {
+            interval: Duration::from_millis(10),
+            stall_periods: 3,
+            escalate: true,
+            ..diva_obs::live::SamplerConfig::default()
+        },
+        None,
+    );
+    let out = Diva::new(DivaConfig { k: 5, board: board.clone(), ..DivaConfig::default() })
+        .run(&rel, &sigma)
+        .expect("healthy run solves");
+    sampler.stop();
+    assert!(out.outcome.is_exact(), "watchdog must not perturb a healthy run");
+    assert!(!board.stalled());
+    assert!(!board.degrade_requested());
+}

@@ -84,6 +84,44 @@ fn enabled_and_disabled_obs_agree_byte_for_byte() {
     );
 }
 
+/// Live telemetry must be observational only: a run with an enabled
+/// progress board (sampler attached, exactly what `--stats-addr` and
+/// `--watch` wire up) publishes the same relation, groups, and search
+/// stats as the plain run, and the board's final counters agree with
+/// the search's own statistics.
+#[test]
+fn enabled_board_keeps_output_byte_identical() {
+    let (rel, sigma) = workload();
+    let run_with_board = |board: diva_obs::live::ProgressBoard| {
+        let config =
+            DivaConfig { k: 5, strategy: Strategy::MaxFanOut, board, ..DivaConfig::default() };
+        Diva::new(config).run(&rel, &sigma).expect("workload solves")
+    };
+    let plain = run_with_board(diva_obs::live::ProgressBoard::disabled());
+    let board = diva_obs::live::ProgressBoard::enabled();
+    let sampler = diva_obs::live::Sampler::spawn(
+        &board,
+        &Obs::disabled(),
+        diva_obs::live::SamplerConfig {
+            interval: std::time::Duration::from_millis(1),
+            ..diva_obs::live::SamplerConfig::default()
+        },
+        None,
+    );
+    let live = run_with_board(board.clone());
+    sampler.stop();
+    assert_eq!(format!("{:?}", plain.relation), format!("{:?}", live.relation));
+    assert_eq!(plain.groups, live.groups);
+    assert_eq!(plain.source_rows, live.source_rows);
+    assert_eq!(plain.stats.coloring, live.stats.coloring);
+    let snap = board.read().expect("enabled board snapshots");
+    assert_eq!(snap.phase, diva_obs::live::Phase::Done);
+    assert_eq!(snap.nodes, live.stats.coloring.assignments_tried, "board nodes == search nodes");
+    assert_eq!(snap.satisfied, sigma.len() as u64, "exact run satisfies all of sigma");
+    assert_eq!(snap.voided, 0);
+    assert!(!snap.stalled, "a healthy run must not be flagged");
+}
+
 /// Disabled-mode overhead smoke: a run with the default (disabled)
 /// handle must not be grossly slower than the enabled run is — the
 /// precise < 2% budget is measured in release mode by the perf bench
