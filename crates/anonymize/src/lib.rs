@@ -31,7 +31,7 @@ pub mod tclose;
 
 pub use common::{cluster_observed, cluster_observed_interruptible, Anonymizer, QiMatrix};
 pub use kmember::KMember;
-pub use ldiv::{enforce_l_diversity, is_l_diverse};
+pub use ldiv::{enforce_diversity, enforce_l_diversity, is_l_diverse, DiversityModel};
 pub use mondrian::Mondrian;
 pub use oka::Oka;
 pub use samarati::{is_k_anonymous_with_outliers, FullDomainResult, Samarati};

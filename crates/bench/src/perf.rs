@@ -584,6 +584,53 @@ fn bench_live_overhead(rel: &Relation, k: usize) -> LiveOverhead {
 }
 
 // ---------------------------------------------------------------------
+// Audit throughput: re-scoring a published table must stay cheap.
+// ---------------------------------------------------------------------
+
+struct AuditThroughput {
+    rows: usize,
+    /// Equivalence classes the substrate built — raw tables are the
+    /// worst case (near one class per distinct QI profile).
+    classes: usize,
+    best_ms: f64,
+    rows_per_sec: f64,
+}
+
+/// Times the full eight-model audit suite (DESIGN.md §15) on a raw
+/// medical table: class construction, sensitive-rank mapping, and all
+/// checkers, with every gate armed so satisfaction is evaluated too.
+fn bench_audit_throughput(rel: &Relation) -> AuditThroughput {
+    let spec = diva_metrics::audit::AuditSpec {
+        k: Some(5),
+        distinct_l: Some(2),
+        entropy_l: Some(2.0),
+        recursive_c: Some(2.0),
+        recursive_l: 2,
+        alpha: Some(0.5),
+        basic_beta: Some(2.0),
+        enhanced_beta: Some(2.0),
+        delta: Some(2.0),
+        t: Some(0.5),
+    };
+    let mut classes = 0;
+    let best_ms = time_best_ms(OVERHEAD_REPS, || {
+        let suite = diva_metrics::audit::audit(black_box(rel), black_box(&spec));
+        classes = suite.n_classes;
+        black_box(suite.satisfied());
+    });
+    AuditThroughput {
+        rows: rel.n_rows(),
+        classes,
+        best_ms,
+        rows_per_sec: if best_ms > 0.0 {
+            rel.n_rows() as f64 / (best_ms / 1_000.0)
+        } else {
+            f64::INFINITY
+        },
+    }
+}
+
+// ---------------------------------------------------------------------
 // JSON rendering (hand-rolled: the workspace carries no serde).
 // ---------------------------------------------------------------------
 
@@ -618,6 +665,7 @@ pub fn bench_json() -> String {
     let portfolio = bench_portfolio(&diva_datagen::medical(1_000, 5), 5);
     let overhead = bench_obs_overhead(&diva_datagen::medical(1_000, 5), 5);
     let live = bench_live_overhead(&diva_datagen::medical(4_000, 7), 5);
+    let audit = bench_audit_throughput(&diva_datagen::medical(100_000, 7));
 
     // Budget sweep on the acceptance instance (EXPERIMENTS.md §budget).
     let sweep_rel = diva_datagen::medical(4_000, 29);
@@ -763,6 +811,13 @@ pub fn bench_json() -> String {
     out.push_str(&format!("    \"enabled_overhead_pct\": {:.2},\n", live.overhead_pct));
     out.push_str(&format!("    \"sampler_ticks\": {},\n", live.samples_taken));
     out.push_str("    \"enabled_budget_pct\": 1.0\n");
+    out.push_str("  },\n");
+    out.push_str("  \"audit_throughput\": {\n");
+    out.push_str("    \"instance\": \"medical-100k raw, all eight models gated\",\n");
+    out.push_str(&format!("    \"rows\": {},\n", audit.rows));
+    out.push_str(&format!("    \"classes\": {},\n", audit.classes));
+    out.push_str(&format!("    \"best_ms\": {:.4},\n", audit.best_ms));
+    out.push_str(&format!("    \"rows_per_sec\": {:.0}\n", audit.rows_per_sec));
     out.push_str("  }\n");
     out.push_str("}\n");
     out
@@ -786,6 +841,15 @@ mod tests {
         // bench_graph asserts edge-for-edge agreement internally.
         let b = bench_graph(&set);
         assert_eq!(b.n_constraints, 6);
+    }
+
+    #[test]
+    fn audit_throughput_reports_sane_numbers() {
+        let rel = diva_datagen::medical(2_000, 7);
+        let a = bench_audit_throughput(&rel);
+        assert_eq!(a.rows, 2_000);
+        assert!(a.classes > 0 && a.classes <= a.rows);
+        assert!(a.best_ms >= 0.0 && a.rows_per_sec > 0.0);
     }
 
     #[test]

@@ -19,7 +19,7 @@ use std::process::ExitCode;
 
 use diva_anonymize::{Anonymizer, KMember, Mondrian, Oka};
 use diva_constraints::{spec, Constraint, ConstraintSet};
-use diva_core::{run_portfolio, BudgetSpec, Diva, DivaConfig, Outcome, Strategy};
+use diva_core::{run_portfolio, BudgetSpec, Diva, DivaConfig, LVariant, Outcome, Strategy};
 use diva_obs::{Obs, Stopwatch};
 use diva_relation::csv::{read_relation_file, write_relation_file};
 use diva_relation::{is_k_anonymous, AttrRole, Relation};
@@ -79,6 +79,7 @@ fn run(args: &[String]) -> Result<(), String> {
     let opts = parse_flags(&args[1..])?;
     match command.as_str() {
         "anonymize" => anonymize(&opts),
+        "audit" => audit_cmd(&opts),
         "check" => check(&opts),
         "stats" => stats(&opts),
         "generate" => generate(&opts),
@@ -93,11 +94,14 @@ fn run(args: &[String]) -> Result<(), String> {
 }
 
 fn usage() -> String {
-    "usage: diva <anonymize|check|stats|generate|sigma-gen|compare> [flags]\n\
+    "usage: diva <anonymize|audit|check|stats|generate|sigma-gen|compare> [flags]\n\
      \n\
      anonymize  --input FILE --roles LIST --constraints FILE -k N \\\n\
      \u{20}          [--strategy basic|minchoice|maxfanout] [--algo kmember|oka|mondrian]\n\
-     \u{20}          [--l N  distinct l-diversity, default 1 = off]\n\
+     \u{20}          [--l N  l-diversity requirement, default 1 = off]\n\
+     \u{20}          [--l-variant distinct|entropy|recursive  how --l is enforced,\n\
+     \u{20}           default distinct; recursive reads its c from --l-c (default 1.0)]\n\
+     \u{20}          [--l-c F  the c of recursive (c,l)-diversity]\n\
      \u{20}          [--portfolio N  race all strategies × N seeds, first win returns]\n\
      \u{20}          [--threads N  worker cap for --portfolio and the component pool]\n\
      \u{20}          [--no-decompose  force the monolithic solve (no component parallelism)]\n\
@@ -118,6 +122,12 @@ fn usage() -> String {
      \u{20}           default 5]\n\
      \u{20}          [--stall-escalate  a detected stall degrades the run gracefully]\n\
      \u{20}          [--seed N] --output FILE\n\
+     audit      --input FILE --roles LIST [--emit json|table] [--output FILE] \\\n\
+     \u{20}          [--k N] [--l N  distinct] [--entropy-l F] \\\n\
+     \u{20}          [--recursive-c F] [--recursive-l N  tail index, default 2] \\\n\
+     \u{20}          [--alpha F] [--beta F] [--enhanced-beta F] [--delta F] [--t F]\n\
+     \u{20}          scores the table on all nine privacy models; each given\n\
+     \u{20}          parameter becomes a pass/fail gate (non-zero exit on failure)\n\
      check      --input FILE --roles LIST --constraints FILE -k N\n\
      stats      --input FILE --roles LIST -k N\n\
      generate   --dataset medical|pantheon|census|credit|popsyn --rows N \\\n\
@@ -378,6 +388,17 @@ fn anonymize(opts: &HashMap<String, String>) -> Result<(), String> {
         .map(|v| v.parse::<usize>().map_err(|_| "l must be a positive integer".to_string()))
         .transpose()?
         .unwrap_or(1);
+    let l_variant = match opts.get("l-variant").map(String::as_str) {
+        None | Some("distinct") => LVariant::Distinct,
+        Some("entropy") => LVariant::Entropy,
+        Some("recursive") => LVariant::Recursive { c: opt_f64(opts, "l-c")?.unwrap_or(1.0) },
+        Some(other) => {
+            return Err(format!("unknown --l-variant {other:?} (use distinct|entropy|recursive)"))
+        }
+    };
+    if opts.contains_key("l-c") && !matches!(l_variant, LVariant::Recursive { .. }) {
+        return Err("--l-c only applies with --l-variant recursive".to_string());
+    }
     let threads = opts
         .get("threads")
         .map(|v| match v.parse::<usize>() {
@@ -406,6 +427,7 @@ fn anonymize(opts: &HashMap<String, String>) -> Result<(), String> {
         strategy,
         seed,
         l_diversity,
+        l_variant,
         threads,
         budget,
         decompose: !opts.contains_key("no-decompose"),
@@ -470,6 +492,61 @@ fn anonymize(opts: &HashMap<String, String>) -> Result<(), String> {
         }
     }
     Ok(())
+}
+
+/// Optional positive-integer flag.
+fn opt_usize(opts: &HashMap<String, String>, key: &str) -> Result<Option<usize>, String> {
+    opts.get(key)
+        .map(|v| v.parse::<usize>().map_err(|_| format!("--{key} must be a positive integer")))
+        .transpose()
+}
+
+/// Optional finite-number flag.
+fn opt_f64(opts: &HashMap<String, String>, key: &str) -> Result<Option<f64>, String> {
+    opts.get(key)
+        .map(|v| match v.parse::<f64>() {
+            Ok(x) if x.is_finite() => Ok(x),
+            _ => Err(format!("--{key} must be a finite number")),
+        })
+        .transpose()
+}
+
+/// `diva audit` — scores an arbitrary CSV against the privacy-model
+/// zoo. All nine checkers always run; each parameter flag that was
+/// given additionally becomes a pass/fail gate, and any violation
+/// makes the command exit non-zero (after emitting the full report,
+/// which is the diagnostic).
+fn audit_cmd(opts: &HashMap<String, String>) -> Result<(), String> {
+    let rel = load_input(opts)?;
+    let spec = diva_metrics::AuditSpec {
+        k: opt_usize(opts, "k")?,
+        distinct_l: opt_usize(opts, "l")?,
+        entropy_l: opt_f64(opts, "entropy-l")?,
+        recursive_c: opt_f64(opts, "recursive-c")?,
+        recursive_l: opt_usize(opts, "recursive-l")?.unwrap_or(2),
+        alpha: opt_f64(opts, "alpha")?,
+        basic_beta: opt_f64(opts, "beta")?,
+        enhanced_beta: opt_f64(opts, "enhanced-beta")?,
+        delta: opt_f64(opts, "delta")?,
+        t: opt_f64(opts, "t")?,
+    };
+    let obs = obs_for(opts);
+    let suite = diva_metrics::audit_with_obs(&rel, &spec, &obs);
+    let emission = match opts.get("emit").map(String::as_str) {
+        None | Some("table") => suite.render_table(),
+        Some("json") => suite.to_json(),
+        Some(other) => return Err(format!("unknown --emit format {other:?} (use json|table)")),
+    };
+    match opts.get("output") {
+        Some(path) => std::fs::write(path, &emission).map_err(|e| format!("{path}: {e}"))?,
+        None => print!("{emission}"),
+    }
+    write_exports(opts, &obs)?;
+    if suite.satisfied() {
+        Ok(())
+    } else {
+        Err("published table fails the requested privacy guarantees".to_string())
+    }
 }
 
 fn check(opts: &HashMap<String, String>) -> Result<(), String> {

@@ -254,6 +254,153 @@ fn anonymize_with_l_diversity_flag() {
 }
 
 #[test]
+fn audit_scores_pipeline_output_and_gates_on_parameters() {
+    let data = tmp("audit.csv");
+    let sigma = tmp("audit_sigma.txt");
+    let out = tmp("audit_anon.csv");
+    diva(&[
+        "generate",
+        "--dataset",
+        "medical",
+        "--rows",
+        "400",
+        "--seed",
+        "9",
+        "--output",
+        data.to_str().unwrap(),
+    ]);
+    std::fs::write(&sigma, "ETH[Caucasian]: 10..400\n").unwrap();
+    let a = diva(&[
+        "anonymize",
+        "--input",
+        data.to_str().unwrap(),
+        "--roles",
+        MEDICAL_ROLES,
+        "--constraints",
+        sigma.to_str().unwrap(),
+        "--k",
+        "5",
+        "--l",
+        "2",
+        "--l-variant",
+        "entropy",
+        "--output",
+        out.to_str().unwrap(),
+    ]);
+    assert!(a.status.success(), "{}", String::from_utf8_lossy(&a.stderr));
+
+    // The enforcer's claims must audit clean: k ≥ 5, distinct-l ≥ 2,
+    // entropy-l ≥ 2 (the configured variant).
+    let ok = diva(&[
+        "audit",
+        "--input",
+        out.to_str().unwrap(),
+        "--roles",
+        MEDICAL_ROLES,
+        "--k",
+        "5",
+        "--l",
+        "2",
+        "--entropy-l",
+        "2",
+    ]);
+    assert!(ok.status.success(), "{}", String::from_utf8_lossy(&ok.stderr));
+    let table = String::from_utf8_lossy(&ok.stdout);
+    assert!(table.contains("k_anonymity"), "{table}");
+    assert!(table.contains("ok"), "{table}");
+    assert!(!table.contains("VIOLATED"), "{table}");
+
+    // JSON emission is parseable-looking and deterministic.
+    let j1 = diva(&[
+        "audit",
+        "--input",
+        out.to_str().unwrap(),
+        "--roles",
+        MEDICAL_ROLES,
+        "--emit",
+        "json",
+    ]);
+    let j2 = diva(&[
+        "audit",
+        "--input",
+        out.to_str().unwrap(),
+        "--roles",
+        MEDICAL_ROLES,
+        "--emit",
+        "json",
+    ]);
+    assert!(j1.status.success());
+    assert_eq!(j1.stdout, j2.stdout, "audit JSON must be byte-stable");
+    let json = String::from_utf8_lossy(&j1.stdout);
+    for model in ["k_anonymity", "entropy_l", "t_closeness", "delta_disclosure"] {
+        assert!(json.contains(&format!("\"model\": \"{model}\"")), "{json}");
+    }
+
+    // An unmeetable parameter exits non-zero but still emits the report.
+    let bad =
+        diva(&["audit", "--input", out.to_str().unwrap(), "--roles", MEDICAL_ROLES, "--k", "4000"]);
+    assert!(!bad.status.success());
+    assert!(String::from_utf8_lossy(&bad.stdout).contains("VIOLATED"));
+    assert!(String::from_utf8_lossy(&bad.stderr).contains("fails the requested privacy"));
+
+    // Raw microdata fails any honest k gate.
+    let raw =
+        diva(&["audit", "--input", data.to_str().unwrap(), "--roles", MEDICAL_ROLES, "--k", "5"]);
+    assert!(!raw.status.success());
+}
+
+#[test]
+fn audit_flag_validation() {
+    let data = tmp("audit_flags.csv");
+    diva(&[
+        "generate",
+        "--dataset",
+        "medical",
+        "--rows",
+        "50",
+        "--seed",
+        "3",
+        "--output",
+        data.to_str().unwrap(),
+    ]);
+    let o = diva(&[
+        "audit",
+        "--input",
+        data.to_str().unwrap(),
+        "--roles",
+        MEDICAL_ROLES,
+        "--emit",
+        "yaml",
+    ]);
+    assert!(!o.status.success());
+    assert!(String::from_utf8_lossy(&o.stderr).contains("unknown --emit"));
+    let o =
+        diva(&["audit", "--input", data.to_str().unwrap(), "--roles", MEDICAL_ROLES, "--t", "NaN"]);
+    assert!(!o.status.success());
+    assert!(String::from_utf8_lossy(&o.stderr).contains("finite"));
+    // --l-c without recursive variant is rejected by anonymize.
+    let sigma = tmp("audit_flags_sigma.txt");
+    std::fs::write(&sigma, "ETH[Caucasian]: 1..50\n").unwrap();
+    let o = diva(&[
+        "anonymize",
+        "--input",
+        data.to_str().unwrap(),
+        "--roles",
+        MEDICAL_ROLES,
+        "--constraints",
+        sigma.to_str().unwrap(),
+        "--k",
+        "2",
+        "--output",
+        tmp("audit_flags_out.csv").to_str().unwrap(),
+        "--l-c",
+        "2.0",
+    ]);
+    assert!(!o.status.success());
+    assert!(String::from_utf8_lossy(&o.stderr).contains("--l-variant recursive"));
+}
+
+#[test]
 fn compare_prints_all_algorithms() {
     let data = tmp("cmp.csv");
     let sigma = tmp("cmp_sigma.txt");

@@ -39,6 +39,22 @@ impl std::fmt::Display for Strategy {
     }
 }
 
+/// Which ℓ-diversity variant [`DivaConfig::l_diversity`] requests.
+/// The variant interprets the single `l_diversity` knob; recursive
+/// additionally carries its frequency-ratio parameter `c`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LVariant {
+    /// Distinct ℓ-diversity (the historical default).
+    Distinct,
+    /// Entropy ℓ-diversity: class perplexity `exp(H) ≥ ℓ`.
+    Entropy,
+    /// Recursive (c,ℓ)-diversity with the given `c`.
+    Recursive {
+        /// The frequency-ratio parameter `c` (finite and positive).
+        c: f64,
+    },
+}
+
 /// Configuration of a DIVA run.
 #[derive(Debug, Clone)]
 pub struct DivaConfig {
@@ -63,6 +79,12 @@ pub struct DivaConfig {
     /// values (distinct ℓ-diversity). `1` (the default) disables the
     /// requirement, i.e. plain k-anonymity.
     pub l_diversity: usize,
+    /// Which ℓ-diversity variant `l_diversity` requests
+    /// ([`LVariant::Distinct`] by default). Entropy and recursive
+    /// (c,ℓ) are enforced through the same Suppress/repair merge path
+    /// and re-verified by the independent `diva-metrics` audit
+    /// checkers.
+    pub l_variant: LVariant,
     /// Whether blocked candidates are re-materialized from free target
     /// tuples ([`crate::CandidateSet::repair`]). On by default; the
     /// ablation benches measure its effect on success rate and
@@ -132,6 +154,7 @@ impl Default for DivaConfig {
             backtrack_limit: Some(100_000),
             seed: 0xd1fa,
             l_diversity: 1,
+            l_variant: LVariant::Distinct,
             enable_repair: true,
             threads: None,
             decompose: true,
@@ -167,6 +190,25 @@ impl DivaConfig {
     pub fn l_diversity(mut self, l: usize) -> Self {
         self.l_diversity = l;
         self
+    }
+
+    /// Builder-style ℓ-diversity variant (see [`DivaConfig::l_variant`]).
+    pub fn l_variant(mut self, v: LVariant) -> Self {
+        self.l_variant = v;
+        self
+    }
+
+    /// The effective diversity model requested by `l_diversity` +
+    /// `l_variant`, or `None` when the requirement is trivial (every
+    /// non-empty class satisfies it) and enforcement can be skipped.
+    pub fn diversity_model(&self) -> Option<diva_anonymize::DiversityModel> {
+        use diva_anonymize::DiversityModel;
+        let model = match self.l_variant {
+            LVariant::Distinct => DiversityModel::Distinct { l: self.l_diversity },
+            LVariant::Entropy => DiversityModel::Entropy { l: self.l_diversity },
+            LVariant::Recursive { c } => DiversityModel::Recursive { c, l: self.l_diversity },
+        };
+        (!model.is_trivial()).then_some(model)
     }
 
     /// Builder-style observability handle (see [`DivaConfig::obs`]).
@@ -225,6 +267,13 @@ impl DivaConfig {
             return Err(crate::DivaError::InvalidConfig {
                 reason: "threads must be a positive worker count (or None for all cores)".into(),
             });
+        }
+        if let LVariant::Recursive { c } = self.l_variant {
+            if !(c.is_finite() && c > 0.0) {
+                return Err(crate::DivaError::InvalidConfig {
+                    reason: format!("recursive (c,l)-diversity needs a finite positive c, got {c}"),
+                });
+            }
         }
         Ok(())
     }

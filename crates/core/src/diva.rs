@@ -5,9 +5,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-use diva_anonymize::{
-    cluster_observed_interruptible, enforce_l_diversity, is_l_diverse, Anonymizer, KMember,
-};
+use diva_anonymize::{cluster_observed_interruptible, enforce_diversity, Anonymizer, KMember};
 use diva_constraints::{Constraint, ConstraintSet};
 use diva_relation::suppress::{suppress_clustering, Suppressed};
 use diva_relation::{is_k_anonymous, Relation, RowId, STAR_CODE};
@@ -260,7 +258,10 @@ impl Diva {
                 self.config.k,
                 self.config.max_candidates,
                 shuffle,
-                self.config.l_diversity,
+                // Every diversity variant implies ≥ l distinct
+                // sensitive values per class, so the model's l is a
+                // sound enumeration-time filter for all of them.
+                self.config.diversity_model().map_or(1, |m| m.l()),
                 &stop,
             )
         };
@@ -430,14 +431,15 @@ impl Diva {
                 };
                 return self.degraded_result(rel, &set, s_sigma, reason, stats, run_span, &budget);
             };
-            if self.config.l_diversity > 1 {
-                clusters = enforce_l_diversity(rel, &clusters, self.config.l_diversity)
-                    .ok_or_else(|| DivaError::PrivacyInfeasible {
+            if let Some(model) = self.config.diversity_model() {
+                clusters = enforce_diversity(rel, &clusters, &model).ok_or_else(|| {
+                    DivaError::PrivacyInfeasible {
                         reason: format!(
-                            "residual tuples carry fewer than {} distinct sensitive values",
-                            self.config.l_diversity
+                            "residual tuples cannot satisfy {model}: even a single merged \
+                             class fails the check"
                         ),
-                    })?;
+                    }
+                })?;
             }
             #[cfg(feature = "strict-invariants")]
             {
@@ -478,7 +480,8 @@ impl Diva {
         debug_assert!(is_k_anonymous(&out.relation, self.config.k));
         debug_assert!(set.satisfied_by(&out.relation));
         debug_assert!(
-            self.config.l_diversity <= 1 || is_l_diverse(&out.relation, self.config.l_diversity)
+            self.config.diversity_model().is_none_or(|m| m.holds(&out.relation)),
+            "enforced diversity model must audit clean on the published table"
         );
         run_span.set_attr("stars", out.relation.star_count());
         run_span.set_attr("outcome", "exact");
@@ -519,8 +522,7 @@ impl Diva {
             // checked too since folding can only lower counts.
             let ok = set.constraints().iter().all(|c| c.count_in(&sup.relation) >= c.lower)
                 && is_k_anonymous(&sup.relation, self.config.k)
-                && (self.config.l_diversity <= 1
-                    || is_l_diverse(&sup.relation, self.config.l_diversity));
+                && self.config.diversity_model().is_none_or(|m| m.holds(&sup.relation));
             if ok {
                 *s_sigma = trial;
                 return Ok(sup);
@@ -1017,9 +1019,34 @@ mod tests {
         let diva = Diva::new(DivaConfig::with_k(5).l_diversity(l));
         let out = diva.run(&r, &sigma).expect("satisfiable with 8 diagnoses");
         assert!(is_k_anonymous(&out.relation, 5));
-        assert!(is_l_diverse(&out.relation, l));
+        assert!(diva_anonymize::is_l_diverse(&out.relation, l));
         let set = ConstraintSet::bind(&sigma, &out.relation).unwrap();
         assert!(set.satisfied_by(&out.relation));
+    }
+
+    #[test]
+    fn entropy_and_recursive_variants_hold_end_to_end() {
+        let r = diva_datagen::medical(600, 13);
+        let sigma = vec![Constraint::single("ETH", "Caucasian", 20, 600)];
+        for variant in
+            [crate::config::LVariant::Entropy, crate::config::LVariant::Recursive { c: 1.5 }]
+        {
+            let config = DivaConfig::with_k(5).l_diversity(3).l_variant(variant);
+            let model = config.diversity_model().expect("non-trivial");
+            let out = Diva::new(config).run(&r, &sigma).expect("satisfiable with 8 diagnoses");
+            assert!(is_k_anonymous(&out.relation, 5));
+            assert!(model.holds(&out.relation), "{model} must hold on the published table");
+        }
+    }
+
+    #[test]
+    fn recursive_variant_validation() {
+        let config = DivaConfig::with_k(2)
+            .l_diversity(2)
+            .l_variant(crate::config::LVariant::Recursive { c: 0.0 });
+        assert!(config.validate().is_err());
+        let err = Diva::new(config).run(&paper_table1(), &[]).unwrap_err();
+        assert!(matches!(err, DivaError::InvalidConfig { .. }), "{err}");
     }
 
     #[test]

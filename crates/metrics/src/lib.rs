@@ -17,6 +17,8 @@
 //!   are monotone in information loss, preserving the orderings and
 //!   crossovers the figures show (`DESIGN.md` §2.6).
 
+/// Privacy-model audit suite: k-anonymity through t-closeness.
+pub mod audit;
 /// ε-differentially-private query answering over anonymized outputs.
 pub mod dp;
 /// Descriptive statistics of an anonymization result.
@@ -24,6 +26,7 @@ pub mod stats;
 /// Workload-based utility over aggregate analyst queries.
 pub mod utility;
 
+pub use audit::{audit, audit_with_obs, Audit, AuditReport, AuditSpec, AuditSuite, ModelKind};
 pub use dp::LaplaceMechanism;
 pub use stats::GroupStats;
 pub use utility::{evaluate_utility, CountQuery, QueryWorkload, UtilityReport};

@@ -1,6 +1,61 @@
-//! Descriptive statistics of an anonymization result.
+//! Descriptive statistics of an anonymization result, plus the
+//! entropy helpers shared by the audit checkers.
 
 use diva_relation::{qi_groups, Relation};
+
+/// Shannon entropy `−Σ (cᵢ/N)·ln(cᵢ/N)` of a count histogram, in
+/// **nats** (natural logarithm). Zero counts are ignored; an empty or
+/// all-zero histogram has entropy 0.
+///
+/// The l-diversity literature (and pycanon) states entropy
+/// ℓ-diversity as `H(class) ≥ log ℓ` *in whatever base* — the
+/// comparison is base-consistent only if both sides use the same
+/// logarithm. To keep callers honest, the audit checkers never
+/// compare raw entropies: they exponentiate back to the
+/// base-invariant [`perplexity`] `exp(H)` and compare that to ℓ
+/// directly.
+pub fn entropy_nats(counts: &[u64]) -> f64 {
+    let total: u64 = counts.iter().sum();
+    if total == 0 {
+        return 0.0;
+    }
+    let n = total as f64;
+    // H = ln N − (Σ cᵢ ln cᵢ)/N: one log per bucket, no per-bucket division.
+    let weighted: f64 =
+        counts.iter().filter(|&&c| c > 0).map(|&c| (c as f64) * (c as f64).ln()).sum();
+    (n.ln() - weighted / n).max(0.0)
+}
+
+/// Shannon entropy of a count histogram in an arbitrary logarithm
+/// `base` (e.g. 2 for bits). Defined as [`entropy_nats`]` / ln base`.
+pub fn entropy_in_base(counts: &[u64], base: f64) -> f64 {
+    entropy_nats(counts) / base.ln()
+}
+
+/// Perplexity `exp(H)` of a count histogram — the "effective number
+/// of equally-likely values", invariant under the choice of entropy
+/// base (`exp(H_nats) = 2^(H_bits)`). A class with ℓ equally-frequent
+/// sensitive values has perplexity exactly ℓ, so entropy ℓ-diversity
+/// is `perplexity ≥ ℓ`. An empty histogram scores 0 (no diversity).
+pub fn perplexity(counts: &[u64]) -> f64 {
+    if counts.iter().all(|&c| c == 0) {
+        return 0.0;
+    }
+    entropy_nats(counts).exp()
+}
+
+/// [`perplexity`] over an iterator of `u32` counts with a known
+/// `total`, avoiding an intermediate allocation — the form the audit
+/// substrate uses on its run-length-encoded class histograms. `total`
+/// must equal the sum of the counts.
+pub fn perplexity_u32(counts: impl Iterator<Item = u32>, total: usize) -> f64 {
+    if total == 0 {
+        return 0.0;
+    }
+    let n = total as f64;
+    let weighted: f64 = counts.filter(|&c| c > 0).map(|c| (c as f64) * (c as f64).ln()).sum();
+    (n.ln() - weighted / n).max(0.0).exp()
+}
 
 /// Summary statistics of a relation's maximal QI-groups and
 /// suppression, convenient for reports and the experiment harness.
@@ -92,6 +147,29 @@ mod tests {
         assert_eq!(st.n_groups, 0);
         assert_eq!(st.min_group, 0);
         assert_eq!(st.mean_group, 0.0);
+    }
+
+    #[test]
+    fn entropy_l_regression_pin() {
+        // The canonical entropy ℓ-diversity regression: counts
+        // [2,1,1] have H = 1.5 ln 2, so the achieved entropy-ℓ
+        // (perplexity) is 2^1.5 — pinned to the literature value.
+        let counts = [2u64, 1, 1];
+        assert!((perplexity(&counts) - 2.828_427_124_746_190_3).abs() < 1e-12);
+        // Base-consistency: nats, bits, and perplexity must agree.
+        let h_nats = entropy_nats(&counts);
+        let h_bits = entropy_in_base(&counts, 2.0);
+        assert!((h_nats - 1.5 * 2.0f64.ln()).abs() < 1e-12);
+        assert!((h_bits - 1.5).abs() < 1e-12);
+        assert!((h_nats.exp() - 2.0f64.powf(h_bits)).abs() < 1e-12);
+        // A uniform histogram's perplexity is its support size.
+        assert!((perplexity(&[3, 3, 3, 3]) - 4.0).abs() < 1e-12);
+        // Degenerate cases.
+        assert_eq!(perplexity(&[]), 0.0);
+        assert_eq!(perplexity(&[0, 0]), 0.0);
+        assert!((perplexity(&[7]) - 1.0).abs() < 1e-12);
+        let streamed = perplexity_u32([2u32, 1, 1].into_iter(), 4);
+        assert!((streamed - perplexity(&counts)).abs() < 1e-12);
     }
 
     #[test]

@@ -8,7 +8,8 @@
 # SKIP_FAULTS=1 to skip the fault-injection matrix,
 # SKIP_DECOMP=1 to skip the decomposition differential,
 # SKIP_PROFILE=1 to skip the profiling capture + trace-diff gate,
-# SKIP_LIVE=1 to skip the live-telemetry mid-run scrape gate, and
+# SKIP_LIVE=1 to skip the live-telemetry mid-run scrape gate,
+# SKIP_AUDIT=1 to skip the privacy-audit gate, and
 # SKIP_TIDY_RATCHET=1 to skip the tidy ratchet gate).
 set -eu
 
@@ -19,10 +20,12 @@ BASELINE="results/baseline/medical-4k.summary.json"
 OBS_DIR=""
 PROF_DIR=""
 LIVE_DIR=""
+AUDIT_DIR=""
 cleanup() {
     [ -n "$OBS_DIR" ] && rm -rf "$OBS_DIR"
     [ -n "$PROF_DIR" ] && rm -rf "$PROF_DIR"
     [ -n "$LIVE_DIR" ] && rm -rf "$LIVE_DIR"
+    [ -n "$AUDIT_DIR" ] && rm -rf "$AUDIT_DIR"
 }
 trap cleanup EXIT
 
@@ -158,6 +161,41 @@ else
         exit 1
     fi
     echo "live telemetry ok: scraped $mid_nodes of $final_nodes nodes mid-run"
+fi
+
+if [ "${SKIP_AUDIT:-0}" = "1" ]; then
+    echo "==> privacy-audit gate skipped (SKIP_AUDIT=1)"
+else
+    echo "==> privacy-audit gate (golden fixtures + medical-4k re-score)"
+    AUDIT_DIR="$(mktemp -d)"
+    # Golden fixtures: the CLI's deterministic JSON must match the
+    # committed expectations byte-for-byte.
+    for name in paper_table1_raw paper_table2 negative; do
+        roles=$(cat "tests/fixtures/audit/$name.roles")
+        cargo run $FLAGS --release -q -p diva-cli --bin diva -- audit \
+            --input "tests/fixtures/audit/$name.csv" --roles "$roles" \
+            --emit json --output "$AUDIT_DIR/$name.json"
+        if ! diff -u "tests/fixtures/audit/$name.expect.json" \
+            "$AUDIT_DIR/$name.json"; then
+            echo "audit: fixture $name drifted from its committed expectation" >&2
+            exit 1
+        fi
+    done
+    # The negative fixture must fail its gates with a non-zero exit.
+    if cargo run $FLAGS --release -q -p diva-cli --bin diva -- audit \
+        --input tests/fixtures/audit/negative.csv --roles qi,sensitive \
+        --k 3 --l 2 --emit table >/dev/null 2>&1; then
+        echo "audit: negative fixture passed gates it must fail" >&2
+        exit 1
+    fi
+    # Re-score the acceptance pipeline output: the solver's configured
+    # k and the diversity floor must be confirmed by the independent
+    # audit (exit code is the gate).
+    capture_medical_4k "$AUDIT_DIR"
+    cargo run $FLAGS --release -q -p diva-cli --bin diva -- audit \
+        --input "$AUDIT_DIR/anon.csv" --roles qi,qi,qi,qi,qi,sensitive \
+        --k 5 --l 1 --emit table
+    echo "privacy audit ok: fixtures byte-stable, medical-4k confirmed at k=5"
 fi
 
 if [ "${SKIP_PROFILE:-0}" = "1" ]; then

@@ -1,0 +1,183 @@
+//! Golden-fixture tests of the `diva-metrics` audit suite.
+//!
+//! Three small hand-scored CSVs live under `tests/fixtures/audit/`
+//! (the paper's running example raw and 3-anonymized, plus a negative
+//! table violating every model) with their expected `AuditReport`
+//! JSON committed next to them. The tests pin both directions:
+//! byte-identical JSON against the committed files (so the rendering
+//! can't drift silently) *and* independently hand-computed headline
+//! values (so the committed files can't drift with the
+//! implementation). `scripts/check.sh` re-scores the same fixtures
+//! through the `diva audit` CLI and diffs against the same files.
+
+use std::path::PathBuf;
+
+use diva_metrics::audit::{audit, Audit, AuditSpec, ModelKind};
+use diva_relation::csv::read_relation_file;
+use diva_relation::{AttrRole, Relation};
+
+fn fixture_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/audit")
+}
+
+fn load_fixture(name: &str) -> Relation {
+    let dir = fixture_dir();
+    let roles_text =
+        std::fs::read_to_string(dir.join(format!("{name}.roles"))).expect("roles file");
+    let roles: Vec<AttrRole> = roles_text
+        .trim()
+        .split(',')
+        .map(|r| match r.trim() {
+            "qi" => AttrRole::Quasi,
+            "sensitive" => AttrRole::Sensitive,
+            other => panic!("unknown role {other:?} in {name}.roles"),
+        })
+        .collect();
+    read_relation_file(&dir.join(format!("{name}.csv")), &roles).expect("fixture parses")
+}
+
+fn expected_json(name: &str) -> String {
+    std::fs::read_to_string(fixture_dir().join(format!("{name}.expect.json")))
+        .expect("expected JSON committed")
+}
+
+/// The scoring spec the committed `.expect.json` files were produced
+/// with: no requested parameters, recursive tail index 2.
+fn scoring_spec() -> AuditSpec {
+    AuditSpec::default()
+}
+
+#[test]
+fn golden_fixtures_render_byte_identical_json() {
+    for name in ["paper_table2", "paper_table1_raw", "negative"] {
+        let rel = load_fixture(name);
+        let got = audit(&rel, &scoring_spec()).to_json();
+        assert_eq!(got, expected_json(name), "audit JSON drifted for fixture {name}");
+    }
+}
+
+#[test]
+fn paper_table2_hand_scored() {
+    // Table 2 of the paper: {t1,t2,t3}, {t4..t7}, {t8,t9,t10}.
+    let rel = load_fixture("paper_table2");
+    let a = Audit::new(&rel);
+    assert_eq!(a.n_classes(), 3);
+    assert_eq!(a.k_anonymity().achieved, 3.0);
+    assert_eq!(a.distinct_l().achieved, 3.0);
+    // Middle class diagnoses [Hyp, Hyp, Migraine, Seizure] → counts
+    // [2,1,1] → perplexity 2^1.5 — the pinned entropy-l value.
+    let e = a.entropy_l();
+    assert!((e.achieved - 2.0f64.powf(1.5)).abs() < 1e-9);
+    assert_eq!(e.worst.as_ref().map(|w| w.class), Some(1));
+    // Recursive l=2 on [2,1,1]: 2/(1+1) = 1.
+    assert!((a.recursive_cl(2).achieved - 1.0).abs() < 1e-12);
+    // α = 2/4 in the middle class.
+    assert!((a.alpha_k().achieved - 0.5).abs() < 1e-12);
+    // Basic β: Tuberculosis in class 0 — q = 1/3 vs p = 1/10 →
+    // (q−p)/p = 7/3.
+    assert!((a.basic_beta().achieved - 7.0 / 3.0).abs() < 1e-9);
+    // Enhanced β caps it at −ln(1/10).
+    assert!((a.enhanced_beta().achieved - 10.0f64.ln()).abs() < 1e-9);
+    // δ = ln((1/3)/(1/10)) for the same value.
+    assert!((a.delta_disclosure().achieved - (10.0f64 / 3.0).ln()).abs() < 1e-9);
+    // t-closeness: class 0 vs global over the 6-value ordered domain,
+    // hand-summed cumulative differences → 0.38/3... = 0.126667.
+    assert!((a.t_closeness().achieved - 0.126_666_666_666_667).abs() < 1e-9);
+}
+
+#[test]
+fn paper_table1_raw_hand_scored() {
+    let rel = load_fixture("paper_table1_raw");
+    let a = Audit::new(&rel);
+    assert_eq!(a.n_classes(), 10, "every raw tuple is its own class");
+    assert_eq!(a.k_anonymity().achieved, 1.0);
+    assert_eq!(a.distinct_l().achieved, 1.0);
+    assert_eq!(a.entropy_l().achieved, 1.0);
+    assert!(!a.recursive_cl(2).achieved.is_finite(), "singleton classes have no l-tail");
+    assert_eq!(a.alpha_k().achieved, 1.0);
+    // β: a singleton holding a 1/10-frequency value: (1−0.1)/0.1 = 9.
+    assert!((a.basic_beta().achieved - 9.0).abs() < 1e-12);
+    // t: the Tuberculosis row (last in the ordered domain): cumulative
+    // sums 0.3+0.4+0.6+0.7+0.9 over m−1 = 5 → 0.58.
+    assert!((a.t_closeness().achieved - 0.58).abs() < 1e-12);
+}
+
+#[test]
+fn negative_table_fails_every_model_with_the_exact_witness() {
+    // Classes: A = {(a,x),(a,x)}, B = {(b,x),(b,y),(b,z)}; global
+    // distribution x 3/5, y 1/5, z 1/5.
+    let rel = load_fixture("negative");
+    let spec = AuditSpec {
+        k: Some(3),
+        distinct_l: Some(2),
+        entropy_l: Some(2.0),
+        recursive_c: Some(1.0),
+        recursive_l: 2,
+        alpha: Some(0.5),
+        basic_beta: Some(0.5),
+        enhanced_beta: Some(0.5),
+        delta: Some(0.5),
+        t: Some(0.1),
+    };
+    let suite = audit(&rel, &spec);
+    assert!(!suite.satisfied());
+    // Which class witnesses each violation, and at what value.
+    let expect: [(ModelKind, usize, f64); 8] = [
+        (ModelKind::KAnonymity, 0, 2.0),
+        (ModelKind::DistinctL, 0, 1.0),
+        (ModelKind::EntropyL, 0, 1.0),
+        (ModelKind::AlphaK, 0, 1.0),
+        (ModelKind::BasicBeta, 0, 2.0 / 3.0),
+        (ModelKind::EnhancedBeta, 1, 2.0 / 3.0),
+        (ModelKind::DeltaDisclosure, 1, ((1.0f64 / 3.0) / 0.6).ln().abs()),
+        (ModelKind::TCloseness, 0, 0.3),
+    ];
+    for (model, class, value) in expect {
+        let r = suite.report(model).expect("report present");
+        assert_eq!(r.satisfied, Some(false), "{model:?} must be violated");
+        let w = r.worst.as_ref().expect("witness present");
+        assert_eq!(w.class, class, "{model:?} witness class");
+        assert!((w.value - value).abs() < 1e-9, "{model:?}: {} vs {value}", w.value);
+    }
+    // Recursive (c,l): class A has a single sensitive value, so no c
+    // can satisfy it — the achieved c is non-finite and any requested
+    // c is violated.
+    let r = suite.report(ModelKind::RecursiveCL).expect("recursive report");
+    assert_eq!(r.satisfied, Some(false));
+    assert!(!r.achieved.is_finite());
+    assert_eq!(r.worst.as_ref().map(|w| w.class), Some(0));
+    assert_eq!(r.worst.as_ref().map(|w| w.qi.clone()), Some(vec!["a".to_string()]));
+}
+
+#[test]
+fn fixtures_match_the_in_repo_paper_example() {
+    // The committed raw CSV must be exactly the repo's paper_table1
+    // fixture, so the golden files track the canonical example.
+    let committed = load_fixture("paper_table1_raw");
+    let canonical = diva_relation::fixtures::paper_table1();
+    assert_eq!(committed.n_rows(), canonical.n_rows());
+    for row in 0..canonical.n_rows() {
+        for col in 0..canonical.schema().arity() {
+            assert_eq!(
+                committed.value(row, col).as_str(),
+                canonical.value(row, col).as_str(),
+                "cell ({row},{col}) differs from fixtures::paper_table1"
+            );
+        }
+    }
+    // And the anonymized CSV must be the Table-2 clustering of it.
+    let s = diva_relation::suppress::suppress_clustering(
+        &canonical,
+        &[vec![0, 1, 2], vec![3, 4, 5, 6], vec![7, 8, 9]],
+    );
+    let committed2 = load_fixture("paper_table2");
+    for row in 0..s.relation.n_rows() {
+        for col in 0..s.relation.schema().arity() {
+            assert_eq!(
+                committed2.value(row, col).as_str(),
+                s.relation.value(row, col).as_str(),
+                "cell ({row},{col}) differs from the Table-2 suppression"
+            );
+        }
+    }
+}

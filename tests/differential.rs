@@ -2,12 +2,18 @@
 //! every strategy, the racing portfolio, budget-unbounded and
 //! hugely-budgeted runs, and thread counts 1..4 — must agree on
 //! satisfiability, land in the same suppression band, and (where the
-//! configuration is identical) be byte-identical.
+//! configuration is identical) be byte-identical. Every published
+//! table is additionally re-scored through the independent
+//! `diva-metrics` audit suite, so the solver's guarantees are checked
+//! by code that shares none of its machinery.
 
 use std::time::Duration;
 
 use diva_constraints::{generators, Constraint, ConstraintSet};
-use diva_core::{run_portfolio, BudgetSpec, Diva, DivaConfig, DivaError, DivaResult, Strategy};
+use diva_core::{
+    run_portfolio, BudgetSpec, Diva, DivaConfig, DivaError, DivaResult, LVariant, Strategy,
+};
+use diva_metrics::audit::{audit, Audit, AuditSpec, ModelKind};
 use diva_relation::{is_k_anonymous, Relation};
 
 /// A stable fingerprint of the published relation plus everything a
@@ -87,6 +93,14 @@ fn all_solvers_agree_on_satisfiable_instances() {
             let set = ConstraintSet::bind(&sigma, &out.relation).expect("bind");
             assert!(set.satisfied_by(&out.relation), "{name}/{label}: Σ violated");
             assert!(out.outcome.is_exact(), "{name}/{label}: unexpectedly degraded");
+            // Independent re-scoring: the audit suite, which shares no
+            // code with the solver, must confirm the configured k and
+            // the (default l = 1) diversity floor on every exact run.
+            let spec = AuditSpec { k: Some(k), distinct_l: Some(1), ..AuditSpec::default() };
+            let suite = audit(&out.relation, &spec);
+            assert!(suite.satisfied(), "{name}/{label}: audit refutes the published table");
+            let achieved_k = suite.report(ModelKind::KAnonymity).expect("k report").achieved;
+            assert!(achieved_k >= k as f64, "{name}/{label}: audited k {achieved_k} < {k}");
             stars.push((label, out.relation.star_count()));
         };
         for strategy in Strategy::all() {
@@ -121,6 +135,63 @@ fn all_solvers_agree_on_satisfiable_instances() {
             );
         }
     }
+}
+
+/// Every ℓ-diversity enforcement variant round-trips through the
+/// independent audit: a table published under distinct/entropy/
+/// recursive enforcement must *audit* at the configured parameter,
+/// not merely pass the solver's own internal check.
+#[test]
+fn diversity_variants_audit_their_achieved_parameters() {
+    let rel = diva_datagen::medical(600, 13);
+    let sigma = vec![Constraint::single("ETH", "Caucasian", 20, 600)];
+    for variant in [LVariant::Distinct, LVariant::Entropy, LVariant::Recursive { c: 2.0 }] {
+        let config = DivaConfig::with_k(5).l_diversity(3).l_variant(variant);
+        let out = Diva::new(config).run(&rel, &sigma).expect("satisfiable with 8 diagnoses");
+        assert!(out.outcome.is_exact(), "{variant:?}: degraded");
+        let a = Audit::new(&out.relation);
+        assert!(a.k_anonymity().achieved >= 5.0, "{variant:?}: audited k below 5");
+        match variant {
+            LVariant::Distinct => {
+                assert!(a.distinct_l().achieved >= 3.0, "distinct-ℓ audits below 3");
+            }
+            LVariant::Entropy => {
+                let e = a.entropy_l().achieved;
+                assert!(e >= 3.0 - 1e-9, "entropy-ℓ audits at {e} < 3");
+                // Entropy-ℓ implies distinct-ℓ at the same level.
+                assert!(a.distinct_l().achieved >= 3.0);
+            }
+            LVariant::Recursive { c } => {
+                let r = a.recursive_cl(3);
+                assert!(
+                    r.achieved.is_finite() && r.achieved <= c + 1e-9,
+                    "recursive (c,3): audited c {} exceeds configured {c}",
+                    r.achieved
+                );
+            }
+        }
+    }
+}
+
+/// Degraded runs keep the satisfied-or-voided contract: k-anonymity
+/// survives degradation and the independent audit must confirm it,
+/// while the ℓ-diversity extension is explicitly dropped (so it is
+/// *not* gated here — only k is).
+#[test]
+fn degraded_runs_still_audit_k_anonymous() {
+    let rel = diva_datagen::medical(1_200, 11);
+    let sigma = generators::with_conflict_rate(&rel, 6, 0.4, 5, 3);
+    let config = DivaConfig {
+        k: 5,
+        budget: BudgetSpec { deadline: Some(Duration::ZERO), ..BudgetSpec::default() },
+        ..DivaConfig::default()
+    };
+    let out = Diva::new(config).run(&rel, &sigma).expect("zero deadline degrades, not errors");
+    assert!(!out.outcome.is_exact(), "zero deadline must degrade");
+    let suite = audit(&out.relation, &AuditSpec { k: Some(5), ..AuditSpec::default() });
+    assert!(suite.satisfied(), "degraded output fails the audited k gate");
+    let achieved = suite.report(ModelKind::KAnonymity).expect("k report").achieved;
+    assert!(achieved >= 5.0, "degraded run audits at k = {achieved}");
 }
 
 /// A budget too large to ever trip must be byte-identical to running

@@ -5,8 +5,9 @@ use std::sync::Arc;
 
 use diva_constraints::{Constraint, ConstraintSet};
 use diva_core::{
-    components, ConstraintGraph, Diva, DivaConfig, DivaError, Strategy as DivaStrategy,
+    components, ConstraintGraph, Diva, DivaConfig, DivaError, LVariant, Strategy as DivaStrategy,
 };
+use diva_metrics::audit::{audit, Audit, AuditSpec, ModelKind};
 use diva_relation::suppress::is_refinement;
 use diva_relation::{is_k_anonymous, Attribute, Relation, RelationBuilder, Schema};
 use proptest::prelude::*;
@@ -226,6 +227,155 @@ proptest! {
             for &j in graph.neighbors(i) {
                 prop_assert_eq!(node_comp[i], node_comp[j], "edge {}-{} crosses", i, j);
             }
+        }
+    }
+
+    /// Entropy ℓ-diversity is never stronger than it claims: the
+    /// perplexity of a class is at most its number of distinct
+    /// sensitive values, so the audited entropy-ℓ is bounded by the
+    /// audited distinct-ℓ — per class and for the headline value.
+    #[test]
+    fn entropy_l_never_exceeds_distinct_l(rel in arb_relation()) {
+        let a = Audit::new(&rel);
+        let entropy = a.entropy_l();
+        let distinct = a.distinct_l();
+        prop_assert!(entropy.achieved <= distinct.achieved + 1e-9);
+        prop_assert_eq!(entropy.classes.len(), distinct.classes.len());
+        for (e, d) in entropy.classes.iter().zip(&distinct.classes) {
+            prop_assert_eq!(e.class, d.class);
+            prop_assert!(
+                e.value <= d.value + 1e-9,
+                "class {}: perplexity {} exceeds distinct count {}", e.class, e.value, d.value
+            );
+        }
+    }
+
+    /// (α, k)-anonymity implies k-anonymity: whenever the audit suite
+    /// passes a joint (α, k) spec, the relation crate's *independent*
+    /// k-anonymity checker must agree.
+    #[test]
+    fn alpha_k_satisfaction_implies_k_anonymity(
+        rel in arb_relation(),
+        k in 1usize..6,
+        alpha_pct in 10u32..100,
+    ) {
+        let spec = AuditSpec {
+            k: Some(k),
+            alpha: Some(f64::from(alpha_pct) / 100.0),
+            ..AuditSpec::default()
+        };
+        let suite = audit(&rel, &spec);
+        if suite.satisfied() {
+            prop_assert!(is_k_anonymous(&rel, k), "(α,k) audit passed but table is not {k}-anonymous");
+        }
+        // And the k report alone must match the independent checker
+        // exactly, satisfied or not.
+        let k_ok = suite.report(ModelKind::KAnonymity).unwrap().satisfied;
+        prop_assert_eq!(k_ok, Some(is_k_anonymous(&rel, k)));
+    }
+
+    /// t-closeness is monotone under class merging: coarsening a QI
+    /// column (mapping classes onto fewer, larger ones) mixes class
+    /// distributions toward the global one, so the audited t can only
+    /// shrink or stay.
+    #[test]
+    fn t_closeness_monotone_under_class_merging(rel in arb_relation()) {
+        let fine = Audit::new(&rel).t_closeness().achieved;
+        // Coarsen: overwrite the first QI column with a constant, so
+        // every fine class maps onto a coarse class that is a union of
+        // fine classes.
+        let mut b = RelationBuilder::new(rel.schema().clone());
+        for row in 0..rel.n_rows() {
+            let vals: Vec<String> = (0..rel.schema().arity())
+                .map(|c| {
+                    if c == 0 { "merged".to_string() } else { rel.value(row, c).to_string() }
+                })
+                .collect();
+            b.push_row(&vals);
+        }
+        let coarse_rel = b.finish();
+        let coarse = Audit::new(&coarse_rel).t_closeness().achieved;
+        prop_assert!(
+            coarse <= fine + 1e-9,
+            "merging classes raised t-closeness: {coarse} > {fine}"
+        );
+    }
+
+    /// Likeness/disclosure cross-consistencies: enhanced β (which
+    /// caps the distance at −ln p) can never exceed basic β,
+    /// recursive (c,1) degenerates to exactly the α of
+    /// (α,k)-anonymity, and a single-class table (all QI merged) has
+    /// every class distribution equal to the global one, so β, δ, and
+    /// t all audit at exactly zero while k audits at |R|.
+    #[test]
+    fn likeness_checkers_are_cross_consistent(rel in arb_relation()) {
+        let a = Audit::new(&rel);
+        prop_assert!(a.enhanced_beta().achieved <= a.basic_beta().achieved + 1e-9);
+        let r1 = a.recursive_cl(1);
+        let alpha = a.alpha_k();
+        prop_assert_eq!(r1.achieved.to_bits(), alpha.achieved.to_bits());
+        // Merge everything into one class: overwrite every QI cell.
+        let qi = rel.schema().qi_cols();
+        let mut b = RelationBuilder::new(rel.schema().clone());
+        for row in 0..rel.n_rows() {
+            let vals: Vec<String> = (0..rel.schema().arity())
+                .map(|c| {
+                    if qi.contains(&c) { "m".to_string() } else { rel.value(row, c).to_string() }
+                })
+                .collect();
+            b.push_row(&vals);
+        }
+        let one = b.finish();
+        let a1 = Audit::new(&one);
+        prop_assert_eq!(a1.n_classes(), 1);
+        prop_assert_eq!(a1.k_anonymity().achieved, rel.n_rows() as f64);
+        prop_assert!(a1.basic_beta().achieved.abs() < 1e-9);
+        prop_assert!(a1.enhanced_beta().achieved.abs() < 1e-9);
+        prop_assert!(a1.delta_disclosure().achieved.abs() < 1e-9);
+        prop_assert!(a1.t_closeness().achieved.abs() < 1e-9);
+    }
+
+    /// Enforcement → audit round-trip: a table published under the
+    /// entropy or recursive enforcement variant must audit at the
+    /// configured parameter through the independent checker suite.
+    #[test]
+    fn enforcement_round_trips_through_the_audit(
+        rel in arb_relation(),
+        k in 2usize..4,
+        variant_idx in 0usize..2,
+    ) {
+        let variant =
+            [LVariant::Entropy, LVariant::Recursive { c: 2.0 }][variant_idx];
+        let config = DivaConfig::with_k(k).l_diversity(2).l_variant(variant);
+        match Diva::new(config).run(&rel, &[]) {
+            Ok(out) if out.outcome.is_exact() => {
+                let a = Audit::new(&out.relation);
+                prop_assert!(a.k_anonymity().achieved >= k as f64);
+                match variant {
+                    LVariant::Entropy => prop_assert!(
+                        a.entropy_l().achieved >= 2.0 - 1e-9,
+                        "entropy enforcement audits at {}", a.entropy_l().achieved
+                    ),
+                    LVariant::Recursive { c } => {
+                        let r = a.recursive_cl(2);
+                        prop_assert!(
+                            r.achieved.is_finite() && r.achieved <= c + 1e-9,
+                            "recursive enforcement audits at c = {}", r.achieved
+                        );
+                    }
+                    LVariant::Distinct => unreachable!(),
+                }
+            }
+            Ok(_) => {}
+            Err(DivaError::PrivacyInfeasible { .. })
+            | Err(DivaError::NoDiverseClustering { .. })
+            | Err(DivaError::ResidualTooSmall { .. })
+            | Err(DivaError::IntegrateFailed { .. })
+            | Err(DivaError::SearchBudgetExhausted { .. }) => {
+                // Random tables may be genuinely infeasible; only a
+                // *published* table is gated.
+            }
+            Err(e) => prop_assert!(false, "unexpected error class: {e}"),
         }
     }
 
