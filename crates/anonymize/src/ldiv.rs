@@ -211,15 +211,32 @@ pub fn enforce_diversity(
     clustering: &[Vec<RowId>],
     model: &DiversityModel,
 ) -> Option<Vec<Vec<RowId>>> {
+    enforce_diversity_traced(rel, clustering, model).map(|(clusters, _)| clusters)
+}
+
+/// [`enforce_diversity`] plus merge provenance: alongside the fixed
+/// clustering, returns a parallel flag vector marking clusters that
+/// absorbed a deficient sibling (the decision-provenance layer tags
+/// these groups `DiversityMerge` instead of plain `KMember`). The
+/// clustering itself is computed by the identical greedy loop, so the
+/// result is byte-for-byte what [`enforce_diversity`] returns.
+pub fn enforce_diversity_traced(
+    rel: &Relation,
+    clustering: &[Vec<RowId>],
+    model: &DiversityModel,
+) -> Option<(Vec<Vec<RowId>>, Vec<bool>)> {
     let all_rows: Vec<RowId> = clustering.iter().flatten().copied().collect();
     if !all_rows.is_empty() && !model.class_ok(rel, &all_rows) {
         return None;
     }
     let mut clusters: Vec<Vec<RowId>> =
         clustering.iter().filter(|c| !c.is_empty()).cloned().collect();
+    // `merged[i]` mirrors `clusters[i]` through the same swap_remove /
+    // extend operations, so the flags stay parallel to the output.
+    let mut merged = vec![false; clusters.len()];
     loop {
         let Some(bad) = clusters.iter().position(|c| !model.class_ok(rel, c)) else {
-            return Some(clusters);
+            return Some((clusters, merged));
         };
         if clusters.len() == 1 {
             // Single cluster but the global distinct count is ≥ l, so
@@ -227,6 +244,7 @@ pub fn enforce_diversity(
             return None;
         }
         let victim = clusters.swap_remove(bad);
+        merged.swap_remove(bad);
         // Pick the merge partner: first preference to partners that
         // close the deficit, then minimal QI disagreement.
         let deficit_fixed = |partner: &Vec<RowId>| {
@@ -245,6 +263,7 @@ pub fn enforce_diversity(
         };
         clusters[best].extend_from_slice(&victim);
         clusters[best].sort_unstable();
+        merged[best] = true;
     }
 }
 

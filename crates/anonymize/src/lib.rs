@@ -31,7 +31,9 @@ pub mod tclose;
 
 pub use common::{cluster_observed, cluster_observed_interruptible, Anonymizer, QiMatrix};
 pub use kmember::KMember;
-pub use ldiv::{enforce_diversity, enforce_l_diversity, is_l_diverse, DiversityModel};
+pub use ldiv::{
+    enforce_diversity, enforce_diversity_traced, enforce_l_diversity, is_l_diverse, DiversityModel,
+};
 pub use mondrian::Mondrian;
 pub use oka::Oka;
 pub use samarati::{is_k_anonymous_with_outliers, FullDomainResult, Samarati};

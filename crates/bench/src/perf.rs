@@ -584,6 +584,62 @@ fn bench_live_overhead(rel: &Relation, k: usize) -> LiveOverhead {
 }
 
 // ---------------------------------------------------------------------
+// Provenance overhead: the decision recorder must cost (almost)
+// nothing — one branch per decision when disabled, and < 1% of the
+// pipeline when recording.
+// ---------------------------------------------------------------------
+
+struct ProvenanceOverhead {
+    rows: usize,
+    disabled_ms: f64,
+    enabled_ms: f64,
+    /// `(enabled - disabled) / disabled`, percent. Negative values
+    /// mean the difference drowned in run-to-run noise.
+    overhead_pct: f64,
+    /// Stars the enabled recorder attributed — evidence the
+    /// measurement actually exercised the recording path.
+    stars_attributed: u64,
+}
+
+/// Times the same DIVA run with the provenance recorder disabled (the
+/// workspace default) vs enabled — exactly what `--provenance` wires
+/// up. The acceptance budget for the enabled path is < 1% overhead:
+/// recording is one group append per cluster and one cell append per
+/// published star, all behind a single `is_enabled` branch.
+fn bench_provenance_overhead(rel: &Relation, k: usize) -> ProvenanceOverhead {
+    let sigma = diva_constraints::generators::proportional(rel, 5, 0.7, 20);
+    let one_rep = |prov: &diva_obs::Provenance| {
+        let config = DivaConfig { k, provenance: prov.clone(), ..DivaConfig::default() };
+        time_best_ms(1, || {
+            let out = Diva::new(config.clone()).run(black_box(rel), black_box(&sigma));
+            black_box(out.map(|o| o.relation.star_count()).unwrap_or(0));
+        })
+    };
+    let off = diva_obs::Provenance::disabled();
+    let on = diva_obs::Provenance::enabled();
+    // Interleave the reps so clock drift (thermal, frequency) lands
+    // on both modes equally instead of biasing whichever ran second.
+    let mut disabled_ms = f64::INFINITY;
+    let mut enabled_ms = f64::INFINITY;
+    for _ in 0..OVERHEAD_REPS {
+        disabled_ms = disabled_ms.min(one_rep(&off));
+        enabled_ms = enabled_ms.min(one_rep(&on));
+    }
+    let stars_attributed = on.attribution().map(|a| a.total()).unwrap_or(0);
+    ProvenanceOverhead {
+        rows: rel.n_rows(),
+        disabled_ms,
+        enabled_ms,
+        overhead_pct: if disabled_ms > 0.0 {
+            (enabled_ms - disabled_ms) / disabled_ms * 100.0
+        } else {
+            0.0
+        },
+        stars_attributed,
+    }
+}
+
+// ---------------------------------------------------------------------
 // Audit throughput: re-scoring a published table must stay cheap.
 // ---------------------------------------------------------------------
 
@@ -665,6 +721,7 @@ pub fn bench_json() -> String {
     let portfolio = bench_portfolio(&diva_datagen::medical(1_000, 5), 5);
     let overhead = bench_obs_overhead(&diva_datagen::medical(1_000, 5), 5);
     let live = bench_live_overhead(&diva_datagen::medical(4_000, 7), 5);
+    let provenance = bench_provenance_overhead(&diva_datagen::medical(4_000, 7), 5);
     let audit = bench_audit_throughput(&diva_datagen::medical(100_000, 7));
 
     // Budget sweep on the acceptance instance (EXPERIMENTS.md §budget).
@@ -812,6 +869,15 @@ pub fn bench_json() -> String {
     out.push_str(&format!("    \"sampler_ticks\": {},\n", live.samples_taken));
     out.push_str("    \"enabled_budget_pct\": 1.0\n");
     out.push_str("  },\n");
+    out.push_str("  \"provenance_overhead\": {\n");
+    out.push_str("    \"instance\": \"medical-4k, proportional Sigma, full pipeline\",\n");
+    out.push_str(&format!("    \"rows\": {},\n", provenance.rows));
+    out.push_str(&format!("    \"recorder_disabled_ms\": {:.4},\n", provenance.disabled_ms));
+    out.push_str(&format!("    \"recorder_enabled_ms\": {:.4},\n", provenance.enabled_ms));
+    out.push_str(&format!("    \"enabled_overhead_pct\": {:.2},\n", provenance.overhead_pct));
+    out.push_str(&format!("    \"stars_attributed\": {},\n", provenance.stars_attributed));
+    out.push_str("    \"enabled_budget_pct\": 1.0\n");
+    out.push_str("  },\n");
     out.push_str("  \"audit_throughput\": {\n");
     out.push_str("    \"instance\": \"medical-100k raw, all eight models gated\",\n");
     out.push_str(&format!("    \"rows\": {},\n", audit.rows));
@@ -934,5 +1000,15 @@ mod tests {
         assert_eq!(o.rows, 300);
         assert!(o.disabled_ms > 0.0 && o.enabled_ms > 0.0);
         assert!(o.overhead_pct.is_finite());
+    }
+
+    #[test]
+    fn provenance_overhead_measures_both_modes() {
+        let rel = diva_datagen::medical(300, 5);
+        let o = bench_provenance_overhead(&rel, 5);
+        assert_eq!(o.rows, 300);
+        assert!(o.disabled_ms > 0.0 && o.enabled_ms > 0.0);
+        assert!(o.overhead_pct.is_finite());
+        assert!(o.stars_attributed > 0, "enabled rep recorded no stars");
     }
 }

@@ -33,7 +33,8 @@ use diva_relation::{is_k_anonymous, AttrRole, Relation};
 static GLOBAL_ALLOC: diva_obs::alloc::CountingAlloc = diva_obs::alloc::CountingAlloc::new();
 
 /// Flags that take no value.
-const BOOLEAN_FLAGS: [&str; 5] = ["quiet", "profile", "no-decompose", "watch", "stall-escalate"];
+const BOOLEAN_FLAGS: [&str; 6] =
+    ["quiet", "profile", "no-decompose", "watch", "stall-escalate", "top-costly"];
 
 /// Routes the human-readable report lines. `--quiet` drops them so
 /// the process's observable outputs are exactly its files (output CSV,
@@ -80,6 +81,7 @@ fn run(args: &[String]) -> Result<(), String> {
     match command.as_str() {
         "anonymize" => anonymize(&opts),
         "audit" => audit_cmd(&opts),
+        "explain" => explain(&opts),
         "check" => check(&opts),
         "stats" => stats(&opts),
         "generate" => generate(&opts),
@@ -94,7 +96,7 @@ fn run(args: &[String]) -> Result<(), String> {
 }
 
 fn usage() -> String {
-    "usage: diva <anonymize|audit|check|stats|generate|sigma-gen|compare> [flags]\n\
+    "usage: diva <anonymize|audit|explain|check|stats|generate|sigma-gen|compare> [flags]\n\
      \n\
      anonymize  --input FILE --roles LIST --constraints FILE -k N \\\n\
      \u{20}          [--strategy basic|minchoice|maxfanout] [--algo kmember|oka|mondrian]\n\
@@ -106,6 +108,9 @@ fn usage() -> String {
      \u{20}          [--threads N  worker cap for --portfolio and the component pool]\n\
      \u{20}          [--no-decompose  force the monolithic solve (no component parallelism)]\n\
      \u{20}          [--component-portfolio N  race all strategies on components of ≥ N nodes]\n\
+     \u{20}          [--provenance FILE  write the decision-provenance log (json-lines):\n\
+     \u{20}           one record per published group and per starred cell, plus the\n\
+     \u{20}           per-constraint star attribution]\n\
      \u{20}          [--trace FILE  write a JSON-lines span trace of the run]\n\
      \u{20}          [--metrics FILE  write the aggregated metrics summary JSON]\n\
      \u{20}          [--flame FILE  write collapsed stacks (self-time weighted) for flamegraphs]\n\
@@ -128,6 +133,12 @@ fn usage() -> String {
      \u{20}          [--alpha F] [--beta F] [--enhanced-beta F] [--delta F] [--t F]\n\
      \u{20}          scores the table on all nine privacy models; each given\n\
      \u{20}          parameter becomes a pass/fail gate (non-zero exit on failure)\n\
+     explain    (--provenance FILE | --input FILE --roles LIST --constraints FILE -k N) \\\n\
+     \u{20}          (--row N | --constraint ID-or-LABEL | --top-costly) \\\n\
+     \u{20}          [--emit json|table] [--output FILE]\n\
+     \u{20}          answers provenance queries — which decision starred a row's cells,\n\
+     \u{20}          what one constraint cost, the costliest constraints — against a\n\
+     \u{20}          saved --provenance file or a fresh run\n\
      check      --input FILE --roles LIST --constraints FILE -k N\n\
      stats      --input FILE --roles LIST -k N\n\
      generate   --dataset medical|pantheon|census|credit|popsyn --rows N \\\n\
@@ -420,6 +431,11 @@ fn anonymize(opts: &HashMap<String, String>) -> Result<(), String> {
     } else {
         diva_obs::live::ProgressBoard::disabled()
     };
+    let provenance = if opts.contains_key("provenance") {
+        diva_obs::Provenance::enabled()
+    } else {
+        diva_obs::Provenance::disabled()
+    };
     let live =
         if board.is_enabled() { Some(start_live_telemetry(opts, &board, &obs)?) } else { None };
     let config = DivaConfig {
@@ -433,7 +449,8 @@ fn anonymize(opts: &HashMap<String, String>) -> Result<(), String> {
         decompose: !opts.contains_key("no-decompose"),
         component_portfolio,
         obs: obs.clone(),
-        board,
+        board: board.clone(),
+        provenance: provenance.clone(),
         ..DivaConfig::default()
     };
     let portfolio = opts
@@ -455,6 +472,23 @@ fn anonymize(opts: &HashMap<String, String>) -> Result<(), String> {
             };
         Diva::with_anonymizer(config, anonymizer).run(&rel, &sigma)
     };
+    // Surface the star attribution on the live board and the obs
+    // counters before the endpoint goes down, so a final scrape (and
+    // the --metrics file) carries `diva_constraint_stars` /
+    // `provenance.constraint_stars.*`.
+    if let Some(log) = provenance.snapshot() {
+        let attr = diva_obs::StarAttribution::from_log(&log);
+        if obs.is_enabled() {
+            for (label, stars) in log.labels.iter().zip(&attr.per_constraint) {
+                obs.counter(&format!("provenance.constraint_stars.{label}")).add(*stars);
+            }
+            obs.counter("provenance.stars.k_anonymity").add(attr.k_anonymity);
+            obs.counter("provenance.stars.degrade").add(attr.degrade);
+        }
+        board.set_constraint_stars(
+            log.labels.iter().cloned().zip(attr.per_constraint.iter().copied()).collect(),
+        );
+    }
     // Tear down the endpoint and sampler before reporting so the last
     // watch line lands above the summary and no scrape can observe a
     // half-written export.
@@ -464,6 +498,9 @@ fn anonymize(opts: &HashMap<String, String>) -> Result<(), String> {
     // Exports are written even on failure: the partial trace is
     // exactly what explains an aborted or infeasible search.
     write_exports(opts, &obs)?;
+    if let (Some(path), Some(text)) = (opts.get("provenance"), provenance.render()) {
+        std::fs::write(path, text).map_err(|e| format!("{path}: {e}"))?;
+    }
     if opts.contains_key("profile") {
         profile_report(&reporter, &obs);
     }
@@ -486,6 +523,7 @@ fn anonymize(opts: &HashMap<String, String>) -> Result<(), String> {
         ("trace", "span trace (json-lines)"),
         ("metrics", "metrics summary (json)"),
         ("flame", "collapsed flamegraph stacks (folded)"),
+        ("provenance", "decision provenance (json-lines)"),
     ] {
         if let Some(p) = opts.get(path) {
             report!(reporter, "wrote {p} ({what})");
@@ -547,6 +585,249 @@ fn audit_cmd(opts: &HashMap<String, String>) -> Result<(), String> {
     } else {
         Err("published table fails the requested privacy guarantees".to_string())
     }
+}
+
+/// `diva explain` — answers decision-provenance queries: which
+/// decision starred a row's cells (`--row`), what one constraint cost
+/// (`--constraint`), and the costliest constraints (`--top-costly`).
+/// The log comes from a saved `--provenance` file (validated on load)
+/// or from a fresh recorded run over `--input`/`--constraints`/`-k`.
+fn explain(opts: &HashMap<String, String>) -> Result<(), String> {
+    let log = explain_log(opts)?;
+    let n_queries = usize::from(opts.contains_key("row"))
+        + usize::from(opts.contains_key("constraint"))
+        + usize::from(opts.contains_key("top-costly"));
+    if n_queries != 1 {
+        return Err("explain needs exactly one query: --row N, --constraint ID, or --top-costly"
+            .to_string());
+    }
+    let json = match opts.get("emit").map(String::as_str) {
+        None | Some("table") => false,
+        Some("json") => true,
+        Some(other) => return Err(format!("unknown --emit format {other:?} (use json|table)")),
+    };
+    let emission = if let Some(row) = opts.get("row") {
+        let row: u64 =
+            row.parse().map_err(|_| "--row must be a non-negative row id".to_string())?;
+        explain_row(&log, row, json)?
+    } else if let Some(id) = opts.get("constraint") {
+        explain_constraint(&log, resolve_constraint(&log, id)?, json)
+    } else {
+        explain_top_costly(&log, json)
+    };
+    match opts.get("output") {
+        Some(path) => std::fs::write(path, &emission).map_err(|e| format!("{path}: {e}"))?,
+        None => print!("{emission}"),
+    }
+    Ok(())
+}
+
+/// Loads the provenance log for `explain`: a saved `--provenance` file
+/// when given (parsed and integrity-checked), else a fresh recorded run.
+fn explain_log(opts: &HashMap<String, String>) -> Result<diva_obs::provenance::Log, String> {
+    if let Some(path) = opts.get("provenance") {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        let (log, _) =
+            diva_obs::provenance::parse_log(&text).map_err(|e| format!("{path}: {e}"))?;
+        diva_obs::provenance::validate_log(&log).map_err(|e| format!("{path}: {e}"))?;
+        Ok(log)
+    } else {
+        let rel = load_input(opts)?;
+        let sigma = load_constraints(opts)?;
+        let provenance = diva_obs::Provenance::enabled();
+        let config = DivaConfig {
+            k: parse_k(opts)?,
+            seed: parse_seed(opts),
+            provenance: provenance.clone(),
+            ..DivaConfig::default()
+        };
+        Diva::new(config).run(&rel, &sigma).map_err(|e| e.to_string())?;
+        provenance.snapshot().ok_or_else(|| "recorder produced no log".to_string())
+    }
+}
+
+/// Resolves `--constraint` as a numeric id or an exact label.
+fn resolve_constraint(log: &diva_obs::provenance::Log, id: &str) -> Result<usize, String> {
+    if let Ok(i) = id.parse::<usize>() {
+        return if i < log.labels.len() {
+            Ok(i)
+        } else {
+            Err(format!("constraint {i} out of range (log has {})", log.labels.len()))
+        };
+    }
+    log.labels
+        .iter()
+        .position(|l| l == id)
+        .ok_or_else(|| format!("no constraint labeled {id:?} in the provenance log"))
+}
+
+/// Human rendering of one [`Cause`], naming the cited constraint.
+fn cause_text(cause: &diva_obs::provenance::Cause, labels: &[String]) -> String {
+    use diva_obs::provenance::Cause;
+    let label = |c: u32| labels.get(c as usize).map(String::as_str).unwrap_or("?");
+    match cause {
+        Cause::Sigma { constraint } => {
+            format!("sigma constraint {constraint} ({})", label(*constraint))
+        }
+        Cause::KAnonymity => "k-anonymity (no owning constraint)".to_string(),
+        Cause::Repair { constraint, round } => format!(
+            "integrate repair round {round} of constraint {constraint} ({})",
+            label(*constraint)
+        ),
+        Cause::Voided { constraint } => {
+            format!("constraint {constraint} voided under budget ({})", label(*constraint))
+        }
+        Cause::DegradeMerge { reason } => format!("degrade merge ({reason})"),
+    }
+}
+
+/// The cause-specific JSON fields of one cell, in the fixed key order
+/// `constraint`, `round`, `reason`, `label` (only those that apply).
+fn cause_json_fields(cause: &diva_obs::provenance::Cause, labels: &[String]) -> String {
+    use diva_obs::provenance::Cause;
+    let label =
+        |c: u32| diva_obs::json::escape(labels.get(c as usize).map(String::as_str).unwrap_or("?"));
+    match cause {
+        Cause::Sigma { constraint } | Cause::Voided { constraint } => {
+            format!(",\"constraint\":{constraint},\"label\":\"{}\"", label(*constraint))
+        }
+        Cause::Repair { constraint, round } => format!(
+            ",\"constraint\":{constraint},\"round\":{round},\"label\":\"{}\"",
+            label(*constraint)
+        ),
+        Cause::DegradeMerge { reason } => {
+            format!(",\"reason\":\"{}\"", diva_obs::json::escape(reason))
+        }
+        Cause::KAnonymity => String::new(),
+    }
+}
+
+/// `--row N`: every starred cell of source row `N` with its causal chain.
+fn explain_row(log: &diva_obs::provenance::Log, row: u64, json: bool) -> Result<String, String> {
+    if row >= log.n_rows {
+        return Err(format!("row {row} out of range (log covers {} rows)", log.n_rows));
+    }
+    let cells: Vec<_> = log.cells.iter().filter(|c| c.row == row).collect();
+    if json {
+        let mut out = format!("{{\"query\":\"row\",\"row\":{row},\"cells\":[");
+        for (i, c) in cells.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let origin = log.groups.get(c.group as usize).map(|g| g.origin.name()).unwrap_or("?");
+            out.push_str(&format!(
+                "{{\"col\":{},\"group\":{},\"origin\":\"{origin}\",\"cause\":\"{}\"{}}}",
+                c.col,
+                c.group,
+                c.cause.kind(),
+                cause_json_fields(&c.cause, &log.labels)
+            ));
+        }
+        out.push_str("]}\n");
+        return Ok(out);
+    }
+    let mut out = format!(
+        "row {row}: {} starred cell{}\n",
+        cells.len(),
+        if cells.len() == 1 { "" } else { "s" }
+    );
+    for c in &cells {
+        let group = log.groups.get(c.group as usize);
+        let origin = group.map(|g| g.origin.name()).unwrap_or("?");
+        let size = group.map(|g| g.rows.len()).unwrap_or(0);
+        out.push_str(&format!(
+            "  col {:<3} group {:<4} ({origin}, {size} rows)  {}\n",
+            c.col,
+            c.group,
+            cause_text(&c.cause, &log.labels)
+        ));
+    }
+    Ok(out)
+}
+
+/// `--constraint ID`: the utility one constraint cost — stars charged,
+/// causes, owned groups, distinct rows touched.
+fn explain_constraint(log: &diva_obs::provenance::Log, ci: usize, json: bool) -> String {
+    use diva_obs::provenance::Cause;
+    let cid = ci as u32;
+    let (mut sigma, mut repair, mut voided) = (0u64, 0u64, 0u64);
+    let mut rows: Vec<u64> = Vec::new();
+    for c in &log.cells {
+        match &c.cause {
+            Cause::Sigma { constraint } if *constraint == cid => sigma += 1,
+            Cause::Repair { constraint, .. } if *constraint == cid => repair += 1,
+            Cause::Voided { constraint } if *constraint == cid => voided += 1,
+            _ => continue,
+        }
+        rows.push(c.row);
+    }
+    rows.sort_unstable();
+    rows.dedup();
+    let owned: Vec<u64> =
+        log.groups.iter().filter(|g| g.owners.contains(&cid)).map(|g| g.id).collect();
+    let stars = sigma + repair + voided;
+    let label = log.labels.get(ci).map(String::as_str).unwrap_or("?");
+    if json {
+        let ids = |v: &[u64]| v.iter().map(u64::to_string).collect::<Vec<_>>().join(",");
+        return format!(
+            "{{\"query\":\"constraint\",\"constraint\":{ci},\"label\":\"{}\",\"stars\":{stars},\
+             \"by_cause\":{{\"sigma\":{sigma},\"repair\":{repair},\"voided\":{voided}}},\
+             \"owned_groups\":[{}],\"rows_touched\":{}}}\n",
+            diva_obs::json::escape(label),
+            ids(&owned),
+            rows.len()
+        );
+    }
+    let mut out = format!("constraint {ci} ({label}): {stars} stars attributed\n");
+    out.push_str(&format!("  by cause: sigma {sigma}, repair {repair}, voided {voided}\n"));
+    out.push_str(&format!(
+        "  owned groups: {} ({})\n",
+        owned.len(),
+        owned.iter().map(u64::to_string).collect::<Vec<_>>().join(", ")
+    ));
+    out.push_str(&format!("  rows touched: {}\n", rows.len()));
+    out
+}
+
+/// `--top-costly`: every constraint ranked by attributed stars
+/// (descending, ties by id), plus the k-anonymity/degrade buckets.
+fn explain_top_costly(log: &diva_obs::provenance::Log, json: bool) -> String {
+    let attr = diva_obs::StarAttribution::from_log(log);
+    let mut ranked: Vec<(usize, u64)> = attr.per_constraint.iter().copied().enumerate().collect();
+    ranked.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    let total = attr.total();
+    if json {
+        let mut out = format!("{{\"query\":\"top_costly\",\"total\":{total},\"constraints\":[");
+        for (i, (ci, stars)) in ranked.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let label = log.labels.get(*ci).map(String::as_str).unwrap_or("?");
+            out.push_str(&format!(
+                "{{\"constraint\":{ci},\"label\":\"{}\",\"stars\":{stars}}}",
+                diva_obs::json::escape(label)
+            ));
+        }
+        out.push_str(&format!(
+            "],\"k_anonymity\":{},\"degrade\":{}}}\n",
+            attr.k_anonymity, attr.degrade
+        ));
+        return out;
+    }
+    let mut out =
+        format!("star attribution: {total} stars over {} constraints\n", log.labels.len());
+    out.push_str(&format!(
+        "{:<6} {:<12} {:>7}  {:>6}  label\n",
+        "rank", "constraint", "stars", "share"
+    ));
+    for (rank, (ci, stars)) in ranked.iter().enumerate() {
+        let share = if total > 0 { *stars as f64 * 100.0 / total as f64 } else { 0.0 };
+        let label = log.labels.get(*ci).map(String::as_str).unwrap_or("?");
+        out.push_str(&format!("{:<6} {ci:<12} {stars:>7}  {share:>5.1}%  {label}\n", rank + 1));
+    }
+    out.push_str(&format!("k-anonymity: {} stars\n", attr.k_anonymity));
+    out.push_str(&format!("degrade:     {} stars\n", attr.degrade));
+    out
 }
 
 fn check(opts: &HashMap<String, String>) -> Result<(), String> {

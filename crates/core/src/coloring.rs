@@ -143,6 +143,11 @@ pub struct ColoringOutcome {
     /// `None` for a complete colouring; `Some(reason)` when the
     /// resource budget tripped and the clusters are a partial prefix.
     pub degraded: Option<DegradeReason>,
+    /// Per-cluster owning constraint ids (global, ascending), parallel
+    /// to `clusters` — a constraint owns a cluster when every row is
+    /// one of its targets. Populated only when the config's provenance
+    /// recorder is enabled; empty (and ignored) otherwise.
+    pub owners: Vec<Vec<u32>>,
 }
 
 impl<'a> Coloring<'a> {
@@ -290,12 +295,32 @@ impl<'a> Coloring<'a> {
         // Canonical order: registry order is chronology-dependent and
         // would differ between monolithic and component-merged solves.
         let clusters = self.state.live_clusters_canonical();
+        let owners = self.cluster_owners(&clusters);
         Ok(ColoringOutcome {
             clusters,
             assignment: self.assignment.iter().filter_map(|a| *a).collect(),
             stats: self.stats.clone(),
             degraded: None,
+            owners,
         })
+    }
+
+    /// Owning constraints per cluster (global ids, ascending), computed
+    /// only when provenance is recording — the extra scan must cost
+    /// nothing on the default path.
+    fn cluster_owners(&self, clusters: &[Vec<diva_relation::RowId>]) -> Vec<Vec<u32>> {
+        if !self.config.provenance.is_enabled() {
+            return Vec::new();
+        }
+        clusters
+            .iter()
+            .map(|cluster| {
+                (0..self.graph.n_nodes())
+                    .filter(|&i| self.graph.cluster_contributes(i, cluster))
+                    .map(|i| self.global_id(i) as u32)
+                    .collect()
+            })
+            .collect()
     }
 
     /// Maps an early [`Stop`] to the outer result: cancellation and the
@@ -311,11 +336,14 @@ impl<'a> Coloring<'a> {
                     phase: "DiverseClustering".into(),
                     detail,
                 })?;
+                let clusters = self.state.live_clusters_canonical();
+                let owners = self.cluster_owners(&clusters);
                 Ok(ColoringOutcome {
-                    clusters: self.state.live_clusters_canonical(),
+                    clusters,
                     assignment: self.assignment.iter().filter_map(|a| *a).collect(),
                     stats: self.stats.clone(),
                     degraded: Some(reason),
+                    owners,
                 })
             }
         }

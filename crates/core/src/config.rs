@@ -138,6 +138,15 @@ pub struct DivaConfig {
     /// degrade-request flag is the stall watchdog's escalation
     /// channel ([`crate::DegradeReason::Stalled`]).
     pub board: diva_obs::live::ProgressBoard,
+    /// Decision-provenance recorder
+    /// ([`diva_obs::provenance::Provenance`]): when enabled, the run
+    /// logs every published group and every starred cell with the
+    /// causal decision (Σ-constraint, repair round, void, degrade
+    /// merge, or plain k-anonymity) for `diva explain` and the
+    /// per-constraint attribution in `RunStats`. The default is the
+    /// disabled handle — one branch per recording site, output
+    /// byte-identical either way (same contract as `obs`/`board`).
+    pub provenance: diva_obs::provenance::Provenance,
     /// Deterministic fault-injection plan (testing/CI only; the field
     /// exists only under the `fault-inject` feature). The default
     /// injects nothing.
@@ -162,6 +171,7 @@ impl Default for DivaConfig {
             obs: diva_obs::Obs::disabled(),
             budget: crate::BudgetSpec::default(),
             board: diva_obs::live::ProgressBoard::disabled(),
+            provenance: diva_obs::provenance::Provenance::disabled(),
             #[cfg(feature = "fault-inject")]
             faults: crate::faults::FaultPlan::default(),
         }
@@ -226,6 +236,13 @@ impl DivaConfig {
     /// Builder-style live-telemetry board (see [`DivaConfig::board`]).
     pub fn board(mut self, board: diva_obs::live::ProgressBoard) -> Self {
         self.board = board;
+        self
+    }
+
+    /// Builder-style provenance recorder (see
+    /// [`DivaConfig::provenance`]).
+    pub fn provenance(mut self, provenance: diva_obs::provenance::Provenance) -> Self {
+        self.provenance = provenance;
         self
     }
 
@@ -328,6 +345,14 @@ mod tests {
         assert!(!c.board.is_enabled(), "live telemetry must be opt-in");
         let c = c.board(diva_obs::live::ProgressBoard::enabled());
         assert!(c.board.is_enabled());
+    }
+
+    #[test]
+    fn default_provenance_is_disabled() {
+        let c = DivaConfig::default();
+        assert!(!c.provenance.is_enabled(), "provenance must be opt-in");
+        let c = c.provenance(diva_obs::provenance::Provenance::enabled());
+        assert!(c.provenance.is_enabled());
     }
 
     #[test]

@@ -137,6 +137,7 @@ pub(crate) fn solve_clustering(
                 assignment: Vec::new(),
                 stats: ColoringStats::default(),
                 degraded: Some(reason),
+                owners: Vec::new(),
             });
         }
     }
@@ -220,6 +221,7 @@ pub(crate) fn solve_clustering(
         assignment: Vec::new(),
         stats: ColoringStats::default(),
         degraded: None,
+        owners: Vec::new(),
     };
     let mut per_node: Vec<Option<usize>> = vec![None; graph.n_nodes()];
     let mut unsat: Option<DivaError> = None;
@@ -237,6 +239,9 @@ pub(crate) fn solve_clustering(
                 for cluster in &out.clusters {
                     merged.clusters.push(cluster.iter().map(|&l| comp.rows[l]).collect());
                 }
+                // Component solves get `with_node_ids`, so owner lists
+                // already carry global constraint ids.
+                merged.owners.extend(out.owners);
                 if out.degraded.is_none() && out.assignment.len() == comp.nodes.len() {
                     for (&g, &ci) in comp.nodes.iter().zip(&out.assignment) {
                         per_node[g as usize] = Some(ci);
@@ -268,8 +273,20 @@ pub(crate) fn solve_clustering(
         Err(DivaError::Cancelled)
     } else {
         // The same canonical cluster order the monolithic solve
-        // publishes (`SearchState::live_clusters_canonical`).
-        merged.clusters.sort_unstable();
+        // publishes (`SearchState::live_clusters_canonical`). Owner
+        // lists (when provenance is recording) ride along so they stay
+        // parallel to their clusters.
+        if merged.owners.len() == merged.clusters.len() && !merged.owners.is_empty() {
+            let mut pairs: Vec<(Vec<diva_relation::RowId>, Vec<u32>)> =
+                merged.clusters.drain(..).zip(merged.owners.drain(..)).collect();
+            pairs.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+            for (cluster, owners) in pairs {
+                merged.clusters.push(cluster);
+                merged.owners.push(owners);
+            }
+        } else {
+            merged.clusters.sort_unstable();
+        }
         merged.assignment = per_node.iter().filter_map(|a| *a).collect();
         Ok(merged)
     };

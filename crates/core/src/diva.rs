@@ -5,11 +5,14 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-use diva_anonymize::{cluster_observed_interruptible, enforce_diversity, Anonymizer, KMember};
+use diva_anonymize::{
+    cluster_observed_interruptible, enforce_diversity_traced, Anonymizer, KMember,
+};
 use diva_constraints::{Constraint, ConstraintSet};
 use diva_relation::suppress::{suppress_clustering, Suppressed};
 use diva_relation::{is_k_anonymous, Relation, RowId, STAR_CODE};
 
+use diva_obs::provenance::{Cause, GroupOrigin, Provenance};
 use diva_obs::{AllocDelta, SpanClose};
 
 use crate::budget::{Budget, BudgetUsage, Controls, DegradeReason, Outcome};
@@ -63,6 +66,13 @@ pub struct RunStats {
     /// `alloc-profile` feature plus an installed
     /// `#[global_allocator]` — see `diva_obs::alloc`).
     pub alloc: Option<PhaseAlloc>,
+    /// Per-constraint star attribution from the decision-provenance
+    /// recorder: how many published stars each Σ-constraint caused
+    /// (plus the k-anonymity and degrade buckets; the buckets
+    /// partition the starred cells, so the total equals the published
+    /// star count). `None` unless [`DivaConfig::provenance`] is
+    /// enabled.
+    pub attribution: Option<diva_obs::StarAttribution>,
 }
 
 /// Per-phase allocation deltas for one run; the memory-side mirror of
@@ -220,6 +230,14 @@ impl Diva {
         let set = ConstraintSet::bind(sigma, rel)?;
         let board = &self.config.board;
         board.set_constraints_total(set.len() as u64);
+        let prov = &self.config.provenance;
+        if prov.is_enabled() {
+            prov.begin_run(
+                self.config.k as u64,
+                rel.n_rows() as u64,
+                set.constraints().iter().map(|c| c.label()).collect(),
+            );
+        }
         if let Some(b) = &budget {
             board.set_budget_limits(b.spec().node_budget, b.spec().deadline);
         }
@@ -307,6 +325,9 @@ impl Diva {
         stats.coloring = outcome.stats.clone();
         let search_degraded = outcome.degraded;
         let mut s_sigma: Vec<Vec<RowId>> = outcome.clusters;
+        // Per-cluster owning constraints, parallel to `s_sigma`;
+        // populated by the search only when provenance is recording.
+        let sigma_owners = outcome.owners;
         #[cfg(feature = "strict-invariants")]
         check_partition("DiverseClustering", &s_sigma, rel.n_rows(), false)?;
         stats.sigma_rows = s_sigma.iter().map(Vec::len).sum();
@@ -354,13 +375,32 @@ impl Diva {
                 .span("diva.anonymize")
                 .attr("fold_residual", true)
                 .attr("residual_rows", rest.len());
-            let folded = self.fold_residual(rel, &set, &mut s_sigma, &rest)?;
+            let (folded, fold_host) = self.fold_residual(rel, &set, &mut s_sigma, &rest)?;
             #[cfg(feature = "strict-invariants")]
             check_partition("Suppress", &folded.groups, folded.relation.n_rows(), true)?;
             let close = anon_span.end_profiled();
             stats.t_anonymize = close.dur;
             note_alloc(&mut stats, &close, |p| &mut p.anonymize);
             stats.sigma_rows = s_sigma.iter().map(Vec::len).sum();
+            if prov.is_enabled() {
+                // Folding can change any cluster's ownership (the host
+                // absorbed non-target rows), so recompute owners from
+                // the constraint set rather than reuse the search's.
+                record_suppressed_groups(
+                    prov,
+                    &folded,
+                    &s_sigma,
+                    |ci| {
+                        set.constraints()
+                            .iter()
+                            .enumerate()
+                            .filter(|(_, c)| s_sigma[ci].iter().all(|&r| c.is_target(r)))
+                            .map(|(i, _)| i as u32)
+                            .collect()
+                    },
+                    |ci| if ci == fold_host { GroupOrigin::Fold } else { GroupOrigin::Sigma },
+                );
+            }
             board.set_phase(diva_obs::live::Phase::Integrate);
             let int_span = obs.span("diva.integrate");
             let out = integrate(&folded, None, &set)?;
@@ -374,6 +414,7 @@ impl Diva {
             run_span.set_attr("stars", out.relation.star_count());
             run_span.set_attr("outcome", "exact");
             stats.budget = budget.as_ref().map(|b| b.usage());
+            stats.attribution = prov.attribution();
             let close = run_span.end_profiled();
             stats.t_total = close.dur;
             note_alloc(&mut stats, &close, |p| &mut p.total);
@@ -403,6 +444,11 @@ impl Diva {
         }
         board.set_phase(diva_obs::live::Phase::Anonymize);
         let mut anon_span = obs.span("diva.anonymize").attr("residual_rows", rest.len());
+        // Kept alongside `r_k` for provenance: the input clusters the
+        // suppressed groups came from, and which of them absorbed a
+        // sibling during ℓ-diversity enforcement.
+        let mut rk_clusters: Vec<Vec<RowId>> = Vec::new();
+        let mut ldiv_merged: Vec<bool> = Vec::new();
         let r_k: Option<Suppressed> = if rest.is_empty() {
             None
         } else {
@@ -432,14 +478,17 @@ impl Diva {
                 return self.degraded_result(rel, &set, s_sigma, reason, stats, run_span, &budget);
             };
             if let Some(model) = self.config.diversity_model() {
-                clusters = enforce_diversity(rel, &clusters, &model).ok_or_else(|| {
-                    DivaError::PrivacyInfeasible {
-                        reason: format!(
-                            "residual tuples cannot satisfy {model}: even a single merged \
-                             class fails the check"
-                        ),
-                    }
-                })?;
+                let (merged, flags) =
+                    enforce_diversity_traced(rel, &clusters, &model).ok_or_else(|| {
+                        DivaError::PrivacyInfeasible {
+                            reason: format!(
+                                "residual tuples cannot satisfy {model}: even a single merged \
+                                 class fails the check"
+                            ),
+                        }
+                    })?;
+                clusters = merged;
+                ldiv_merged = flags;
             }
             #[cfg(feature = "strict-invariants")]
             {
@@ -453,6 +502,7 @@ impl Diva {
                 }
             }
             let rk = suppress_clustering(rel, &clusters);
+            rk_clusters = clusters;
             Some(rk)
         };
         anon_span.set_attr("groups", r_k.as_ref().map_or(0, |rk| rk.groups.len()));
@@ -466,9 +516,38 @@ impl Diva {
             return self.degraded_result(rel, &set, s_sigma, reason, stats, run_span, &budget);
         }
 
+        // Past the last degrade checkpoint: the run is committed to the
+        // exact path, so the published groups and their stars can be
+        // recorded (recording earlier would leave stale records behind
+        // a later degrade).
+        let mut k_gids: Vec<u64> = Vec::new();
+        if prov.is_enabled() {
+            record_suppressed_groups(
+                prov,
+                &r_sigma,
+                &s_sigma,
+                |ci| sigma_owners.get(ci).cloned().unwrap_or_default(),
+                |_| GroupOrigin::Sigma,
+            );
+            if let Some(rk) = &r_k {
+                k_gids = record_suppressed_groups(
+                    prov,
+                    rk,
+                    &rk_clusters,
+                    |_| Vec::new(),
+                    |ci| {
+                        if ldiv_merged.get(ci).copied().unwrap_or(false) {
+                            GroupOrigin::DiversityMerge
+                        } else {
+                            GroupOrigin::KMember
+                        }
+                    },
+                );
+            }
+        }
         board.set_phase(diva_obs::live::Phase::Integrate);
         let int_span = obs.span("diva.integrate");
-        let out = integrate(&r_sigma, r_k.as_ref(), &set)?;
+        let out = crate::integrate::integrate_traced(&r_sigma, r_k.as_ref(), &set, prov, &k_gids)?;
         #[cfg(feature = "strict-invariants")]
         check_partition("Integrate", &out.groups, out.relation.n_rows(), true)?;
         stats.integrate_repairs = out.repairs;
@@ -486,6 +565,7 @@ impl Diva {
         run_span.set_attr("stars", out.relation.star_count());
         run_span.set_attr("outcome", "exact");
         stats.budget = budget.as_ref().map(|b| b.usage());
+        stats.attribution = prov.attribution();
         let close = run_span.end_profiled();
         stats.t_total = close.dur;
         note_alloc(&mut stats, &close, |p| &mut p.total);
@@ -501,14 +581,15 @@ impl Diva {
 
     /// Attempts to fold `rest` (fewer than `k` rows) into one of the
     /// `S_Σ` clusters such that the suppressed result still satisfies
-    /// `Σ` and is `k`-anonymous.
+    /// `Σ` and is `k`-anonymous. On success also returns the index of
+    /// the host cluster that absorbed the residual (for provenance).
     fn fold_residual(
         &self,
         rel: &Relation,
         set: &ConstraintSet,
         s_sigma: &mut Vec<Vec<RowId>>,
         rest: &[RowId],
-    ) -> Result<Suppressed, DivaError> {
+    ) -> Result<(Suppressed, usize), DivaError> {
         if s_sigma.is_empty() {
             return Err(DivaError::ResidualTooSmall { remaining: rest.len() });
         }
@@ -525,7 +606,7 @@ impl Diva {
                 && self.config.diversity_model().is_none_or(|m| m.holds(&sup.relation));
             if ok {
                 *s_sigma = trial;
-                return Ok(sup);
+                return Ok((sup, i));
             }
         }
         Err(DivaError::ResidualTooSmall { remaining: rest.len() })
@@ -549,6 +630,14 @@ impl Diva {
             .attr("k", self.config.k)
             .attr("fallback", true);
         let set = ConstraintSet::bind(sigma, rel)?;
+        let prov = &self.config.provenance;
+        if prov.is_enabled() {
+            prov.begin_run(
+                self.config.k as u64,
+                rel.n_rows() as u64,
+                set.constraints().iter().map(|c| c.label()).collect(),
+            );
+        }
         let stats = RunStats { n_constraints: set.len(), ..RunStats::default() };
         self.degraded_result(rel, &set, Vec::new(), reason, stats, run_span, &None)
     }
@@ -625,8 +714,10 @@ impl Diva {
 
         // Voiding fixpoint. Voiding only ever lowers counts, and each
         // pass either voids a cluster or terminates, so this is at most
-        // |partial| passes.
+        // |partial| passes. `void_cause` remembers, per voided cluster,
+        // which decision voided it (for the provenance records).
         let mut voided = vec![false; n_groups];
+        let mut void_cause: Vec<Option<Cause>> = vec![None; n_groups];
         loop {
             let mut acted = false;
             for (ci, c) in set.constraints().iter().enumerate() {
@@ -640,6 +731,7 @@ impl Diva {
                     if let Some(g) = (0..n_groups).rev().find(|&g| !voided[g] && contrib[ci][g] > 0)
                     {
                         voided[g] = true;
+                        void_cause[g] = Some(Cause::Voided { constraint: ci as u32 });
                         acted = true;
                     }
                 }
@@ -649,6 +741,7 @@ impl Diva {
                     for g in (0..n_groups).filter(|&g| contrib[ci][g] > 0) {
                         if !voided[g] {
                             voided[g] = true;
+                            void_cause[g] = Some(Cause::Voided { constraint: ci as u32 });
                             acted = true;
                         }
                     }
@@ -664,6 +757,7 @@ impl Diva {
             if star_rows > 0 && star_rows < self.config.k {
                 if let Some(g) = (0..n_groups).rev().find(|&g| !voided[g]) {
                     voided[g] = true;
+                    void_cause[g] = Some(Cause::DegradeMerge { reason: "block_size" });
                     continue;
                 }
             }
@@ -677,6 +771,7 @@ impl Diva {
         let mut cols: Vec<Vec<u32>> = (0..arity).map(|_| Vec::with_capacity(n_rows)).collect();
         let mut groups: Vec<Vec<RowId>> = Vec::new();
         let mut source_rows: Vec<RowId> = Vec::with_capacity(n_rows);
+        let prov = &self.config.provenance;
         for (g, cluster) in partial.iter().enumerate() {
             if voided[g] || cluster.is_empty() {
                 continue;
@@ -694,6 +789,33 @@ impl Diva {
                 source_rows.push(r);
             }
             groups.push((start..source_rows.len()).collect());
+            if prov.is_enabled() {
+                // Kept clusters charge their stars round-robin to the
+                // constraints they contribute to (DESIGN.md §16), same
+                // rule as the exact path's Σ-clusters.
+                let owners: Vec<u32> =
+                    (0..set.len()).filter(|&ci| contrib[ci][g] > 0).map(|ci| ci as u32).collect();
+                let gid = prov.group(
+                    GroupOrigin::Sigma,
+                    owners.clone(),
+                    cluster.iter().map(|&r| r as u64).collect(),
+                );
+                let mut j = 0usize;
+                for (c, &starred) in suppress_col.iter().enumerate() {
+                    if !starred {
+                        continue;
+                    }
+                    for &r in cluster {
+                        let cause = if owners.is_empty() {
+                            Cause::KAnonymity
+                        } else {
+                            Cause::Sigma { constraint: owners[j % owners.len()] }
+                        };
+                        prov.cell(r as u64, c as u32, gid, cause);
+                        j += 1;
+                    }
+                }
+            }
         }
         let star_src: Vec<RowId> = partial
             .iter()
@@ -711,6 +833,33 @@ impl Diva {
                 source_rows.push(r);
             }
             groups.push((start..source_rows.len()).collect());
+            if prov.is_enabled() {
+                // Every QI cell of the star block is suppressed; each
+                // row's cells carry the decision that sent it there —
+                // the void that consumed its cluster, or a structural
+                // degrade merge for residual rows.
+                let gid = prov.group(
+                    GroupOrigin::StarBlock,
+                    Vec::new(),
+                    star_src.iter().map(|&r| r as u64).collect(),
+                );
+                let causes = partial
+                    .iter()
+                    .enumerate()
+                    .filter(|&(g, _)| voided[g])
+                    .flat_map(|(g, c)| {
+                        let cause = void_cause[g]
+                            .clone()
+                            .unwrap_or(Cause::DegradeMerge { reason: "block_size" });
+                        std::iter::repeat_n(cause, c.len())
+                    })
+                    .chain(residual.iter().map(|_| Cause::DegradeMerge { reason: "residual" }));
+                for (&r, cause) in star_src.iter().zip(causes) {
+                    for &c in rel.schema().qi_cols() {
+                        prov.cell(r as u64, c as u32, gid, cause.clone());
+                    }
+                }
+            }
         }
         let relation =
             Relation::from_parts(std::sync::Arc::clone(rel.schema()), rel.dicts().to_vec(), cols);
@@ -746,6 +895,7 @@ impl Diva {
         run_span.set_attr("outcome", "degraded");
         run_span.set_attr("degrade_reason", reason.kind());
         stats.budget = budget.as_ref().map(|b| b.usage());
+        stats.attribution = prov.attribution();
         let close = run_span.end_profiled();
         stats.t_total = close.dur;
         note_alloc(&mut stats, &close, |p| &mut p.total);
@@ -758,6 +908,50 @@ impl Diva {
             outcome: Outcome::Degraded { reason },
         })
     }
+}
+
+/// Records provenance for one suppressed clustering: a group record
+/// per cluster plus a cell record per starred QI value. Starred cells
+/// are enumerated deterministically — suppressed columns ascending,
+/// rows in cluster order — and the j-th cell is charged to
+/// `owners[j % owners.len()]` (the tie-splitting rule of DESIGN.md
+/// §16); clusters with no owning constraint charge plain k-anonymity.
+/// Returns the group ids, parallel to `clusters`.
+fn record_suppressed_groups(
+    prov: &Provenance,
+    sup: &Suppressed,
+    clusters: &[Vec<RowId>],
+    owners_of: impl Fn(usize) -> Vec<u32>,
+    origin_of: impl Fn(usize) -> GroupOrigin,
+) -> Vec<u64> {
+    let mut gids = Vec::with_capacity(clusters.len());
+    for (ci, cluster) in clusters.iter().enumerate() {
+        let owners = owners_of(ci);
+        let gid =
+            prov.group(origin_of(ci), owners.clone(), cluster.iter().map(|&r| r as u64).collect());
+        gids.push(gid);
+        // Within a suppressed group every row shares one star pattern,
+        // so the group's first output row names the starred columns.
+        let Some(&first) = sup.groups.get(ci).and_then(|g| g.first()) else {
+            continue;
+        };
+        let mut j = 0usize;
+        for &col in sup.relation.schema().qi_cols() {
+            if sup.relation.code(first, col) != STAR_CODE {
+                continue;
+            }
+            for &r in cluster {
+                let cause = if owners.is_empty() {
+                    Cause::KAnonymity
+                } else {
+                    Cause::Sigma { constraint: owners[j % owners.len()] }
+                };
+                prov.cell(r as u64, col as u32, gid, cause);
+                j += 1;
+            }
+        }
+    }
+    gids
 }
 
 /// Shorthand for [`DivaError::InvariantViolated`] at a pipeline phase.
@@ -999,6 +1193,54 @@ mod tests {
             (format!("{:?}", out.relation), out.groups, out.source_rows)
         };
         assert_eq!(run(diva_obs::Obs::disabled()), run(diva_obs::Obs::enabled()));
+    }
+
+    #[test]
+    fn disabled_provenance_output_matches_enabled_byte_for_byte() {
+        let r = paper_table1();
+        let run = |prov: diva_obs::Provenance| {
+            let diva = Diva::new(DivaConfig::with_k(2).provenance(prov));
+            let out = diva.run(&r, &example_sigma()).unwrap();
+            (format!("{:?}", out.relation), out.groups, out.source_rows)
+        };
+        assert_eq!(run(diva_obs::Provenance::disabled()), run(diva_obs::Provenance::enabled()));
+    }
+
+    #[test]
+    fn provenance_attribution_sums_to_star_count() {
+        let r = paper_table1();
+        let prov = diva_obs::Provenance::enabled();
+        let diva = Diva::new(DivaConfig::with_k(2).provenance(prov.clone()));
+        let out = diva.run(&r, &example_sigma()).unwrap();
+        let attr = out.stats.attribution.clone().expect("enabled recorder populates RunStats");
+        assert_eq!(attr.total(), out.relation.star_count() as u64);
+        let log = prov.snapshot().unwrap();
+        diva_obs::provenance::validate_log(&log).expect("log passes integrity validation");
+        assert_eq!(log.cells.len() as u64, attr.total(), "one record per starred cell");
+        assert_eq!(log.labels.len(), 3);
+    }
+
+    #[test]
+    fn provenance_disabled_leaves_stats_attribution_none() {
+        let r = paper_table1();
+        let out = Diva::new(DivaConfig::with_k(2)).run(&r, &example_sigma()).unwrap();
+        assert!(out.stats.attribution.is_none());
+    }
+
+    #[test]
+    fn degraded_run_provenance_covers_every_star() {
+        let r = diva_datagen::medical(300, 5);
+        let sigma = vec![Constraint::single("ETH", "Asian", 5, 300)];
+        let prov = diva_obs::Provenance::enabled();
+        let config = DivaConfig::with_k(4).provenance(prov.clone()).budget(crate::BudgetSpec {
+            deadline: Some(Duration::ZERO),
+            ..crate::BudgetSpec::default()
+        });
+        let out = Diva::new(config).run(&r, &sigma).unwrap();
+        assert!(matches!(out.outcome, Outcome::Degraded { .. }));
+        let attr = out.stats.attribution.clone().unwrap();
+        assert_eq!(attr.total(), out.relation.star_count() as u64);
+        diva_obs::provenance::validate_log(&prov.snapshot().unwrap()).unwrap();
     }
 
     #[test]

@@ -11,6 +11,7 @@
 //! the suppression added per occurrence removed.
 
 use diva_constraints::ConstraintSet;
+use diva_obs::provenance::{Cause, Provenance};
 use diva_relation::suppress::Suppressed;
 use diva_relation::{Relation, RowId};
 
@@ -37,6 +38,22 @@ pub fn integrate(
     r_sigma: &Suppressed,
     r_k: Option<&Suppressed>,
     set: &ConstraintSet,
+) -> Result<Integrated, DivaError> {
+    integrate_traced(r_sigma, r_k, set, &Provenance::disabled(), &[])
+}
+
+/// [`integrate`] with decision provenance: each repair-suppressed cell
+/// is recorded as `Repair{constraint, round}` against the repaired
+/// `R_k` group. `k_group_ids` are the provenance group ids parallel to
+/// `r_k.groups` (empty when the recorder is disabled). Repairs never
+/// double-record a cell: a group only matches a constraint while its
+/// rows still retain the target values, and the repair removes them.
+pub fn integrate_traced(
+    r_sigma: &Suppressed,
+    r_k: Option<&Suppressed>,
+    set: &ConstraintSet,
+    prov: &Provenance,
+    k_group_ids: &[u64],
 ) -> Result<Integrated, DivaError> {
     let mut relation = r_sigma.relation.clone();
     let mut groups = r_sigma.groups.clone();
@@ -99,9 +116,18 @@ pub fn integrate(
             .find(|&&gi| k_groups[gi].len() <= overshoot)
             .copied()
             .unwrap_or(matching[0]);
+        let record = prov.is_enabled() && pick < k_group_ids.len();
         for &row in &k_groups[pick] {
             for &col in &c.cols {
                 relation.suppress_cell(row, col);
+                if record {
+                    prov.cell(
+                        source_rows[row] as u64,
+                        col as u32,
+                        k_group_ids[pick],
+                        Cause::Repair { constraint: ci as u32, round: (repairs + 1) as u32 },
+                    );
+                }
             }
         }
         repairs += 1;

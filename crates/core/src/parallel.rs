@@ -89,6 +89,12 @@ where
             let mut c = config.clone();
             c.strategy = strategy;
             c.seed = config.seed.wrapping_add(s.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+            // `clone` shares the recorder Arc; concurrent members would
+            // interleave records, so each gets a private recorder and
+            // the winner's log is adopted into the caller's handle.
+            if config.provenance.is_enabled() {
+                c.provenance = diva_obs::Provenance::enabled();
+            }
             members.push(c);
         }
     }
@@ -111,7 +117,7 @@ where
     // now) and shared through the controls every member receives.
     let controls = Controls::new(config.budget.arm());
     let next = Arc::new(AtomicUsize::new(0));
-    let (tx, rx) = mpsc::channel::<Result<DivaResult, DivaError>>();
+    let (tx, rx) = mpsc::channel::<(usize, Result<DivaResult, DivaError>)>();
 
     // `validate()` above rejected `Some(0)`, and `available_parallelism`
     // is at least 1, so the cap is always positive.
@@ -168,7 +174,7 @@ where
             member_span.end();
             obs.counter(&format!("portfolio.{outcome}")).incr();
             // A dropped receiver just means someone else already won.
-            if tx.send(out).is_err() {
+            if tx.send((i, out)).is_err() {
                 break;
             }
         });
@@ -177,7 +183,7 @@ where
 
     let mut best_err: Option<DivaError> = None;
     let mut panic_detail: Option<String> = None;
-    while let Ok(outcome) = rx.recv() {
+    while let Ok((winner, outcome)) = rx.recv() {
         match outcome {
             // Exact winner or budget-degraded member: either way the
             // portfolio is decided (the budget is shared, so one
@@ -185,6 +191,9 @@ where
             // return.
             Ok(res) => {
                 controls.request_cancel();
+                // Surface the winner's decision log through the
+                // caller's handle (no-op when provenance is off).
+                config.provenance.adopt(&members[winner].provenance);
                 root_span.set_attr(
                     "outcome",
                     if res.outcome.is_exact() { "success" } else { "degraded" },
@@ -269,6 +278,22 @@ mod tests {
         assert!(is_k_anonymous(&out.relation, 2));
         let set = ConstraintSet::bind(&example_sigma(), &out.relation).unwrap();
         assert!(set.satisfied_by(&out.relation));
+    }
+
+    #[test]
+    fn portfolio_adopts_the_winner_provenance() {
+        let r = paper_table1();
+        let prov = diva_obs::Provenance::enabled();
+        let config = DivaConfig::with_k(2).provenance(prov.clone());
+        let out = run_portfolio(&r, &example_sigma(), &config, 2).unwrap();
+        let attr = out.stats.attribution.clone().expect("winner carries attribution");
+        assert_eq!(attr.total(), out.relation.star_count() as u64);
+        // The winner's log was adopted into the caller's handle and
+        // matches the published result.
+        let log = prov.snapshot().expect("caller handle holds the winner log");
+        diva_obs::provenance::validate_log(&log).unwrap();
+        assert_eq!(log.cells.len() as u64, attr.total());
+        assert_eq!(log.n_rows, r.n_rows() as u64);
     }
 
     #[test]

@@ -142,6 +142,9 @@ pub struct Witness {
     /// Decoded QI values of the class, in schema QI-column order
     /// (suppressed cells display as `★`).
     pub qi: Vec<String>,
+    /// Row ids of the witnessing class, ascending — the concrete rows
+    /// whose statistic determines the achieved parameter.
+    pub rows: Vec<RowId>,
 }
 
 /// Result of auditing a relation against one privacy model.
@@ -369,6 +372,7 @@ impl<'a> Audit<'a> {
             size: classes[c].size,
             value: classes[c].value,
             qi: self.qi_signature(c),
+            rows: self.class_rows(c).to_vec(),
         });
         let mut span = span;
         if achieved.is_finite() {
@@ -679,12 +683,15 @@ impl AuditSuite {
             match &r.worst {
                 None => out.push_str("      \"worst\": null,\n"),
                 Some(w) => {
+                    // `rows` stays the LAST key of the fixed order so
+                    // older consumers keep parsing the known prefix.
                     out.push_str(&format!(
-                        "      \"worst\": {{\"class\": {}, \"size\": {}, \"value\": {}, \"qi\": [{}]}},\n",
+                        "      \"worst\": {{\"class\": {}, \"size\": {}, \"value\": {}, \"qi\": [{}], \"rows\": [{}]}},\n",
                         w.class,
                         w.size,
                         json_f64(w.value),
-                        w.qi.iter().map(|s| json_str(s)).collect::<Vec<_>>().join(", ")
+                        w.qi.iter().map(|s| json_str(s)).collect::<Vec<_>>().join(", "),
+                        w.rows.iter().map(|r| r.to_string()).collect::<Vec<_>>().join(", ")
                     ));
                 }
             }
@@ -809,6 +816,17 @@ mod tests {
         let w = rep.worst.as_ref().expect("non-empty");
         assert_eq!(w.qi, vec!["b".to_string()]);
         assert_eq!(rep.classes.len(), 2);
+    }
+
+    #[test]
+    fn witness_carries_the_witnessing_rows() {
+        let r = labeled(&[("a", "x"), ("a", "y"), ("a", "z"), ("b", "x"), ("b", "y")]);
+        let rep = Audit::new(&r).k_anonymity();
+        let w = rep.worst.as_ref().expect("non-empty");
+        assert_eq!(w.rows, vec![3, 4]);
+        // `rows` renders as the last key of the fixed `worst` order.
+        let json = audit(&r, &AuditSpec::default()).to_json();
+        assert!(json.contains("\"qi\": [\"b\"], \"rows\": [3, 4]"), "{json}");
     }
 
     #[test]

@@ -2,7 +2,8 @@
 //! scrapes a live stats endpoint mid-run.
 //!
 //! Usage:
-//! `trace-check [--require-alloc] <trace.jsonl> <metrics.json>`
+//! `trace-check [--require-alloc] [--require-provenance FILE] <trace.jsonl> <metrics.json>`
+//! `trace-check --require-provenance FILE`
 //! `trace-check --scrape HOST:PORT [--timeout-ms N]`
 //!
 //! The `--scrape` client mode polls a running `diva --stats-addr`
@@ -25,6 +26,13 @@
 //! required span must additionally carry a positive `alloc_bytes` —
 //! the profiling gate in `scripts/check.sh` uses this to prove the
 //! counting allocator is live in the CLI binary.
+//!
+//! With `--require-provenance FILE` the decision-provenance export
+//! written by `diva anonymize --provenance` is additionally validated
+//! for record and reference integrity (dense group ids, in-range
+//! rows/owners/constraints, cells citing real groups, attribution
+//! line consistent with the records). The flag also works on its own,
+//! without a trace/metrics pair.
 
 use diva_obs::json::{parse, Value};
 
@@ -154,6 +162,21 @@ fn run(trace_path: &str, metrics_path: &str, require_alloc: bool) -> Result<(), 
     Ok(())
 }
 
+/// Validates a decision-provenance export for record and reference
+/// integrity via [`diva_obs::provenance::validate_text`].
+fn check_provenance(path: &str) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let summary = diva_obs::provenance::validate_text(&text)
+        .map_err(|e| format!("provenance {path}: {e}"))?;
+    println!(
+        "trace-check ok: provenance has {} groups, {} cells, {} attributed stars",
+        summary.n_groups,
+        summary.n_cells,
+        summary.attribution.total()
+    );
+    Ok(())
+}
+
 /// Prometheus families every `/metrics` exposition must carry.
 const REQUIRED_FAMILIES: [&str; 5] = [
     "diva_phase",
@@ -265,9 +288,40 @@ fn main() -> std::process::ExitCode {
     }
     let require_alloc = args.iter().any(|a| a == "--require-alloc");
     args.retain(|a| a != "--require-alloc");
+    let provenance_path = match args.iter().position(|a| a == "--require-provenance") {
+        Some(pos) => {
+            if pos + 1 >= args.len() {
+                eprintln!("usage: trace-check --require-provenance FILE");
+                return std::process::ExitCode::from(2);
+            }
+            let path = args.remove(pos + 1);
+            args.remove(pos);
+            Some(path)
+        }
+        None => None,
+    };
+    if args.is_empty() {
+        // Provenance-only mode: no trace/metrics pair to validate.
+        let Some(path) = &provenance_path else {
+            eprintln!(
+                "usage: trace-check [--require-alloc] [--require-provenance FILE] \
+                 <trace.jsonl> <metrics.json>\n\
+                 \u{20}      trace-check --require-provenance FILE\n\
+                 \u{20}      trace-check --scrape HOST:PORT [--timeout-ms N]"
+            );
+            return std::process::ExitCode::from(2);
+        };
+        if let Err(e) = check_provenance(path) {
+            eprintln!("trace-check FAILED: {e}");
+            return std::process::ExitCode::FAILURE;
+        }
+        return std::process::ExitCode::SUCCESS;
+    }
     let (Some(trace_path), Some(metrics_path)) = (args.first(), args.get(1)) else {
         eprintln!(
-            "usage: trace-check [--require-alloc] <trace.jsonl> <metrics.json>\n\
+            "usage: trace-check [--require-alloc] [--require-provenance FILE] \
+             <trace.jsonl> <metrics.json>\n\
+             \u{20}      trace-check --require-provenance FILE\n\
              \u{20}      trace-check --scrape HOST:PORT [--timeout-ms N]"
         );
         return std::process::ExitCode::from(2);
@@ -275,6 +329,12 @@ fn main() -> std::process::ExitCode {
     if let Err(e) = run(trace_path, metrics_path, require_alloc) {
         eprintln!("trace-check FAILED: {e}");
         return std::process::ExitCode::FAILURE;
+    }
+    if let Some(path) = &provenance_path {
+        if let Err(e) = check_provenance(path) {
+            eprintln!("trace-check FAILED: {e}");
+            return std::process::ExitCode::FAILURE;
+        }
     }
     std::process::ExitCode::SUCCESS
 }

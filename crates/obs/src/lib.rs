@@ -70,6 +70,9 @@ pub mod json;
 pub mod live;
 /// Atomic counter/gauge/histogram primitives and log₂ bucketing.
 pub mod metrics;
+/// Decision-provenance recorder: traces every published star back to
+/// the constraint / repair / degrade decision that caused it.
+pub mod provenance;
 /// Std-only blocking TCP stats endpoint (Prometheus text + live
 /// summary-JSON) over a `ProgressBoard`.
 pub mod serve;
@@ -83,6 +86,7 @@ use std::time::{Duration, Instant};
 pub use alloc::{AllocDelta, AllocStats};
 pub use export::{HistogramSnapshot, Snapshot, SpanSummary};
 pub use metrics::{bucket_index, bucket_upper_bound, Counter, Gauge, Histogram, N_BUCKETS};
+pub use provenance::{Provenance, StarAttribution};
 
 /// A raw monotonic timer.
 ///

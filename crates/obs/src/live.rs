@@ -131,6 +131,7 @@ struct Cells {
     live_alloc_bytes: AtomicI64,
     stalled: AtomicBool,
     degrade_requested: AtomicBool,
+    constraint_stars: Mutex<Vec<(String, u64)>>,
 }
 
 impl Cells {
@@ -150,6 +151,7 @@ impl Cells {
             live_alloc_bytes: AtomicI64::new(0),
             stalled: AtomicBool::new(false),
             degrade_requested: AtomicBool::new(false),
+            constraint_stars: Mutex::new(Vec::new()),
         }
     }
 }
@@ -271,6 +273,16 @@ impl ProgressBoard {
         }
     }
 
+    /// Publishes the per-constraint star attribution `(label, stars)`
+    /// computed by the provenance recorder at run completion. Unlike
+    /// the atomic cells this is a labeled vector behind a mutex —
+    /// written once per run, never from a hot path.
+    pub fn set_constraint_stars(&self, pairs: Vec<(String, u64)>) {
+        if let Some(c) = &self.cells {
+            *c.constraint_stars.lock().unwrap_or_else(std::sync::PoisonError::into_inner) = pairs;
+        }
+    }
+
     /// Sets or clears the watchdog's stall flag.
     pub fn set_stalled(&self, stalled: bool) {
         if let Some(c) = &self.cells {
@@ -325,6 +337,11 @@ impl ProgressBoard {
             live_alloc_bytes: c.live_alloc_bytes.load(Ordering::Relaxed),
             stalled: c.stalled.load(Ordering::Relaxed),
             elapsed_ms: c.origin.elapsed().as_millis() as u64,
+            constraint_stars: c
+                .constraint_stars
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .clone(),
         })
     }
 }
@@ -359,6 +376,9 @@ pub struct BoardSnapshot {
     pub stalled: bool,
     /// Milliseconds since the board was created.
     pub elapsed_ms: u64,
+    /// Per-constraint star attribution `(label, stars)` published at
+    /// run completion (empty until then, or without provenance).
+    pub constraint_stars: Vec<(String, u64)>,
 }
 
 /// Sampler tuning knobs.
@@ -756,6 +776,25 @@ mod tests {
     }
 
     #[test]
+    fn constraint_stars_publish_and_read_back() {
+        let board = ProgressBoard::enabled();
+        assert!(board.read().expect("read").constraint_stars.is_empty());
+        board.set_constraint_stars(vec![
+            ("ETH[Asian]".to_string(), 4),
+            ("JOB[Nurse]".to_string(), 0),
+        ]);
+        let snap = board.read().expect("read");
+        assert_eq!(
+            snap.constraint_stars,
+            vec![("ETH[Asian]".to_string(), 4), ("JOB[Nurse]".to_string(), 0)]
+        );
+        // Disabled boards stay inert.
+        let off = ProgressBoard::disabled();
+        off.set_constraint_stars(vec![("X".to_string(), 1)]);
+        assert!(off.read().is_none());
+    }
+
+    #[test]
     fn watchdog_trips_on_a_frozen_counter_and_escalates() {
         let board = ProgressBoard::enabled();
         board.set_phase(Phase::Clustering);
@@ -921,6 +960,7 @@ mod tests {
                 live_alloc_bytes: 0,
                 stalled: false,
                 elapsed_ms: i,
+                constraint_stars: Vec::new(),
             };
             log.push(
                 Sample {
@@ -958,6 +998,7 @@ mod tests {
                 live_alloc_bytes: 4096,
                 stalled: true,
                 elapsed_ms: 250,
+                constraint_stars: Vec::new(),
             },
             nodes_per_sec: 100.0,
             repairs_per_sec: 1.0,

@@ -150,7 +150,24 @@ pub fn prometheus_text(snap: &BoardSnapshot, latest: Option<&Sample>) -> String 
             );
         }
     }
+    if !snap.constraint_stars.is_empty() {
+        out.push_str(
+            "# HELP diva_constraint_stars Stars attributed to each sigma constraint \
+             by the provenance recorder.\n# TYPE diva_constraint_stars gauge\n",
+        );
+        for (label, stars) in &snap.constraint_stars {
+            out.push_str(&format!(
+                "diva_constraint_stars{{constraint=\"{}\"}} {stars}\n",
+                escape_label_value(label)
+            ));
+        }
+    }
     out
+}
+
+/// Escapes a Prometheus label value (backslash, quote, newline).
+fn escape_label_value(v: &str) -> String {
+    v.replace('\\', "\\\\").replace('"', "\\\"").replace('\n', "\\n")
 }
 
 fn format_f64(v: f64) -> String {
@@ -186,6 +203,9 @@ pub fn stats_json(snap: &BoardSnapshot, latest: Option<&Sample>) -> String {
         ],
         ..Snapshot::default()
     };
+    for (label, stars) in &snap.constraint_stars {
+        view.gauges.push((format!("live.constraint_stars.{label}"), *stars as i64));
+    }
     if let Some(sample) = latest {
         view.gauges.push(("live.nodes_per_sec".to_string(), sample.nodes_per_sec as i64));
         view.gauges.push(("live.repairs_per_sec".to_string(), sample.repairs_per_sec as i64));
@@ -195,8 +215,8 @@ pub fn stats_json(snap: &BoardSnapshot, latest: Option<&Sample>) -> String {
         if let Some(rem) = sample.deadline_remaining_ms {
             view.gauges.push(("live.deadline_remaining_ms".to_string(), rem as i64));
         }
-        view.gauges.sort_by(|a, b| a.0.cmp(&b.0));
     }
+    view.gauges.sort_by(|a, b| a.0.cmp(&b.0));
     view.summary_json()
 }
 
@@ -476,6 +496,34 @@ mod tests {
         let phase = get("diva_phase");
         assert_eq!(phase.value, Phase::Anonymize.code() as f64);
         assert_eq!(phase.label("phase"), Some("anonymize"));
+    }
+
+    #[test]
+    fn constraint_stars_surface_on_both_routes() {
+        let board = populated_board();
+        board.set_constraint_stars(vec![
+            ("ETH[Asian]".to_string(), 6),
+            ("CTY[Vancouver]".to_string(), 2),
+        ]);
+        let snap = board.read().expect("read");
+        let text = prometheus_text(&snap, None);
+        let samples = parse_prometheus(&text).expect("parses");
+        let star = |label: &str| {
+            samples
+                .iter()
+                .find(|s| s.name == "diva_constraint_stars" && s.label("constraint") == Some(label))
+                .map(|s| s.value)
+        };
+        assert_eq!(star("ETH[Asian]"), Some(6.0));
+        assert_eq!(star("CTY[Vancouver]"), Some(2.0));
+        let v = parse(&stats_json(&snap, None)).expect("json parses");
+        let gauge = |name: &str| v.get("gauges").and_then(|g| g.get(name)).and_then(Value::as_num);
+        assert_eq!(gauge("live.constraint_stars.ETH[Asian]"), Some(6.0));
+        assert_eq!(gauge("live.constraint_stars.CTY[Vancouver]"), Some(2.0));
+        // Without an attribution the family is absent entirely.
+        let bare = populated_board().read().expect("read");
+        assert!(!prometheus_text(&bare, None).contains("diva_constraint_stars"));
+        assert!(!stats_json(&bare, None).contains("constraint_stars"));
     }
 
     #[test]

@@ -9,7 +9,8 @@
 # SKIP_DECOMP=1 to skip the decomposition differential,
 # SKIP_PROFILE=1 to skip the profiling capture + trace-diff gate,
 # SKIP_LIVE=1 to skip the live-telemetry mid-run scrape gate,
-# SKIP_AUDIT=1 to skip the privacy-audit gate, and
+# SKIP_AUDIT=1 to skip the privacy-audit gate,
+# SKIP_PROVENANCE=1 to skip the decision-provenance gate, and
 # SKIP_TIDY_RATCHET=1 to skip the tidy ratchet gate).
 set -eu
 
@@ -21,11 +22,13 @@ OBS_DIR=""
 PROF_DIR=""
 LIVE_DIR=""
 AUDIT_DIR=""
+PROV_DIR=""
 cleanup() {
     [ -n "$OBS_DIR" ] && rm -rf "$OBS_DIR"
     [ -n "$PROF_DIR" ] && rm -rf "$PROF_DIR"
     [ -n "$LIVE_DIR" ] && rm -rf "$LIVE_DIR"
     [ -n "$AUDIT_DIR" ] && rm -rf "$AUDIT_DIR"
+    [ -n "$PROV_DIR" ] && rm -rf "$PROV_DIR"
 }
 trap cleanup EXIT
 
@@ -196,6 +199,33 @@ else
         --input "$AUDIT_DIR/anon.csv" --roles qi,qi,qi,qi,qi,sensitive \
         --k 5 --l 1 --emit table
     echo "privacy audit ok: fixtures byte-stable, medical-4k confirmed at k=5"
+fi
+
+if [ "${SKIP_PROVENANCE:-0}" = "1" ]; then
+    echo "==> decision-provenance gate skipped (SKIP_PROVENANCE=1)"
+else
+    echo "==> decision-provenance gate (medical-4k --provenance + explain + byte-identity)"
+    PROV_DIR="$(mktemp -d)"
+    capture_medical_4k "$PROV_DIR" --provenance "$PROV_DIR/prov.jsonl"
+    # The export must pass record/reference integrity validation.
+    cargo run $FLAGS --release -q -p diva-obs --bin trace-check -- \
+        --require-provenance "$PROV_DIR/prov.jsonl"
+    # `diva explain` must answer the utility-attribution query against
+    # the saved file (exit code is the gate).
+    cargo run $FLAGS --release -q -p diva-cli --bin diva -- explain \
+        --provenance "$PROV_DIR/prov.jsonl" --top-costly
+    # The disabled recorder is free: a run *without* --provenance must
+    # publish the byte-identical relation.
+    mv "$PROV_DIR/anon.csv" "$PROV_DIR/anon.with-prov.csv"
+    cargo run $FLAGS --release -q -p diva-cli --bin diva -- anonymize \
+        --input "$PROV_DIR/medical.csv" --roles qi,qi,qi,qi,qi,sensitive \
+        --constraints "$PROV_DIR/sigma.txt" -k 5 --quiet \
+        --output "$PROV_DIR/anon.csv"
+    if ! cmp -s "$PROV_DIR/anon.csv" "$PROV_DIR/anon.with-prov.csv"; then
+        echo "provenance: enabling --provenance changed the published relation" >&2
+        exit 1
+    fi
+    echo "provenance ok: export validated, explain answered, output byte-identical"
 fi
 
 if [ "${SKIP_PROFILE:-0}" = "1" ]; then

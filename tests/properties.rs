@@ -9,7 +9,7 @@ use diva_core::{
 };
 use diva_metrics::audit::{audit, Audit, AuditSpec, ModelKind};
 use diva_relation::suppress::is_refinement;
-use diva_relation::{is_k_anonymous, Attribute, Relation, RelationBuilder, Schema};
+use diva_relation::{is_k_anonymous, Attribute, Relation, RelationBuilder, Schema, STAR_CODE};
 use proptest::prelude::*;
 
 /// A random relation with 2–3 QI attributes over small domains and
@@ -375,6 +375,68 @@ proptest! {
                 // Random tables may be genuinely infeasible; only a
                 // *published* table is gated.
             }
+            Err(e) => prop_assert!(false, "unexpected error class: {e}"),
+        }
+    }
+
+    /// Decision provenance accounts for the published table exactly —
+    /// on exact *and* degraded runs: the log passes record/reference
+    /// integrity validation, the recorded (row, col) cells are
+    /// precisely the starred cells of the published relation (mapped
+    /// through `source_rows`), every causal constraint a record cites
+    /// is an index into Σ, and the per-constraint attribution sums to
+    /// the published star count.
+    #[test]
+    fn provenance_accounts_for_every_star(
+        rel in arb_relation(),
+        picks in proptest::collection::vec((0usize..4, 0usize..4), 1..4),
+        k in 2usize..4,
+        expire_deadline in 0u8..2,
+    ) {
+        let sigma = arb_sigma(&rel, &picks, k);
+        let prov = diva_obs::Provenance::enabled();
+        let budget = diva_core::BudgetSpec {
+            deadline: (expire_deadline == 1).then_some(std::time::Duration::ZERO),
+            ..diva_core::BudgetSpec::default()
+        };
+        let config = DivaConfig::with_k(k).provenance(prov.clone()).budget(budget);
+        match Diva::new(config).run(&rel, &sigma) {
+            Ok(out) => {
+                let log = prov.snapshot().expect("enabled recorder yields a log");
+                let summary = diva_obs::provenance::validate_log(&log);
+                prop_assert!(summary.is_ok(), "integrity: {}", summary.unwrap_err());
+                let summary = summary.unwrap();
+                prop_assert_eq!(log.labels.len(), sigma.len());
+                let attr =
+                    out.stats.attribution.clone().expect("enabled run reports attribution");
+                prop_assert_eq!(attr.total(), out.relation.star_count() as u64);
+                prop_assert_eq!(summary.attribution, attr);
+                for cell in &log.cells {
+                    if let Some(ci) = cell.cause.constraint() {
+                        prop_assert!(
+                            (ci as usize) < sigma.len(),
+                            "record cites constraint {} outside Σ (|Σ| = {})", ci, sigma.len()
+                        );
+                    }
+                }
+                let mut starred: Vec<(u64, u32)> = Vec::new();
+                for row in 0..out.relation.n_rows() {
+                    for col in 0..out.relation.schema().arity() {
+                        if out.relation.code(row, col) == STAR_CODE {
+                            starred.push((out.source_rows[row] as u64, col as u32));
+                        }
+                    }
+                }
+                starred.sort_unstable();
+                let mut recorded: Vec<(u64, u32)> =
+                    log.cells.iter().map(|c| (c.row, c.col)).collect();
+                recorded.sort_unstable();
+                prop_assert_eq!(recorded, starred, "recorded cells ≠ published stars");
+            }
+            Err(DivaError::NoDiverseClustering { .. })
+            | Err(DivaError::ResidualTooSmall { .. })
+            | Err(DivaError::IntegrateFailed { .. })
+            | Err(DivaError::SearchBudgetExhausted { .. }) => {}
             Err(e) => prop_assert!(false, "unexpected error class: {e}"),
         }
     }
